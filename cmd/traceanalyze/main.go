@@ -1,0 +1,105 @@
+// Command traceanalyze computes the paper's trace statistics — snapshot
+// similarity by time delta, duplicate-page and zero-page fractions — over a
+// stored fingerprint trace produced by tracegen.
+//
+// Usage:
+//
+//	traceanalyze traces/server-a.vctf
+//	traceanalyze -max-delta 48h -stride 2 traces/server-c.vctf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vecycle/internal/fingerprint"
+	"vecycle/internal/methods"
+	"vecycle/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceanalyze", flag.ContinueOnError)
+	var (
+		maxDelta    = fs.Duration("max-delta", 24*time.Hour, "largest snapshot distance to bin")
+		stride      = fs.Int("stride", 1, "fingerprint subsampling stride")
+		showMethods = fs.Bool("methods", false, "also print the Figure 5 traffic-method comparison")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceanalyze [flags] TRACE.vctf")
+	}
+
+	tr, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine:      %s (%s, trace %s)\n", tr.Meta.Name, tr.Meta.OS, tr.Meta.TraceID)
+	fmt.Printf("RAM:          %d GiB (model scale %d pages/GiB)\n", tr.Meta.RAMBytes>>30, tr.Meta.PagesPerGiB)
+	fmt.Printf("fingerprints: %d\n\n", len(tr.Fingerprints))
+
+	corpus, err := fingerprint.NewCorpus(tr.Fingerprints)
+	if err != nil {
+		return err
+	}
+
+	var dup, zero float64
+	for i := 0; i < corpus.Len(); i++ {
+		dup += corpus.At(i).DupFraction()
+		zero += corpus.At(i).ZeroFraction()
+	}
+	n := float64(corpus.Len())
+	fmt.Printf("duplicate pages: %.1f%% (mean)\n", 100*dup/n)
+	fmt.Printf("zero pages:      %.1f%% (mean)\n\n", 100*zero/n)
+
+	series, err := corpus.BinnedSimilarity(30*time.Minute, *maxDelta, *stride)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s  %6s  %6s  %6s  %6s\n", "delta_h", "pairs", "min", "avg", "max")
+	for _, b := range series {
+		fmt.Printf("%8.1f  %6d  %6.3f  %6.3f  %6.3f\n", b.Center.Hours(), b.N, b.Min, b.Avg, b.Max)
+	}
+
+	if *showMethods {
+		fmt.Println()
+		if err := printMethodMeans(corpus, *stride); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printMethodMeans runs the Figure 5 analysis over every (strided)
+// fingerprint pair of the trace.
+func printMethodMeans(corpus *fingerprint.Corpus, stride int) error {
+	sums := map[methods.Method]float64{}
+	pairs := 0
+	for i := 0; i < corpus.Len(); i += stride {
+		for j := i + stride; j < corpus.Len(); j += stride {
+			b := methods.Analyze(corpus.At(i), corpus.At(j))
+			for _, m := range methods.All() {
+				sums[m] += b.Fraction(m)
+			}
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("too few fingerprints for a pair sweep")
+	}
+	fmt.Printf("traffic methods over %d pairs (fraction of baseline):\n", pairs)
+	for _, m := range methods.All() {
+		fmt.Printf("  %-13s %.3f\n", m.String(), sums[m]/float64(pairs))
+	}
+	return nil
+}

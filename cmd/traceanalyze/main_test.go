@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vecycle/internal/fingerprint"
+	"vecycle/internal/trace"
+)
+
+func writeSampleTrace(t *testing.T) string {
+	t.Helper()
+	t0 := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	tr := &trace.Trace{
+		Meta: trace.Meta{Name: "Test", OS: "Linux", TraceID: "x", RAMBytes: 1 << 30, PagesPerGiB: 4},
+	}
+	for i := 0; i < 6; i++ {
+		tr.Fingerprints = append(tr.Fingerprints, &fingerprint.Fingerprint{
+			Taken:  t0.Add(time.Duration(i) * 30 * time.Minute),
+			Hashes: []fingerprint.PageHash{fingerprint.PageHash(i), 7, 8, 0},
+		})
+	}
+	path := filepath.Join(t.TempDir(), "t.vctf")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyze(t *testing.T) {
+	path := writeSampleTrace(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-max-delta", "2h", "-stride", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-methods", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalyzeErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing file argument accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "none.vctf")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

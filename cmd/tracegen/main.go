@@ -1,0 +1,99 @@
+// Command tracegen generates synthetic memory-fingerprint traces for the
+// calibrated machine models, in the role of the Memory Buddies trace
+// download the paper's study consumed.
+//
+// Usage:
+//
+//	tracegen -out traces/                    # every modelled machine
+//	tracegen -out traces/ -machine "Server A" -steps 96
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vecycle/internal/memmodel"
+	"vecycle/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "traces", "output directory for .vctf trace files")
+		machine = fs.String("machine", "", `machine to trace ("Server A"); empty = all`)
+		steps   = fs.Int("steps", 0, "trace length in 30-minute steps (0 = the machine's paper-length default)")
+		config  = fs.String("config", "", "JSON machine description file (single object or array); overrides the presets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	presets := memmodel.AllPresets()
+	switch {
+	case *config != "":
+		var err error
+		presets, err = memmodel.LoadConfig(*config)
+		if err != nil {
+			return err
+		}
+	case *machine != "":
+		p, ok := memmodel.PresetByName(*machine)
+		if !ok {
+			return fmt.Errorf("unknown machine %q; known: %s", *machine, knownMachines())
+		}
+		presets = []memmodel.Preset{p}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	for _, p := range presets {
+		m, err := p.Build()
+		if err != nil {
+			return err
+		}
+		n := p.TraceSteps
+		if *steps > 0 {
+			n = *steps
+		}
+		fps := m.Trace(n)
+		tr := &trace.Trace{
+			Meta: trace.Meta{
+				Name:        p.Config.Name,
+				OS:          p.OS,
+				TraceID:     p.TraceID,
+				RAMBytes:    p.Config.RAMBytes,
+				PagesPerGiB: int32(p.Config.PagesPerGiB),
+			},
+			Fingerprints: fps,
+		}
+		path := filepath.Join(*out, slug(p.Config.Name)+".vctf")
+		if err := trace.WriteFile(path, tr); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %4d fingerprints (%d steps) -> %s\n", p.Config.Name, len(fps), n, path)
+	}
+	return nil
+}
+
+func slug(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}
+
+func knownMachines() string {
+	names := make([]string, 0, len(memmodel.AllPresets()))
+	for _, p := range memmodel.AllPresets() {
+		names = append(names, fmt.Sprintf("%q", p.Config.Name))
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vecycle/internal/trace"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Server A":  "server-a",
+		"Laptop D":  "laptop-d",
+		"Crawler B": "crawler-b",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunSingleMachine(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-machine", "Server A", "-steps", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(filepath.Join(dir, "server-a.vctf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Name != "Server A" || tr.Meta.OS != "Linux" {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+	if len(tr.Fingerprints) != 8 {
+		t.Errorf("got %d fingerprints, want 8", len(tr.Fingerprints))
+	}
+}
+
+func TestRunAllMachines(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-steps", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.vctf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 10 {
+		t.Errorf("generated %d traces, want 10", len(matches))
+	}
+}
+
+func TestRunUnknownMachine(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-machine", "Server Z"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestRunCustomConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "m.json")
+	body := `{
+	  "name": "Custom Box", "os": "Linux", "ram_gib": 1, "trace_steps": 6,
+	  "classes": {"zero": 0.05, "static": 0.25, "warm": 0.45, "hot": 0.25},
+	  "rates": {"static": 0.001, "warm": 0.05, "hot": 0.5},
+	  "dup_prob": 0.1, "zero_prob": 0.01, "pool_size": 16,
+	  "activity": {"kind": "constant", "level": 0.5}}`
+	if err := os.WriteFile(cfg, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", dir, "-config", cfg}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(filepath.Join(dir, "custom-box.vctf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Fingerprints) != 6 {
+		t.Errorf("got %d fingerprints, want 6", len(tr.Fingerprints))
+	}
+}

@@ -1,0 +1,76 @@
+// Command vecycle-bench regenerates the tables and figures of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	vecycle-bench -experiment figure6        # one experiment
+//	vecycle-bench -all                       # everything, paper order
+//	vecycle-bench -all -stride 2             # denser pair sweeps (slower)
+//
+// Output is a set of aligned text tables, one per figure panel, holding the
+// same rows/series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vecycle/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vecycle-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vecycle-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment to run: table1, figure1, figure2, figure4…figure8")
+		all        = fs.Bool("all", false, "run every experiment in paper order")
+		stride     = fs.Int("stride", 4, "fingerprint subsampling stride for the quadratic pair sweeps (1 = full)")
+		plotFlag   = fs.Bool("plot", false, "also render ASCII charts of each figure")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: vecycle-bench [-all | -experiment NAME] [-stride N]\n\nexperiments: %v\n\nflags:\n", experiments.Names())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*experiment == "") == !*all {
+		fs.Usage()
+		return fmt.Errorf("pass exactly one of -all or -experiment")
+	}
+
+	opts := experiments.Options{Stride: *stride}
+	names := experiments.Names()
+	if !*all {
+		names = []string{*experiment}
+	}
+	for _, name := range names {
+		fmt.Printf("=== %s ===\n\n", name)
+		tables, err := experiments.Run(name, opts)
+		if err != nil {
+			return err
+		}
+		for _, tbl := range tables {
+			if err := tbl.Fprint(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *plotFlag {
+			charts, err := experiments.Plots(name, opts)
+			if err != nil {
+				return err
+			}
+			for _, c := range charts {
+				fmt.Println(c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("neither -all nor -experiment rejected... accepted")
+	}
+	if err := run([]string{"-all", "-experiment", "table1"}); err == nil {
+		t.Error("both -all and -experiment accepted")
+	}
+	if err := run([]string{"-experiment", "figure99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

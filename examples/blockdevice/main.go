@@ -1,0 +1,114 @@
+// Block device: migrating a VM together with its virtual disk — the
+// unshared-storage case the paper's testbed avoided by mounting VM images
+// over NFS (§4.1). The disk's backing region is page-shaped, so checkpoint
+// recycling applies to it unchanged; disks churn slower than RAM, so the
+// savings on the disk leg are even larger.
+//
+//	go run ./examples/blockdevice
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"vecycle/internal/core"
+	"vecycle/internal/disk"
+	"vecycle/internal/sched"
+	"vecycle/internal/vm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blockdevice: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "vecycle-disk-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	alpha, err := sched.NewHost("alpha", filepath.Join(dir, "alpha"))
+	if err != nil {
+		return err
+	}
+	beta, err := sched.NewHost("beta", filepath.Join(dir, "beta"))
+	if err != nil {
+		return err
+	}
+	var arrived sync.WaitGroup
+	onArrival := func(*vm.VM, core.DestResult) { arrived.Done() }
+	alpha.OnArrival = onArrival
+	beta.OnArrival = onArrival
+	addrA, err := alpha.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer alpha.Close()
+	addrB, err := beta.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer beta.Close()
+
+	// A database VM: 16 MiB RAM, 8 MiB virtual disk with an installed
+	// filesystem.
+	guest, err := vm.New(vm.Config{Name: "db-1", MemBytes: 16 << 20, Seed: 1})
+	if err != nil {
+		return err
+	}
+	if err := guest.FillRandom(0.9); err != nil {
+		return err
+	}
+	dev, err := disk.New("db-1", 8<<20, 2)
+	if err != nil {
+		return err
+	}
+	if err := dev.MkFS(0.8, 3); err != nil {
+		return err
+	}
+	alpha.AddVM(guest)
+	alpha.AttachDisk(dev)
+
+	hosts := []*sched.Host{alpha, beta}
+	addrs := []string{addrA, addrB}
+	for leg := 0; leg < 3; leg++ {
+		from, to := hosts[leg%2], (leg+1)%2
+		arrived.Add(1)
+		start := time.Now()
+		m, err := from.MigrateTo(addrs[to], "db-1", sched.MigrateOptions{
+			Recycle:        true,
+			KeepCheckpoint: true,
+		})
+		if err != nil {
+			return err
+		}
+		arrived.Wait()
+		fmt.Printf("leg %d (%s -> %s): RAM %s on the wire, %v total (disk leg included)\n",
+			leg+1, from.Name(), hosts[to].Name(), core.FormatBytes(m.BytesSent), time.Since(start).Round(time.Millisecond))
+
+		// Database activity before the next move: scattered writes to the
+		// disk, a little RAM churn.
+		landed, _ := hosts[to].VM("db-1")
+		landedDisk, ok := hosts[to].Disk("db-1")
+		if !ok {
+			return fmt.Errorf("disk missing after leg %d", leg+1)
+		}
+		landed.TouchRandomPages(64)
+		landedDisk.OverwriteRandomBlocks(2, int64(leg))
+		if err := landedDisk.AppendLog(100, disk.BlockSize/4, int64(leg)+10); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nafter leg 1 both RAM and disk recycle their checkpoints; the disk,")
+	fmt.Println("churning slower, moves almost nothing but its journal blocks.")
+	return nil
+}

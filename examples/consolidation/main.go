@@ -1,0 +1,45 @@
+// Consolidation: the second use case the paper's introduction motivates
+// (§2.2, after Verma et al.): low-activity VMs live on a consolidation
+// server and migrate to an active host only while they are busy. The
+// inter-migration times are a few hours — the sweet spot where a stored
+// checkpoint still matches 50–70 % of memory.
+//
+//	go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vecycle/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("consolidation: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("Threshold-driven consolidation over one simulated week:")
+	fmt.Println("wake above 50% activity, consolidate after 1h below 10%.")
+	fmt.Println()
+
+	res, err := experiments.Consolidation()
+	if err != nil {
+		return err
+	}
+	if err := res.PerVM.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if err := res.Totals.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("%d migrations in total; VeCycle moves %.0f%% of the baseline bytes\n",
+		res.Migrations, 100*res.VeCycleFraction)
+	fmt.Printf("(sender-side dedup alone: %.0f%%).\n", 100*res.DedupFraction)
+	return nil
+}

@@ -1,0 +1,3 @@
+module vecycle
+
+go 1.22

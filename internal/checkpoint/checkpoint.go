@@ -1,0 +1,205 @@
+// Package checkpoint implements VeCycle's on-disk VM checkpoints (§3.3): a
+// raw page-ordered memory image written by the migration source after an
+// outgoing migration, and re-read by a later incoming migration to
+// bootstrap the destination VM.
+//
+// While sequentially reading the image — sequential access "ensures optimal
+// use of the disk's available I/O bandwidth" — the destination computes one
+// checksum per 4 KiB block and records it with the block's file offset in a
+// sorted list, so that a checksum received from the source can be resolved
+// to a disk offset by binary search, exactly as described in the paper.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// indexEntry pairs a block checksum with its byte offset in the image.
+type indexEntry struct {
+	sum    checksum.Sum
+	offset int64
+}
+
+// Index maps block checksums to file offsets. It is the sorted list of
+// §3.3, queried by binary search during the destination's merge loop.
+type Index struct {
+	entries []indexEntry
+}
+
+// add records a block. Called in file order during the sequential scan.
+func (ix *Index) add(sum checksum.Sum, offset int64) {
+	ix.entries = append(ix.entries, indexEntry{sum: sum, offset: offset})
+}
+
+// sort orders the entries for binary search, keeping the lowest offset for
+// duplicate checksums (any copy of identical content works).
+func (ix *Index) sort() {
+	sort.Slice(ix.entries, func(i, j int) bool {
+		c := bytes.Compare(ix.entries[i].sum[:], ix.entries[j].sum[:])
+		if c != 0 {
+			return c < 0
+		}
+		return ix.entries[i].offset < ix.entries[j].offset
+	})
+}
+
+// Lookup reports the file offset of a block with the given checksum.
+func (ix *Index) Lookup(sum checksum.Sum) (offset int64, ok bool) {
+	i := sort.Search(len(ix.entries), func(i int) bool {
+		return bytes.Compare(ix.entries[i].sum[:], sum[:]) >= 0
+	})
+	if i < len(ix.entries) && ix.entries[i].sum == sum {
+		return ix.entries[i].offset, true
+	}
+	return 0, false
+}
+
+// Len reports the number of indexed blocks.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Write dumps the VM's memory to path as a raw page-ordered image,
+// streaming pages sequentially. This is what the migration source does
+// right after an outgoing migration completes.
+func Write(path string, source *vm.VM) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("checkpoint: close %s: %w", path, cerr)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < source.NumPages(); i++ {
+		source.ReadPage(i, buf)
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("checkpoint: write page %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: flush: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint is an opened checkpoint image: the file handle, the
+// checksum→offset index, and the set of block checksums for the hash
+// announcement. Close it when the migration completes.
+type Checkpoint struct {
+	f     *os.File
+	alg   checksum.Algorithm
+	index Index
+	sums  *checksum.Set
+	pages int
+}
+
+// Open scans the image at path sequentially, building the checksum index
+// and the announcement set. If dst is non-nil each block is also installed
+// into the corresponding page of dst — the destination's RAM bootstrap —
+// in which case the image size must match the VM's memory exactly.
+func Open(path string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("checkpoint: invalid checksum algorithm")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: stat: %w", err)
+	}
+	if st.Size()%vm.PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: image size %d not a multiple of the page size", st.Size())
+	}
+	pages := int(st.Size() / vm.PageSize)
+	if dst != nil && dst.NumPages() != pages {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: image has %d pages, VM has %d", pages, dst.NumPages())
+	}
+	cp := &Checkpoint{
+		f:     f,
+		alg:   alg,
+		sums:  checksum.NewSet(pages),
+		pages: pages,
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < pages; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: read block %d: %w", i, err)
+		}
+		sum := alg.Page(buf)
+		cp.index.add(sum, int64(i)*vm.PageSize)
+		cp.sums.Add(sum)
+		if dst != nil {
+			dst.InstallPage(i, buf)
+		}
+	}
+	cp.index.sort()
+	return cp, nil
+}
+
+// Pages reports the number of blocks in the image.
+func (c *Checkpoint) Pages() int { return c.pages }
+
+// Algorithm reports the checksum algorithm the index was built with.
+func (c *Checkpoint) Algorithm() checksum.Algorithm { return c.alg }
+
+// SumSet returns the set of block checksums present in the image — the
+// content of the destination's hash announcement. The caller must not
+// mutate it.
+func (c *Checkpoint) SumSet() *checksum.Set { return c.sums }
+
+// ReadBlock returns the content of a block with the given checksum, or
+// ok=false if no such block exists. This is the lseek+read of Listing 1,
+// executed when an incoming checksum does not match the page frame's
+// current content.
+func (c *Checkpoint) ReadBlock(sum checksum.Sum) (data []byte, ok bool, err error) {
+	offset, ok := c.index.Lookup(sum)
+	if !ok {
+		return nil, false, nil
+	}
+	buf := make([]byte, vm.PageSize)
+	if _, err := c.f.ReadAt(buf, offset); err != nil {
+		return nil, true, fmt.Errorf("checkpoint: read block at %d: %w", offset, err)
+	}
+	return buf, true, nil
+}
+
+// PageAt returns the image's content for page frame i — the content the
+// destination's RAM holds right after its checkpoint bootstrap. The source
+// of a delta-encoded migration reads its own mirror of the destination's
+// checkpoint through this method. ok is false when the frame is outside
+// the image.
+func (c *Checkpoint) PageAt(frame int) (data []byte, ok bool, err error) {
+	if frame < 0 || frame >= c.pages {
+		return nil, false, nil
+	}
+	buf := make([]byte, vm.PageSize)
+	if _, err := c.f.ReadAt(buf, int64(frame)*vm.PageSize); err != nil {
+		return nil, true, fmt.Errorf("checkpoint: read frame %d: %w", frame, err)
+	}
+	return buf, true, nil
+}
+
+// Close releases the underlying file.
+func (c *Checkpoint) Close() error {
+	if err := c.f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+func newVM(t *testing.T, name string, pages int, seed int64) *vm.VM {
+	t.Helper()
+	v, err := vm.New(vm.Config{Name: name, MemBytes: int64(pages) * vm.PageSize, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func fillPattern(v *vm.VM) {
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < v.NumPages(); i++ {
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		v.WritePage(i, buf)
+	}
+}
+
+func TestWriteAndOpenRestoresMemory(t *testing.T) {
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 16, 1)
+	fillPattern(src)
+	path := filepath.Join(dir, "vm0.img")
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 16, 2)
+	cp, err := Open(path, checksum.MD5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if !src.MemEqual(dst) {
+		t.Errorf("restored memory differs at page %d", src.FirstDifference(dst))
+	}
+	if cp.Pages() != 16 {
+		t.Errorf("Pages = %d", cp.Pages())
+	}
+	if cp.Algorithm() != checksum.MD5 {
+		t.Errorf("Algorithm = %v", cp.Algorithm())
+	}
+}
+
+func TestOpenWithoutVM(t *testing.T) {
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 8, 1)
+	fillPattern(src)
+	path := filepath.Join(dir, "vm0.img")
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Open(path, checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.SumSet().Len() == 0 {
+		t.Error("no checksums indexed")
+	}
+}
+
+func TestOpenSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 8, 1)
+	path := filepath.Join(dir, "vm0.img")
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	wrong := newVM(t, "vm0", 16, 1)
+	if _, err := Open(path, checksum.MD5, wrong); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestOpenTruncatedImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.img")
+	if err := os.WriteFile(path, make([]byte, vm.PageSize+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, checksum.MD5, nil); err == nil {
+		t.Error("non-page-aligned image accepted")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "none.img"), checksum.MD5, nil); err == nil {
+		t.Error("missing image accepted")
+	}
+}
+
+func TestOpenInvalidAlgorithm(t *testing.T) {
+	if _, err := Open("whatever", checksum.Algorithm(0), nil); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+}
+
+func TestSumSetAnnouncesEveryBlock(t *testing.T) {
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 8, 1)
+	fillPattern(src)
+	path := filepath.Join(dir, "vm0.img")
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Open(path, checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	for i := 0; i < src.NumPages(); i++ {
+		if !cp.SumSet().Contains(src.PageSum(i, checksum.MD5)) {
+			t.Errorf("page %d checksum missing from announcement", i)
+		}
+	}
+}
+
+func TestReadBlockByChecksum(t *testing.T) {
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 8, 1)
+	fillPattern(src)
+	path := filepath.Join(dir, "vm0.img")
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Open(path, checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	want := make([]byte, vm.PageSize)
+	src.ReadPage(5, want)
+	data, ok, err := cp.ReadBlock(src.PageSum(5, checksum.MD5))
+	if err != nil || !ok {
+		t.Fatalf("ReadBlock: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Error("ReadBlock returned wrong content")
+	}
+	// Unknown checksum.
+	if _, ok, err := cp.ReadBlock(checksum.MD5.Page([]byte("nope"))); ok || err != nil {
+		t.Errorf("unknown checksum: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIndexDuplicateBlocks(t *testing.T) {
+	// Two pages with identical content: lookup must return a valid offset.
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 4, 1)
+	same := bytes.Repeat([]byte{0x42}, vm.PageSize)
+	src.WritePage(1, same)
+	src.WritePage(3, same)
+	path := filepath.Join(dir, "vm0.img")
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Open(path, checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	data, ok, err := cp.ReadBlock(checksum.MD5.Page(same))
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(data, same) {
+		t.Error("duplicate block content wrong")
+	}
+}
+
+// Property: the index finds every inserted sum and nothing else.
+func TestIndexLookupProperty(t *testing.T) {
+	f := func(blocks []uint8, probe uint8) bool {
+		var ix Index
+		want := map[checksum.Sum]bool{}
+		for i, b := range blocks {
+			sum := checksum.MD5.Page([]byte{b})
+			ix.add(sum, int64(i)*vm.PageSize)
+			want[sum] = true
+		}
+		ix.sort()
+		for sum := range want {
+			if _, ok := ix.Lookup(sum); !ok {
+				return false
+			}
+		}
+		probeSum := checksum.MD5.Page([]byte{probe, 0xFF})
+		_, ok := ix.Lookup(probeSum)
+		return ok == want[probeSum]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreSaveRestore(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newVM(t, "web-1", 8, 1)
+	fillPattern(src)
+	if store.Has("web-1") {
+		t.Error("Has before Save")
+	}
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Has("web-1") {
+		t.Error("Has after Save")
+	}
+	dst := newVM(t, "web-1", 8, 9)
+	cp, err := store.Restore("web-1", checksum.MD5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if !src.MemEqual(dst) {
+		t.Error("store round trip lost data")
+	}
+}
+
+func TestStoreGenerations(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newVM(t, "vm0", 4, 1)
+	src.WritePage(2, bytes.Repeat([]byte{1}, vm.PageSize))
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	gens, ok, err := store.Generations("vm0")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(gens) != 4 || gens[2] != 1 || gens[0] != 0 {
+		t.Errorf("generations = %v", gens)
+	}
+	if _, ok, err := store.Generations("other"); ok || err != nil {
+		t.Errorf("missing sidecar: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStoreRemoveAndList(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newVM(t, "a", 2, 1)
+	b := newVM(t, "b", 2, 2)
+	if err := store.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(b); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Errorf("List = %v", names)
+	}
+	if err := store.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Has("a") || !store.Has("b") {
+		t.Error("Remove removed wrong checkpoint")
+	}
+	if err := store.Remove("a"); err != nil {
+		t.Errorf("double remove errored: %v", err)
+	}
+}
+
+func TestStoreSanitizesNames(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := newVM(t, "../../etc/passwd", 2, 1)
+	if err := store.Save(evil); err != nil {
+		t.Fatal(err)
+	}
+	path := store.ImagePath("../../etc/passwd")
+	rel, err := filepath.Rel(store.Dir(), path)
+	if err != nil || len(rel) == 0 || rel[0] == '.' {
+		t.Errorf("image path %q escapes store dir", path)
+	}
+}
+
+func TestNewStoreEmptyDir(t *testing.T) {
+	if _, err := NewStore(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+func TestVerifyCleanImage(t *testing.T) {
+	s := quotaStore(t)
+	saveVM(t, s, "a", 4)
+	if err := s.Verify("a"); err != nil {
+		t.Errorf("clean image failed verification: %v", err)
+	}
+}
+
+func TestVerifyDetectsBitRot(t *testing.T) {
+	s := quotaStore(t)
+	saveVM(t, s, "a", 4)
+	// Flip one bit in the middle of the image.
+	path := s.ImagePath("a")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify("a"); err == nil {
+		t.Error("bit rot not detected")
+	}
+}
+
+func TestVerifyMissingSidecarTrivial(t *testing.T) {
+	s := quotaStore(t)
+	saveVM(t, s, "a", 4)
+	if err := os.Remove(s.digestPath("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify("a"); err != nil {
+		t.Errorf("missing sidecar should verify trivially: %v", err)
+	}
+}
+
+func TestVerifyOnRestore(t *testing.T) {
+	s, err := NewStore(filepath.Join(t.TempDir(), "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(vm.Config{Name: "a", MemBytes: 4 * testPage, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(v); err != nil {
+		t.Fatal(err)
+	}
+	s.SetVerifyOnRestore(true)
+
+	// Clean restore succeeds.
+	cp, err := s.Restore("a", checksum.MD5, nil)
+	if err != nil {
+		t.Fatalf("clean restore: %v", err)
+	}
+	cp.Close()
+
+	// Corrupt the image: restore must now fail before any data is used.
+	raw, err := os.ReadFile(s.ImagePath("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := os.WriteFile(s.ImagePath("a"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Restore("a", checksum.MD5, nil); err == nil {
+		t.Error("corrupt image restored under VerifyOnRestore")
+	}
+
+	// Without the knob the (page-aligned) corruption is invisible to Open.
+	s.SetVerifyOnRestore(false)
+	cp, err = s.Restore("a", checksum.MD5, nil)
+	if err != nil {
+		t.Fatalf("unverified restore: %v", err)
+	}
+	cp.Close()
+}
+
+func TestRemoveDeletesDigest(t *testing.T) {
+	s := quotaStore(t)
+	saveVM(t, s, "a", 4)
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.digestPath("a")); !os.IsNotExist(err) {
+		t.Error("digest sidecar survived Remove")
+	}
+}

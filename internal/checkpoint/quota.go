@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Storage quota management. The paper argues local checkpoint storage is
+// "cheap and abundant" (§1), but a host that serves many VMs still needs a
+// bound: the store can be capped, evicting the least-recently-used
+// checkpoints first. A checkpoint counts as used when it is saved or
+// restored.
+
+// SetQuota caps the total bytes of checkpoint images in the store. A zero
+// or negative quota removes the cap. If existing images already exceed the
+// new quota, the least-recently-used ones are evicted immediately.
+func (s *Store) SetQuota(bytes int64) error {
+	s.quota = bytes
+	return s.enforceQuota(0)
+}
+
+// Quota reports the configured cap (0 = uncapped).
+func (s *Store) Quota() int64 { return s.quota }
+
+// Usage reports the total bytes of stored checkpoint images.
+func (s *Store) Usage() (int64, error) {
+	entries, err := s.imageInfos()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	return total, nil
+}
+
+type imageInfo struct {
+	vmName string
+	size   int64
+	used   time.Time
+}
+
+// imageInfos lists stored images with size and last-use time.
+func (s *Store) imageInfos() ([]imageInfo, error) {
+	names, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]imageInfo, 0, len(names))
+	for _, n := range names {
+		st, err := os.Stat(s.ImagePath(n))
+		if err != nil {
+			continue // raced with a concurrent Remove
+		}
+		infos = append(infos, imageInfo{vmName: n, size: st.Size(), used: st.ModTime()})
+	}
+	return infos, nil
+}
+
+// enforceQuota evicts least-recently-used images until usage + incoming
+// fits the quota. incoming reserves room for an image about to be written.
+func (s *Store) enforceQuota(incoming int64) error {
+	if s.quota <= 0 {
+		return nil
+	}
+	infos, err := s.imageInfos()
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, e := range infos {
+		total += e.size
+	}
+	if total+incoming <= s.quota {
+		return nil
+	}
+	// Oldest use first.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].used.Before(infos[j].used) })
+	for _, e := range infos {
+		if total+incoming <= s.quota {
+			break
+		}
+		if err := s.Remove(e.vmName); err != nil {
+			return err
+		}
+		total -= e.size
+	}
+	if total+incoming > s.quota {
+		return fmt.Errorf("checkpoint: image of %d bytes exceeds store quota %d", incoming, s.quota)
+	}
+	return nil
+}
+
+// touch marks an image as recently used, so Restore refreshes its LRU
+// position.
+func (s *Store) touch(vmName string) {
+	now := time.Now()
+	// Best effort: a failed utimes only degrades eviction ordering.
+	_ = os.Chtimes(s.ImagePath(vmName), now, now)
+}

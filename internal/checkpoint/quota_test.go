@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vecycle/internal/vm"
+)
+
+const testPage = vm.PageSize
+
+func quotaStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(filepath.Join(t.TempDir(), "q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func saveVM(t *testing.T, s *Store, name string, pages int) {
+	t.Helper()
+	v, err := vm.New(vm.Config{Name: name, MemBytes: int64(pages) * testPage, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ageImage pushes an image's LRU timestamp into the past.
+func ageImage(t *testing.T, s *Store, name string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(s.ImagePath(name), old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaUncappedByDefault(t *testing.T) {
+	s := quotaStore(t)
+	if s.Quota() != 0 {
+		t.Errorf("default quota = %d", s.Quota())
+	}
+	saveVM(t, s, "a", 4)
+	saveVM(t, s, "b", 4)
+	usage, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage != 8*testPage {
+		t.Errorf("Usage = %d, want %d", usage, 8*testPage)
+	}
+}
+
+func TestQuotaEvictsLRUOnSave(t *testing.T) {
+	s := quotaStore(t)
+	if err := s.SetQuota(8 * testPage); err != nil {
+		t.Fatal(err)
+	}
+	saveVM(t, s, "old", 4)
+	ageImage(t, s, "old", 2*time.Hour)
+	saveVM(t, s, "mid", 4)
+	ageImage(t, s, "mid", time.Hour)
+
+	// A third 4-page image exceeds the 8-page quota: "old" must go.
+	saveVM(t, s, "new", 4)
+	if s.Has("old") {
+		t.Error("LRU image survived eviction")
+	}
+	if !s.Has("mid") || !s.Has("new") {
+		t.Error("wrong image evicted")
+	}
+}
+
+func TestQuotaRestoreRefreshesLRU(t *testing.T) {
+	s := quotaStore(t)
+	if err := s.SetQuota(8 * testPage); err != nil {
+		t.Fatal(err)
+	}
+	saveVM(t, s, "a", 4)
+	ageImage(t, s, "a", 2*time.Hour)
+	saveVM(t, s, "b", 4)
+	ageImage(t, s, "b", time.Hour)
+
+	// Restoring "a" marks it used; "b" becomes the eviction candidate.
+	cp, err := s.Restore("a", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	saveVM(t, s, "c", 4)
+	if !s.Has("a") {
+		t.Error("recently restored image evicted")
+	}
+	if s.Has("b") {
+		t.Error("stale image survived")
+	}
+}
+
+func TestQuotaReplacingOwnImage(t *testing.T) {
+	// Re-saving the same VM must not evict others: the old image is
+	// replaced in place.
+	s := quotaStore(t)
+	if err := s.SetQuota(8 * testPage); err != nil {
+		t.Fatal(err)
+	}
+	saveVM(t, s, "a", 4)
+	saveVM(t, s, "b", 4)
+	saveVM(t, s, "a", 4) // replace
+	if !s.Has("a") || !s.Has("b") {
+		t.Error("replacement evicted a sibling")
+	}
+}
+
+func TestQuotaTooSmallForImage(t *testing.T) {
+	s := quotaStore(t)
+	if err := s.SetQuota(2 * testPage); err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(vm.Config{Name: "big", MemBytes: 4 * testPage, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(v); err == nil {
+		t.Error("image larger than quota accepted")
+	}
+}
+
+func TestSetQuotaEvictsImmediately(t *testing.T) {
+	s := quotaStore(t)
+	saveVM(t, s, "a", 4)
+	ageImage(t, s, "a", time.Hour)
+	saveVM(t, s, "b", 4)
+	if err := s.SetQuota(4 * testPage); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("a") {
+		t.Error("SetQuota did not evict LRU image")
+	}
+	if !s.Has("b") {
+		t.Error("SetQuota evicted the wrong image")
+	}
+}
+
+func TestSetQuotaZeroRemovesCap(t *testing.T) {
+	s := quotaStore(t)
+	if err := s.SetQuota(4 * testPage); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetQuota(0); err != nil {
+		t.Fatal(err)
+	}
+	saveVM(t, s, "a", 4)
+	saveVM(t, s, "b", 4)
+	saveVM(t, s, "c", 4)
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Errorf("uncapped store evicted: %v", names)
+	}
+}

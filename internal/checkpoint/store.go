@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/dirtytrack"
+	"vecycle/internal/vm"
+)
+
+// Store manages the checkpoints a host keeps for the VMs that have visited
+// it. The paper's premise (via Birke et al.) is that a VM revisits a small
+// set of hosts — often just two — so "storing a checkpoint at each visited
+// server" is cheap and pays for itself on the next incoming migration.
+//
+// Alongside each image the store keeps a Miyakodori generation-vector
+// sidecar, so the dirty-tracking baseline can be driven from the same
+// stored state.
+type Store struct {
+	dir             string
+	quota           int64
+	verifyOnRestore bool
+}
+
+// NewStore opens (creating if needed) a checkpoint store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ImagePath reports where the image for the named VM lives.
+func (s *Store) ImagePath(vmName string) string {
+	return filepath.Join(s.dir, sanitize(vmName)+".img")
+}
+
+func (s *Store) genPath(vmName string) string {
+	return filepath.Join(s.dir, sanitize(vmName)+".gens.json")
+}
+
+// sanitize keeps VM names from escaping the store directory.
+func sanitize(name string) string {
+	r := strings.NewReplacer("/", "_", "\\", "_", "..", "_", string(os.PathSeparator), "_")
+	out := r.Replace(name)
+	if out == "" {
+		out = "_"
+	}
+	return out
+}
+
+// Has reports whether a checkpoint exists for the named VM.
+func (s *Store) Has(vmName string) bool {
+	_, err := os.Stat(s.ImagePath(vmName))
+	return err == nil
+}
+
+// Save checkpoints the VM's memory (and its generation vector) on this
+// host, replacing any previous checkpoint of the same VM. When a quota is
+// set, least-recently-used checkpoints are evicted first to make room.
+func (s *Store) Save(source *vm.VM) error {
+	if s.quota > 0 {
+		// The VM's own previous image (about to be replaced) does not
+		// count against the incoming size.
+		incoming := source.MemBytes()
+		if st, err := os.Stat(s.ImagePath(source.Name())); err == nil {
+			incoming -= st.Size()
+		}
+		if incoming < 0 {
+			incoming = 0
+		}
+		if err := s.enforceQuota(incoming); err != nil {
+			return err
+		}
+	}
+	if err := Write(s.ImagePath(source.Name()), source); err != nil {
+		return err
+	}
+	gens := source.GenSnapshot()
+	raw, err := json.Marshal(gens)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal generations: %w", err)
+	}
+	if err := os.WriteFile(s.genPath(source.Name()), raw, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write generations: %w", err)
+	}
+	return s.writeDigest(source.Name())
+}
+
+// Restore opens the named VM's checkpoint, installing its blocks into dst
+// (when non-nil) and returning the indexed handle for the merge phase.
+func (s *Store) Restore(vmName string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) {
+	if s.verifyOnRestore {
+		if err := s.Verify(vmName); err != nil {
+			return nil, err
+		}
+	}
+	cp, err := Open(s.ImagePath(vmName), alg, dst)
+	if err == nil {
+		s.touch(vmName)
+	}
+	return cp, err
+}
+
+// Generations loads the Miyakodori generation vector stored with the
+// checkpoint, or ok=false if none exists.
+func (s *Store) Generations(vmName string) (dirtytrack.GenVector, bool, error) {
+	raw, err := os.ReadFile(s.genPath(vmName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: read generations: %w", err)
+	}
+	var gens dirtytrack.GenVector
+	if err := json.Unmarshal(raw, &gens); err != nil {
+		return nil, false, fmt.Errorf("checkpoint: parse generations: %w", err)
+	}
+	return gens, true, nil
+}
+
+// Remove deletes the named VM's checkpoint and sidecar, if present.
+func (s *Store) Remove(vmName string) error {
+	for _, p := range []string{s.ImagePath(vmName), s.genPath(vmName), s.digestPath(vmName)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("checkpoint: remove %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// List reports the VM names with stored checkpoints.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".img"); ok {
+			names = append(names, n)
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,82 @@
+package checksum
+
+// Set is an unordered collection of page checksums. The migration
+// destination announces one Set to the source before the first copy round
+// (§3.2); the source consults it to decide between sending a full page and a
+// bare checksum.
+//
+// The zero value is not ready for use; construct with NewSet.
+type Set struct {
+	m map[Sum]struct{}
+}
+
+// NewSet creates an empty set with capacity for sizeHint sums.
+func NewSet(sizeHint int) *Set {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Set{m: make(map[Sum]struct{}, sizeHint)}
+}
+
+// Add inserts s into the set. Adding an existing sum is a no-op.
+func (st *Set) Add(s Sum) { st.m[s] = struct{}{} }
+
+// Contains reports whether s is in the set.
+func (st *Set) Contains(s Sum) bool {
+	_, ok := st.m[s]
+	return ok
+}
+
+// Len reports the number of distinct sums in the set.
+func (st *Set) Len() int { return len(st.m) }
+
+// Remove deletes s from the set if present.
+func (st *Set) Remove(s Sum) { delete(st.m, s) }
+
+// AddAll inserts every sum in sums.
+func (st *Set) AddAll(sums []Sum) {
+	for _, s := range sums {
+		st.Add(s)
+	}
+}
+
+// Union inserts every sum of other into st.
+func (st *Set) Union(other *Set) {
+	for s := range other.m {
+		st.Add(s)
+	}
+}
+
+// IntersectCount reports |st ∩ other| without materializing the
+// intersection. This is the numerator of the paper's similarity metric.
+func (st *Set) IntersectCount(other *Set) int {
+	small, large := st, other
+	if large.Len() < small.Len() {
+		small, large = large, small
+	}
+	n := 0
+	for s := range small.m {
+		if large.Contains(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy of the set.
+func (st *Set) Clone() *Set {
+	out := NewSet(st.Len())
+	for s := range st.m {
+		out.Add(s)
+	}
+	return out
+}
+
+// Sums returns the set's contents in unspecified order.
+func (st *Set) Sums() []Sum {
+	out := make([]Sum, 0, st.Len())
+	for s := range st.m {
+		out = append(out, s)
+	}
+	return out
+}

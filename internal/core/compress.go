@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// Page compression, the orthogonal optimization of Svärd et al. (paper
+// reference [24]) that §5 notes "can be combined with VeCycle": full pages
+// that must cross the wire are deflated first. Checksum-only pages gain
+// nothing (they are already 25 bytes), so compression only touches
+// msgPageFull traffic — and incompressible pages (random data, encrypted
+// memory) fall back to the raw encoding when deflate fails to shrink them.
+
+// pageCompressor deflates page payloads, reusing one encoder.
+type pageCompressor struct {
+	buf bytes.Buffer
+	fw  *flate.Writer
+}
+
+func newPageCompressor() (*pageCompressor, error) {
+	c := &pageCompressor{}
+	fw, err := flate.NewWriter(&c.buf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("core: init compressor: %w", err)
+	}
+	c.fw = fw
+	return c, nil
+}
+
+// compress deflates page. ok=false means the page did not shrink and the
+// caller should send it raw.
+func (c *pageCompressor) compress(page []byte) (data []byte, ok bool, err error) {
+	c.buf.Reset()
+	c.fw.Reset(&c.buf)
+	if _, err := c.fw.Write(page); err != nil {
+		return nil, false, fmt.Errorf("core: compress page: %w", err)
+	}
+	if err := c.fw.Close(); err != nil {
+		return nil, false, fmt.Errorf("core: compress page: %w", err)
+	}
+	if c.buf.Len() >= len(page) {
+		return nil, false, nil
+	}
+	return c.buf.Bytes(), true, nil
+}
+
+// writePageFullZ emits a compressed full-page message: the standard page
+// header followed by a u32 length and the deflate stream.
+func writePageFullZ(w io.Writer, page uint64, sum checksum.Sum, compressed []byte) error {
+	if err := writePageHeader(w, msgPageFullZ, page, sum); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(compressed)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("core: write compressed length: %w", err)
+	}
+	if _, err := w.Write(compressed); err != nil {
+		return fmt.Errorf("core: write compressed payload: %w", err)
+	}
+	return nil
+}
+
+// pageDecompressor inflates page payloads, reusing one decoder.
+type pageDecompressor struct {
+	comp []byte
+	fr   io.ReadCloser
+}
+
+func newPageDecompressor() *pageDecompressor {
+	return &pageDecompressor{
+		comp: make([]byte, 0, vm.PageSize),
+		fr:   flate.NewReader(bytes.NewReader(nil)),
+	}
+}
+
+// readInto reads one compressed payload (length prefix + deflate stream)
+// from r and inflates exactly PageSize bytes into dst.
+func (d *pageDecompressor) readInto(r io.Reader, dst []byte) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return fmt.Errorf("core: read compressed length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n >= vm.PageSize {
+		return fmt.Errorf("%w: compressed page length %d out of (0,%d)", ErrProtocol, n, vm.PageSize)
+	}
+	if cap(d.comp) < int(n) {
+		d.comp = make([]byte, n)
+	}
+	d.comp = d.comp[:n]
+	if _, err := io.ReadFull(r, d.comp); err != nil {
+		return fmt.Errorf("core: read compressed payload: %w", err)
+	}
+	if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(d.comp), nil); err != nil {
+		return fmt.Errorf("core: reset inflater: %w", err)
+	}
+	if _, err := io.ReadFull(d.fr, dst[:vm.PageSize]); err != nil {
+		return fmt.Errorf("%w: inflate page: %v", ErrProtocol, err)
+	}
+	// The stream must end exactly at a page boundary.
+	var extra [1]byte
+	if n, _ := d.fr.Read(extra[:]); n != 0 {
+		return fmt.Errorf("%w: compressed page inflates beyond %d bytes", ErrProtocol, vm.PageSize)
+	}
+	return nil
+}

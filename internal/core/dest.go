@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"vecycle/internal/checkpoint"
+	"vecycle/internal/checksum"
+	"vecycle/internal/delta"
+	"vecycle/internal/vm"
+)
+
+// DestOptions configures an incoming migration.
+type DestOptions struct {
+	// Store is consulted for a checkpoint of the incoming VM. May be nil
+	// (pure baseline destination).
+	Store *checkpoint.Store
+	// TrackIncoming records the checksums of all pages observed during the
+	// migration, enabling the ping-pong optimization on a later outgoing
+	// migration of the same VM back to this peer (§3.2).
+	TrackIncoming bool
+	// VerifyPayloads re-computes the checksum of every full page received
+	// and rejects mismatches. Costs one hash per page; useful under
+	// unreliable transports and in tests.
+	VerifyPayloads bool
+}
+
+// DestResult reports the outcome of an incoming migration.
+type DestResult struct {
+	Metrics Metrics
+	// SeenSums is the checksum set of the VM's final arrived state (only
+	// when DestOptions.TrackIncoming was set) — by construction the set of
+	// blocks the peer's post-migration checkpoint holds, usable as
+	// SourceOptions.KnownDestSums on a later return migration.
+	SeenSums *checksum.Set
+	// UsedCheckpoint reports whether a local checkpoint bootstrapped RAM.
+	UsedCheckpoint bool
+}
+
+// IncomingSession is a half-open incoming migration: the hello has been
+// read, so the receiving host knows which VM is arriving and how big it is,
+// but nothing has been acknowledged yet. Hosts use this to create or locate
+// the destination VM before completing the migration with Run.
+type IncomingSession struct {
+	h  hello
+	w  *bufio.Writer
+	r  *bufio.Reader
+	cw *countingWriter
+	cr *countingReader
+}
+
+// Accept reads the source's hello from conn and returns the session.
+func Accept(conn io.ReadWriter) (*IncomingSession, error) {
+	s := &IncomingSession{
+		cw: &countingWriter{w: conn},
+		cr: &countingReader{r: conn},
+	}
+	s.w = bufio.NewWriterSize(s.cw, 1<<16)
+	s.r = bufio.NewReaderSize(s.cr, 1<<16)
+
+	t, err := readMsgType(s.r)
+	if err != nil {
+		return nil, err
+	}
+	if t != msgHello {
+		return nil, fmt.Errorf("%w: expected hello, got %v", ErrProtocol, t)
+	}
+	s.h, err = readHello(s.r)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// VMName reports the incoming VM's name.
+func (s *IncomingSession) VMName() string { return s.h.VMName }
+
+// MemBytes reports the incoming VM's memory size.
+func (s *IncomingSession) MemBytes() int64 {
+	return int64(s.h.PageCount) * int64(s.h.PageSize)
+}
+
+// Reject refuses the migration with the given reason.
+func (s *IncomingSession) Reject(reason string) error {
+	if err := writeHelloAck(s.w, helloAck{OK: false, Reason: reason}); err != nil {
+		return err
+	}
+	return flush(s.w)
+}
+
+// MigrateDest drives the destination side of a live migration into v over
+// conn. The VM must be created (all-zero memory) and sized before the call;
+// its name and page count are validated against the source's hello.
+//
+// Checkpoint loading happens between hello and hello-ack. The paper
+// excludes this setup from the reported migration time — Metrics.Duration
+// here starts after the checkpoint is loaded, matching that accounting.
+func MigrateDest(conn io.ReadWriter, v *vm.VM, opts DestOptions) (DestResult, error) {
+	s, err := Accept(conn)
+	if err != nil {
+		return DestResult{}, err
+	}
+	return s.Run(v, opts)
+}
+
+// Run completes an accepted incoming migration into v.
+func (s *IncomingSession) Run(v *vm.VM, opts DestOptions) (res DestResult, err error) {
+	h := s.h
+	w, r := s.w, s.r
+	defer func() {
+		res.Metrics.BytesSent = s.cw.n
+		res.Metrics.BytesReceived = s.cr.n
+	}()
+
+	if reason := validateHello(h, v); reason != "" {
+		_ = writeHelloAck(w, helloAck{OK: false, Reason: reason})
+		_ = flush(w)
+		return res, fmt.Errorf("%w: %s", ErrRejected, reason)
+	}
+
+	// Bootstrap from the local checkpoint if the source wants recycling and
+	// we have one.
+	var cp *checkpoint.Checkpoint
+	if h.Recycle && opts.Store != nil && opts.Store.Has(h.VMName) {
+		cp, err = opts.Store.Restore(h.VMName, h.Alg, v)
+		if err != nil {
+			// A corrupt or mismatched checkpoint must not fail the
+			// migration; degrade to a full first round.
+			cp = nil
+		}
+	}
+	if cp != nil {
+		defer cp.Close()
+		res.UsedCheckpoint = true
+	}
+
+	if opts.TrackIncoming {
+		res.SeenSums = checksum.NewSet(v.NumPages())
+	}
+
+	start := time.Now()
+	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil}); err != nil {
+		return res, err
+	}
+	if cp != nil && !h.SkipAnnounce {
+		before := s.cw.n + int64(w.Buffered())
+		if err := writeHashAnnounce(w, cp.SumSet()); err != nil {
+			return res, err
+		}
+		res.Metrics.AnnounceBytes = s.cw.n + int64(w.Buffered()) - before
+	}
+	if err := flush(w); err != nil {
+		return res, err
+	}
+
+	// Merge loop — Listing 1, extended with full-page installs and round
+	// bookkeeping.
+	pageBuf := make([]byte, vm.PageSize)
+	var decomp *pageDecompressor
+	for {
+		t, err := readMsgType(r)
+		if err != nil {
+			return res, err
+		}
+		switch t {
+		case msgPageFull, msgPageFullZ:
+			page, sum, err := readPageHeader(r)
+			if err != nil {
+				return res, err
+			}
+			if page >= uint64(v.NumPages()) {
+				return res, fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
+			}
+			if t == msgPageFullZ {
+				if decomp == nil {
+					decomp = newPageDecompressor()
+				}
+				if err := decomp.readInto(r, pageBuf); err != nil {
+					return res, err
+				}
+				res.Metrics.PagesCompressed++
+			} else if _, err := io.ReadFull(r, pageBuf); err != nil {
+				return res, fmt.Errorf("core: read page %d payload: %w", page, err)
+			}
+			if opts.VerifyPayloads {
+				if got := h.Alg.Page(pageBuf); got != sum {
+					return res, fmt.Errorf("%w: page %d payload checksum mismatch", ErrProtocol, page)
+				}
+			}
+			v.InstallPage(int(page), pageBuf)
+			res.Metrics.PagesFull++
+
+		case msgPageSum:
+			page, sum, err := readPageHeader(r)
+			if err != nil {
+				return res, err
+			}
+			if page >= uint64(v.NumPages()) {
+				return res, fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
+			}
+			if cp == nil {
+				return res, fmt.Errorf("%w: page-sum received without a checkpoint", ErrProtocol)
+			}
+			res.Metrics.PagesSum++
+			// Fast path: the frame content inherited from the checkpoint
+			// bootstrap already matches.
+			if v.PageSum(int(page), h.Alg) == sum {
+				res.Metrics.PagesReusedInPlace++
+				continue
+			}
+			// Slow path: look the checksum up in the checkpoint index and
+			// re-read the block from disk (lseek+read of Listing 1).
+			data, ok, err := cp.ReadBlock(sum)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				return res, fmt.Errorf("%w: source referenced checksum %v absent from checkpoint", ErrProtocol, sum)
+			}
+			v.InstallPage(int(page), data)
+			res.Metrics.PagesReusedFromDisk++
+
+		case msgPageDelta:
+			page, sum, err := readPageHeader(r)
+			if err != nil {
+				return res, err
+			}
+			if page >= uint64(v.NumPages()) {
+				return res, fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
+			}
+			if cp == nil {
+				return res, fmt.Errorf("%w: page-delta received without a checkpoint", ErrProtocol)
+			}
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+				return res, fmt.Errorf("core: read delta length: %w", err)
+			}
+			n := binary.LittleEndian.Uint32(lenBuf[:])
+			if n == 0 || n > vm.PageSize {
+				return res, fmt.Errorf("%w: delta length %d out of range", ErrProtocol, n)
+			}
+			enc := make([]byte, n)
+			if _, err := io.ReadFull(r, enc); err != nil {
+				return res, fmt.Errorf("core: read delta payload: %w", err)
+			}
+			// The frame still holds bootstrap (checkpoint) content in round
+			// one; apply the delta against it.
+			v.ReadPage(int(page), pageBuf)
+			if err := delta.Decode(pageBuf, enc, pageBuf); err != nil {
+				return res, fmt.Errorf("%w: %v", ErrProtocol, err)
+			}
+			// Deltas are always verified: a base mismatch (stale mirror at
+			// the source) silently corrupts otherwise.
+			if got := h.Alg.Page(pageBuf); got != sum {
+				return res, fmt.Errorf("%w: page %d delta produced checksum mismatch (stale delta base?)", ErrProtocol, page)
+			}
+			v.InstallPage(int(page), pageBuf)
+			res.Metrics.PagesDelta++
+
+		case msgRoundEnd:
+			if _, _, err := readRoundEnd(r); err != nil {
+				return res, err
+			}
+			res.Metrics.Rounds++
+
+		case msgDone:
+			if err := writeMsgType(w, msgAck); err != nil {
+				return res, err
+			}
+			if err := flush(w); err != nil {
+				return res, err
+			}
+			res.Metrics.Duration = time.Since(start)
+			// Record the checksum set of the *final* arrived state. This is
+			// exactly "the set of pages existing at the source" (§3.2): the
+			// source checkpoints its paused final state, which is what this
+			// VM now holds — the sound basis for a later ping-pong return
+			// leg. Tracking stream messages instead would also capture
+			// stale intermediate contents that the peer never checkpointed.
+			if opts.TrackIncoming {
+				for i := 0; i < v.NumPages(); i++ {
+					res.SeenSums.Add(v.PageSum(i, h.Alg))
+				}
+			}
+			return res, nil
+
+		default:
+			return res, fmt.Errorf("%w: unexpected %v during merge", ErrProtocol, t)
+		}
+	}
+}
+
+// validateHello returns a rejection reason, or "" to accept.
+func validateHello(h hello, v *vm.VM) string {
+	switch {
+	case h.Version != ProtocolVersion:
+		return fmt.Sprintf("protocol version %d unsupported (want %d)", h.Version, ProtocolVersion)
+	case h.VMName != v.Name():
+		return fmt.Sprintf("VM name %q does not match prepared VM %q", h.VMName, v.Name())
+	case h.PageSize != vm.PageSize:
+		return fmt.Sprintf("page size %d unsupported (want %d)", h.PageSize, vm.PageSize)
+	case h.PageCount != uint64(v.NumPages()):
+		return fmt.Sprintf("page count %d does not match prepared VM (%d)", h.PageCount, v.NumPages())
+	case !h.Alg.Valid() || !h.Alg.Strong():
+		return fmt.Sprintf("checksum algorithm %v unacceptable", h.Alg)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"vecycle/internal/checkpoint"
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// Post-copy migration (Hines & Gopalan, the paper's reference [13]),
+// combined with checkpoint recycling. Where pre-copy streams memory while
+// the guest still runs at the source, post-copy flips the order: the guest
+// stops at the source immediately, a per-page checksum manifest crosses the
+// wire, and the guest resumes at the destination while missing pages are
+// fetched over the network. With a local checkpoint, "missing" shrinks to
+// the pages whose content is genuinely new — the same set VeCycle's
+// pre-copy first round would transfer — so recycling cuts exactly the
+// post-copy phase during which the guest suffers remote page faults.
+//
+// Wire layout (after the shared hello/hello-ack):
+//
+//	source → destination: manifest = page count + one checksum per page
+//	destination → source: page requests (page numbers), then done
+//	source → destination: one full page per request, in request order
+//	source → destination: ack after done
+
+// Additional message tags for the post-copy protocol.
+const (
+	msgManifest msgType = iota + 32
+	msgPageRequest
+)
+
+// PostCopySourceOptions configures the source of a post-copy migration.
+type PostCopySourceOptions struct {
+	// Alg is the page-checksum algorithm (strong required). Defaults to MD5.
+	Alg checksum.Algorithm
+}
+
+// PostCopyMetrics extends the shared metrics with post-copy specifics.
+type PostCopyMetrics struct {
+	Metrics
+	// ResumeDelay is how long after the migration started the guest could
+	// resume at the destination — the figure of merit post-copy optimizes.
+	// (On the source it is the time until the manifest was sent.)
+	ResumeDelay time.Duration
+	// PagesRequested counts pages served over the network after resume.
+	PagesRequested int
+}
+
+// PostCopySource runs the source side. The guest must already be paused:
+// post-copy transfers a frozen state. The function returns once every
+// requested page has been served and the destination confirmed completion.
+func PostCopySource(conn io.ReadWriter, v *vm.VM, opts PostCopySourceOptions) (m PostCopyMetrics, err error) {
+	if opts.Alg == 0 {
+		opts.Alg = checksum.MD5
+	}
+	if !opts.Alg.Valid() || !opts.Alg.Strong() {
+		return m, fmt.Errorf("core: post-copy requires a strong checksum algorithm")
+	}
+
+	start := time.Now()
+	cw := &countingWriter{w: conn}
+	cr := &countingReader{r: conn}
+	w := bufio.NewWriterSize(cw, 1<<16)
+	r := bufio.NewReaderSize(cr, 1<<16)
+	defer func() {
+		m.BytesSent = cw.n
+		m.BytesReceived = cr.n
+	}()
+
+	h := hello{
+		Version:   ProtocolVersion,
+		VMName:    v.Name(),
+		PageSize:  vm.PageSize,
+		PageCount: uint64(v.NumPages()),
+		Alg:       opts.Alg,
+		Recycle:   true,
+		PostCopy:  true,
+	}
+	if err := writeHello(w, h); err != nil {
+		return m, err
+	}
+	if err := flush(w); err != nil {
+		return m, err
+	}
+	t, err := readMsgType(r)
+	if err != nil {
+		return m, err
+	}
+	if t != msgHelloAck {
+		return m, fmt.Errorf("%w: expected hello-ack, got %v", ErrProtocol, t)
+	}
+	ack, err := readHelloAck(r)
+	if err != nil {
+		return m, err
+	}
+	if !ack.OK {
+		return m, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+
+	// Manifest: one checksum per page, in page order.
+	if err := writeMsgType(w, msgManifest); err != nil {
+		return m, err
+	}
+	var countBuf [8]byte
+	binary.LittleEndian.PutUint64(countBuf[:], uint64(v.NumPages()))
+	if _, err := w.Write(countBuf[:]); err != nil {
+		return m, fmt.Errorf("core: write manifest count: %w", err)
+	}
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < v.NumPages(); i++ {
+		v.ReadPage(i, buf)
+		sum := opts.Alg.Page(buf)
+		if _, err := w.Write(sum[:]); err != nil {
+			return m, fmt.Errorf("core: write manifest sum %d: %w", i, err)
+		}
+	}
+	if err := flush(w); err != nil {
+		return m, err
+	}
+	m.ResumeDelay = time.Since(start)
+
+	// Serve page requests until the destination is done.
+	for {
+		t, err := readMsgType(r)
+		if err != nil {
+			return m, err
+		}
+		switch t {
+		case msgPageRequest:
+			var pageBuf [8]byte
+			if _, err := io.ReadFull(r, pageBuf[:]); err != nil {
+				return m, fmt.Errorf("core: read page request: %w", err)
+			}
+			page := binary.LittleEndian.Uint64(pageBuf[:])
+			if page >= uint64(v.NumPages()) {
+				return m, fmt.Errorf("%w: requested page %d out of range", ErrProtocol, page)
+			}
+			v.ReadPage(int(page), buf)
+			m.PagesRequested++
+			m.PagesFull++
+			if err := writePageFull(w, page, opts.Alg.Page(buf), buf); err != nil {
+				return m, err
+			}
+			if err := flush(w); err != nil {
+				return m, err
+			}
+		case msgDone:
+			if err := writeMsgType(w, msgAck); err != nil {
+				return m, err
+			}
+			if err := flush(w); err != nil {
+				return m, err
+			}
+			m.Duration = time.Since(start)
+			return m, nil
+		default:
+			return m, fmt.Errorf("%w: unexpected %v while serving pages", ErrProtocol, t)
+		}
+	}
+}
+
+// PostCopyDestOptions configures the destination side.
+type PostCopyDestOptions struct {
+	// Store is consulted for a checkpoint of the incoming VM.
+	Store *checkpoint.Store
+	// OnResume, when non-nil, is called the moment the guest could resume:
+	// after the manifest has been resolved against local state, with the
+	// number of pages still missing (to be demand-fetched).
+	OnResume func(missing int)
+}
+
+// PostCopyDestResult reports the outcome at the destination.
+type PostCopyDestResult struct {
+	Metrics PostCopyMetrics
+	// UsedCheckpoint reports whether a local checkpoint was available.
+	UsedCheckpoint bool
+}
+
+// PostCopyDest runs the destination side: resolve the manifest against the
+// local checkpoint, "resume" the guest, then fetch the missing pages.
+func PostCopyDest(conn io.ReadWriter, v *vm.VM, opts PostCopyDestOptions) (PostCopyDestResult, error) {
+	s, err := Accept(conn)
+	if err != nil {
+		return PostCopyDestResult{}, err
+	}
+	return s.RunPostCopy(v, opts)
+}
+
+// IsPostCopy reports whether the accepted session requests the post-copy
+// protocol.
+func (s *IncomingSession) IsPostCopy() bool { return s.h.PostCopy }
+
+// RunPostCopy completes an accepted post-copy migration into v.
+func (s *IncomingSession) RunPostCopy(v *vm.VM, opts PostCopyDestOptions) (res PostCopyDestResult, err error) {
+	h := s.h
+	w, r := s.w, s.r
+	defer func() {
+		res.Metrics.BytesSent = s.cw.n
+		res.Metrics.BytesReceived = s.cr.n
+	}()
+
+	if reason := validateHello(h, v); reason != "" {
+		_ = writeHelloAck(w, helloAck{OK: false, Reason: reason})
+		_ = flush(w)
+		return res, fmt.Errorf("%w: %s", ErrRejected, reason)
+	}
+
+	var cp *checkpoint.Checkpoint
+	if opts.Store != nil && opts.Store.Has(h.VMName) {
+		cp, err = opts.Store.Restore(h.VMName, h.Alg, v)
+		if err != nil {
+			cp = nil
+		}
+	}
+	err = nil
+	if cp != nil {
+		defer cp.Close()
+		res.UsedCheckpoint = true
+	}
+	start := time.Now()
+	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil}); err != nil {
+		return res, err
+	}
+	if err := flush(w); err != nil {
+		return res, err
+	}
+
+	// Manifest.
+	t, err := readMsgType(r)
+	if err != nil {
+		return res, err
+	}
+	if t != msgManifest {
+		return res, fmt.Errorf("%w: expected manifest, got %v", ErrProtocol, t)
+	}
+	var countBuf [8]byte
+	if _, err := io.ReadFull(r, countBuf[:]); err != nil {
+		return res, fmt.Errorf("core: read manifest count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(countBuf[:])
+	if count != uint64(v.NumPages()) {
+		return res, fmt.Errorf("%w: manifest covers %d pages, VM has %d", ErrProtocol, count, v.NumPages())
+	}
+
+	// Resolve each page locally where possible.
+	var missing []uint64
+	var sum checksum.Sum
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, sum[:]); err != nil {
+			return res, fmt.Errorf("core: read manifest sum %d: %w", i, err)
+		}
+		if cp == nil {
+			missing = append(missing, i)
+			continue
+		}
+		if v.PageSum(int(i), h.Alg) == sum {
+			res.Metrics.PagesReusedInPlace++
+			continue
+		}
+		if data, ok, err := cp.ReadBlock(sum); err != nil {
+			return res, err
+		} else if ok {
+			v.InstallPage(int(i), data)
+			res.Metrics.PagesReusedFromDisk++
+			continue
+		}
+		missing = append(missing, i)
+	}
+
+	// The guest can resume now: every resident page is final; the missing
+	// ones fault over the network as touched.
+	res.Metrics.ResumeDelay = time.Since(start)
+	if opts.OnResume != nil {
+		opts.OnResume(len(missing))
+	}
+
+	// Background pre-paging: request the missing pages in order.
+	pageBuf := make([]byte, vm.PageSize)
+	for _, page := range missing {
+		var reqBuf [9]byte
+		reqBuf[0] = byte(msgPageRequest)
+		binary.LittleEndian.PutUint64(reqBuf[1:], page)
+		if _, err := w.Write(reqBuf[:]); err != nil {
+			return res, fmt.Errorf("core: write page request: %w", err)
+		}
+		if err := flush(w); err != nil {
+			return res, err
+		}
+		t, err := readMsgType(r)
+		if err != nil {
+			return res, err
+		}
+		if t != msgPageFull {
+			return res, fmt.Errorf("%w: expected page-full, got %v", ErrProtocol, t)
+		}
+		got, gotSum, err := readPageHeader(r)
+		if err != nil {
+			return res, err
+		}
+		if got != page {
+			return res, fmt.Errorf("%w: requested page %d, received %d", ErrProtocol, page, got)
+		}
+		if _, err := io.ReadFull(r, pageBuf); err != nil {
+			return res, fmt.Errorf("core: read page %d payload: %w", page, err)
+		}
+		if h.Alg.Page(pageBuf) != gotSum {
+			return res, fmt.Errorf("%w: page %d payload checksum mismatch", ErrProtocol, page)
+		}
+		v.InstallPage(int(page), pageBuf)
+		res.Metrics.PagesRequested++
+		res.Metrics.PagesFull++
+	}
+	if err := writeMsgType(w, msgDone); err != nil {
+		return res, err
+	}
+	if err := flush(w); err != nil {
+		return res, err
+	}
+	if t, err = readMsgType(r); err != nil {
+		return res, err
+	}
+	if t != msgAck {
+		return res, fmt.Errorf("%w: expected ack, got %v", ErrProtocol, t)
+	}
+	res.Metrics.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+func postcopy(t *testing.T, src, dst *vm.VM, sopts PostCopySourceOptions, dopts PostCopyDestOptions) (PostCopyMetrics, PostCopyDestResult) {
+	t.Helper()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var (
+		wg   sync.WaitGroup
+		sm   PostCopyMetrics
+		serr error
+		dres PostCopyDestResult
+		derr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sm, serr = PostCopySource(a, src, sopts)
+	}()
+	go func() {
+		defer wg.Done()
+		dres, derr = PostCopyDest(b, dst, dopts)
+	}()
+	wg.Wait()
+	if serr != nil {
+		t.Fatalf("source: %v", serr)
+	}
+	if derr != nil {
+		t.Fatalf("destination: %v", derr)
+	}
+	return sm, dres
+}
+
+func TestPostCopyNoCheckpoint(t *testing.T) {
+	src := newVM(t, "vm0", 32, 1)
+	if err := src.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 32, 2)
+	var missingAtResume int
+	sm, dres := postcopy(t, src, dst,
+		PostCopySourceOptions{},
+		PostCopyDestOptions{OnResume: func(n int) { missingAtResume = n }})
+	if !src.MemEqual(dst) {
+		t.Fatalf("memory differs at page %d", src.FirstDifference(dst))
+	}
+	if missingAtResume != 32 {
+		t.Errorf("missing at resume = %d, want all 32 (no checkpoint)", missingAtResume)
+	}
+	if sm.PagesRequested != 32 || dres.Metrics.PagesRequested != 32 {
+		t.Errorf("requested = %d/%d, want 32", sm.PagesRequested, dres.Metrics.PagesRequested)
+	}
+	if dres.UsedCheckpoint {
+		t.Error("phantom checkpoint")
+	}
+}
+
+func TestPostCopyWithCheckpoint(t *testing.T) {
+	src := newVM(t, "vm0", 64, 1)
+	if err := src.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	store := newStore(t)
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	src.TouchRandomPages(6)
+
+	dst := newVM(t, "vm0", 64, 2)
+	var missingAtResume int
+	sm, dres := postcopy(t, src, dst,
+		PostCopySourceOptions{},
+		PostCopyDestOptions{Store: store, OnResume: func(n int) { missingAtResume = n }})
+	if !src.MemEqual(dst) {
+		t.Fatalf("memory differs at page %d", src.FirstDifference(dst))
+	}
+	if !dres.UsedCheckpoint {
+		t.Fatal("checkpoint unused")
+	}
+	// At most 6 pages changed (touches can repeat a page).
+	if missingAtResume > 6 || missingAtResume == 0 {
+		t.Errorf("missing at resume = %d, want 1..6", missingAtResume)
+	}
+	if sm.PagesRequested != missingAtResume {
+		t.Errorf("requested %d, missing %d", sm.PagesRequested, missingAtResume)
+	}
+	if dres.Metrics.PagesReusedInPlace < 58 {
+		t.Errorf("reused in place = %d, want >= 58", dres.Metrics.PagesReusedInPlace)
+	}
+	// Wire traffic: manifest (64×16 B) plus ~6 pages, far below 256 KiB.
+	if sm.BytesSent > 64*1024 {
+		t.Errorf("BytesSent = %d, want far below memory size", sm.BytesSent)
+	}
+}
+
+func TestPostCopyMovedContentFromDisk(t *testing.T) {
+	// Swapped frames: nothing needs the network, the checkpoint index
+	// resolves both frames from disk.
+	src := newVM(t, "vm0", 8, 1)
+	if err := src.FillRandom(1); err != nil {
+		t.Fatal(err)
+	}
+	store := newStore(t)
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]byte, vm.PageSize)
+	b := make([]byte, vm.PageSize)
+	src.ReadPage(0, a)
+	src.ReadPage(1, b)
+	src.WritePage(0, b)
+	src.WritePage(1, a)
+
+	dst := newVM(t, "vm0", 8, 2)
+	sm, dres := postcopy(t, src, dst,
+		PostCopySourceOptions{},
+		PostCopyDestOptions{Store: store})
+	if !src.MemEqual(dst) {
+		t.Fatal("memory differs")
+	}
+	if sm.PagesRequested != 0 {
+		t.Errorf("requested %d pages over the network, want 0", sm.PagesRequested)
+	}
+	if dres.Metrics.PagesReusedFromDisk != 2 {
+		t.Errorf("reused from disk = %d, want 2", dres.Metrics.PagesReusedFromDisk)
+	}
+}
+
+func TestPostCopyResumeBeforeCompletion(t *testing.T) {
+	// The resume callback must fire before the fetch phase finishes:
+	// ResumeDelay strictly below total duration when pages are missing.
+	src := newVM(t, "vm0", 64, 1)
+	if err := src.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 64, 2)
+	resumed := false
+	_, dres := postcopy(t, src, dst,
+		PostCopySourceOptions{},
+		PostCopyDestOptions{OnResume: func(n int) {
+			resumed = true
+			if n == 0 {
+				t.Error("no pages missing without a checkpoint?")
+			}
+		}})
+	if !resumed {
+		t.Fatal("OnResume never fired")
+	}
+	if dres.Metrics.ResumeDelay >= dres.Metrics.Duration {
+		t.Errorf("ResumeDelay %v not below total %v", dres.Metrics.ResumeDelay, dres.Metrics.Duration)
+	}
+}
+
+func TestPostCopyRejectsWeakAlgorithm(t *testing.T) {
+	src := newVM(t, "vm0", 4, 1)
+	a, _ := net.Pipe()
+	defer a.Close()
+	if _, err := PostCopySource(a, src, PostCopySourceOptions{Alg: checksum.FNV}); err == nil {
+		t.Error("FNV accepted")
+	}
+}
+
+func TestPostCopyRejectsMismatchedVM(t *testing.T) {
+	src := newVM(t, "vm0", 8, 1)
+	dst := newVM(t, "other", 8, 2)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	var serr, derr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, serr = PostCopySource(a, src, PostCopySourceOptions{}) }()
+	go func() { defer wg.Done(); _, derr = PostCopyDest(b, dst, PostCopyDestOptions{}) }()
+	wg.Wait()
+	if !errors.Is(serr, ErrRejected) || !errors.Is(derr, ErrRejected) {
+		t.Errorf("source=%v dest=%v, want ErrRejected on both", serr, derr)
+	}
+}
+
+// TestPostCopyVsPreCopyResumeLatency pins the post-copy value proposition:
+// with a fresh checkpoint, the destination resumes after the manifest
+// exchange — far less data than pre-copy needs before its hand-over.
+func TestPostCopyVsPreCopyResumeLatency(t *testing.T) {
+	src := newVM(t, "vm0", 256, 1)
+	if err := src.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	store := newStore(t)
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	src.TouchRandomPages(8)
+
+	dst := newVM(t, "vm0", 256, 2)
+	sm, _ := postcopy(t, src, dst,
+		PostCopySourceOptions{},
+		PostCopyDestOptions{Store: store})
+	if !src.MemEqual(dst) {
+		t.Fatal("memory differs")
+	}
+	// The manifest is 256×16 B = 4 KiB; even with requests the total wire
+	// volume must be below a tenth of the 1 MiB memory.
+	if sm.BytesSent > int64(src.MemBytes()/10) {
+		t.Errorf("post-copy with checkpoint sent %d bytes", sm.BytesSent)
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/delta"
+	"vecycle/internal/vm"
+)
+
+// Common protocol errors.
+var (
+	// ErrRejected is returned when the destination refuses the migration.
+	ErrRejected = errors.New("core: destination rejected migration")
+	// ErrProtocol is returned on unexpected messages or malformed frames.
+	ErrProtocol = errors.New("core: protocol violation")
+)
+
+// SourceOptions configures an outgoing migration.
+type SourceOptions struct {
+	// Alg is the page-checksum algorithm; it must be strong (MD5, SHA-256)
+	// because matches are declared across hosts without byte comparison
+	// (§3.4). Defaults to MD5.
+	Alg checksum.Algorithm
+	// Recycle enables checkpoint-assisted mode. When false the engine
+	// behaves like stock QEMU pre-copy: every first-round page is sent in
+	// full.
+	Recycle bool
+	// KnownDestSums carries the checksum set this host observed while it
+	// was the *destination* of a previous migration of this VM from the
+	// current peer — the ping-pong optimization of §3.2. When set, the
+	// destination's bulk announcement is skipped.
+	KnownDestSums *checksum.Set
+	// MaxRounds bounds the number of pre-copy rounds, including the final
+	// stop-and-copy round. Defaults to 4.
+	MaxRounds int
+	// StopThreshold is the dirty-page count at which the engine proceeds to
+	// the final round. Defaults to 64.
+	StopThreshold int
+	// Compress deflates full-page payloads (Svärd et al.'s orthogonal
+	// optimization, combinable with checkpoint recycling). Pages that do
+	// not shrink are sent raw.
+	Compress bool
+	// ChecksumWorkers parallelizes the first round's page checksumming —
+	// §3.4's remedy when the checksum rate, not the network, bounds the
+	// migration (10/40 GbE). Values below 2 keep the sequential path.
+	ChecksumWorkers int
+	// DeltaBase supplies the content the destination's RAM will hold after
+	// its checkpoint bootstrap, per frame — typically this host's own
+	// mirror of the peer's checkpoint (checkpoint.Checkpoint satisfies the
+	// interface). When set, a changed page whose frame diverged only
+	// partially is sent as an XBZRLE delta (Svärd et al.). Deltas are used
+	// in the first round only: later rounds cannot assume the destination
+	// frame still holds checkpoint content.
+	DeltaBase PageProvider
+	// Pause, when non-nil, is invoked before the final round so the caller
+	// can stop the guest workload (the stop-and-copy pause). Resume, when
+	// non-nil, is invoked after the destination acknowledges.
+	Pause  func()
+	Resume func()
+}
+
+func (o *SourceOptions) setDefaults() {
+	if o.Alg == 0 {
+		o.Alg = checksum.MD5
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 4
+	}
+	if o.StopThreshold <= 0 {
+		o.StopThreshold = 64
+	}
+}
+
+func (o *SourceOptions) validate() error {
+	if !o.Alg.Valid() {
+		return fmt.Errorf("core: invalid checksum algorithm")
+	}
+	if !o.Alg.Strong() {
+		return fmt.Errorf("core: %v is not collision-resistant enough for cross-host matching", o.Alg)
+	}
+	return nil
+}
+
+// PageProvider supplies the page content a delta can be based on.
+// *checkpoint.Checkpoint implements it.
+type PageProvider interface {
+	// PageAt returns the content of page frame i, ok=false when the frame
+	// is not covered.
+	PageAt(frame int) (data []byte, ok bool, err error)
+}
+
+// MigrateSource drives the source side of a live migration of v over conn.
+// The guest may keep running (writing pages) throughout; the caller's
+// Pause hook is invoked before the final stop-and-copy round.
+//
+// On success the returned metrics describe the transfer as seen from the
+// source. The caller is responsible for writing the outgoing checkpoint
+// afterwards (checkpoint.Store.Save) — excluded from the migration time,
+// as in the paper's measurements.
+func MigrateSource(conn io.ReadWriter, v *vm.VM, opts SourceOptions) (m Metrics, err error) {
+	opts.setDefaults()
+	if err := opts.validate(); err != nil {
+		return m, err
+	}
+
+	var comp *pageCompressor
+	if opts.Compress {
+		c, err := newPageCompressor()
+		if err != nil {
+			return m, err
+		}
+		comp = c
+	}
+
+	start := time.Now()
+	cw := &countingWriter{w: conn}
+	cr := &countingReader{r: conn}
+	w := bufio.NewWriterSize(cw, 1<<16)
+	r := bufio.NewReaderSize(cr, 1<<16)
+	defer func() {
+		m.BytesSent = cw.n
+		m.BytesReceived = cr.n
+	}()
+
+	h := hello{
+		Version:      ProtocolVersion,
+		VMName:       v.Name(),
+		PageSize:     vm.PageSize,
+		PageCount:    uint64(v.NumPages()),
+		Alg:          opts.Alg,
+		Recycle:      opts.Recycle,
+		SkipAnnounce: opts.Recycle && opts.KnownDestSums != nil,
+	}
+	if err := writeHello(w, h); err != nil {
+		return m, err
+	}
+	if err := flush(w); err != nil {
+		return m, err
+	}
+
+	t, err := readMsgType(r)
+	if err != nil {
+		return m, err
+	}
+	if t != msgHelloAck {
+		return m, fmt.Errorf("%w: expected hello-ack, got %v", ErrProtocol, t)
+	}
+	ack, err := readHelloAck(r)
+	if err != nil {
+		return m, err
+	}
+	if !ack.OK {
+		return m, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+
+	// Determine the set of checksums available at the destination.
+	var destSums *checksum.Set
+	switch {
+	case !opts.Recycle || !ack.HaveCheckpoint:
+		// Baseline mode, or the destination found no checkpoint: full first
+		// round.
+	case h.SkipAnnounce:
+		destSums = opts.KnownDestSums
+	default:
+		t, err := readMsgType(r)
+		if err != nil {
+			return m, err
+		}
+		if t != msgHashAnnounce {
+			return m, fmt.Errorf("%w: expected hash-announce, got %v", ErrProtocol, t)
+		}
+		before := cr.n
+		destSums, err = readHashAnnounce(r)
+		if err != nil {
+			return m, err
+		}
+		m.AnnounceBytes = cr.n - before
+	}
+
+	// Delta encoding is only sound when the destination actually
+	// bootstrapped from its checkpoint.
+	if !ack.HaveCheckpoint || !opts.Recycle {
+		opts.DeltaBase = nil
+	}
+
+	// Reset the dirty log: everything the guest writes from here on must be
+	// re-sent in a later round.
+	v.HarvestDirty()
+
+	// Round 1: walk every page. With a destination checksum set, redundant
+	// pages shrink to (page number, checksum). Checksum computation can run
+	// on several workers; messages are still emitted in page order.
+	m.Rounds = 1
+	buf := make([]byte, vm.PageSize)
+	if err := firstRound(w, v, opts, destSums, comp, &m); err != nil {
+		return m, err
+	}
+	if err := writeRoundEnd(w, 1, uint64(v.DirtyCount())); err != nil {
+		return m, err
+	}
+	if err := flush(w); err != nil {
+		return m, err
+	}
+
+	// Iterative rounds: resend pages dirtied while the previous round
+	// streamed. The final round runs with the guest paused.
+	paused := false
+	defer func() {
+		if paused && opts.Resume != nil {
+			opts.Resume()
+		}
+	}()
+	for round := 2; ; round++ {
+		final := round >= opts.MaxRounds || v.DirtyCount() <= opts.StopThreshold
+		if final && !paused {
+			if opts.Pause != nil {
+				opts.Pause()
+			}
+			paused = true
+		}
+		dirty := v.HarvestDirty()
+		m.Rounds = round
+		sent := 0
+		var werr error
+		dirty.ForEachSet(func(page int) {
+			if werr != nil {
+				return
+			}
+			v.ReadPage(page, buf)
+			sum := opts.Alg.Page(buf)
+			m.PagesFull++
+			sent++
+			werr = sendFullPage(w, uint64(page), sum, buf, comp, &m)
+		})
+		if werr != nil {
+			return m, werr
+		}
+		if err := writeRoundEnd(w, uint32(round), uint64(sent)); err != nil {
+			return m, err
+		}
+		if err := flush(w); err != nil {
+			return m, err
+		}
+		if final {
+			break
+		}
+	}
+
+	if err := writeMsgType(w, msgDone); err != nil {
+		return m, err
+	}
+	if err := flush(w); err != nil {
+		return m, err
+	}
+	t, err = readMsgType(r)
+	if err != nil {
+		return m, err
+	}
+	if t != msgAck {
+		return m, fmt.Errorf("%w: expected ack, got %v", ErrProtocol, t)
+	}
+	m.Duration = time.Since(start)
+	return m, nil
+}
+
+// sendFullPage writes a full-page message, deflated when a compressor is
+// configured and the page actually shrinks.
+func sendFullPage(w io.Writer, page uint64, sum checksum.Sum, data []byte, comp *pageCompressor, m *Metrics) error {
+	if comp != nil {
+		z, ok, err := comp.compress(data)
+		if err != nil {
+			return err
+		}
+		if ok {
+			m.PagesCompressed++
+			m.CompressionSavedBytes += int64(len(data) - len(z) - 4)
+			return writePageFullZ(w, page, sum, z)
+		}
+	}
+	return writePageFull(w, page, sum, data)
+}
+
+// firstRound streams every page of the VM, batching reads and (optionally)
+// parallelizing the checksum computation across opts.ChecksumWorkers.
+func firstRound(w io.Writer, v *vm.VM, opts SourceOptions, destSums *checksum.Set, comp *pageCompressor, m *Metrics) error {
+	const batchPages = 256
+	workers := opts.ChecksumWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	batch := make([]byte, batchPages*vm.PageSize)
+	sums := make([]checksum.Sum, batchPages)
+
+	for start := 0; start < v.NumPages(); start += batchPages {
+		end := start + batchPages
+		if end > v.NumPages() {
+			end = v.NumPages()
+		}
+		n := end - start
+		for i := 0; i < n; i++ {
+			v.ReadPage(start+i, batch[i*vm.PageSize:(i+1)*vm.PageSize])
+		}
+		if workers == 1 || n < workers {
+			for i := 0; i < n; i++ {
+				sums[i] = opts.Alg.Page(batch[i*vm.PageSize : (i+1)*vm.PageSize])
+			}
+		} else {
+			var wg sync.WaitGroup
+			for wkr := 0; wkr < workers; wkr++ {
+				wg.Add(1)
+				go func(wkr int) {
+					defer wg.Done()
+					for i := wkr; i < n; i += workers {
+						sums[i] = opts.Alg.Page(batch[i*vm.PageSize : (i+1)*vm.PageSize])
+					}
+				}(wkr)
+			}
+			wg.Wait()
+		}
+		for i := 0; i < n; i++ {
+			page := uint64(start + i)
+			data := batch[i*vm.PageSize : (i+1)*vm.PageSize]
+			if destSums != nil && destSums.Contains(sums[i]) {
+				m.PagesSum++
+				if err := writePageSum(w, page, sums[i]); err != nil {
+					return err
+				}
+				continue
+			}
+			if opts.DeltaBase != nil {
+				sent, err := tryDelta(w, opts.DeltaBase, page, sums[i], data, m)
+				if err != nil {
+					return err
+				}
+				if sent {
+					continue
+				}
+			}
+			m.PagesFull++
+			if err := sendFullPage(w, page, sums[i], data, comp, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deltaLimit caps delta size: beyond half a page the full (or compressed)
+// encoding is at least as good once framing is paid.
+const deltaLimit = vm.PageSize / 2
+
+// tryDelta attempts an XBZRLE delta of data against the provider's content
+// for the frame. sent reports whether a message was written.
+func tryDelta(w io.Writer, base PageProvider, page uint64, sum checksum.Sum, data []byte, m *Metrics) (sent bool, err error) {
+	old, ok, err := base.PageAt(int(page))
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	enc, err := delta.Encode(nil, old, data, deltaLimit)
+	if errors.Is(err, delta.ErrTooLarge) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := writePageHeader(w, msgPageDelta, page, sum); err != nil {
+		return false, err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return false, fmt.Errorf("core: write delta length: %w", err)
+	}
+	if _, err := w.Write(enc); err != nil {
+		return false, fmt.Errorf("core: write delta payload: %w", err)
+	}
+	m.PagesDelta++
+	m.DeltaSavedBytes += int64(vm.PageSize - len(enc) - 4)
+	return true, nil
+}

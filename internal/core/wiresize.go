@@ -1,0 +1,37 @@
+package core
+
+import (
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// Exact wire sizes of the protocol's messages, exported so the paper-scale
+// migration simulator (internal/migsim) accounts bytes identically to the
+// real engine. A package test cross-checks these constants against bytes
+// actually metered on the wire.
+const (
+	// PageFullMsgBytes is a full-page message: tag, page number, checksum,
+	// payload.
+	PageFullMsgBytes = 1 + 8 + checksum.Size + vm.PageSize
+	// PageSumMsgBytes is a checksum-only page message.
+	PageSumMsgBytes = 1 + 8 + checksum.Size
+	// RoundEndMsgBytes is a round boundary.
+	RoundEndMsgBytes = 1 + 4 + 8
+	// DoneMsgBytes and AckMsgBytes are bare tags.
+	DoneMsgBytes = 1
+	AckMsgBytes  = 1
+	// HelloAckMsgBytes is a hello-ack with an empty reason.
+	HelloAckMsgBytes = 1 + 1 + 2
+)
+
+// HelloMsgBytes reports the size of a hello for a VM name of the given
+// length.
+func HelloMsgBytes(nameLen int) int {
+	return 1 + 2 + 2 + nameLen + 4 + 8 + 1 + 1
+}
+
+// AnnounceMsgBytes reports the size of a bulk hash announcement carrying n
+// checksums.
+func AnnounceMsgBytes(n int) int {
+	return 1 + checksum.EncodedSize(n)
+}

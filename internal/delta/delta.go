@@ -1,0 +1,132 @@
+// Package delta implements XBZRLE-style page delta encoding, the delta
+// compression technique of Svärd et al. (the paper's reference [24]) that
+// §5 lists among the optimizations combinable with checkpoint recycling.
+//
+// A page that changed since the checkpoint often changed only in part — a
+// few cache lines of a 4 KiB page. When both ends hold the same old version
+// (the destination in its checkpoint, the source in its mirror of that
+// checkpoint), the wire needs only the difference: the XOR of old and new
+// is mostly zeros and run-length encodes tightly.
+//
+// Encoding: a sequence of (zero-run length, literal-run length, literal
+// bytes) records over the XOR stream, with lengths as unsigned varints.
+// Literals carry the *new* bytes (not the XOR), so decoding is a copy, and
+// a corrupted old-version mismatch is caught by the page checksum that
+// always accompanies the delta on the wire.
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge is returned by Encode when the delta would not be smaller
+// than the caller's limit — the page should be sent by other means.
+var ErrTooLarge = errors.New("delta: encoding exceeds limit")
+
+// Encode produces a delta that transforms old into new. Both slices must
+// have equal length. The encoding is appended to dst (which may be nil)
+// and returned; if it would reach limit bytes, ErrTooLarge is returned
+// instead and the caller should fall back to a full or compressed page.
+func Encode(dst, old, new []byte, limit int) ([]byte, error) {
+	if len(old) != len(new) {
+		return nil, fmt.Errorf("delta: length mismatch %d vs %d", len(old), len(new))
+	}
+	if limit <= 0 {
+		return nil, ErrTooLarge
+	}
+	start := len(dst)
+	var scratch [binary.MaxVarintLen64]byte
+	i, n := 0, len(new)
+	for i < n {
+		// Zero run: bytes where old == new.
+		zrun := 0
+		for i+zrun < n && old[i+zrun] == new[i+zrun] {
+			zrun++
+		}
+		i += zrun
+		if i >= n && len(dst) > start {
+			// Trailing zero run needs no record.
+			break
+		}
+		// Literal run: bytes that differ. Runs are broken by 16+ equal
+		// bytes: shorter equal stretches cost less as literals than as a
+		// record pair.
+		lit := 0
+		for i+lit < n {
+			if old[i+lit] == new[i+lit] {
+				same := 1
+				for i+lit+same < n && same < 16 && old[i+lit+same] == new[i+lit+same] {
+					same++
+				}
+				if same >= 16 || i+lit+same >= n {
+					break
+				}
+				lit += same
+				continue
+			}
+			lit++
+		}
+		k := binary.PutUvarint(scratch[:], uint64(zrun))
+		dst = append(dst, scratch[:k]...)
+		k = binary.PutUvarint(scratch[:], uint64(lit))
+		dst = append(dst, scratch[:k]...)
+		dst = append(dst, new[i:i+lit]...)
+		i += lit
+		if len(dst)-start >= limit {
+			return nil, ErrTooLarge
+		}
+	}
+	if len(dst) == start {
+		// Identical pages: emit one empty record so the delta is non-empty.
+		dst = append(dst, 0, 0)
+	}
+	return dst, nil
+}
+
+// Decode applies a delta produced by Encode to old, writing the
+// reconstructed page into out. old and out must have equal length (out may
+// alias old).
+func Decode(old, enc, out []byte) error {
+	if len(old) != len(out) {
+		return fmt.Errorf("delta: length mismatch %d vs %d", len(old), len(out))
+	}
+	pos := 0
+	i := 0
+	readUvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(enc[i:])
+		if k <= 0 {
+			return 0, fmt.Errorf("delta: truncated varint at %d", i)
+		}
+		i += k
+		return v, nil
+	}
+	for i < len(enc) {
+		zrun, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		if zrun > uint64(len(out)-pos) {
+			return fmt.Errorf("delta: zero run %d overflows page at %d", zrun, pos)
+		}
+		copy(out[pos:pos+int(zrun)], old[pos:pos+int(zrun)])
+		pos += int(zrun)
+		lit, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		if lit > uint64(len(out)-pos) {
+			return fmt.Errorf("delta: literal run %d overflows page at %d", lit, pos)
+		}
+		if uint64(len(enc)-i) < lit {
+			return fmt.Errorf("delta: truncated literal run at %d", i)
+		}
+		copy(out[pos:pos+int(lit)], enc[i:i+int(lit)])
+		pos += int(lit)
+		i += int(lit)
+	}
+	// Implicit trailing zero run.
+	copy(out[pos:], old[pos:])
+	return nil
+}

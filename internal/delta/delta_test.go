@@ -1,0 +1,224 @@
+package delta
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const pageSize = 4096
+
+func roundTrip(t *testing.T, old, new []byte, limit int) ([]byte, bool) {
+	t.Helper()
+	enc, err := Encode(nil, old, new, limit)
+	if errors.Is(err, ErrTooLarge) {
+		return nil, false
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(old))
+	if err := Decode(old, enc, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, new) {
+		t.Fatalf("round trip mismatch")
+	}
+	return enc, true
+}
+
+func TestIdenticalPages(t *testing.T) {
+	page := bytes.Repeat([]byte{7}, pageSize)
+	enc, ok := roundTrip(t, page, page, pageSize)
+	if !ok {
+		t.Fatal("identical pages exceeded limit")
+	}
+	if len(enc) > 4 {
+		t.Errorf("identical pages encoded in %d bytes, want <= 4", len(enc))
+	}
+}
+
+func TestSmallChange(t *testing.T) {
+	old := bytes.Repeat([]byte{1}, pageSize)
+	new := append([]byte(nil), old...)
+	// 64 changed bytes in the middle.
+	for i := 2000; i < 2064; i++ {
+		new[i] = 0xFF
+	}
+	enc, ok := roundTrip(t, old, new, pageSize)
+	if !ok {
+		t.Fatal("small change exceeded limit")
+	}
+	if len(enc) > 100 {
+		t.Errorf("64-byte change encoded in %d bytes", len(enc))
+	}
+}
+
+func TestChangeAtBoundaries(t *testing.T) {
+	old := bytes.Repeat([]byte{1}, pageSize)
+	new := append([]byte(nil), old...)
+	new[0] = 9
+	new[pageSize-1] = 9
+	roundTrip(t, old, new, pageSize)
+}
+
+func TestScatteredChanges(t *testing.T) {
+	old := bytes.Repeat([]byte{1}, pageSize)
+	new := append([]byte(nil), old...)
+	for i := 0; i < pageSize; i += 50 {
+		new[i] ^= 0xAA
+	}
+	roundTrip(t, old, new, pageSize)
+}
+
+func TestCompletelyDifferentExceedsLimit(t *testing.T) {
+	old := make([]byte, pageSize)
+	new := make([]byte, pageSize)
+	for i := range new {
+		old[i] = byte(i)
+		new[i] = byte(i) ^ 0x5A
+	}
+	if _, err := Encode(nil, old, new, pageSize); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("fully-changed page: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodeLengthMismatch(t *testing.T) {
+	if _, err := Encode(nil, make([]byte, 4), make([]byte, 8), 100); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestDecodeLengthMismatch(t *testing.T) {
+	if err := Decode(make([]byte, 4), []byte{0, 0}, make([]byte, 8)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestDecodeHostileInputs(t *testing.T) {
+	old := make([]byte, 64)
+	out := make([]byte, 64)
+	hostile := [][]byte{
+		{0xFF},           // truncated varint
+		{200, 1, 0},      // zero run beyond page
+		{0, 200},         // literal run beyond page
+		{0, 10, 1, 2, 3}, // literal run longer than remaining encoding
+		{0, 1, 9, 0xFF},  // trailing truncated varint
+	}
+	for i, enc := range hostile {
+		if err := Decode(old, enc, out); err == nil {
+			t.Errorf("hostile input %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeInPlace(t *testing.T) {
+	old := bytes.Repeat([]byte{3}, pageSize)
+	new := append([]byte(nil), old...)
+	new[100] = 42
+	enc, err := Encode(nil, old, new, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out aliases old.
+	if err := Decode(old, enc, old); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(old, new) {
+		t.Error("in-place decode mismatch")
+	}
+}
+
+func TestEncodeAppendsToDst(t *testing.T) {
+	old := bytes.Repeat([]byte{1}, 64)
+	new := append([]byte(nil), old...)
+	new[10] = 2
+	prefix := []byte("hdr")
+	enc, err := Encode(prefix, old, new, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(enc, prefix) {
+		t.Error("Encode did not append to dst")
+	}
+	out := make([]byte, 64)
+	if err := Decode(old, enc[len(prefix):], out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, new) {
+		t.Error("mismatch after prefix strip")
+	}
+}
+
+// Property: for arbitrary old/new pairs, either Encode round-trips exactly
+// or reports ErrTooLarge.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, flips uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		old := make([]byte, 512)
+		rng.Read(old)
+		new := append([]byte(nil), old...)
+		for k := 0; k < int(flips%512); k++ {
+			new[rng.Intn(len(new))] ^= byte(1 + rng.Intn(255))
+		}
+		enc, err := Encode(nil, old, new, len(new))
+		if errors.Is(err, ErrTooLarge) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		out := make([]byte, len(old))
+		if err := Decode(old, enc, out); err != nil {
+			return false
+		}
+		return bytes.Equal(out, new)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	old := make([]byte, pageSize)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(old)
+	new := append([]byte(nil), old...)
+	// 5% of the page changed in 8 contiguous stretches.
+	for s := 0; s < 8; s++ {
+		off := rng.Intn(pageSize - 32)
+		for i := 0; i < 25; i++ {
+			new[off+i] ^= 0x77
+		}
+	}
+	b.SetBytes(pageSize)
+	var enc []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		enc, err = Encode(enc[:0], old, new, pageSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	old := make([]byte, pageSize)
+	new := append([]byte(nil), old...)
+	for i := 1000; i < 1200; i++ {
+		new[i] = 0x33
+	}
+	enc, err := Encode(nil, old, new, pageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]byte, pageSize)
+	b.SetBytes(pageSize)
+	for i := 0; i < b.N; i++ {
+		if err := Decode(old, enc, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

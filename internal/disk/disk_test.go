@@ -1,0 +1,195 @@
+package disk
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vecycle/internal/checkpoint"
+	"vecycle/internal/core"
+	"vecycle/internal/vm"
+)
+
+func newDisk(t *testing.T, blocks int) *Disk {
+	t.Helper()
+	d, err := New("vm0", int64(blocks)*BlockSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", BlockSize, 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("vm0", 0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New("vm0", BlockSize+1, 1); err == nil {
+		t.Error("unaligned size accepted")
+	}
+}
+
+func TestNaming(t *testing.T) {
+	d := newDisk(t, 2)
+	if d.Backing().Name() != "vm0#disk" {
+		t.Errorf("backing name = %q", d.Backing().Name())
+	}
+	if d.VMName() != "vm0" {
+		t.Errorf("VMName = %q", d.VMName())
+	}
+	if !IsDiskName("vm0#disk") || IsDiskName("vm0") || IsDiskName("#disk") {
+		t.Error("IsDiskName wrong")
+	}
+}
+
+func TestFromBacking(t *testing.T) {
+	b, err := vm.New(vm.Config{Name: "x#disk", MemBytes: BlockSize, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromBacking(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.VMName() != "x" {
+		t.Errorf("VMName = %q", d.VMName())
+	}
+	plain, err := vm.New(vm.Config{Name: "x", MemBytes: BlockSize, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBacking(plain); err == nil {
+		t.Error("non-disk backing accepted")
+	}
+}
+
+func TestBlockReadWrite(t *testing.T) {
+	d := newDisk(t, 4)
+	data := bytes.Repeat([]byte{0xCD}, BlockSize)
+	d.WriteBlock(2, data)
+	got := make([]byte, BlockSize)
+	d.ReadBlock(2, got)
+	if !bytes.Equal(got, data) {
+		t.Error("block round trip failed")
+	}
+	d.ReadBlock(1, got)
+	if !bytes.Equal(got, make([]byte, BlockSize)) {
+		t.Error("write leaked to neighbour block")
+	}
+}
+
+func TestBlockBoundsPanic(t *testing.T) {
+	d := newDisk(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range block access did not panic")
+		}
+	}()
+	d.ReadBlock(2, make([]byte, BlockSize))
+}
+
+func TestReadWriteAtUnaligned(t *testing.T) {
+	d := newDisk(t, 2)
+	payload := []byte("journal-entry: hello world, spanning pages maybe")
+	off := int64(vm.PageSize - 10) // straddles a page boundary
+	if err := d.WriteAt(payload, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := d.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("ReadAt = %q, want %q", got, payload)
+	}
+	// Bounds.
+	if err := d.WriteAt([]byte{1}, d.SizeBytes()); err == nil {
+		t.Error("write past end accepted")
+	}
+	if err := d.ReadAt(make([]byte, 2), d.SizeBytes()-1); err == nil {
+		t.Error("read past end accepted")
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	d := newDisk(t, 8)
+	if err := d.MkFS(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MkFS(1.5, 1); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	if err := d.AppendLog(6, 1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	d.OverwriteRandomBlocks(2, 3)
+	// The filesystem region plus log region are non-zero.
+	buf := make([]byte, BlockSize)
+	d.ReadBlock(0, buf)
+	if bytes.Equal(buf, make([]byte, BlockSize)) {
+		t.Error("MkFS wrote nothing")
+	}
+}
+
+// TestDiskMigrationWithRecycling migrates a disk through the standard
+// engine: the backing region is page-shaped, so the whole VeCycle pipeline
+// applies — which is the point of the design.
+func TestDiskMigrationWithRecycling(t *testing.T) {
+	src := newDisk(t, 16) // 1 MiB device
+	if err := src.MkFS(0.8, 7); err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.NewStore(filepath.Join(t.TempDir(), "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(src.Backing()); err != nil {
+		t.Fatal(err)
+	}
+	// Journal traffic since the checkpoint: two blocks' worth.
+	if err := src.AppendLog(13, 2*BlockSize, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	dstBacking, err := vm.New(vm.Config{Name: "vm0#disk", MemBytes: src.SizeBytes(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	var sm core.Metrics
+	var serr, derr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sm, serr = core.MigrateSource(a, src.Backing(), core.SourceOptions{Recycle: true})
+	}()
+	go func() {
+		defer wg.Done()
+		_, derr = core.MigrateDest(b, dstBacking, core.DestOptions{Store: store, VerifyPayloads: true})
+	}()
+	wg.Wait()
+	if serr != nil || derr != nil {
+		t.Fatalf("source=%v dest=%v", serr, derr)
+	}
+	dst, err := FromBacking(dstBacking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.ContentEqual(dst) {
+		t.Fatal("disk contents differ after migration")
+	}
+	// Only the journal region (32 pages) plus its partial edges go full.
+	if sm.PagesFull > 40 {
+		t.Errorf("disk migration sent %d full pages, want ~32 (journal only)", sm.PagesFull)
+	}
+	if sm.PagesSum < 200 {
+		t.Errorf("PagesSum = %d, expected most of the 256-page device recycled", sm.PagesSum)
+	}
+}

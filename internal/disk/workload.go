@@ -1,0 +1,44 @@
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Guest-side disk workloads for tests and benchmarks.
+
+// MkFS fills the first frac of the device with distinct pseudo-file
+// content, modelling an installed system image.
+func (d *Disk) MkFS(frac float64, seed int64) error {
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("disk: fraction %v out of [0,1]", frac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	blocks := int(frac * float64(d.NumBlocks()))
+	buf := make([]byte, BlockSize)
+	for i := 0; i < blocks; i++ {
+		rng.Read(buf) //nolint:errcheck // math/rand Read never fails
+		d.WriteBlock(i, buf)
+	}
+	return nil
+}
+
+// AppendLog models journal/log traffic: sequential small writes starting
+// at the given block, count bytes in total.
+func (d *Disk) AppendLog(startBlock int, count int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, count)
+	rng.Read(data) //nolint:errcheck // math/rand Read never fails
+	return d.WriteAt(data, int64(startBlock)*BlockSize)
+}
+
+// OverwriteRandomBlocks rewrites n random blocks — scattered database-style
+// writes.
+func (d *Disk) OverwriteRandomBlocks(n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, BlockSize)
+	for k := 0; k < n; k++ {
+		rng.Read(buf) //nolint:errcheck // math/rand Read never fails
+		d.WriteBlock(rng.Intn(d.NumBlocks()), buf)
+	}
+}

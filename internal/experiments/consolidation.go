@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vecycle/internal/fingerprint"
+	"vecycle/internal/memmodel"
+	"vecycle/internal/methods"
+	"vecycle/internal/sched"
+)
+
+// ConsolidationResult carries the dynamic-consolidation study: the second
+// use case §2.2 motivates, evaluated the same way as the VDI scenario.
+type ConsolidationResult struct {
+	PerVM  *Table
+	Totals *Table
+	// Aggregate fractions of the full-migration baseline across all VMs.
+	DedupFraction   float64
+	VeCycleFraction float64
+	Migrations      int
+}
+
+// Consolidation replays a threshold-driven consolidation loop over the
+// laptop and desktop models: each VM moves to an active host when it wakes
+// and back to the consolidation server when it has been quiet for an hour,
+// with checkpoints left on both sides.
+func Consolidation() (*ConsolidationResult, error) {
+	policy := sched.ConsolidationPolicy{
+		WakeLevel:  0.5,
+		SleepLevel: 0.1,
+		MinQuiet:   time.Hour,
+	}
+	presets := []memmodel.Preset{
+		memmodel.LaptopA(), memmodel.LaptopB(), memmodel.Desktop(),
+	}
+
+	perVM := &Table{
+		Title:   "Consolidation: per-VM aggregate traffic [fraction of full]",
+		Columns: []string{"vm", "migrations", "dedup", "vecycle"},
+	}
+	var sumFull, sumDedup, sumVecycle float64
+	totalMigs := 0
+
+	for _, p := range presets {
+		m, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		act := p.Activity
+		// Sample the machine's activity and fingerprints together.
+		var times []time.Time
+		byTime := map[int64]*fingerprint.Fingerprint{}
+		steps := p.TraceSteps
+		if steps > 336 {
+			steps = 336 // a week is plenty for the policy study
+		}
+		for i := 0; i < steps; i++ {
+			ts := m.Now()
+			times = append(times, ts)
+			byTime[ts.Unix()] = m.Fingerprint()
+			m.Step()
+		}
+		events, err := policy.Plan(times, act.Level)
+		if err != nil {
+			return nil, err
+		}
+		if len(events) == 0 {
+			return nil, fmt.Errorf("experiments: %s never woke up", p.Config.Name)
+		}
+
+		checkpoints := map[sched.Direction]*fingerprint.Fingerprint{}
+		var full, dedup, vecycle float64
+		for _, ev := range events {
+			cur := byTime[ev.At.Unix()]
+			old := checkpoints[ev.Direction]
+			b := methods.Analyze(old, cur)
+			full++
+			dedup += b.Fraction(methods.Dedup)
+			vecycle += b.Fraction(methods.HashesDedup)
+			checkpoints[oppositeDirection(ev.Direction)] = cur
+		}
+		perVM.AddRow(p.Config.Name, len(events), dedup/full, vecycle/full)
+		sumFull += full
+		sumDedup += dedup
+		sumVecycle += vecycle
+		totalMigs += len(events)
+	}
+
+	res := &ConsolidationResult{
+		PerVM:           perVM,
+		DedupFraction:   sumDedup / sumFull,
+		VeCycleFraction: sumVecycle / sumFull,
+		Migrations:      totalMigs,
+	}
+	totals := &Table{
+		Title:   "Consolidation totals: traffic across all VMs",
+		Columns: []string{"technique", "fraction_of_baseline"},
+	}
+	totals.AddRow("full migration", 1.0)
+	totals.AddRow("sender-side dedup", res.DedupFraction)
+	totals.AddRow("VeCycle (+dedup)", res.VeCycleFraction)
+	res.Totals = totals
+	return res, nil
+}

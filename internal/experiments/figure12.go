@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"time"
+
+	"vecycle/internal/memmodel"
+)
+
+// Figure1 reproduces the six-panel similarity study: for two servers, two
+// laptops and two crawlers, the min/avg/max snapshot similarity binned by
+// the time between snapshots, up to 24 hours.
+func Figure1(opts Options) ([]*Table, error) {
+	machines := []memmodel.Preset{
+		memmodel.ServerA(), memmodel.LaptopA(), memmodel.CrawlerA(),
+		memmodel.ServerB(), memmodel.LaptopB(), memmodel.CrawlerB(),
+	}
+	tables := make([]*Table, 0, len(machines))
+	for _, p := range machines {
+		tbl, err := similarityTable(p, 24*time.Hour, opts)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// Figure2 reproduces Server C's similarity over the entire 7-day trace.
+func Figure2(opts Options) (*Table, error) {
+	return similarityTable(memmodel.ServerC(), 7*24*time.Hour, opts)
+}
+
+func similarityTable(p memmodel.Preset, maxDelta time.Duration, opts Options) (*Table, error) {
+	corpus, err := corpusFor(p)
+	if err != nil {
+		return nil, err
+	}
+	series, err := corpus.BinnedSimilarity(30*time.Minute, maxDelta, opts.stride())
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title: "Snapshot similarity vs time delta: " + p.Config.Name +
+			" (" + p.OS + ", " + formatGiB(p.Config.RAMBytes) + ")",
+		Columns: []string{"delta_h", "pairs", "min", "avg", "max"},
+	}
+	for _, b := range series {
+		tbl.AddRow(formatHours(b.Center), b.N, b.Min, b.Avg, b.Max)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vecycle/internal/fingerprint"
+	"vecycle/internal/memmodel"
+	"vecycle/internal/methods"
+	"vecycle/internal/stats"
+)
+
+// Figure4 reproduces the duplicate-page study: the duplicate-page
+// percentage over the trace for servers and laptops, and the zero-page
+// percentage for the servers.
+func Figure4(sampleEveryHours int) ([]*Table, error) {
+	if sampleEveryHours < 1 {
+		sampleEveryHours = 12
+	}
+	servers := []memmodel.Preset{memmodel.ServerA(), memmodel.ServerB(), memmodel.ServerC()}
+	laptops := []memmodel.Preset{memmodel.LaptopA(), memmodel.LaptopB(), memmodel.LaptopC()}
+
+	dupTable := func(title string, presets []memmodel.Preset, metric func(*fingerprint.Fingerprint) float64) (*Table, error) {
+		tbl := &Table{Title: title, Columns: []string{"machine", "time_h", "percent"}}
+		for _, p := range presets {
+			fps, err := traceFor(p)
+			if err != nil {
+				return nil, err
+			}
+			t0 := fps[0].Taken
+			next := time.Duration(0)
+			for _, f := range fps {
+				at := f.Taken.Sub(t0)
+				if at < next {
+					continue
+				}
+				next = at + time.Duration(sampleEveryHours)*time.Hour
+				tbl.AddRow(p.Config.Name, formatHours(at), 100*metric(f))
+			}
+		}
+		return tbl, nil
+	}
+
+	dupServers, err := dupTable("Figure 4 (left): duplicate pages, servers [%]",
+		servers, (*fingerprint.Fingerprint).DupFraction)
+	if err != nil {
+		return nil, err
+	}
+	dupLaptops, err := dupTable("Figure 4 (middle): duplicate pages, laptops [%]",
+		laptops, (*fingerprint.Fingerprint).DupFraction)
+	if err != nil {
+		return nil, err
+	}
+	zeroServers, err := dupTable("Figure 4 (right): zero pages, servers [%]",
+		servers, (*fingerprint.Fingerprint).ZeroFraction)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{dupServers, dupLaptops, zeroServers}, nil
+}
+
+// figure5Sweep analyzes every (strided) fingerprint pair of a machine and
+// returns the per-method mean fraction of baseline traffic plus the sample
+// list of hashes+dedup's reduction over dirty+dedup.
+func figure5Sweep(p memmodel.Preset, opts Options) (means map[methods.Method]float64, reductions []float64, err error) {
+	corpus, err := corpusFor(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	sums := map[methods.Method]float64{}
+	pairs := 0
+	stride := opts.stride()
+	for i := 0; i < corpus.Len(); i += stride {
+		for j := i + stride; j < corpus.Len(); j += stride {
+			b := methods.Analyze(corpus.At(i), corpus.At(j))
+			for _, m := range methods.All() {
+				sums[m] += b.Fraction(m)
+			}
+			reductions = append(reductions, b.ReductionOverDirtyDedup())
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return nil, nil, fmt.Errorf("experiments: %s has too few fingerprints for a pair sweep", p.Config.Name)
+	}
+	means = make(map[methods.Method]float64, len(sums))
+	for m, s := range sums {
+		means[m] = s / float64(pairs)
+	}
+	return means, reductions, nil
+}
+
+// Figure5 reproduces the traffic-reduction comparison: mean fraction of
+// baseline traffic per method for Server A and Server B (the bar panels),
+// and the CDFs of content-based elimination's reduction over dirty+dedup
+// for the servers and the laptops.
+func Figure5(opts Options) ([]*Table, error) {
+	bars := &Table{
+		Title:   "Figure 5 (bars): mean fraction of baseline traffic per method",
+		Columns: []string{"machine", "method", "fraction"},
+	}
+	for _, p := range []memmodel.Preset{memmodel.ServerA(), memmodel.ServerB()} {
+		means, _, err := figure5Sweep(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range []methods.Method{methods.Dedup, methods.Dirty,
+			methods.DirtyDedup, methods.Hashes, methods.HashesDedup} {
+			bars.AddRow(p.Config.Name, m.String(), means[m])
+		}
+	}
+
+	cdfTable := func(title string, presets []memmodel.Preset) (*Table, error) {
+		tbl := &Table{Title: title, Columns: []string{"machine", "reduction_pct", "cdf"}}
+		for _, p := range presets {
+			_, reductions, err := figure5Sweep(p, opts)
+			if err != nil {
+				return nil, err
+			}
+			cdf, err := stats.NewCDF(reductions)
+			if err != nil {
+				return nil, err
+			}
+			for _, x := range []float64{0, 5, 10, 20, 30, 40, 50, 60, 70, 80} {
+				tbl.AddRow(p.Config.Name, x, cdf.At(x))
+			}
+		}
+		return tbl, nil
+	}
+
+	cdfServers, err := cdfTable(
+		"Figure 5 (centre): CDF of reduction over dirty+dedup, servers",
+		[]memmodel.Preset{memmodel.ServerA(), memmodel.ServerB(), memmodel.ServerC()})
+	if err != nil {
+		return nil, err
+	}
+	cdfLaptops, err := cdfTable(
+		"Figure 5 (right): CDF of reduction over dirty+dedup, laptops",
+		[]memmodel.Preset{memmodel.LaptopA(), memmodel.LaptopB(), memmodel.LaptopC(), memmodel.LaptopD()})
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{bars, cdfServers, cdfLaptops}, nil
+}

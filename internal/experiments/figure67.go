@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vecycle/internal/migsim"
+)
+
+// Figure6 reproduces the best-case study (§4.4): an idle guest with a
+// fresh checkpoint at the destination, swept over memory sizes of 1, 2, 4
+// and 6 GiB, on LAN and emulated WAN. Three tables mirror the three panels:
+// LAN migration time, WAN migration time, and source send traffic.
+func Figure6() ([]*Table, error) {
+	sizes := []int64{1024, 2048, 4096, 6144} // MiB, the paper's x-axis
+
+	lan := &Table{
+		Title:   "Figure 6 (left): best-case migration time, LAN [s]",
+		Columns: []string{"mem_MiB", "QEMU 2.0", "VeCycle", "reduction"},
+	}
+	wan := &Table{
+		Title:   "Figure 6 (centre): best-case migration time, WAN [s]",
+		Columns: []string{"mem_MiB", "QEMU 2.0", "VeCycle", "reduction"},
+	}
+	traffic := &Table{
+		Title:   "Figure 6 (right): source send traffic [GiB]",
+		Columns: []string{"mem_MiB", "QEMU 2.0", "VeCycle", "reduction"},
+	}
+
+	for _, mib := range sizes {
+		g, err := migsim.NewGuest("idle", mib<<20, mib)
+		if err != nil {
+			return nil, err
+		}
+		// §4.4 preparation: 95 % of memory filled with random data, then
+		// the guest idles. Even an idle Ubuntu guest runs background
+		// daemons, so a few percent of memory still drifts between the
+		// checkpoint and the migration — that drift is what separates the
+		// paper's −94 % traffic reduction from a perfect −99 %.
+		if err := g.FillRandom(0.95); err != nil {
+			return nil, err
+		}
+		cp := g.Checkpoint()
+		if err := g.UpdatePercent(1.0, 3); err != nil {
+			return nil, err
+		}
+
+		for _, env := range []struct {
+			cost  migsim.CostModel
+			table *Table
+		}{
+			{migsim.LANCost(), lan},
+			{migsim.WANCost(), wan},
+		} {
+			base, err := migsim.Simulate(g, nil, env.cost, migsim.Baseline)
+			if err != nil {
+				return nil, err
+			}
+			vc, err := migsim.Simulate(g, cp, env.cost, migsim.VeCycle)
+			if err != nil {
+				return nil, err
+			}
+			env.table.AddRow(mib,
+				fmt.Sprintf("%.1f", base.Time.Seconds()),
+				fmt.Sprintf("%.1f", vc.Time.Seconds()),
+				formatReduction(float64(base.Time), float64(vc.Time)))
+			if env.table == lan {
+				traffic.AddRow(mib,
+					fmt.Sprintf("%.3f", gibOf(base.SourceSendBytes)),
+					fmt.Sprintf("%.3f", gibOf(vc.SourceSendBytes)),
+					formatReduction(float64(base.SourceSendBytes), float64(vc.SourceSendBytes)))
+			}
+		}
+	}
+	return []*Table{lan, wan, traffic}, nil
+}
+
+// Figure7 reproduces the controlled update-rate study (§4.5): a 4 GiB
+// guest with a ramdisk spanning 90 % of memory, of which 0–100 % is
+// rewritten between checkpoint and migration.
+func Figure7() ([]*Table, error) {
+	const memBytes = int64(4096) << 20
+	updates := []float64{0, 25, 50, 75, 100}
+
+	lan := &Table{
+		Title:   "Figure 7 (left): migration time vs update rate, LAN [s]",
+		Columns: []string{"updates_pct", "QEMU 2.0", "VeCycle", "reduction"},
+	}
+	wan := &Table{
+		Title:   "Figure 7 (centre): migration time vs update rate, WAN [s]",
+		Columns: []string{"updates_pct", "QEMU 2.0", "VeCycle", "reduction"},
+	}
+	traffic := &Table{
+		Title:   "Figure 7 (right): source send traffic vs update rate [GiB]",
+		Columns: []string{"updates_pct", "QEMU 2.0", "VeCycle", "reduction"},
+	}
+
+	for _, pct := range updates {
+		g, err := migsim.NewGuest("ramdisk", memBytes, int64(pct)+17)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.FillRandom(1); err != nil {
+			return nil, err
+		}
+		cp := g.Checkpoint()
+		if err := g.UpdatePercent(0.9, pct); err != nil {
+			return nil, err
+		}
+		for _, env := range []struct {
+			cost  migsim.CostModel
+			table *Table
+		}{
+			{migsim.LANCost(), lan},
+			{migsim.WANCost(), wan},
+		} {
+			base, err := migsim.Simulate(g, nil, env.cost, migsim.Baseline)
+			if err != nil {
+				return nil, err
+			}
+			vc, err := migsim.Simulate(g, cp, env.cost, migsim.VeCycle)
+			if err != nil {
+				return nil, err
+			}
+			env.table.AddRow(pct,
+				fmt.Sprintf("%.1f", base.Time.Seconds()),
+				fmt.Sprintf("%.1f", vc.Time.Seconds()),
+				formatReduction(float64(base.Time), float64(vc.Time)))
+			if env.table == lan {
+				traffic.AddRow(pct,
+					fmt.Sprintf("%.3f", gibOf(base.SourceSendBytes)),
+					fmt.Sprintf("%.3f", gibOf(vc.SourceSendBytes)),
+					formatReduction(float64(base.SourceSendBytes), float64(vc.SourceSendBytes)))
+			}
+		}
+	}
+	return []*Table{lan, wan, traffic}, nil
+}
+
+func gibOf(bytes int64) float64 { return float64(bytes) / (1 << 30) }
+
+func formatReduction(base, vc float64) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", (vc-base)/base*100)
+}
+
+func formatGiB(bytes int64) string { return fmt.Sprintf("%d GiB", bytes>>30) }
+
+func formatHours(d time.Duration) string { return fmt.Sprintf("%.1f", d.Hours()) }

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment outputs")
+
+// goldenExperiments are the fast, fully deterministic runners whose exact
+// output is pinned: any change to presets, cost models or formatting shows
+// up as a diff. Regenerate deliberately with `go test -run Golden
+// -update-golden ./internal/experiments`.
+var goldenExperiments = []string{"table1", "figure6", "figure7", "figure8", "postcopy"}
+
+func renderExperiment(t *testing.T, name string) string {
+	t.Helper()
+	tables, err := Run(name, Options{Stride: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tbl := range tables {
+		b.WriteString(tbl.String())
+	}
+	return b.String()
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, name := range goldenExperiments {
+		t.Run(name, func(t *testing.T) {
+			got := renderExperiment(t, name)
+			path := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"vecycle/internal/memmodel"
+	"vecycle/internal/methods"
+	"vecycle/internal/plot"
+	"vecycle/internal/stats"
+)
+
+// Plots renders ASCII charts for a named experiment, mirroring the shape
+// of the corresponding paper figure. Experiments that are pure tables
+// (table1) return no charts.
+func Plots(name string, opts Options) ([]string, error) {
+	switch name {
+	case "table1":
+		return nil, nil
+	case "figure1":
+		return plotSimilarityPanels([]memmodel.Preset{
+			memmodel.ServerA(), memmodel.LaptopA(), memmodel.CrawlerA(),
+			memmodel.ServerB(), memmodel.LaptopB(), memmodel.CrawlerB(),
+		}, 24*time.Hour, opts)
+	case "figure2":
+		return plotSimilarityPanels([]memmodel.Preset{memmodel.ServerC()}, 7*24*time.Hour, opts)
+	case "figure4":
+		return plotFigure4()
+	case "figure5":
+		return plotFigure5(opts)
+	case "figure6":
+		return plotFigure67("figure6")
+	case "figure7":
+		return plotFigure67("figure7")
+	case "figure8":
+		return plotFigure8()
+	case "consolidation":
+		return plotConsolidation()
+	case "postcopy", "hotspot", "downtime":
+		return nil, nil // summary tables; nothing to plot
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+}
+
+func plotSimilarityPanels(presets []memmodel.Preset, maxDelta time.Duration, opts Options) ([]string, error) {
+	var out []string
+	for _, p := range presets {
+		corpus, err := corpusFor(p)
+		if err != nil {
+			return nil, err
+		}
+		series, err := corpus.BinnedSimilarity(30*time.Minute, maxDelta, opts.stride())
+		if err != nil {
+			return nil, err
+		}
+		minS := plot.Series{Name: "min"}
+		avgS := plot.Series{Name: "avg"}
+		maxS := plot.Series{Name: "max"}
+		for _, b := range series {
+			x := b.Center.Hours()
+			minS.Points = append(minS.Points, stats.Point{X: x, Y: b.Min})
+			avgS.Points = append(avgS.Points, stats.Point{X: x, Y: b.Avg})
+			maxS.Points = append(maxS.Points, stats.Point{X: x, Y: b.Max})
+		}
+		chart, err := plot.Line(plot.LineConfig{
+			Title:  "Snapshot similarity: " + p.Config.Name,
+			YMin:   0,
+			YMax:   1,
+			XLabel: "time between snapshots [h]",
+			YLabel: "similarity",
+		}, maxS, avgS, minS)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chart)
+	}
+	return out, nil
+}
+
+func plotFigure4() ([]string, error) {
+	var series []plot.Series
+	for _, p := range []memmodel.Preset{memmodel.ServerA(), memmodel.ServerB(), memmodel.ServerC()} {
+		corpus, err := corpusFor(p)
+		if err != nil {
+			return nil, err
+		}
+		s := plot.Series{Name: p.Config.Name}
+		for _, pt := range corpus.DupSeries() {
+			s.Points = append(s.Points, stats.Point{X: pt.X, Y: 100 * pt.Y})
+		}
+		series = append(series, s)
+	}
+	chart, err := plot.Line(plot.LineConfig{
+		Title:  "Duplicate pages, servers [%]",
+		XLabel: "time [h]",
+		YLabel: "duplicate pages [%]",
+	}, series...)
+	if err != nil {
+		return nil, err
+	}
+	return []string{chart}, nil
+}
+
+func plotFigure5(opts Options) ([]string, error) {
+	var out []string
+	for _, p := range []memmodel.Preset{memmodel.ServerA(), memmodel.ServerB()} {
+		means, _, err := figure5Sweep(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		bars := make([]plot.Bar, 0, 5)
+		for _, m := range []methods.Method{methods.Dedup, methods.Dirty,
+			methods.DirtyDedup, methods.Hashes, methods.HashesDedup} {
+			bars = append(bars, plot.Bar{Label: m.String(), Value: means[m]})
+		}
+		chart, err := plot.Bars(plot.BarConfig{
+			Title: "Fraction of baseline traffic: " + p.Config.Name,
+			Max:   1,
+		}, bars)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chart)
+	}
+	return out, nil
+}
+
+// plotFigure67 turns the time tables of Figure 6/7 into line charts.
+func plotFigure67(name string) ([]string, error) {
+	tables, err := Run(name, Options{})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, tbl := range tables[:2] { // LAN and WAN time panels
+		base := plot.Series{Name: "QEMU 2.0"}
+		vc := plot.Series{Name: "VeCycle"}
+		for _, row := range tbl.Rows {
+			x, err := strconv.ParseFloat(row[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: parse x %q: %w", row[0], err)
+			}
+			yb, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: parse baseline %q: %w", row[1], err)
+			}
+			yv, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: parse vecycle %q: %w", row[2], err)
+			}
+			base.Points = append(base.Points, stats.Point{X: x, Y: yb})
+			vc.Points = append(vc.Points, stats.Point{X: x, Y: yv})
+		}
+		chart, err := plot.Line(plot.LineConfig{
+			Title:  tbl.Title,
+			XLabel: tbl.Columns[0],
+			YLabel: "migration time [s]",
+		}, base, vc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chart)
+	}
+	return out, nil
+}
+
+func plotFigure8() ([]string, error) {
+	res, err := Figure8()
+	if err != nil {
+		return nil, err
+	}
+	dedup := plot.Series{Name: "dedup"}
+	vecycle := plot.Series{Name: "vecycle"}
+	for _, row := range res.PerMigration.Rows {
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parse migration %q: %w", row[0], err)
+		}
+		yd, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parse dedup %q: %w", row[2], err)
+		}
+		yv, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parse vecycle %q: %w", row[3], err)
+		}
+		dedup.Points = append(dedup.Points, stats.Point{X: x, Y: yd})
+		vecycle.Points = append(vecycle.Points, stats.Point{X: x, Y: yv})
+	}
+	chart, err := plot.Line(plot.LineConfig{
+		Title:  "Figure 8: per-migration traffic [% of RAM]",
+		YMin:   0,
+		YMax:   100,
+		XLabel: "migration #",
+		YLabel: "% of RAM",
+	}, dedup, vecycle)
+	if err != nil {
+		return nil, err
+	}
+	return []string{chart}, nil
+}
+
+func plotConsolidation() ([]string, error) {
+	res, err := Consolidation()
+	if err != nil {
+		return nil, err
+	}
+	bars := []plot.Bar{
+		{Label: "full migration", Value: 1},
+		{Label: "sender-side dedup", Value: res.DedupFraction},
+		{Label: "VeCycle (+dedup)", Value: res.VeCycleFraction},
+	}
+	chart, err := plot.Bars(plot.BarConfig{
+		Title: "Consolidation: aggregate traffic [fraction of full]",
+		Max:   1,
+	}, bars)
+	if err != nil {
+		return nil, err
+	}
+	return []string{chart}, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import "fmt"
+
+// Run regenerates a named experiment: "table1", "figure1" … "figure8"
+// (Figure 3 is the paper's concept diagram; its set relations are asserted
+// by the methods package tests rather than plotted), or "consolidation" —
+// the dynamic-consolidation scenario §2.2 motivates, beyond the paper's
+// own evaluation.
+func Run(name string, opts Options) ([]*Table, error) {
+	switch name {
+	case "table1":
+		return []*Table{Table1Data()}, nil
+	case "figure1":
+		return Figure1(opts)
+	case "figure2":
+		t, err := Figure2(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	case "figure4":
+		return Figure4(12)
+	case "figure5":
+		return Figure5(opts)
+	case "figure6":
+		return Figure6()
+	case "figure7":
+		return Figure7()
+	case "figure8":
+		res, err := Figure8()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{res.PerMigration, res.Totals}, nil
+	case "postcopy":
+		return PostCopy()
+	case "downtime":
+		return Downtime()
+	case "hotspot":
+		res, err := Hotspot()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{res.Summary}, nil
+	case "consolidation":
+		res, err := Consolidation()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{res.PerVM, res.Totals}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want table1, figure1, figure2, figure4…figure8)", name)
+	}
+}
+
+// Names lists the runnable experiments in paper order.
+func Names() []string {
+	return []string{"table1", "figure1", "figure2", "figure4", "figure5", "figure6", "figure7", "figure8", "consolidation", "postcopy", "hotspot", "downtime"}
+}

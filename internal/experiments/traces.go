@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vecycle/internal/fingerprint"
+	"vecycle/internal/memmodel"
+)
+
+// Options tune the trace-driven experiments.
+type Options struct {
+	// Stride subsamples the fingerprint list before the quadratic all-pairs
+	// sweeps of Figures 1, 2 and 5. Stride 1 is the full sweep; the default
+	// of 4 cuts the pair count 16× with no visible change in the binned
+	// statistics.
+	Stride int
+}
+
+func (o Options) stride() int {
+	if o.Stride < 1 {
+		return 4
+	}
+	return o.Stride
+}
+
+// traceCache memoizes generated traces: several figures consume the same
+// machines, and trace generation is the expensive step.
+var traceCache sync.Map // machine name → []*fingerprint.Fingerprint
+
+// traceFor generates (or recalls) the full trace of a preset machine.
+func traceFor(p memmodel.Preset) ([]*fingerprint.Fingerprint, error) {
+	if cached, ok := traceCache.Load(p.Config.Name); ok {
+		return cached.([]*fingerprint.Fingerprint), nil
+	}
+	m, err := p.Build()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build %s: %w", p.Config.Name, err)
+	}
+	fps := m.Trace(p.TraceSteps)
+	if len(fps) == 0 {
+		return nil, fmt.Errorf("experiments: %s produced an empty trace", p.Config.Name)
+	}
+	traceCache.Store(p.Config.Name, fps)
+	return fps, nil
+}
+
+// corpusFor wraps traceFor in a fingerprint corpus.
+func corpusFor(p memmodel.Preset) (*fingerprint.Corpus, error) {
+	fps, err := traceFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return fingerprint.NewCorpus(fps)
+}
+
+// Table1Data reproduces Table 1: the systems whose traces the study
+// analyzes.
+func Table1Data() *Table {
+	t := &Table{
+		Title:   "Table 1: traced systems (synthetic models)",
+		Columns: []string{"Name", "OS", "Trace ID", "RAM", "Fingerprints"},
+	}
+	for _, p := range memmodel.Table1() {
+		t.AddRow(
+			p.Config.Name,
+			p.OS,
+			p.TraceID,
+			fmt.Sprintf("%d GiB", p.Config.RAMBytes>>30),
+			p.TraceSteps,
+		)
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vecycle/internal/stats"
+)
+
+// Corpus is an analysis view over the fingerprint history of one machine.
+// It precomputes each fingerprint's sorted unique-hash list once so that the
+// all-pairs similarity sweep of Figure 1 (336 fingerprints → 56 616 pairs
+// per machine) runs as linear merges instead of repeated map construction.
+type Corpus struct {
+	fps  []*Fingerprint
+	uniq [][]PageHash // sorted distinct hashes, parallel to fps
+}
+
+// NewCorpus builds a corpus over fps. Fingerprints must be in ascending
+// Taken order; an error is returned otherwise. The slice is captured, not
+// copied — callers must not mutate the fingerprints afterwards.
+func NewCorpus(fps []*Fingerprint) (*Corpus, error) {
+	if len(fps) == 0 {
+		return nil, fmt.Errorf("fingerprint: empty corpus")
+	}
+	uniq := make([][]PageHash, len(fps))
+	for i, f := range fps {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("fingerprint %d: %w", i, err)
+		}
+		if i > 0 && f.Taken.Before(fps[i-1].Taken) {
+			return nil, fmt.Errorf("fingerprint %d taken %v before predecessor %v",
+				i, f.Taken, fps[i-1].Taken)
+		}
+		uniq[i] = sortedUnique(f.Hashes)
+	}
+	return &Corpus{fps: fps, uniq: uniq}, nil
+}
+
+// Len reports the number of fingerprints in the corpus.
+func (c *Corpus) Len() int { return len(c.fps) }
+
+// At returns fingerprint i.
+func (c *Corpus) At(i int) *Fingerprint { return c.fps[i] }
+
+// Similarity reports the similarity of fingerprint cur with respect to
+// fingerprint old: the fraction of cur's unique hashes also present in old.
+// In the checkpoint-reuse reading, cur is the VM's current state and old the
+// stored checkpoint.
+func (c *Corpus) Similarity(old, cur int) float64 {
+	ucur, uold := c.uniq[cur], c.uniq[old]
+	if len(ucur) == 0 {
+		return 0
+	}
+	return float64(intersectSorted(ucur, uold)) / float64(len(ucur))
+}
+
+// Delta reports the time between fingerprints i and j (j later).
+func (c *Corpus) Delta(i, j int) time.Duration {
+	return c.fps[j].Taken.Sub(c.fps[i].Taken)
+}
+
+// BinnedSimilarity enumerates every ordered fingerprint pair (old earlier,
+// cur later), computes the pair similarity, and bins it by time delta —
+// the full computation behind one panel of Figure 1 (maxDelta 24 h) or
+// Figure 2 (maxDelta one week). stride > 1 subsamples the fingerprint list
+// to bound the quadratic sweep; stride 1 uses every fingerprint.
+func (c *Corpus) BinnedSimilarity(binWidth, maxDelta time.Duration, stride int) ([]stats.BinStat, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	nbins := int(maxDelta / binWidth)
+	if nbins < 1 {
+		return nil, fmt.Errorf("fingerprint: maxDelta %v below bin width %v", maxDelta, binWidth)
+	}
+	binner, err := stats.NewDeltaBinner(binWidth, nbins)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(c.fps); i += stride {
+		for j := i + stride; j < len(c.fps); j += stride {
+			d := c.Delta(i, j)
+			if binner.BinIndex(d) < 0 {
+				if d > maxDelta {
+					break // later j only increase the delta
+				}
+				continue
+			}
+			binner.Add(d, c.Similarity(i, j))
+		}
+	}
+	return binner.Series(), nil
+}
+
+// PairFunc receives one ordered fingerprint pair during ForEachPair.
+type PairFunc func(old, cur int, delta time.Duration)
+
+// ForEachPair invokes fn for every ordered pair (old earlier than cur),
+// subsampled by stride, with delta at most maxDelta (0 means unbounded).
+func (c *Corpus) ForEachPair(stride int, maxDelta time.Duration, fn PairFunc) {
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(c.fps); i += stride {
+		for j := i + stride; j < len(c.fps); j += stride {
+			d := c.Delta(i, j)
+			if maxDelta > 0 && d > maxDelta {
+				break
+			}
+			fn(i, j, d)
+		}
+	}
+}
+
+// DupSeries returns the duplicate-page fraction of every fingerprint as a
+// (hours since first fingerprint, fraction) series — Figure 4, left panels.
+func (c *Corpus) DupSeries() []stats.Point {
+	return c.series(func(f *Fingerprint) float64 { return f.DupFraction() })
+}
+
+// ZeroSeries returns the zero-page fraction over time — Figure 4, right
+// panel.
+func (c *Corpus) ZeroSeries() []stats.Point {
+	return c.series(func(f *Fingerprint) float64 { return f.ZeroFraction() })
+}
+
+func (c *Corpus) series(metric func(*Fingerprint) float64) []stats.Point {
+	out := make([]stats.Point, len(c.fps))
+	t0 := c.fps[0].Taken
+	for i, f := range c.fps {
+		out[i] = stats.Point{
+			X: f.Taken.Sub(t0).Hours(),
+			Y: metric(f),
+		}
+	}
+	return out
+}
+
+// sortedUnique returns the distinct values of hs in ascending order.
+func sortedUnique(hs []PageHash) []PageHash {
+	out := make([]PageHash, len(hs))
+	copy(out, hs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, h := range out {
+		if i == 0 || h != out[w-1] {
+			out[w] = h
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// intersectSorted counts the common elements of two ascending unique slices.
+func intersectSorted(a, b []PageHash) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

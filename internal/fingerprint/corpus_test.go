@@ -1,0 +1,205 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func mkCorpus(t *testing.T, fps ...*Fingerprint) *Corpus {
+	t.Helper()
+	c, err := NewCorpus(fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCorpusValidation(t *testing.T) {
+	if _, err := NewCorpus(nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := NewCorpus([]*Fingerprint{fp(t0)}); err == nil {
+		t.Error("invalid fingerprint accepted")
+	}
+	// Out of order.
+	a := fp(t0.Add(time.Hour), 1)
+	b := fp(t0, 1)
+	if _, err := NewCorpus([]*Fingerprint{a, b}); err == nil {
+		t.Error("unordered corpus accepted")
+	}
+}
+
+func TestCorpusSimilarityMatchesDirect(t *testing.T) {
+	fps := []*Fingerprint{
+		fp(t0, 1, 2, 3, 4),
+		fp(t0.Add(30*time.Minute), 3, 4, 5, 6),
+		fp(t0.Add(time.Hour), 1, 2, 3, 4),
+	}
+	c := mkCorpus(t, fps...)
+	for i := 0; i < len(fps); i++ {
+		for j := i + 1; j < len(fps); j++ {
+			want := Similarity(fps[j], fps[i])
+			if got := c.Similarity(i, j); math.Abs(got-want) > 1e-12 {
+				t.Errorf("Similarity(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCorpusDelta(t *testing.T) {
+	c := mkCorpus(t,
+		fp(t0, 1),
+		fp(t0.Add(90*time.Minute), 1),
+	)
+	if got := c.Delta(0, 1); got != 90*time.Minute {
+		t.Errorf("Delta = %v", got)
+	}
+}
+
+func TestBinnedSimilarity(t *testing.T) {
+	// Four fingerprints 30 minutes apart; page 0 churns every step, pages
+	// 1..3 are static. Unique sets are {step, 101, 102, 103}, so any pair's
+	// similarity is 3/4.
+	fps := make([]*Fingerprint, 4)
+	for i := range fps {
+		fps[i] = fp(t0.Add(time.Duration(i)*30*time.Minute),
+			PageHash(1000+i), 101, 102, 103)
+	}
+	c := mkCorpus(t, fps...)
+	series, err := c.BinnedSimilarity(30*time.Minute, 2*time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series has %d bins, want 3 (deltas 30m, 60m, 90m)", len(series))
+	}
+	wantN := []int{3, 2, 1} // pairs per delta
+	for i, bs := range series {
+		if bs.N != wantN[i] {
+			t.Errorf("bin %d N = %d, want %d", i, bs.N, wantN[i])
+		}
+		if math.Abs(bs.Avg-0.75) > 1e-12 {
+			t.Errorf("bin %d Avg = %v, want 0.75", i, bs.Avg)
+		}
+	}
+}
+
+func TestBinnedSimilarityBadRange(t *testing.T) {
+	c := mkCorpus(t, fp(t0, 1))
+	if _, err := c.BinnedSimilarity(time.Hour, time.Minute, 1); err == nil {
+		t.Error("maxDelta < binWidth accepted")
+	}
+}
+
+func TestBinnedSimilarityStride(t *testing.T) {
+	fps := make([]*Fingerprint, 8)
+	for i := range fps {
+		fps[i] = fp(t0.Add(time.Duration(i)*30*time.Minute), PageHash(i), 7)
+	}
+	c := mkCorpus(t, fps...)
+	full, err := c.BinnedSimilarity(30*time.Minute, 4*time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided, err := c.BinnedSimilarity(30*time.Minute, 4*time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nFull, nStrided int
+	for _, b := range full {
+		nFull += b.N
+	}
+	for _, b := range strided {
+		nStrided += b.N
+	}
+	if nStrided >= nFull {
+		t.Errorf("stride 2 produced %d pairs, full sweep %d", nStrided, nFull)
+	}
+	// Stride 2 keeps only even-indexed fingerprints: deltas are multiples of
+	// an hour.
+	for _, b := range strided {
+		if b.Center%time.Hour != 0 && b.N > 0 {
+			t.Errorf("strided sweep populated off-hour bin %v", b.Center)
+		}
+	}
+}
+
+func TestForEachPair(t *testing.T) {
+	fps := make([]*Fingerprint, 5)
+	for i := range fps {
+		fps[i] = fp(t0.Add(time.Duration(i)*time.Hour), PageHash(i), 7)
+	}
+	c := mkCorpus(t, fps...)
+	count := 0
+	c.ForEachPair(1, 0, func(old, cur int, delta time.Duration) {
+		if old >= cur {
+			t.Errorf("pair (%d,%d) not ordered", old, cur)
+		}
+		if want := c.Delta(old, cur); delta != want {
+			t.Errorf("delta %v, want %v", delta, want)
+		}
+		count++
+	})
+	if count != 10 {
+		t.Errorf("visited %d pairs, want C(5,2)=10", count)
+	}
+	// With a delta cap of 1h only adjacent pairs remain.
+	count = 0
+	c.ForEachPair(1, time.Hour, func(_, _ int, _ time.Duration) { count++ })
+	if count != 4 {
+		t.Errorf("capped sweep visited %d pairs, want 4", count)
+	}
+}
+
+func TestDupAndZeroSeries(t *testing.T) {
+	c := mkCorpus(t,
+		fp(t0, ZeroPage, 1, 1, 2),
+		fp(t0.Add(time.Hour), 1, 2, 3, 4),
+	)
+	dup := c.DupSeries()
+	if len(dup) != 2 {
+		t.Fatalf("DupSeries length %d", len(dup))
+	}
+	if dup[0].X != 0 || dup[0].Y != 0.25 {
+		t.Errorf("dup[0] = %+v, want (0, 0.25)", dup[0])
+	}
+	if dup[1].X != 1 || dup[1].Y != 0 {
+		t.Errorf("dup[1] = %+v, want (1, 0)", dup[1])
+	}
+	zero := c.ZeroSeries()
+	if zero[0].Y != 0.25 || zero[1].Y != 0 {
+		t.Errorf("ZeroSeries = %+v", zero)
+	}
+}
+
+func TestSortedUnique(t *testing.T) {
+	got := sortedUnique([]PageHash{5, 1, 5, 3, 1, 1})
+	want := []PageHash{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("sortedUnique = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedUnique = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct {
+		a, b []PageHash
+		want int
+	}{
+		{nil, nil, 0},
+		{[]PageHash{1, 2, 3}, nil, 0},
+		{[]PageHash{1, 2, 3}, []PageHash{2, 3, 4}, 2},
+		{[]PageHash{1, 2, 3}, []PageHash{1, 2, 3}, 3},
+		{[]PageHash{1, 3, 5}, []PageHash{2, 4, 6}, 0},
+	}
+	for _, tc := range cases {
+		if got := intersectSorted(tc.a, tc.b); got != tc.want {
+			t.Errorf("intersectSorted(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

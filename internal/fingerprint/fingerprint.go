@@ -1,0 +1,132 @@
+// Package fingerprint implements memory fingerprints and the similarity
+// analysis of the paper's trace study (§2).
+//
+// A fingerprint is one hash per memory page, taken at an instant. The
+// Memory Buddies traces the paper analyzes record one fingerprint every 30
+// minutes; the similarity between two fingerprints Fa and Fb is defined over
+// their sets of *unique* hashes Ua and Ub as |Ua ∩ Ub| / |Ua| (§2.2) —
+// counting unique content rather than pages, because duplicate pages within
+// a VM are exploitable by other redundancy techniques and would inflate the
+// checkpoint-reuse estimate.
+package fingerprint
+
+import (
+	"fmt"
+	"time"
+)
+
+// PageHash is the hash of one page's content. The zero value denotes the
+// all-zero page by convention (freshly booted machines are dominated by
+// them, §2.1).
+type PageHash uint64
+
+// ZeroPage is the hash of a page containing only zeros.
+const ZeroPage PageHash = 0
+
+// Fingerprint is one memory snapshot: the page hashes of a machine at one
+// instant, in page order.
+type Fingerprint struct {
+	// Taken is the instant the fingerprint was recorded.
+	Taken time.Time
+	// Hashes holds one hash per page, indexed by page frame number.
+	Hashes []PageHash
+}
+
+// NumPages reports the number of pages covered by the fingerprint.
+func (f *Fingerprint) NumPages() int { return len(f.Hashes) }
+
+// UniqueSet returns the set of distinct page hashes as a map from hash to
+// the number of pages carrying it.
+func (f *Fingerprint) UniqueSet() map[PageHash]int {
+	u := make(map[PageHash]int, len(f.Hashes))
+	for _, h := range f.Hashes {
+		u[h]++
+	}
+	return u
+}
+
+// UniqueCount reports |U|, the number of distinct page hashes.
+func (f *Fingerprint) UniqueCount() int { return len(f.UniqueSet()) }
+
+// DupFraction reports the fraction of duplicate pages,
+// 1 − unique/total (§4.2, Figure 4). It is 0 for an empty fingerprint.
+func (f *Fingerprint) DupFraction() float64 {
+	if len(f.Hashes) == 0 {
+		return 0
+	}
+	return 1 - float64(f.UniqueCount())/float64(len(f.Hashes))
+}
+
+// ZeroFraction reports the fraction of pages containing only zeros
+// (Figure 4, rightmost panel).
+func (f *Fingerprint) ZeroFraction() float64 {
+	if len(f.Hashes) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, h := range f.Hashes {
+		if h == ZeroPage {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(f.Hashes))
+}
+
+// Similarity reports the paper's fingerprint similarity |Ua ∩ Ub| / |Ua|:
+// the fraction of a's unique content also present in b. Note the asymmetry —
+// a is the fingerprint whose reuse potential is being estimated (the VM's
+// current state) and b the old checkpoint. An empty a yields 0.
+func Similarity(a, b *Fingerprint) float64 {
+	ua := a.UniqueSet()
+	if len(ua) == 0 {
+		return 0
+	}
+	ub := b.UniqueSet()
+	shared := 0
+	for h := range ua {
+		if _, ok := ub[h]; ok {
+			shared++
+		}
+	}
+	return float64(shared) / float64(len(ua))
+}
+
+// DirtyPages reports, for two fingerprints of the same machine, the number
+// of page frames whose content changed between old and cur. This is the
+// trace-level stand-in for hardware dirty tracking used in §4.3: "given two
+// fingerprints we say a page is dirty if its content changed between the two
+// fingerprints". Frames present in only one fingerprint (a resized machine)
+// count as dirty.
+func DirtyPages(old, cur *Fingerprint) int {
+	n := len(old.Hashes)
+	if len(cur.Hashes) < n {
+		n = len(cur.Hashes)
+	}
+	dirty := 0
+	for i := 0; i < n; i++ {
+		if old.Hashes[i] != cur.Hashes[i] {
+			dirty++
+		}
+	}
+	dirty += len(old.Hashes) - n
+	dirty += len(cur.Hashes) - n
+	return dirty
+}
+
+// Validate performs basic sanity checks on the fingerprint.
+func (f *Fingerprint) Validate() error {
+	if len(f.Hashes) == 0 {
+		return fmt.Errorf("fingerprint: no pages")
+	}
+	if f.Taken.IsZero() {
+		return fmt.Errorf("fingerprint: zero timestamp")
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy of the fingerprint.
+func (f *Fingerprint) Clone() *Fingerprint {
+	h := make([]PageHash, len(f.Hashes))
+	copy(h, f.Hashes)
+	return &Fingerprint{Taken: f.Taken, Hashes: h}
+}

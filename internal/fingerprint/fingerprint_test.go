@@ -1,0 +1,199 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fp(t time.Time, hashes ...PageHash) *Fingerprint {
+	return &Fingerprint{Taken: t, Hashes: hashes}
+}
+
+var t0 = time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestUniqueSet(t *testing.T) {
+	f := fp(t0, 1, 1, 2, 3, 3, 3)
+	u := f.UniqueSet()
+	if len(u) != 3 {
+		t.Fatalf("unique count = %d, want 3", len(u))
+	}
+	if u[1] != 2 || u[2] != 1 || u[3] != 3 {
+		t.Errorf("multiplicities wrong: %v", u)
+	}
+	if f.UniqueCount() != 3 {
+		t.Errorf("UniqueCount = %d", f.UniqueCount())
+	}
+}
+
+func TestDupFraction(t *testing.T) {
+	cases := []struct {
+		name   string
+		hashes []PageHash
+		want   float64
+	}{
+		{"all distinct", []PageHash{1, 2, 3, 4}, 0},
+		{"half dup", []PageHash{1, 1, 2, 2}, 0.5},
+		{"all same", []PageHash{7, 7, 7, 7}, 0.75},
+		{"empty", nil, 0},
+	}
+	for _, tc := range cases {
+		f := fp(t0, tc.hashes...)
+		if got := f.DupFraction(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: DupFraction = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestZeroFraction(t *testing.T) {
+	f := fp(t0, ZeroPage, 1, ZeroPage, 2)
+	if got := f.ZeroFraction(); got != 0.5 {
+		t.Errorf("ZeroFraction = %v, want 0.5", got)
+	}
+	if got := fp(t0).ZeroFraction(); got != 0 {
+		t.Errorf("empty ZeroFraction = %v, want 0", got)
+	}
+}
+
+func TestSimilarityPaperDefinition(t *testing.T) {
+	// Ua = {1,2,3,4}, Ub = {3,4,5}: |Ua ∩ Ub| / |Ua| = 2/4.
+	a := fp(t0, 1, 2, 3, 4)
+	b := fp(t0, 3, 4, 5)
+	if got := Similarity(a, b); got != 0.5 {
+		t.Errorf("Similarity = %v, want 0.5", got)
+	}
+	// Asymmetric: with respect to b it is 2/3.
+	if got := Similarity(b, a); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Similarity(b,a) = %v, want 2/3", got)
+	}
+}
+
+func TestSimilarityIgnoresMultiplicity(t *testing.T) {
+	// Duplicates must not inflate similarity: unique-set semantics.
+	a := fp(t0, 1, 1, 1, 1, 2)
+	b := fp(t0, 1)
+	if got := Similarity(a, b); got != 0.5 {
+		t.Errorf("Similarity = %v, want 0.5 (|{1,2} ∩ {1}|/|{1,2}|)", got)
+	}
+}
+
+func TestSimilarityEdgeCases(t *testing.T) {
+	empty := fp(t0)
+	full := fp(t0, 1, 2)
+	if got := Similarity(empty, full); got != 0 {
+		t.Errorf("empty a: %v, want 0", got)
+	}
+	if got := Similarity(full, full); got != 1 {
+		t.Errorf("identical: %v, want 1", got)
+	}
+	if got := Similarity(full, empty); got != 0 {
+		t.Errorf("empty b: %v, want 0", got)
+	}
+}
+
+func TestDirtyPages(t *testing.T) {
+	old := fp(t0, 1, 2, 3, 4)
+	cur := fp(t0.Add(time.Hour), 1, 9, 3, 8)
+	if got := DirtyPages(old, cur); got != 2 {
+		t.Errorf("DirtyPages = %d, want 2", got)
+	}
+	if got := DirtyPages(old, old); got != 0 {
+		t.Errorf("self DirtyPages = %d, want 0", got)
+	}
+}
+
+func TestDirtyPagesResized(t *testing.T) {
+	old := fp(t0, 1, 2)
+	cur := fp(t0, 1, 2, 3, 4)
+	if got := DirtyPages(old, cur); got != 2 {
+		t.Errorf("grown machine DirtyPages = %d, want 2", got)
+	}
+	if got := DirtyPages(cur, old); got != 2 {
+		t.Errorf("shrunk machine DirtyPages = %d, want 2", got)
+	}
+}
+
+// Property: a page moving to a different frame with unchanged content is
+// dirty under tracking but free under content hashes — the Miyakodori
+// overestimate illustrated in Figure 5's caption.
+func TestMovedPageDirtyButSimilar(t *testing.T) {
+	old := fp(t0, 10, 20, 30)
+	cur := fp(t0.Add(time.Hour), 20, 10, 30) // frames 0 and 1 swapped
+	if got := DirtyPages(old, cur); got != 2 {
+		t.Fatalf("DirtyPages = %d, want 2", got)
+	}
+	if got := Similarity(cur, old); got != 1 {
+		t.Fatalf("Similarity = %v, want 1", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fp(t0, 1).Validate(); err != nil {
+		t.Errorf("valid fingerprint rejected: %v", err)
+	}
+	if err := fp(t0).Validate(); err == nil {
+		t.Error("empty fingerprint accepted")
+	}
+	if err := (&Fingerprint{Hashes: []PageHash{1}}).Validate(); err == nil {
+		t.Error("zero timestamp accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := fp(t0, 1, 2, 3)
+	b := a.Clone()
+	b.Hashes[0] = 99
+	if a.Hashes[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+	if !b.Taken.Equal(a.Taken) {
+		t.Error("Clone lost timestamp")
+	}
+}
+
+// Property: similarity is always in [0, 1], and self-similarity of a
+// non-empty fingerprint is exactly 1.
+func TestSimilarityBounds(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		a := &Fingerprint{Taken: t0}
+		for _, x := range xs {
+			a.Hashes = append(a.Hashes, PageHash(x))
+		}
+		b := &Fingerprint{Taken: t0}
+		for _, y := range ys {
+			b.Hashes = append(b.Hashes, PageHash(y))
+		}
+		s := Similarity(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if len(a.Hashes) > 0 && Similarity(a, a) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DupFraction is in [0, 1) for non-empty inputs and 0 iff all
+// hashes are distinct.
+func TestDupFractionBounds(t *testing.T) {
+	f := func(xs []uint64) bool {
+		fg := &Fingerprint{Taken: t0}
+		for _, x := range xs {
+			fg.Hashes = append(fg.Hashes, PageHash(x))
+		}
+		d := fg.DupFraction()
+		if d < 0 || d >= 1 && len(xs) > 0 {
+			return false
+		}
+		distinct := fg.UniqueCount() == len(fg.Hashes)
+		return (d == 0) == (distinct || len(xs) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package memmodel generates synthetic memory-evolution traces that stand in
+// for the Memory Buddies fingerprint traces (Wood et al., VEE'09) and the
+// paper's own crawler and desktop traces, none of which are retrievable
+// today (the hosting links have rotted).
+//
+// A modelled machine has a fixed number of pages, each carrying a content
+// identifier and belonging to a churn class (static OS/code pages, warm
+// page-cache pages, hot working-set pages, zero pages). An activity process
+// modulates per-class rewrite probabilities over time — diurnal load for
+// servers, user sessions for laptops, sustained churn for crawlers, a
+// 9-to-5 workday for the VDI desktop. Rewrites draw fresh unique content,
+// duplicate content from a shared pool (shared libraries, common file
+// blocks), or zeros, which reproduces the duplicate- and zero-page fractions
+// of Figure 4. A slow frame-shuffle process relocates content between
+// frames, recreating the effect that makes dirty-page tracking overestimate
+// transfers relative to content hashes (Figure 5).
+//
+// The models are calibrated against every number the paper's prose reports;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package memmodel
+
+import (
+	"math"
+	"time"
+)
+
+// Activity describes when a machine is busy and when it is reachable for
+// fingerprinting. Implementations must be pure functions of time so traces
+// are reproducible.
+type Activity interface {
+	// Level reports the machine's activity in [0, 1] at time t. Page churn
+	// scales with the level.
+	Level(t time.Time) float64
+	// Online reports whether the machine records a fingerprint at time t.
+	// Servers are always online; laptops only while their user works (the
+	// paper's laptop traces contain only 151–205 of the 336 possible
+	// fingerprints).
+	Online(t time.Time) bool
+}
+
+// Diurnal is a day-night activity cycle: a sinusoid with the given mean and
+// amplitude peaking at PeakHour, always online. It models the paper's
+// web/e-mail servers.
+type Diurnal struct {
+	// Mean is the average activity level in [0,1].
+	Mean float64
+	// Amplitude scales the day-night swing; the level stays clamped to [0,1].
+	Amplitude float64
+	// PeakHour is the local hour (0–24) of maximum activity.
+	PeakHour float64
+}
+
+var _ Activity = Diurnal{}
+
+// Level implements Activity.
+func (d Diurnal) Level(t time.Time) float64 {
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	phase := 2 * math.Pi * (hour - d.PeakHour) / 24
+	return clamp01(d.Mean + d.Amplitude*math.Cos(phase))
+}
+
+// Online implements Activity: servers run 24/7.
+func (d Diurnal) Online(time.Time) bool { return true }
+
+// Sessions models an interactively used laptop: high activity during work
+// sessions, offline (suspended) otherwise. Session boundaries jitter from
+// day to day, derived deterministically from the date, so different seeds
+// and machines do not share identical schedules.
+type Sessions struct {
+	// StartHour and EndHour bound the nominal daily session (e.g. 9 and 18).
+	StartHour float64
+	EndHour   float64
+	// JitterHours shifts each day's session start and end by up to ±JitterHours.
+	JitterHours float64
+	// WeekendProb is the probability a weekend day has a (short) session.
+	WeekendProb float64
+	// BusyLevel is the activity level during a session.
+	BusyLevel float64
+	// Salt decorrelates schedules between machines with equal parameters.
+	Salt uint64
+}
+
+var _ Activity = Sessions{}
+
+// sessionWindow reports the session bounds for the day containing t, and
+// whether the day has a session at all.
+func (s Sessions) sessionWindow(t time.Time) (startH, endH float64, ok bool) {
+	day := t.YearDay() + t.Year()*366
+	h := mix64(uint64(day) ^ s.Salt*0x9E3779B97F4A7C15)
+	jitter := func(shift uint) float64 {
+		// Uniform in [-JitterHours, +JitterHours).
+		u := float64((h>>shift)&0xFFFF) / 0x10000
+		return (2*u - 1) * s.JitterHours
+	}
+	wd := t.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		p := float64(h&0xFFFF) / 0x10000
+		if p >= s.WeekendProb {
+			return 0, 0, false
+		}
+		// Leisure-length weekend session.
+		return 11 + jitter(16), 19 + jitter(32), true
+	}
+	return s.StartHour + jitter(16), s.EndHour + jitter(32), true
+}
+
+// Level implements Activity.
+func (s Sessions) Level(t time.Time) float64 {
+	if !s.Online(t) {
+		return 0
+	}
+	return clamp01(s.BusyLevel)
+}
+
+// Online implements Activity.
+func (s Sessions) Online(t time.Time) bool {
+	startH, endH, ok := s.sessionWindow(t)
+	if !ok {
+		return false
+	}
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	return hour >= startH && hour < endH
+}
+
+// Constant is an always-online activity at a fixed level — the web crawler
+// VMs, which the paper found to be the worst case for checkpoint reuse
+// (similarity below 20% after five hours).
+type Constant struct {
+	// LevelValue is the fixed activity level.
+	LevelValue float64
+}
+
+var _ Activity = Constant{}
+
+// Level implements Activity.
+func (c Constant) Level(time.Time) float64 { return clamp01(c.LevelValue) }
+
+// Online implements Activity.
+func (c Constant) Online(time.Time) bool { return true }
+
+// Workday models the VDI desktop of §4.6: always powered (it keeps running
+// on the consolidation server overnight) but only busy while the user is at
+// the keyboard on weekdays.
+type Workday struct {
+	// StartHour and EndHour bound the busy period (the paper migrates at
+	// 9 am and 5 pm).
+	StartHour float64
+	EndHour   float64
+	// BusyLevel is the activity while the user works; IdleLevel the
+	// background activity overnight and on weekends.
+	BusyLevel float64
+	IdleLevel float64
+}
+
+var _ Activity = Workday{}
+
+// Level implements Activity.
+func (w Workday) Level(t time.Time) float64 {
+	wd := t.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return clamp01(w.IdleLevel)
+	}
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	if hour >= w.StartHour && hour < w.EndHour {
+		return clamp01(w.BusyLevel)
+	}
+	return clamp01(w.IdleLevel)
+}
+
+// Online implements Activity.
+func (w Workday) Online(time.Time) bool { return true }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// mix64 is the splitmix64 finalizer, used to derive deterministic per-day
+// jitter and page-content hashes.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,156 @@
+package memmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// monday is a weekday anchor for session tests.
+var monday = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+func TestDiurnalBounds(t *testing.T) {
+	d := Diurnal{Mean: 0.5, Amplitude: 0.9, PeakHour: 14}
+	for h := 0; h < 24; h++ {
+		lvl := d.Level(monday.Add(time.Duration(h) * time.Hour))
+		if lvl < 0 || lvl > 1 {
+			t.Errorf("hour %d: level %v out of [0,1]", h, lvl)
+		}
+	}
+}
+
+func TestDiurnalPeak(t *testing.T) {
+	d := Diurnal{Mean: 0.5, Amplitude: 0.3, PeakHour: 14}
+	peak := d.Level(monday.Add(14 * time.Hour))
+	trough := d.Level(monday.Add(2 * time.Hour))
+	if peak <= trough {
+		t.Errorf("peak %v <= trough %v", peak, trough)
+	}
+	if !d.Online(monday) {
+		t.Error("servers must always be online")
+	}
+}
+
+func TestSessionsWeekday(t *testing.T) {
+	s := Sessions{StartHour: 9, EndHour: 18, JitterHours: 0, WeekendProb: 0, BusyLevel: 0.8}
+	noon := monday.Add(12 * time.Hour)
+	if !s.Online(noon) {
+		t.Error("laptop offline at noon on a weekday")
+	}
+	if got := s.Level(noon); got != 0.8 {
+		t.Errorf("session level = %v, want 0.8", got)
+	}
+	night := monday.Add(23 * time.Hour)
+	if s.Online(night) {
+		t.Error("laptop online at 23:00")
+	}
+	if got := s.Level(night); got != 0 {
+		t.Errorf("offline level = %v, want 0", got)
+	}
+}
+
+func TestSessionsWeekendProb(t *testing.T) {
+	saturday := monday.Add(5 * 24 * time.Hour)
+	never := Sessions{StartHour: 9, EndHour: 18, WeekendProb: 0, BusyLevel: 0.8}
+	if never.Online(saturday.Add(12 * time.Hour)) {
+		t.Error("WeekendProb 0 but online on Saturday")
+	}
+	always := Sessions{StartHour: 9, EndHour: 18, WeekendProb: 1, BusyLevel: 0.8}
+	if !always.Online(saturday.Add(12 * time.Hour)) {
+		t.Error("WeekendProb 1 but offline at Saturday midday")
+	}
+}
+
+func TestSessionsJitterVariesByDay(t *testing.T) {
+	s := Sessions{StartHour: 9, EndHour: 18, JitterHours: 2, BusyLevel: 0.8, Salt: 7}
+	// At 08:30, jitter sometimes makes the session already started and
+	// sometimes not; across two work weeks we expect both outcomes.
+	online, offline := 0, 0
+	for d := 0; d < 14; d++ {
+		day := monday.Add(time.Duration(d) * 24 * time.Hour)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		if s.Online(day.Add(8*time.Hour + 30*time.Minute)) {
+			online++
+		} else {
+			offline++
+		}
+	}
+	if online == 0 || offline == 0 {
+		t.Errorf("jitter has no effect: online=%d offline=%d", online, offline)
+	}
+}
+
+func TestSessionsSaltDecorrelates(t *testing.T) {
+	a := Sessions{StartHour: 9, EndHour: 18, JitterHours: 2, BusyLevel: 0.8, Salt: 1}
+	b := Sessions{StartHour: 9, EndHour: 18, JitterHours: 2, BusyLevel: 0.8, Salt: 2}
+	differ := false
+	for d := 0; d < 28 && !differ; d++ {
+		for h := 7; h < 21; h++ {
+			ts := monday.Add(time.Duration(d)*24*time.Hour + time.Duration(h)*time.Hour)
+			if a.Online(ts) != b.Online(ts) {
+				differ = true
+				break
+			}
+		}
+	}
+	if !differ {
+		t.Error("different salts produced identical schedules over 4 weeks")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{LevelValue: 0.9}
+	if c.Level(monday) != 0.9 || !c.Online(monday) {
+		t.Error("constant activity wrong")
+	}
+	over := Constant{LevelValue: 1.7}
+	if over.Level(monday) != 1 {
+		t.Error("constant level not clamped")
+	}
+}
+
+func TestWorkday(t *testing.T) {
+	w := Workday{StartHour: 9, EndHour: 17, BusyLevel: 0.75, IdleLevel: 0.02}
+	if got := w.Level(monday.Add(12 * time.Hour)); got != 0.75 {
+		t.Errorf("workday noon level = %v", got)
+	}
+	if got := w.Level(monday.Add(3 * time.Hour)); got != 0.02 {
+		t.Errorf("workday night level = %v", got)
+	}
+	saturday := monday.Add(5 * 24 * time.Hour)
+	if got := w.Level(saturday.Add(12 * time.Hour)); got != 0.02 {
+		t.Errorf("weekend level = %v, want idle", got)
+	}
+	if !w.Online(monday) {
+		t.Error("VDI desktop must always be online")
+	}
+}
+
+func TestWorkdayBoundaries(t *testing.T) {
+	w := Workday{StartHour: 9, EndHour: 17, BusyLevel: 1, IdleLevel: 0}
+	if got := w.Level(monday.Add(9 * time.Hour)); got != 1 {
+		t.Errorf("level at 09:00 = %v, want busy (inclusive start)", got)
+	}
+	if got := w.Level(monday.Add(17 * time.Hour)); got != 0 {
+		t.Errorf("level at 17:00 = %v, want idle (exclusive end)", got)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1}}
+	for _, tc := range cases {
+		if got := clamp01(tc.in); got != tc.want {
+			t.Errorf("clamp01(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMix64(t *testing.T) {
+	if mix64(1) == mix64(2) {
+		t.Error("mix64 collided on 1, 2")
+	}
+	if mix64(5) != mix64(5) {
+		t.Error("mix64 not deterministic")
+	}
+}

@@ -1,0 +1,209 @@
+package memmodel
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/fingerprint"
+)
+
+// The calibration tests check the synthetic models against every number the
+// paper's prose reports for the original traces. Ranges are deliberately
+// generous — the goal is the paper's qualitative envelope (who decays how
+// fast, which machine has more duplicates), not digit-exact replay of
+// unavailable data.
+
+// simAt returns the average similarity across all fingerprint pairs whose
+// delta falls in the 30-minute bin centred on target.
+func simAt(t *testing.T, fps []*fingerprint.Fingerprint, target time.Duration, stride int) float64 {
+	t.Helper()
+	c, err := fingerprint.NewCorpus(fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDelta := target + time.Hour
+	series, err := c.BinnedSimilarity(30*time.Minute, maxDelta, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range series {
+		if b.Center == target {
+			return b.Avg
+		}
+	}
+	t.Fatalf("no bin centred on %v", target)
+	return 0
+}
+
+func tracePreset(t *testing.T, p Preset, steps int) []*fingerprint.Fingerprint {
+	t.Helper()
+	m, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Trace(steps)
+}
+
+func checkRange(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.3f, want in [%.2f, %.2f]", name, got, lo, hi)
+	} else {
+		t.Logf("%s = %.3f (target [%.2f, %.2f])", name, got, lo, hi)
+	}
+}
+
+func TestCalibrationServerSimilarity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is quadratic in trace length")
+	}
+	// Paper: average 24-hour similarity is ~40 % for Server B and ~20 % for
+	// Server C; short 2-hour intervals reach 50–70 % and upwards.
+	cases := []struct {
+		preset     Preset
+		lo24, hi24 float64
+		lo2h, hi2h float64
+	}{
+		{ServerA(), 0.22, 0.45, 0.50, 0.90},
+		{ServerB(), 0.30, 0.50, 0.50, 0.90},
+		{ServerC(), 0.12, 0.30, 0.45, 0.85},
+	}
+	for _, tc := range cases {
+		fps := tracePreset(t, tc.preset, tc.preset.TraceSteps)
+		name := tc.preset.Config.Name
+		checkRange(t, name+" sim@24h", simAt(t, fps, 24*time.Hour, 4), tc.lo24, tc.hi24)
+		checkRange(t, name+" sim@2h", simAt(t, fps, 2*time.Hour, 1), tc.lo2h, tc.hi2h)
+	}
+}
+
+func TestCalibrationServerCWeekFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is quadratic in trace length")
+	}
+	// Figure 2: even after one week about 20 % of Server C's memory content
+	// is unchanged.
+	// 166 h is the longest delta that is a multiple of the stride-4 pair
+	// spacing (2 h) and still inside the one-week trace.
+	fps := tracePreset(t, ServerC(), ServerC().TraceSteps)
+	checkRange(t, "Server C sim@166h", simAt(t, fps, 166*time.Hour, 4), 0.08, 0.30)
+}
+
+func TestCalibrationCrawlers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is quadratic in trace length")
+	}
+	// §2.3: crawler similarity is ~40 % after one hour, below 20 % after
+	// five hours.
+	for _, p := range []Preset{CrawlerA(), CrawlerB()} {
+		fps := tracePreset(t, p, p.TraceSteps)
+		name := p.Config.Name
+		checkRange(t, name+" sim@1h", simAt(t, fps, time.Hour, 1), 0.28, 0.60)
+		s5 := simAt(t, fps, 5*time.Hour, 1)
+		if s5 >= 0.25 {
+			t.Errorf("%s sim@5h = %.3f, want < 0.25", name, s5)
+		} else {
+			t.Logf("%s sim@5h = %.3f (target < 0.25)", name, s5)
+		}
+	}
+}
+
+func TestCalibrationDuplicatePages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace generation is slow")
+	}
+	// Figure 4: duplicate pages are 5–20 % for servers (Server A lowest and
+	// very stable at ~5 %, Server C ~20 %) and 10–20 % for laptops. Zero
+	// pages stay below ~5 % for servers.
+	type target struct {
+		preset Preset
+		steps  int
+		dupLo  float64
+		dupHi  float64
+		zeroHi float64
+	}
+	targets := []target{
+		{ServerA(), 96, 0.02, 0.10, 0.08},
+		{ServerB(), 96, 0.05, 0.16, 0.08},
+		{ServerC(), 96, 0.12, 0.30, 0.04},
+		{LaptopA(), 336, 0.08, 0.25, 0.10},
+		{LaptopB(), 336, 0.08, 0.25, 0.10},
+	}
+	for _, tc := range targets {
+		fps := tracePreset(t, tc.preset, tc.steps)
+		if len(fps) == 0 {
+			t.Fatalf("%s: empty trace", tc.preset.Config.Name)
+		}
+		var dupSum, zeroSum float64
+		for _, f := range fps {
+			dupSum += f.DupFraction()
+			zeroSum += f.ZeroFraction()
+		}
+		dup := dupSum / float64(len(fps))
+		zero := zeroSum / float64(len(fps))
+		checkRange(t, tc.preset.Config.Name+" dup%", dup, tc.dupLo, tc.dupHi)
+		if zero > tc.zeroHi {
+			t.Errorf("%s zero%% = %.3f, want <= %.2f", tc.preset.Config.Name, zero, tc.zeroHi)
+		} else {
+			t.Logf("%s zero%% = %.3f (target <= %.2f)", tc.preset.Config.Name, zero, tc.zeroHi)
+		}
+	}
+}
+
+func TestCalibrationLaptopFingerprintCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace generation is slow")
+	}
+	// §2.2: of the 336 possible fingerprints the laptop traces contain only
+	// 151–205 because the machines are suspended outside sessions.
+	for _, p := range []Preset{LaptopA(), LaptopB(), LaptopC(), LaptopD()} {
+		fps := tracePreset(t, p, 336)
+		if len(fps) < 110 || len(fps) > 240 {
+			t.Errorf("%s recorded %d/336 fingerprints, paper range is 151–205", p.Config.Name, len(fps))
+		} else {
+			t.Logf("%s recorded %d/336 fingerprints (paper: 151–205)", p.Config.Name, len(fps))
+		}
+	}
+}
+
+func TestCalibrationDesktopIdleOvernight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace generation is slow")
+	}
+	// §2.4/§4.6: overnight (17:00 → 9:00) the consolidated desktop barely
+	// changes, so the 9 am migration should find very high similarity, while
+	// the workday (9:00 → 17:00) churns much more.
+	m, err := Desktop().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m starts Wed 5 Nov 2014 00:00. Collect fingerprints at 9:00 and 17:00.
+	var at9, at17, next9 *fingerprint.Fingerprint
+	for i := 0; i < 96; i++ {
+		now := m.Now()
+		if now.Day() == 5 && now.Hour() == 9 && now.Minute() == 0 {
+			at9 = m.Fingerprint()
+		}
+		if now.Day() == 5 && now.Hour() == 17 && now.Minute() == 0 {
+			at17 = m.Fingerprint()
+		}
+		if now.Day() == 6 && now.Hour() == 9 && now.Minute() == 0 {
+			next9 = m.Fingerprint()
+		}
+		m.Step()
+	}
+	if at9 == nil || at17 == nil || next9 == nil {
+		t.Fatal("missed schedule fingerprints")
+	}
+	workday := fingerprint.Similarity(at17, at9)
+	overnight := fingerprint.Similarity(next9, at17)
+	t.Logf("desktop workday sim = %.3f, overnight sim = %.3f", workday, overnight)
+	if overnight <= workday {
+		t.Errorf("overnight similarity %.3f not higher than workday %.3f", overnight, workday)
+	}
+	if overnight < 0.80 {
+		t.Errorf("overnight similarity %.3f, want >= 0.80 (idle machine)", overnight)
+	}
+	if workday > 0.85 {
+		t.Errorf("workday similarity %.3f, want <= 0.85 (busy machine)", workday)
+	}
+}

@@ -1,0 +1,172 @@
+package memmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// JSON configuration for custom machines, so studies beyond the paper's
+// Table 1 can be described declaratively and fed to cmd/tracegen.
+//
+// Example:
+//
+//	{
+//	  "name": "Build Server",
+//	  "os": "Linux",
+//	  "ram_gib": 16,
+//	  "trace_steps": 336,
+//	  "classes": {"zero": 0.02, "static": 0.2, "warm": 0.5, "hot": 0.28},
+//	  "rates": {"static": 0.001, "warm": 0.08, "hot": 0.9},
+//	  "activity": {"kind": "diurnal", "mean": 0.6, "amplitude": 0.3, "peak_hour": 15},
+//	  "dup_prob": 0.1, "zero_prob": 0.01, "pool_size": 64,
+//	  "move_rate": 0.005, "activity_floor": 0.2, "seed": 7
+//	}
+
+// FileConfig is the serialized form of a machine description.
+type FileConfig struct {
+	Name       string `json:"name"`
+	OS         string `json:"os"`
+	RAMGiB     int64  `json:"ram_gib"`
+	TraceSteps int    `json:"trace_steps"`
+	Seed       int64  `json:"seed"`
+	StepMin    int    `json:"step_minutes"`
+
+	Classes struct {
+		Zero   float64 `json:"zero"`
+		Static float64 `json:"static"`
+		Warm   float64 `json:"warm"`
+		Hot    float64 `json:"hot"`
+	} `json:"classes"`
+	Rates struct {
+		Static float64 `json:"static"`
+		Warm   float64 `json:"warm"`
+		Hot    float64 `json:"hot"`
+	} `json:"rates"`
+	ActivityFloor float64 `json:"activity_floor"`
+	DupProb       float64 `json:"dup_prob"`
+	ZeroProb      float64 `json:"zero_prob"`
+	PoolSize      int     `json:"pool_size"`
+	MoveRate      float64 `json:"move_rate"`
+
+	Activity struct {
+		Kind string `json:"kind"` // diurnal | sessions | constant | workday
+
+		// diurnal
+		Mean      float64 `json:"mean"`
+		Amplitude float64 `json:"amplitude"`
+		PeakHour  float64 `json:"peak_hour"`
+
+		// sessions / workday
+		StartHour   float64 `json:"start_hour"`
+		EndHour     float64 `json:"end_hour"`
+		JitterHours float64 `json:"jitter_hours"`
+		WeekendProb float64 `json:"weekend_prob"`
+		BusyLevel   float64 `json:"busy_level"`
+		IdleLevel   float64 `json:"idle_level"`
+
+		// constant
+		Level float64 `json:"level"`
+	} `json:"activity"`
+}
+
+// Preset converts the file form into a runnable preset.
+func (fc *FileConfig) Preset() (Preset, error) {
+	if fc.Name == "" {
+		return Preset{}, fmt.Errorf("memmodel: config missing name")
+	}
+	if fc.RAMGiB <= 0 {
+		return Preset{}, fmt.Errorf("memmodel: config %q: ram_gib must be positive", fc.Name)
+	}
+	steps := fc.TraceSteps
+	if steps <= 0 {
+		steps = 336
+	}
+	stepMin := fc.StepMin
+	if stepMin <= 0 {
+		stepMin = 30
+	}
+	cfg := Config{
+		Name:          fc.Name,
+		RAMBytes:      fc.RAMGiB * gib,
+		PagesPerGiB:   DefaultPagesPerGiB,
+		Seed:          fc.Seed,
+		Step:          time.Duration(stepMin) * time.Minute,
+		Start:         traceStart,
+		ZeroFrac:      fc.Classes.Zero,
+		StaticFrac:    fc.Classes.Static,
+		WarmFrac:      fc.Classes.Warm,
+		HotFrac:       fc.Classes.Hot,
+		StaticRate:    fc.Rates.Static,
+		WarmRate:      fc.Rates.Warm,
+		HotRate:       fc.Rates.Hot,
+		ActivityFloor: fc.ActivityFloor,
+		DupProb:       fc.DupProb,
+		ZeroProb:      fc.ZeroProb,
+		PoolSize:      fc.PoolSize,
+		MoveRate:      fc.MoveRate,
+	}
+	var act Activity
+	switch fc.Activity.Kind {
+	case "diurnal":
+		act = Diurnal{Mean: fc.Activity.Mean, Amplitude: fc.Activity.Amplitude, PeakHour: fc.Activity.PeakHour}
+	case "sessions":
+		act = Sessions{
+			StartHour:   fc.Activity.StartHour,
+			EndHour:     fc.Activity.EndHour,
+			JitterHours: fc.Activity.JitterHours,
+			WeekendProb: fc.Activity.WeekendProb,
+			BusyLevel:   fc.Activity.BusyLevel,
+			Salt:        uint64(fc.Seed),
+		}
+	case "constant":
+		act = Constant{LevelValue: fc.Activity.Level}
+	case "workday":
+		act = Workday{
+			StartHour: fc.Activity.StartHour,
+			EndHour:   fc.Activity.EndHour,
+			BusyLevel: fc.Activity.BusyLevel,
+			IdleLevel: fc.Activity.IdleLevel,
+		}
+	default:
+		return Preset{}, fmt.Errorf("memmodel: config %q: unknown activity kind %q (want diurnal, sessions, constant or workday)",
+			fc.Name, fc.Activity.Kind)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Preset{}, fmt.Errorf("memmodel: config %q: %w", fc.Name, err)
+	}
+	return Preset{
+		Config:     cfg,
+		Activity:   act,
+		OS:         fc.OS,
+		TraceID:    "(custom config)",
+		TraceSteps: steps,
+	}, nil
+}
+
+// LoadConfig reads one or more machine descriptions from a JSON file
+// holding either a single object or an array of objects.
+func LoadConfig(path string) ([]Preset, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("memmodel: %w", err)
+	}
+	var many []FileConfig
+	if err := json.Unmarshal(raw, &many); err != nil {
+		var one FileConfig
+		if err2 := json.Unmarshal(raw, &one); err2 != nil {
+			return nil, fmt.Errorf("memmodel: parse %s: %w", path, err)
+		}
+		many = []FileConfig{one}
+	}
+	presets := make([]Preset, 0, len(many))
+	for i := range many {
+		p, err := many[i].Preset()
+		if err != nil {
+			return nil, err
+		}
+		presets = append(presets, p)
+	}
+	return presets, nil
+}

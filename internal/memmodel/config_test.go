@@ -1,0 +1,107 @@
+package memmodel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleConfig = `{
+  "name": "Build Server",
+  "os": "Linux",
+  "ram_gib": 2,
+  "trace_steps": 48,
+  "seed": 7,
+  "classes": {"zero": 0.02, "static": 0.2, "warm": 0.5, "hot": 0.28},
+  "rates": {"static": 0.001, "warm": 0.08, "hot": 0.9},
+  "activity": {"kind": "diurnal", "mean": 0.6, "amplitude": 0.3, "peak_hour": 15},
+  "dup_prob": 0.1, "zero_prob": 0.01, "pool_size": 64,
+  "move_rate": 0.005, "activity_floor": 0.2
+}`
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "machines.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigSingle(t *testing.T) {
+	presets, err := LoadConfig(writeConfig(t, sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(presets) != 1 {
+		t.Fatalf("got %d presets", len(presets))
+	}
+	p := presets[0]
+	if p.Config.Name != "Build Server" || p.OS != "Linux" || p.TraceSteps != 48 {
+		t.Errorf("preset = %+v", p)
+	}
+	m, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := m.Trace(8)
+	if len(fps) != 8 {
+		t.Errorf("trace has %d fingerprints", len(fps))
+	}
+}
+
+func TestLoadConfigArray(t *testing.T) {
+	body := "[" + sampleConfig + "," + sampleConfig + "]"
+	presets, err := LoadConfig(writeConfig(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(presets) != 2 {
+		t.Errorf("got %d presets", len(presets))
+	}
+}
+
+func TestLoadConfigActivityKinds(t *testing.T) {
+	kinds := map[string]string{
+		"sessions": `{"kind": "sessions", "start_hour": 9, "end_hour": 18, "busy_level": 0.8}`,
+		"constant": `{"kind": "constant", "level": 0.9}`,
+		"workday":  `{"kind": "workday", "start_hour": 9, "end_hour": 17, "busy_level": 0.7, "idle_level": 0.05}`,
+	}
+	for kind, actJSON := range kinds {
+		body := `{
+	  "name": "K", "ram_gib": 1,
+	  "classes": {"zero": 0.05, "static": 0.25, "warm": 0.45, "hot": 0.25},
+	  "rates": {"static": 0.001, "warm": 0.05, "hot": 0.5},
+	  "dup_prob": 0.1, "zero_prob": 0.01, "pool_size": 16,
+	  "activity": ` + actJSON + `}`
+		presets, err := LoadConfig(writeConfig(t, body))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if _, err := presets[0].Build(); err != nil {
+			t.Fatalf("%s: build: %v", kind, err)
+		}
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing file":  "",
+		"bad json":      "{not json",
+		"missing name":  `{"ram_gib": 1, "activity": {"kind": "constant"}}`,
+		"zero ram":      `{"name": "x", "activity": {"kind": "constant"}}`,
+		"bad activity":  `{"name": "x", "ram_gib": 1, "activity": {"kind": "lunar"}}`,
+		"bad fractions": `{"name": "x", "ram_gib": 1, "activity": {"kind": "constant"}, "classes": {"zero": 0.9, "static": 0.9, "warm": 0.9, "hot": 0.9}}`,
+	}
+	for name, body := range cases {
+		var path string
+		if name == "missing file" {
+			path = filepath.Join(t.TempDir(), "none.json")
+		} else {
+			path = writeConfig(t, body)
+		}
+		if _, err := LoadConfig(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

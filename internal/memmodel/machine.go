@@ -1,0 +1,339 @@
+package memmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vecycle/internal/fingerprint"
+)
+
+// PageClass labels a page's churn behaviour.
+type PageClass uint8
+
+// Page classes, from least to most volatile.
+const (
+	// ClassZero pages contain only zeros (free memory). They churn at the
+	// static rate: freshly allocated pages leave the class.
+	ClassZero PageClass = iota + 1
+	// ClassStatic pages hold kernel/program text and long-lived data and
+	// almost never change — they are the similarity floor the paper observes
+	// even after a week (Figure 2).
+	ClassStatic
+	// ClassWarm pages hold page-cache and heap data with moderate turnover.
+	ClassWarm
+	// ClassHot pages are the active working set and churn within hours.
+	ClassHot
+)
+
+// String returns the class name.
+func (c PageClass) String() string {
+	switch c {
+	case ClassZero:
+		return "zero"
+	case ClassStatic:
+		return "static"
+	case ClassWarm:
+		return "warm"
+	case ClassHot:
+		return "hot"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Config parameterizes a modelled machine. Presets for the paper's traced
+// systems live in presets.go.
+type Config struct {
+	// Name identifies the machine in reports ("Server A").
+	Name string
+	// RAMBytes is the real machine's memory size (Table 1). The model
+	// represents it at reduced scale; see PagesPerGiB.
+	RAMBytes int64
+	// PagesPerGiB sets the model scale: how many model pages represent one
+	// GiB of real memory. Real memory has 262 144 pages/GiB (4 KiB pages);
+	// the default scale of 2048 model pages/GiB keeps the quadratic
+	// all-pairs sweeps of Figures 1–5 tractable while leaving per-class
+	// populations large enough for stable statistics. Fractions (similarity,
+	// dup%, zero%) are scale-invariant; byte counts are scaled back up by
+	// ScaleFactor.
+	PagesPerGiB int
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Step is the fingerprint period; the traces the paper analyzes use 30
+	// minutes.
+	Step time.Duration
+	// Start is the wall-clock time of the first fingerprint. Activity models
+	// read weekday and hour from it.
+	Start time.Time
+
+	// ZeroFrac, StaticFrac, WarmFrac, HotFrac partition the pages by class;
+	// they must sum to 1.
+	ZeroFrac   float64
+	StaticFrac float64
+	WarmFrac   float64
+	HotFrac    float64
+
+	// StaticRate, WarmRate and HotRate are per-step rewrite probabilities at
+	// activity level 1. Zero pages use StaticRate (allocation).
+	StaticRate float64
+	WarmRate   float64
+	HotRate    float64
+	// ActivityFloor is the fraction of the class rate that applies even at
+	// activity 0 (background daemons never stop completely).
+	ActivityFloor float64
+
+	// DupProb is the probability a rewrite duplicates existing shared
+	// content (drawn from a pool of PoolSize common contents) rather than
+	// producing fresh unique bytes.
+	DupProb float64
+	// ZeroProb is the probability a rewrite frees the page to zeros.
+	ZeroProb float64
+	// PoolSize is the number of distinct shared contents (shared-library
+	// pages, common file blocks).
+	PoolSize int
+
+	// MoveRate is the expected fraction of pages whose content is relocated
+	// to a different frame per step at activity 1. Moves leave content (and
+	// therefore hash-based similarity) intact but dirty the frames, which is
+	// precisely why Miyakodori-style dirty tracking overestimates transfers
+	// (§4.3, Figure 5).
+	MoveRate float64
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.RAMBytes <= 0 {
+		return fmt.Errorf("memmodel: RAMBytes must be positive, got %d", c.RAMBytes)
+	}
+	if c.PagesPerGiB <= 0 {
+		return fmt.Errorf("memmodel: PagesPerGiB must be positive, got %d", c.PagesPerGiB)
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("memmodel: Step must be positive, got %v", c.Step)
+	}
+	if c.Start.IsZero() {
+		return fmt.Errorf("memmodel: Start must be set")
+	}
+	sum := c.ZeroFrac + c.StaticFrac + c.WarmFrac + c.HotFrac
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("memmodel: class fractions sum to %v, want 1", sum)
+	}
+	for _, f := range []float64{c.ZeroFrac, c.StaticFrac, c.WarmFrac, c.HotFrac,
+		c.StaticRate, c.WarmRate, c.HotRate, c.ActivityFloor, c.DupProb, c.ZeroProb, c.MoveRate} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("memmodel: fraction/probability %v out of [0,1]", f)
+		}
+	}
+	if c.PoolSize <= 0 && c.DupProb > 0 {
+		return fmt.Errorf("memmodel: DupProb %v requires PoolSize > 0", c.DupProb)
+	}
+	return nil
+}
+
+// NumPages reports the number of model pages.
+func (c *Config) NumPages() int {
+	return int(c.RAMBytes / (1 << 30) * int64(c.PagesPerGiB))
+}
+
+// ScaleFactor reports how many real pages one model page represents
+// (real 262 144 pages/GiB over PagesPerGiB).
+func (c *Config) ScaleFactor() float64 {
+	return float64(262144) / float64(c.PagesPerGiB)
+}
+
+// Machine is a running memory model. Create with New, advance with Step,
+// sample with Fingerprint, or produce a whole trace with Trace.
+type Machine struct {
+	cfg      Config
+	activity Activity
+	rng      *rand.Rand
+	classes  []PageClass
+	contents []uint64
+	pool     []uint64
+	nextID   uint64
+	now      time.Time
+	steps    int
+}
+
+// New creates a machine in its steady-state initial condition: pages are
+// assigned classes and contents, with the configured zero and duplicate
+// populations already in place (the traced machines had weeks of uptime).
+func New(cfg Config, act Activity) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if act == nil {
+		return nil, fmt.Errorf("memmodel: nil activity model")
+	}
+	n := cfg.NumPages()
+	if n == 0 {
+		return nil, fmt.Errorf("memmodel: configuration yields zero pages")
+	}
+	m := &Machine{
+		cfg:      cfg,
+		activity: act,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		classes:  make([]PageClass, n),
+		contents: make([]uint64, n),
+		pool:     make([]uint64, cfg.PoolSize),
+		nextID:   1,
+		now:      cfg.Start,
+	}
+	for i := range m.pool {
+		m.pool[i] = m.fresh()
+	}
+	// Assign classes in page order, then shuffle so classes are interleaved
+	// across the address space like real kernels lay them out.
+	idx := 0
+	fill := func(cl PageClass, frac float64) {
+		count := int(frac * float64(n))
+		for k := 0; k < count && idx < n; k++ {
+			m.classes[idx] = cl
+			idx++
+		}
+	}
+	fill(ClassZero, cfg.ZeroFrac)
+	fill(ClassStatic, cfg.StaticFrac)
+	fill(ClassWarm, cfg.WarmFrac)
+	for ; idx < n; idx++ {
+		m.classes[idx] = ClassHot
+	}
+	m.rng.Shuffle(n, func(i, j int) {
+		m.classes[i], m.classes[j] = m.classes[j], m.classes[i]
+	})
+	for i := range m.contents {
+		m.contents[i] = m.initialContent(m.classes[i])
+	}
+	return m, nil
+}
+
+// initialContent draws a page's boot-time content for its class.
+func (m *Machine) initialContent(cl PageClass) uint64 {
+	if cl == ClassZero {
+		return 0
+	}
+	if m.rng.Float64() < m.cfg.DupProb {
+		return m.pool[m.rng.Intn(len(m.pool))]
+	}
+	return m.fresh()
+}
+
+// fresh mints a never-before-seen content identifier.
+func (m *Machine) fresh() uint64 {
+	id := m.nextID
+	m.nextID++
+	return id
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now reports the model's current time.
+func (m *Machine) Now() time.Time { return m.now }
+
+// Steps reports how many steps have been taken.
+func (m *Machine) Steps() int { return m.steps }
+
+// classRate reports the per-step rewrite probability of a class at the
+// given activity level.
+func (m *Machine) classRate(cl PageClass, act float64) float64 {
+	var base float64
+	switch cl {
+	case ClassZero, ClassStatic:
+		base = m.cfg.StaticRate
+	case ClassWarm:
+		base = m.cfg.WarmRate
+	case ClassHot:
+		base = m.cfg.HotRate
+	}
+	return base * (m.cfg.ActivityFloor + (1-m.cfg.ActivityFloor)*act)
+}
+
+// Step advances the model by one fingerprint period: pages are rewritten
+// according to their class rates and the current activity level, and a
+// fraction of frames have their contents relocated.
+func (m *Machine) Step() {
+	act := m.activity.Level(m.now)
+	for i := range m.contents {
+		if m.rng.Float64() < m.classRate(m.classes[i], act) {
+			m.rewrite(i)
+		}
+	}
+	// Relocate content between frames: a swap preserves the content multiset
+	// (hash-based similarity is unaffected) while dirtying both frames. The
+	// churn class travels with the content — a shared library relocated by
+	// the allocator is still a shared library.
+	moves := int(m.cfg.MoveRate * act * float64(len(m.contents)))
+	for k := 0; k < moves; k++ {
+		i, j := m.rng.Intn(len(m.contents)), m.rng.Intn(len(m.contents))
+		m.contents[i], m.contents[j] = m.contents[j], m.contents[i]
+		m.classes[i], m.classes[j] = m.classes[j], m.classes[i]
+	}
+	m.now = m.now.Add(m.cfg.Step)
+	m.steps++
+}
+
+// rewrite replaces page i's content.
+func (m *Machine) rewrite(i int) {
+	r := m.rng.Float64()
+	switch {
+	case r < m.cfg.ZeroProb:
+		m.contents[i] = 0
+	case r < m.cfg.ZeroProb+m.cfg.DupProb:
+		m.contents[i] = m.pool[m.rng.Intn(len(m.pool))]
+	default:
+		m.contents[i] = m.fresh()
+	}
+}
+
+// Online reports whether the machine would record a fingerprint now.
+func (m *Machine) Online() bool { return m.activity.Online(m.now) }
+
+// Fingerprint samples the machine's current memory state. Content
+// identifiers are hashed through splitmix64 so that page hashes are
+// uniformly distributed; the zero page keeps the conventional hash 0.
+func (m *Machine) Fingerprint() *fingerprint.Fingerprint {
+	hashes := make([]fingerprint.PageHash, len(m.contents))
+	for i, c := range m.contents {
+		hashes[i] = HashContent(c)
+	}
+	return &fingerprint.Fingerprint{Taken: m.now, Hashes: hashes}
+}
+
+// HashContent maps a content identifier to its page hash. Identifier 0 (the
+// zero page) maps to fingerprint.ZeroPage.
+func HashContent(content uint64) fingerprint.PageHash {
+	if content == 0 {
+		return fingerprint.ZeroPage
+	}
+	h := mix64(content)
+	if h == 0 {
+		h = 1 // reserve 0 for the zero page
+	}
+	return fingerprint.PageHash(h)
+}
+
+// Contents returns the raw content identifier of every page frame, for
+// callers (the migration simulator) that need frame-level state rather than
+// hashes. The returned slice is a copy.
+func (m *Machine) Contents() []uint64 {
+	out := make([]uint64, len(m.contents))
+	copy(out, m.contents)
+	return out
+}
+
+// Trace advances the machine for the given number of steps and returns the
+// fingerprints recorded while the machine was online — laptops produce
+// fewer fingerprints than server traces of equal length, exactly as in the
+// Memory Buddies data set.
+func (m *Machine) Trace(steps int) []*fingerprint.Fingerprint {
+	fps := make([]*fingerprint.Fingerprint, 0, steps)
+	for s := 0; s < steps; s++ {
+		if m.Online() {
+			fps = append(fps, m.Fingerprint())
+		}
+		m.Step()
+	}
+	return fps
+}

@@ -1,0 +1,318 @@
+package memmodel
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/fingerprint"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:          "test",
+		RAMBytes:      1 << 30,
+		PagesPerGiB:   1024,
+		Seed:          42,
+		Step:          30 * time.Minute,
+		Start:         traceStart,
+		ZeroFrac:      0.05,
+		StaticFrac:    0.25,
+		WarmFrac:      0.45,
+		HotFrac:       0.25,
+		StaticRate:    0.001,
+		WarmRate:      0.04,
+		HotRate:       0.5,
+		ActivityFloor: 0.2,
+		DupProb:       0.1,
+		ZeroProb:      0.02,
+		PoolSize:      32,
+		MoveRate:      0.03,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := testConfig()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero ram", func(c *Config) { c.RAMBytes = 0 }},
+		{"zero scale", func(c *Config) { c.PagesPerGiB = 0 }},
+		{"zero step", func(c *Config) { c.Step = 0 }},
+		{"zero start", func(c *Config) { c.Start = time.Time{} }},
+		{"fractions", func(c *Config) { c.HotFrac = 0.9 }},
+		{"negative rate", func(c *Config) { c.WarmRate = -0.1 }},
+		{"rate above one", func(c *Config) { c.HotRate = 1.5 }},
+		{"dup without pool", func(c *Config) { c.PoolSize = 0 }},
+	}
+	for _, m := range mutations {
+		c := testConfig()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", m.name)
+		}
+	}
+}
+
+func TestNumPagesAndScale(t *testing.T) {
+	c := testConfig()
+	if got := c.NumPages(); got != 1024 {
+		t.Errorf("NumPages = %d, want 1024", got)
+	}
+	if got := c.ScaleFactor(); got != 256 {
+		t.Errorf("ScaleFactor = %v, want 256 (262144/1024)", got)
+	}
+}
+
+func TestNewRejectsNilActivity(t *testing.T) {
+	if _, err := New(testConfig(), nil); err == nil {
+		t.Error("nil activity accepted")
+	}
+}
+
+func TestNewInitialState(t *testing.T) {
+	m, err := New(testConfig(), Constant{LevelValue: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := m.Fingerprint()
+	if fp.NumPages() != 1024 {
+		t.Fatalf("fingerprint has %d pages", fp.NumPages())
+	}
+	// The configured zero fraction should be visible at boot (zero pages
+	// plus a few ZeroProb rewrites at init; allow slack).
+	zf := fp.ZeroFraction()
+	if zf < 0.02 || zf > 0.12 {
+		t.Errorf("initial zero fraction = %v, want ≈0.05", zf)
+	}
+	// Duplicates should exist due to the shared pool.
+	if fp.DupFraction() <= 0 {
+		t.Error("no duplicate pages at boot despite DupProb > 0")
+	}
+	if !fp.Taken.Equal(traceStart) {
+		t.Errorf("first fingerprint at %v, want %v", fp.Taken, traceStart)
+	}
+}
+
+func TestStepAdvancesTime(t *testing.T) {
+	m, err := New(testConfig(), Constant{LevelValue: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step()
+	m.Step()
+	if m.Steps() != 2 {
+		t.Errorf("Steps = %d", m.Steps())
+	}
+	if want := traceStart.Add(time.Hour); !m.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *fingerprint.Fingerprint {
+		m, err := New(testConfig(), Constant{LevelValue: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			m.Step()
+		}
+		return m.Fingerprint()
+	}
+	a, b := run(), run()
+	if len(a.Hashes) != len(b.Hashes) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Hashes {
+		if a.Hashes[i] != b.Hashes[i] {
+			t.Fatalf("same seed diverged at page %d", i)
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	cfg1, cfg2 := testConfig(), testConfig()
+	cfg2.Seed = 43
+	m1, err := New(cfg1, Constant{LevelValue: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg2, Constant{LevelValue: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := m1.Fingerprint(), m2.Fingerprint()
+	same := 0
+	for i := range a.Hashes {
+		if a.Hashes[i] == b.Hashes[i] {
+			same++
+		}
+	}
+	if same == len(a.Hashes) {
+		t.Error("different seeds produced identical memory")
+	}
+}
+
+func TestChurnScalesWithActivity(t *testing.T) {
+	churn := func(level float64) int {
+		cfg := testConfig()
+		cfg.ActivityFloor = 0
+		m, err := New(cfg, Constant{LevelValue: level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := m.Fingerprint()
+		for i := 0; i < 5; i++ {
+			m.Step()
+		}
+		return fingerprint.DirtyPages(before, m.Fingerprint())
+	}
+	idle, busy := churn(0.05), churn(1.0)
+	if idle >= busy {
+		t.Errorf("idle churn %d >= busy churn %d", idle, busy)
+	}
+}
+
+func TestZeroActivityZeroFloorFreezesMemory(t *testing.T) {
+	cfg := testConfig()
+	cfg.ActivityFloor = 0
+	cfg.MoveRate = 0
+	m, err := New(cfg, Constant{LevelValue: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Fingerprint()
+	for i := 0; i < 20; i++ {
+		m.Step()
+	}
+	if d := fingerprint.DirtyPages(before, m.Fingerprint()); d != 0 {
+		t.Errorf("suspended machine dirtied %d pages", d)
+	}
+}
+
+func TestMovesPreserveSimilarityButDirtyFrames(t *testing.T) {
+	cfg := testConfig()
+	// Only moves: no rewrites at all.
+	cfg.StaticRate, cfg.WarmRate, cfg.HotRate = 0, 0, 0
+	cfg.MoveRate = 0.2
+	cfg.ActivityFloor = 1
+	m, err := New(cfg, Constant{LevelValue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Fingerprint()
+	for i := 0; i < 3; i++ {
+		m.Step()
+	}
+	after := m.Fingerprint()
+	if got := fingerprint.Similarity(after, before); got != 1 {
+		t.Errorf("moves changed content similarity: %v", got)
+	}
+	if got := fingerprint.DirtyPages(before, after); got == 0 {
+		t.Error("moves dirtied no frames")
+	}
+}
+
+func TestHashContent(t *testing.T) {
+	if HashContent(0) != fingerprint.ZeroPage {
+		t.Error("zero content must hash to ZeroPage")
+	}
+	if HashContent(1) == HashContent(2) {
+		t.Error("distinct contents collided")
+	}
+	if HashContent(7) != HashContent(7) {
+		t.Error("HashContent not deterministic")
+	}
+	if HashContent(12345) == fingerprint.ZeroPage {
+		t.Error("non-zero content mapped to the zero hash")
+	}
+}
+
+func TestContentsCopy(t *testing.T) {
+	m, err := New(testConfig(), Constant{LevelValue: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Contents()
+	c[0] = ^uint64(0)
+	if m.Contents()[0] == ^uint64(0) {
+		t.Error("Contents returned a live reference")
+	}
+}
+
+func TestTraceHonorsOnline(t *testing.T) {
+	// A laptop that is online only during sessions produces fewer
+	// fingerprints than steps.
+	p := LaptopA()
+	m, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := m.Trace(96) // two days
+	if len(fps) == 0 {
+		t.Fatal("laptop never online in two days")
+	}
+	if len(fps) >= 96 {
+		t.Errorf("laptop online for all %d steps, expected gaps", len(fps))
+	}
+	for i := 1; i < len(fps); i++ {
+		if !fps[i].Taken.After(fps[i-1].Taken) {
+			t.Error("trace timestamps not increasing")
+		}
+	}
+}
+
+func TestServerTraceComplete(t *testing.T) {
+	m, err := ServerA().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := m.Trace(48)
+	if len(fps) != 48 {
+		t.Errorf("server recorded %d/48 fingerprints, servers are always online", len(fps))
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	if _, ok := PresetByName("Server B"); !ok {
+		t.Error("Server B not found")
+	}
+	if _, ok := PresetByName("Server Z"); ok {
+		t.Error("unknown preset found")
+	}
+	if got := len(Table1()); got != 7 {
+		t.Errorf("Table1 has %d systems, want 7", got)
+	}
+	if got := len(AllPresets()); got != 10 {
+		t.Errorf("AllPresets has %d systems, want 10", got)
+	}
+}
+
+func TestAllPresetsValid(t *testing.T) {
+	for _, p := range AllPresets() {
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Config.Name, err)
+		}
+		if _, err := p.Build(); err != nil {
+			t.Errorf("%s: Build: %v", p.Config.Name, err)
+		}
+	}
+}
+
+func TestPageClassString(t *testing.T) {
+	for cl, want := range map[PageClass]string{
+		ClassZero:    "zero",
+		ClassStatic:  "static",
+		ClassWarm:    "warm",
+		ClassHot:     "hot",
+		PageClass(9): "class(9)",
+	} {
+		if got := cl.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", cl, got, want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package memmodel
+
+import "time"
+
+// Preset bundles a machine configuration with its activity model and the
+// descriptive metadata of Table 1.
+type Preset struct {
+	Config   Config
+	Activity Activity
+	// OS and TraceID reproduce Table 1's descriptive columns (the trace IDs
+	// reference the original Memory Buddies repository).
+	OS      string
+	TraceID string
+	// TraceSteps is the nominal trace length in fingerprint periods: 336 for
+	// the one-week Memory Buddies traces, 192 for the four-day crawler
+	// traces, 912 for the 19-day desktop trace.
+	TraceSteps int
+}
+
+// DefaultPagesPerGiB is the model scale used by the presets: 2048 model
+// pages stand for one GiB (262 144 real pages), a 1:128 reduction that keeps
+// the all-pairs similarity sweeps of Figures 1–5 tractable.
+const DefaultPagesPerGiB = 2048
+
+// traceStart anchors the synthetic traces on a Monday so weekday-dependent
+// activity (laptop sessions, the VDI workday) lines up with the paper's
+// description. The desktop trace instead starts on 5 Nov 2014 as in §4.6.
+var traceStart = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+const gib = int64(1) << 30
+
+// baseConfig fills the fields shared by every preset.
+func baseConfig(name string, ramGiB int64, seed int64) Config {
+	return Config{
+		Name:        name,
+		RAMBytes:    ramGiB * gib,
+		PagesPerGiB: DefaultPagesPerGiB,
+		Seed:        seed,
+		Step:        30 * time.Minute,
+		Start:       traceStart,
+	}
+}
+
+// ServerA models Table 1's Server A: 1 GiB Linux web/e-mail server with a
+// very stable, low duplicate-page population (~5 %, Figure 4) and an average
+// 24-hour similarity around 30 % (Figure 1, top-left).
+func ServerA() Preset {
+	cfg := baseConfig("Server A", 1, 0xA1)
+	cfg.ZeroFrac, cfg.StaticFrac, cfg.WarmFrac, cfg.HotFrac = 0.04, 0.21, 0.50, 0.25
+	cfg.StaticRate, cfg.WarmRate, cfg.HotRate = 0.0008, 0.045, 0.60
+	cfg.ActivityFloor = 0.25
+	cfg.DupProb, cfg.ZeroProb, cfg.PoolSize = 0.05, 0.015, 48
+	cfg.MoveRate = 0.005
+	return Preset{
+		Config:     cfg,
+		Activity:   Diurnal{Mean: 0.5, Amplitude: 0.35, PeakHour: 14},
+		OS:         "Linux",
+		TraceID:    "00065BEE5AA7",
+		TraceSteps: 336,
+	}
+}
+
+// ServerB models Server B: 4 GiB Linux server, the paper's best case among
+// the servers with ~40 % average similarity after 24 hours.
+func ServerB() Preset {
+	cfg := baseConfig("Server B", 4, 0xB2)
+	cfg.ZeroFrac, cfg.StaticFrac, cfg.WarmFrac, cfg.HotFrac = 0.04, 0.23, 0.50, 0.23
+	cfg.StaticRate, cfg.WarmRate, cfg.HotRate = 0.0006, 0.038, 0.70
+	cfg.ActivityFloor = 0.25
+	cfg.DupProb, cfg.ZeroProb, cfg.PoolSize = 0.10, 0.015, 96
+	cfg.MoveRate = 0.004
+	return Preset{
+		Config:     cfg,
+		Activity:   Diurnal{Mean: 0.45, Amplitude: 0.35, PeakHour: 15},
+		OS:         "Linux",
+		TraceID:    "00188B30D847",
+		TraceSteps: 336,
+	}
+}
+
+// ServerC models Server C: 8 GiB Linux server, the paper's worst server —
+// average similarity near 20 % after 24 hours, minimum below 10 %, yet
+// still ~20 % content overlap after a full week (Figure 2), and the highest
+// duplicate-page fraction (~20 %) with the fewest zero pages.
+func ServerC() Preset {
+	cfg := baseConfig("Server C", 8, 0xC3)
+	cfg.ZeroFrac, cfg.StaticFrac, cfg.WarmFrac, cfg.HotFrac = 0.015, 0.145, 0.55, 0.29
+	cfg.StaticRate, cfg.WarmRate, cfg.HotRate = 0.0005, 0.062, 0.80
+	cfg.ActivityFloor = 0.20
+	cfg.DupProb, cfg.ZeroProb, cfg.PoolSize = 0.22, 0.004, 64
+	cfg.MoveRate = 0.006
+	return Preset{
+		Config:     cfg,
+		Activity:   Diurnal{Mean: 0.55, Amplitude: 0.40, PeakHour: 13},
+		OS:         "Linux",
+		TraceID:    "001E4F36E2FB",
+		TraceSteps: 336,
+	}
+}
+
+// laptop builds one of the four OS X laptops of Table 1: 2 GiB machines
+// that are online only during user sessions (the traces contain 151–205 of
+// the 336 possible fingerprints) with duplicate-page fractions of 10–20 %.
+func laptop(name, traceID string, seed int64, salt uint64, startHour float64) Preset {
+	cfg := baseConfig(name, 2, seed)
+	cfg.ZeroFrac, cfg.StaticFrac, cfg.WarmFrac, cfg.HotFrac = 0.05, 0.25, 0.45, 0.25
+	cfg.StaticRate, cfg.WarmRate, cfg.HotRate = 0.0010, 0.055, 0.55
+	// Suspended laptops do not churn: no activity floor.
+	cfg.ActivityFloor = 0.02
+	cfg.DupProb, cfg.ZeroProb, cfg.PoolSize = 0.15, 0.02, 64
+	cfg.MoveRate = 0.004
+	return Preset{
+		Config: cfg,
+		Activity: Sessions{
+			StartHour:   startHour,
+			EndHour:     startHour + 13.5,
+			JitterHours: 1.5,
+			WeekendProb: 0.7,
+			BusyLevel:   0.75,
+			Salt:        salt,
+		},
+		OS:         "OSX",
+		TraceID:    traceID,
+		TraceSteps: 336,
+	}
+}
+
+// LaptopA models Table 1's Laptop A.
+func LaptopA() Preset { return laptop("Laptop A", "001B6333F86A", 0xD4, 11, 9) }
+
+// LaptopB models Table 1's Laptop B.
+func LaptopB() Preset { return laptop("Laptop B", "001B6333F90A", 0xE5, 23, 8.5) }
+
+// LaptopC models Table 1's Laptop C.
+func LaptopC() Preset { return laptop("Laptop C", "001B6334DE9F", 0xF6, 37, 10) }
+
+// LaptopD models Table 1's Laptop D.
+func LaptopD() Preset { return laptop("Laptop D", "001B6338238A", 0x17, 53, 9.5) }
+
+// crawler builds one of the Apache Nutch web-crawler VMs the authors traced
+// themselves: 8 GiB, 4 cores, constantly busy. The crawlers are the paper's
+// worst case for checkpoint reuse — similarity is ~40 % after one hour and
+// below 20 % after five (§2.3).
+func crawler(name string, seed int64, level float64) Preset {
+	cfg := baseConfig(name, 8, seed)
+	cfg.ZeroFrac, cfg.StaticFrac, cfg.WarmFrac, cfg.HotFrac = 0.01, 0.10, 0.55, 0.34
+	cfg.StaticRate, cfg.WarmRate, cfg.HotRate = 0.0012, 0.22, 0.90
+	cfg.ActivityFloor = 0.30
+	cfg.DupProb, cfg.ZeroProb, cfg.PoolSize = 0.08, 0.004, 64
+	cfg.MoveRate = 0.008
+	return Preset{
+		Config:     cfg,
+		Activity:   Constant{LevelValue: level},
+		OS:         "Linux",
+		TraceID:    "(own trace)",
+		TraceSteps: 192, // 4 days at 30-minute fingerprints
+	}
+}
+
+// CrawlerA models the first web-crawler VM.
+func CrawlerA() Preset { return crawler("Crawler A", 0x28, 0.90) }
+
+// CrawlerB models the second web-crawler VM.
+func CrawlerB() Preset { return crawler("Crawler B", 0x39, 0.85) }
+
+// Desktop models the author's 6 GiB Ubuntu desktop of §4.6, traced for 19
+// days (5–23 Nov 2014, 912 fingerprints): busy during the 9-to-5 workday,
+// nearly idle overnight and on weekends. In the VDI scenario this machine
+// migrates twice every weekday.
+func Desktop() Preset {
+	cfg := baseConfig("Desktop", 6, 0x4A)
+	// 5 Nov 2014 was a Wednesday.
+	cfg.Start = time.Date(2014, 11, 5, 0, 0, 0, 0, time.UTC)
+	cfg.ZeroFrac, cfg.StaticFrac, cfg.WarmFrac, cfg.HotFrac = 0.03, 0.36, 0.46, 0.15
+	cfg.StaticRate, cfg.WarmRate, cfg.HotRate = 0.0006, 0.050, 0.45
+	cfg.ActivityFloor = 0.03
+	cfg.DupProb, cfg.ZeroProb, cfg.PoolSize = 0.12, 0.015, 96
+	cfg.MoveRate = 0.004
+	return Preset{
+		Config:     cfg,
+		Activity:   Workday{StartHour: 9, EndHour: 17, BusyLevel: 0.75, IdleLevel: 0.015},
+		OS:         "Linux (Ubuntu 10.04)",
+		TraceID:    "(own trace)",
+		TraceSteps: 912,
+	}
+}
+
+// Table1 returns the presets in the order of the paper's Table 1.
+func Table1() []Preset {
+	return []Preset{
+		ServerA(), ServerB(), ServerC(),
+		LaptopA(), LaptopB(), LaptopC(), LaptopD(),
+	}
+}
+
+// AllPresets returns every modelled machine, including the crawler and
+// desktop traces the authors collected themselves.
+func AllPresets() []Preset {
+	return append(Table1(), CrawlerA(), CrawlerB(), Desktop())
+}
+
+// PresetByName looks a preset up by its machine name ("Server A").
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range AllPresets() {
+		if p.Config.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+// Build constructs the machine for a preset.
+func (p Preset) Build() (*Machine, error) { return New(p.Config, p.Activity) }

@@ -1,0 +1,96 @@
+package memmodel
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/fingerprint"
+)
+
+// TestSeedRobustness verifies that the calibration is a property of the
+// model, not of one lucky seed: re-seeding Server B must keep the headline
+// statistics (24-hour similarity, duplicate fraction) inside the paper's
+// envelope.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several trace generations")
+	}
+	for _, seed := range []int64{0xB2, 1, 99, 424242} {
+		p := ServerB()
+		p.Config.Seed = seed
+		m, err := p.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := m.Trace(192) // four days is enough for 24h pairs
+		c, err := fingerprint.NewCorpus(fps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := c.BinnedSimilarity(30*time.Minute, 25*time.Hour, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sim24 float64
+		found := false
+		for _, b := range series {
+			if b.Center == 24*time.Hour {
+				sim24 = b.Avg
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: no 24h bin", seed)
+		}
+		if sim24 < 0.25 || sim24 > 0.55 {
+			t.Errorf("seed %d: sim@24h = %.3f, outside robust band [0.25, 0.55]", seed, sim24)
+		}
+		var dup float64
+		for _, f := range fps {
+			dup += f.DupFraction()
+		}
+		dup /= float64(len(fps))
+		if dup < 0.05 || dup > 0.20 {
+			t.Errorf("seed %d: dup%% = %.3f, outside robust band", seed, dup)
+		}
+	}
+}
+
+// TestScaleInvariance verifies the central scaling assumption of DESIGN.md:
+// the similarity statistics do not depend on the model resolution
+// (PagesPerGiB), so running at 1:128 scale is sound.
+func TestScaleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several trace generations")
+	}
+	sims := map[int]float64{}
+	for _, scale := range []int{512, 2048, 8192} {
+		p := ServerA()
+		p.Config.PagesPerGiB = scale
+		m, err := p.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := m.Trace(96) // two days
+		c, err := fingerprint.NewCorpus(fps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := c.BinnedSimilarity(30*time.Minute, 13*time.Hour, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range series {
+			if b.Center == 12*time.Hour {
+				sims[scale] = b.Avg
+			}
+		}
+	}
+	base := sims[2048]
+	for scale, sim := range sims {
+		if sim < base-0.06 || sim > base+0.06 {
+			t.Errorf("scale %d: sim@12h = %.3f, reference (2048) = %.3f — not scale-invariant",
+				scale, sim, base)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package methods
+
+import (
+	"testing"
+
+	"vecycle/internal/fingerprint"
+	"vecycle/internal/memmodel"
+)
+
+// TestFigure5Ordering replays the Figure 5 analysis over the synthetic
+// Server A and Server B traces and checks the paper's method ordering and
+// approximate magnitudes (paper means, fraction of baseline traffic —
+// Server A: dedup 0.92, dirty 0.80, dirty+dedup 0.77, hashes 0.65,
+// hashes+dedup 0.64; Server B: dedup 0.85, dirty 0.78, dirty+dedup 0.69,
+// hashes 0.59, hashes+dedup 0.53).
+func TestFigure5Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-pairs sweep is quadratic in trace length")
+	}
+	type target struct {
+		preset memmodel.Preset
+		want   map[Method]float64 // paper's reported means
+	}
+	targets := []target{
+		{memmodel.ServerA(), map[Method]float64{
+			Dedup: 0.92, Dirty: 0.80, DirtyDedup: 0.77, Hashes: 0.65, HashesDedup: 0.64,
+		}},
+		{memmodel.ServerB(), map[Method]float64{
+			Dedup: 0.85, Dirty: 0.78, DirtyDedup: 0.69, Hashes: 0.59, HashesDedup: 0.53,
+		}},
+	}
+	const tolerance = 0.17
+	for _, tc := range targets {
+		m, err := tc.preset.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := m.Trace(tc.preset.TraceSteps)
+		corpus, err := fingerprint.NewCorpus(fps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := map[Method]float64{}
+		pairs := 0
+		for i := 0; i < corpus.Len(); i += 6 {
+			for j := i + 6; j < corpus.Len(); j += 6 {
+				b := Analyze(corpus.At(i), corpus.At(j))
+				if err := b.CheckInvariants(); err != nil {
+					t.Fatalf("%s pair (%d,%d): %v", tc.preset.Config.Name, i, j, err)
+				}
+				for _, meth := range All() {
+					sums[meth] += b.Fraction(meth)
+				}
+				pairs++
+			}
+		}
+		name := tc.preset.Config.Name
+		means := map[Method]float64{}
+		for _, meth := range All() {
+			means[meth] = sums[meth] / float64(pairs)
+		}
+		t.Logf("%s means over %d pairs: dedup=%.2f dirty=%.2f dirty+dedup=%.2f hashes=%.2f hashes+dedup=%.2f",
+			name, pairs, means[Dedup], means[Dirty], means[DirtyDedup], means[Hashes], means[HashesDedup])
+
+		// The paper's ordering: full > dedup > dirty > dirty+dedup >
+		// hashes >= hashes+dedup.
+		order := []Method{Full, Dedup, Dirty, DirtyDedup, Hashes}
+		for i := 1; i < len(order); i++ {
+			if means[order[i]] >= means[order[i-1]] {
+				t.Errorf("%s: mean(%v)=%.3f not below mean(%v)=%.3f",
+					name, order[i], means[order[i]], order[i-1], means[order[i-1]])
+			}
+		}
+		if means[HashesDedup] > means[Hashes] {
+			t.Errorf("%s: hashes+dedup above hashes", name)
+		}
+		for meth, want := range tc.want {
+			got := means[meth]
+			if got < want-tolerance || got > want+tolerance {
+				t.Errorf("%s %v mean = %.3f, paper reports %.2f (tolerance ±%.2f)",
+					name, meth, got, want, tolerance)
+			}
+		}
+	}
+}

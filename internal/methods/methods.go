@@ -1,0 +1,203 @@
+// Package methods computes, for a pair of memory fingerprints (the stored
+// checkpoint and the VM's state at migration time), how many pages each
+// traffic-reduction technique would transfer — the analysis behind Figures
+// 3, 5 and 8 of the paper.
+//
+// The six techniques:
+//
+//   - Full: the baseline; every page crosses the network.
+//   - Dedup: sender-side deduplication (CloudNet-style) — each distinct
+//     content is sent once, further copies as small references.
+//   - Dirty: Miyakodori-style dirty tracking — frames written since the
+//     checkpoint are sent, clean frames reused from the checkpoint.
+//   - DirtyDedup: dirty tracking with the dirty set deduplicated.
+//   - Hashes: VeCycle's content-based redundancy elimination — pages whose
+//     content already exists anywhere in the checkpoint are replaced by a
+//     checksum.
+//   - HashesDedup: content-based elimination plus deduplication — each
+//     *new* distinct content is sent exactly once.
+//
+// The set relations of Figure 3 hold by construction and are asserted by
+// the package tests: every page skipped by dirty tracking is also skipped
+// by content hashes (an unwritten frame's content is necessarily present in
+// the checkpoint), so Hashes ≤ Dirty, while the converse fails for content
+// that moved between frames or was re-created.
+package methods
+
+import (
+	"fmt"
+
+	"vecycle/internal/fingerprint"
+)
+
+// Method identifies a traffic-reduction technique.
+type Method uint8
+
+// The techniques compared in Figure 5, in the paper's plotting order.
+const (
+	Full Method = iota + 1
+	Dedup
+	Dirty
+	DirtyDedup
+	Hashes
+	HashesDedup
+)
+
+// String returns the paper's label for the method.
+func (m Method) String() string {
+	switch m {
+	case Full:
+		return "full"
+	case Dedup:
+		return "dedup"
+	case Dirty:
+		return "dirty"
+	case DirtyDedup:
+		return "dirty+dedup"
+	case Hashes:
+		return "hashes"
+	case HashesDedup:
+		return "hashes+dedup"
+	default:
+		return fmt.Sprintf("method(%d)", uint8(m))
+	}
+}
+
+// All lists every method in plotting order.
+func All() []Method {
+	return []Method{Full, Dedup, Dirty, DirtyDedup, Hashes, HashesDedup}
+}
+
+// Breakdown holds the number of full pages each method transfers for one
+// fingerprint pair.
+type Breakdown struct {
+	// TotalPages is the VM size in pages — the Full transfer count.
+	TotalPages int
+	// DedupPages counts distinct contents in the current state.
+	DedupPages int
+	// DirtyPages counts frames whose content changed since the checkpoint.
+	DirtyPages int
+	// DirtyDedupPages counts distinct contents among dirty frames.
+	DirtyDedupPages int
+	// HashPages counts pages whose content is absent from the checkpoint.
+	HashPages int
+	// HashDedupPages counts distinct contents absent from the checkpoint.
+	HashDedupPages int
+}
+
+// Pages reports the transfer count for a method.
+func (b Breakdown) Pages(m Method) int {
+	switch m {
+	case Full:
+		return b.TotalPages
+	case Dedup:
+		return b.DedupPages
+	case Dirty:
+		return b.DirtyPages
+	case DirtyDedup:
+		return b.DirtyDedupPages
+	case Hashes:
+		return b.HashPages
+	case HashesDedup:
+		return b.HashDedupPages
+	default:
+		panic(fmt.Sprintf("methods: Pages called with invalid %v", m))
+	}
+}
+
+// Fraction reports a method's transfer count as a fraction of the baseline
+// — the y-axis of Figure 5's bar chart ("Fraction of Baseline Traffic").
+func (b Breakdown) Fraction(m Method) float64 {
+	if b.TotalPages == 0 {
+		return 0
+	}
+	return float64(b.Pages(m)) / float64(b.TotalPages)
+}
+
+// Analyze computes the full breakdown for a checkpoint/current fingerprint
+// pair. A nil old fingerprint models the very first migration, when no
+// checkpoint exists: dirty tracking and content hashes degrade to a full
+// transfer (deduplication still applies).
+func Analyze(old, cur *fingerprint.Fingerprint) Breakdown {
+	n := len(cur.Hashes)
+	b := Breakdown{TotalPages: n}
+
+	ucur := cur.UniqueSet()
+	b.DedupPages = len(ucur)
+
+	if old == nil {
+		b.DirtyPages = n
+		b.DirtyDedupPages = len(ucur)
+		b.HashPages = n
+		b.HashDedupPages = len(ucur)
+		return b
+	}
+
+	uold := old.UniqueSet()
+
+	// Dirty frames: content at the same frame number changed. Frames beyond
+	// the checkpoint's size count as dirty.
+	overlap := len(old.Hashes)
+	if n < overlap {
+		overlap = n
+	}
+	dirtyDistinct := make(map[fingerprint.PageHash]struct{})
+	for i := 0; i < n; i++ {
+		dirty := i >= overlap || cur.Hashes[i] != old.Hashes[i]
+		if !dirty {
+			continue
+		}
+		b.DirtyPages++
+		dirtyDistinct[cur.Hashes[i]] = struct{}{}
+		// Content-based elimination sends the page only if its content is
+		// nowhere in the checkpoint. A clean frame's content is by
+		// definition in the checkpoint, so only dirty frames can miss.
+		if _, ok := uold[cur.Hashes[i]]; !ok {
+			b.HashPages++
+		}
+	}
+	b.DirtyDedupPages = len(dirtyDistinct)
+	for h := range dirtyDistinct {
+		if _, ok := uold[h]; !ok {
+			b.HashDedupPages++
+		}
+	}
+	return b
+}
+
+// ReductionOverDirtyDedup reports by how much hashes+dedup undercuts
+// dirty+dedup for this pair, in percent of the dirty+dedup transfer — the
+// x-axis of Figure 5's CDF panels. A pair where dirty+dedup transfers
+// nothing yields 0.
+func (b Breakdown) ReductionOverDirtyDedup() float64 {
+	if b.DirtyDedupPages == 0 {
+		return 0
+	}
+	return 100 * float64(b.DirtyDedupPages-b.HashDedupPages) / float64(b.DirtyDedupPages)
+}
+
+// CheckInvariants verifies the set relations of Figure 3. It returns a
+// descriptive error when a relation is violated; the property tests drive
+// random fingerprints through it.
+func (b Breakdown) CheckInvariants() error {
+	type rel struct {
+		name   string
+		lo, hi int
+	}
+	rels := []rel{
+		{"dedup <= full", b.DedupPages, b.TotalPages},
+		{"dirty <= full", b.DirtyPages, b.TotalPages},
+		{"dirty+dedup <= dirty", b.DirtyDedupPages, b.DirtyPages},
+		{"hashes <= dirty", b.HashPages, b.DirtyPages},
+		{"hashes+dedup <= hashes", b.HashDedupPages, b.HashPages},
+		{"hashes+dedup <= dirty+dedup", b.HashDedupPages, b.DirtyDedupPages},
+		{"hashes+dedup <= dedup", b.HashDedupPages, b.DedupPages},
+		{"dirty+dedup <= dedup", b.DirtyDedupPages, b.DedupPages},
+	}
+	for _, r := range rels {
+		if r.lo > r.hi {
+			return fmt.Errorf("methods: invariant %q violated: %d > %d", r.name, r.lo, r.hi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package methods
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vecycle/internal/fingerprint"
+)
+
+var t0 = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+func fp(hashes ...fingerprint.PageHash) *fingerprint.Fingerprint {
+	return &fingerprint.Fingerprint{Taken: t0, Hashes: hashes}
+}
+
+func TestMethodString(t *testing.T) {
+	want := map[Method]string{
+		Full:        "full",
+		Dedup:       "dedup",
+		Dirty:       "dirty",
+		DirtyDedup:  "dirty+dedup",
+		Hashes:      "hashes",
+		HashesDedup: "hashes+dedup",
+		Method(42):  "method(42)",
+	}
+	for m, s := range want {
+		if got := m.String(); got != s {
+			t.Errorf("String(%d) = %q, want %q", m, got, s)
+		}
+	}
+	if len(All()) != 6 {
+		t.Errorf("All() has %d methods", len(All()))
+	}
+}
+
+func TestAnalyzeIdenticalStates(t *testing.T) {
+	f := fp(1, 2, 3, 4)
+	b := Analyze(f, f)
+	if b.DirtyPages != 0 || b.HashPages != 0 || b.HashDedupPages != 0 || b.DirtyDedupPages != 0 {
+		t.Errorf("identical states should transfer nothing: %+v", b)
+	}
+	if b.DedupPages != 4 {
+		t.Errorf("DedupPages = %d, want 4", b.DedupPages)
+	}
+}
+
+func TestAnalyzeNoCheckpoint(t *testing.T) {
+	cur := fp(1, 1, 2, 3)
+	b := Analyze(nil, cur)
+	if b.DirtyPages != 4 || b.HashPages != 4 {
+		t.Errorf("first migration must send everything: %+v", b)
+	}
+	if b.DedupPages != 3 || b.HashDedupPages != 3 || b.DirtyDedupPages != 3 {
+		t.Errorf("dedup on first migration wrong: %+v", b)
+	}
+}
+
+func TestAnalyzeWorkedExample(t *testing.T) {
+	// Checkpoint:  [A B C D E]
+	// Current:     [A X C E E]   (B→X new content; D→E recreated content)
+	old := fp(10, 20, 30, 40, 50)
+	cur := fp(10, 99, 30, 50, 50)
+	b := Analyze(old, cur)
+	if b.TotalPages != 5 {
+		t.Errorf("TotalPages = %d", b.TotalPages)
+	}
+	// Distinct current contents: {10, 99, 30, 50} = 4.
+	if b.DedupPages != 4 {
+		t.Errorf("DedupPages = %d, want 4", b.DedupPages)
+	}
+	// Dirty frames: 1 (20→99), 3 (40→50), 4 (50→50? no — unchanged).
+	if b.DirtyPages != 2 {
+		t.Errorf("DirtyPages = %d, want 2", b.DirtyPages)
+	}
+	// Distinct dirty contents: {99, 50} = 2.
+	if b.DirtyDedupPages != 2 {
+		t.Errorf("DirtyDedupPages = %d, want 2", b.DirtyDedupPages)
+	}
+	// Contents absent from checkpoint: only 99, present in one page.
+	if b.HashPages != 1 {
+		t.Errorf("HashPages = %d, want 1", b.HashPages)
+	}
+	if b.HashDedupPages != 1 {
+		t.Errorf("HashDedupPages = %d, want 1", b.HashDedupPages)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeMovedContent(t *testing.T) {
+	// Contents swap frames: dirty tracking transfers both, content hashes
+	// transfer nothing — the Miyakodori overestimate (§4.3, Figure 5).
+	old := fp(10, 20, 30)
+	cur := fp(20, 10, 30)
+	b := Analyze(old, cur)
+	if b.DirtyPages != 2 {
+		t.Errorf("DirtyPages = %d, want 2", b.DirtyPages)
+	}
+	if b.HashPages != 0 {
+		t.Errorf("HashPages = %d, want 0 (content still in checkpoint)", b.HashPages)
+	}
+}
+
+func TestAnalyzeGrownVM(t *testing.T) {
+	old := fp(1, 2)
+	cur := fp(1, 2, 3, 4)
+	b := Analyze(old, cur)
+	if b.DirtyPages != 2 {
+		t.Errorf("DirtyPages = %d, want 2 (new frames are dirty)", b.DirtyPages)
+	}
+	if b.HashPages != 2 {
+		t.Errorf("HashPages = %d, want 2", b.HashPages)
+	}
+}
+
+func TestAnalyzeDuplicateNewContent(t *testing.T) {
+	// Five frames re-filled with the same new content: pure hashes sends
+	// five pages, hashes+dedup sends one.
+	old := fp(1, 2, 3, 4, 5)
+	cur := fp(9, 9, 9, 9, 9)
+	b := Analyze(old, cur)
+	if b.HashPages != 5 {
+		t.Errorf("HashPages = %d, want 5", b.HashPages)
+	}
+	if b.HashDedupPages != 1 {
+		t.Errorf("HashDedupPages = %d, want 1", b.HashDedupPages)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	old := fp(1, 2, 3, 4)
+	cur := fp(1, 2, 9, 9)
+	b := Analyze(old, cur)
+	if got := b.Fraction(Full); got != 1 {
+		t.Errorf("Fraction(Full) = %v", got)
+	}
+	if got := b.Fraction(Hashes); got != 0.5 {
+		t.Errorf("Fraction(Hashes) = %v, want 0.5", got)
+	}
+	empty := Breakdown{}
+	if got := empty.Fraction(Full); got != 0 {
+		t.Errorf("empty Fraction = %v", got)
+	}
+}
+
+func TestPagesInvalidMethodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid method did not panic")
+		}
+	}()
+	Breakdown{}.Pages(Method(0))
+}
+
+func TestReductionOverDirtyDedup(t *testing.T) {
+	b := Breakdown{DirtyDedupPages: 100, HashDedupPages: 60}
+	if got := b.ReductionOverDirtyDedup(); got != 40 {
+		t.Errorf("reduction = %v, want 40", got)
+	}
+	zero := Breakdown{}
+	if got := zero.ReductionOverDirtyDedup(); got != 0 {
+		t.Errorf("zero dirty+dedup reduction = %v, want 0", got)
+	}
+}
+
+// Property: the Figure 3 set relations hold for arbitrary fingerprint pairs.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(oldRaw, curRaw []uint8) bool {
+		// Narrow the hash space to force collisions, duplicates and moves.
+		old := &fingerprint.Fingerprint{Taken: t0}
+		for _, h := range oldRaw {
+			old.Hashes = append(old.Hashes, fingerprint.PageHash(h%16))
+		}
+		cur := &fingerprint.Fingerprint{Taken: t0}
+		for _, h := range curRaw {
+			cur.Hashes = append(cur.Hashes, fingerprint.PageHash(h%16))
+		}
+		b := Analyze(old, cur)
+		if err := b.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Also for the no-checkpoint case.
+		if err := Analyze(nil, cur).CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HashPages equals TotalPages minus the pages whose content
+// exists in the checkpoint, and is consistent with similarity: identical
+// fingerprints yield zero.
+func TestHashesZeroOnIdentical(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := &fingerprint.Fingerprint{Taken: t0}
+		for _, h := range raw {
+			x.Hashes = append(x.Hashes, fingerprint.PageHash(h))
+		}
+		b := Analyze(x, x)
+		return b.HashPages == 0 && b.DirtyPages == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package migsim
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/vm"
+)
+
+func liveGuest(t *testing.T) (*GuestState, *Checkpoint) {
+	t.Helper()
+	g, err := NewGuest("busy", 512<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Checkpoint()
+	if err := g.UpdatePercent(1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	return g, cp
+}
+
+func TestSimulateLiveIdleGuestMatchesStatic(t *testing.T) {
+	g, cp := liveGuest(t)
+	static, err := Simulate(g, cp, LANCost(), VeCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := SimulateLive(g, cp, LANCost(), VeCycle, LiveOptions{WriteBytesPerSec: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no writes, only the empty final round and its RTT are added.
+	if live.Rounds != 2 {
+		t.Errorf("idle guest rounds = %d, want 2", live.Rounds)
+	}
+	if live.SourceSendBytes != static.SourceSendBytes {
+		t.Errorf("idle guest bytes %d != static %d", live.SourceSendBytes, static.SourceSendBytes)
+	}
+	if live.Downtime > 10*time.Millisecond {
+		t.Errorf("idle guest downtime = %v", live.Downtime)
+	}
+}
+
+func TestSimulateLiveDowntimeGrowsWithWriteRate(t *testing.T) {
+	g, cp := liveGuest(t)
+	var prev time.Duration
+	for i, rate := range []float64{1e6, 20e6, 60e6, 100e6} {
+		live, err := SimulateLive(g, cp, LANCost(), Baseline, LiveOptions{WriteBytesPerSec: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && live.Downtime < prev {
+			t.Errorf("downtime shrank as write rate grew: %v < %v at %v B/s", live.Downtime, prev, rate)
+		}
+		prev = live.Downtime
+	}
+}
+
+func TestSimulateLiveRecyclingReducesDowntime(t *testing.T) {
+	g, cp := liveGuest(t)
+	opts := LiveOptions{WriteBytesPerSec: 80e6}
+	base, err := SimulateLive(g, nil, LANCost(), Baseline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := SimulateLive(g, cp, LANCost(), VeCycle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recycled first round is shorter, so fewer pages dirty during it
+	// and every later round shrinks accordingly.
+	if vc.Downtime >= base.Downtime {
+		t.Errorf("recycled downtime %v not below baseline %v", vc.Downtime, base.Downtime)
+	}
+	if vc.Time >= base.Time {
+		t.Errorf("recycled total %v not below baseline %v", vc.Time, base.Time)
+	}
+}
+
+func TestSimulateLiveRespectsRoundCap(t *testing.T) {
+	g, cp := liveGuest(t)
+	// Write rate above the link bandwidth: rounds never converge.
+	live, err := SimulateLive(g, cp, LANCost(), Baseline, LiveOptions{
+		WriteBytesPerSec:   200e6,
+		MaxRounds:          4,
+		StopThresholdPages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Rounds != 4 {
+		t.Errorf("rounds = %d, want the cap of 4", live.Rounds)
+	}
+	// Non-convergent pre-copy pays a massive stop-and-copy.
+	if live.Downtime < time.Second {
+		t.Errorf("non-convergent downtime = %v, expected seconds", live.Downtime)
+	}
+}
+
+func TestSimulateLiveValidation(t *testing.T) {
+	g, cp := liveGuest(t)
+	if _, err := SimulateLive(g, cp, LANCost(), VeCycle, LiveOptions{WriteBytesPerSec: -1}); err == nil {
+		t.Error("negative write rate accepted")
+	}
+	if _, err := SimulateLive(g, cp, CostModel{}, VeCycle, LiveOptions{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}
+
+func TestSimulateLiveDirtyCappedAtGuestSize(t *testing.T) {
+	g, cp := liveGuest(t)
+	// An absurd write rate cannot dirty more pages than exist.
+	live, err := SimulateLive(g, cp, LANCost(), Baseline, LiveOptions{WriteBytesPerSec: 1e12, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFinal := int64(g.Pages()) * (vm.PageSize + 32)
+	if live.SourceSendBytes > 3*maxFinal {
+		t.Errorf("bytes %d exceed 3x memory despite page cap", live.SourceSendBytes)
+	}
+}

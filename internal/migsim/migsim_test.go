@@ -1,0 +1,300 @@
+package migsim
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/vm"
+)
+
+const gib = int64(1) << 30
+
+func newGuest(t *testing.T, memBytes int64) *GuestState {
+	t.Helper()
+	g, err := NewGuest("vm0", memBytes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGuestValidation(t *testing.T) {
+	if _, err := NewGuest("", gib, 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewGuest("x", 0, 1); err == nil {
+		t.Error("zero memory accepted")
+	}
+	if _, err := NewGuest("x", vm.PageSize+1, 1); err == nil {
+		t.Error("unaligned memory accepted")
+	}
+}
+
+func TestFillRandomUnique(t *testing.T) {
+	g := newGuest(t, 100*vm.PageSize)
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for _, c := range g.contents {
+		seen[c]++
+	}
+	if seen[0] != 5 {
+		t.Errorf("zero pages = %d, want 5", seen[0])
+	}
+	if len(seen) != 96 { // 95 unique + zero
+		t.Errorf("distinct contents = %d, want 96", len(seen))
+	}
+	if err := g.FillRandom(-0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestUpdatePercentCounts(t *testing.T) {
+	g := newGuest(t, 100*vm.PageSize)
+	if err := g.FillRandom(1); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Checkpoint()
+	if err := g.UpdatePercent(0.9, 50); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i, c := range g.contents {
+		if cp.contents[i] != c {
+			changed++
+		}
+	}
+	if changed != 45 { // 50% of the 90-page region
+		t.Errorf("changed %d pages, want 45", changed)
+	}
+	if err := g.UpdatePercent(0, 10); err == nil {
+		t.Error("zero region accepted")
+	}
+	if err := g.UpdatePercent(0.9, 101); err == nil {
+		t.Error("percentage above 100 accepted")
+	}
+}
+
+func TestCheckpointSnapshotIsolated(t *testing.T) {
+	g := newGuest(t, 10*vm.PageSize)
+	if err := g.FillRandom(1); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Checkpoint()
+	if err := g.UpdatePercent(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range g.contents {
+		if g.contents[i] == cp.contents[i] {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("checkpoint shares %d entries with mutated guest", same)
+	}
+	if cp.UniqueBlocks() != 10 {
+		t.Errorf("UniqueBlocks = %d, want 10", cp.UniqueBlocks())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := newGuest(t, 10*vm.PageSize)
+	if _, err := Simulate(g, nil, CostModel{}, Baseline); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+	if _, err := Simulate(g, nil, LANCost(), Mode(0)); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	other := newGuest(t, 20*vm.PageSize)
+	if _, err := Simulate(g, other.Checkpoint(), LANCost(), VeCycle); err == nil {
+		t.Error("mismatched checkpoint accepted")
+	}
+}
+
+func TestSimulateBaselineBytes(t *testing.T) {
+	g := newGuest(t, gib)
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, nil, LANCost(), Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesFull != g.Pages() || res.PagesSum != 0 {
+		t.Errorf("baseline pages: full=%d sum=%d", res.PagesFull, res.PagesSum)
+	}
+	// Wire bytes slightly exceed raw memory (headers).
+	if res.SourceSendBytes < g.MemBytes() {
+		t.Errorf("SourceSendBytes = %d below memory size %d", res.SourceSendBytes, g.MemBytes())
+	}
+	if res.SourceSendBytes > g.MemBytes()+g.MemBytes()/100 {
+		t.Errorf("SourceSendBytes = %d, more than 1%% overhead", res.SourceSendBytes)
+	}
+}
+
+func TestSimulateIdleVeCycle(t *testing.T) {
+	// Figure 6's best case: unchanged guest, everything collapses to
+	// checksums.
+	g := newGuest(t, gib)
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Checkpoint()
+	res, err := Simulate(g, cp, LANCost(), VeCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesFull != 0 {
+		t.Errorf("idle guest sent %d full pages", res.PagesFull)
+	}
+	if res.PagesSum != g.Pages() {
+		t.Errorf("PagesSum = %d, want %d", res.PagesSum, g.Pages())
+	}
+	// §3.2: checksum traffic for a guest is count*16 bytes plus framing —
+	// 15 MB-ish for 1 GiB, two orders below the 1 GiB baseline.
+	if res.SourceSendBytes > 16*(1<<20) {
+		t.Errorf("idle VeCycle source traffic = %d, want < 16 MiB", res.SourceSendBytes)
+	}
+}
+
+func TestSimulatePaperFigure6LAN(t *testing.T) {
+	// Paper, LAN best case: baseline ~10 s/GiB; VeCycle ~3 s at 1 GiB
+	// (checksum-rate bound) and 3–4× faster overall.
+	for _, gibs := range []int64{1, 4} {
+		g := newGuest(t, gibs*gib)
+		if err := g.FillRandom(0.95); err != nil {
+			t.Fatal(err)
+		}
+		cp := g.Checkpoint()
+		base, err := Simulate(g, nil, LANCost(), Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := Simulate(g, cp, LANCost(), VeCycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBase := time.Duration(gibs) * 10 * time.Second
+		if base.Time < wantBase*7/10 || base.Time > wantBase*13/10 {
+			t.Errorf("%d GiB baseline = %v, paper ~%v", gibs, base.Time, wantBase)
+		}
+		speedup := float64(base.Time) / float64(vc.Time)
+		if speedup < 2.5 || speedup > 6 {
+			t.Errorf("%d GiB speedup = %.1fx, paper reports 3–4x", gibs, speedup)
+		}
+		// Traffic reduction ~94 % for the idle guest.
+		red := 1 - float64(vc.SourceSendBytes)/float64(base.SourceSendBytes)
+		if red < 0.90 {
+			t.Errorf("%d GiB traffic reduction = %.0f%%, paper reports ~94%%", gibs, red*100)
+		}
+	}
+}
+
+func TestSimulatePaperFigure6WAN(t *testing.T) {
+	// Paper, WAN: 1 GiB baseline takes 177 s; VeCycle 16 s (data volume
+	// down two orders of magnitude).
+	g := newGuest(t, gib)
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Checkpoint()
+	base, err := Simulate(g, nil, WANCost(), Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Time < 150*time.Second || base.Time > 210*time.Second {
+		t.Errorf("1 GiB WAN baseline = %v, paper reports 177 s", base.Time)
+	}
+	vc, err := Simulate(g, cp, WANCost(), VeCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Time > 30*time.Second {
+		t.Errorf("1 GiB WAN VeCycle = %v, paper reports 16 s", vc.Time)
+	}
+	if vc.Time < 2*time.Second {
+		t.Errorf("1 GiB WAN VeCycle = %v, implausibly fast", vc.Time)
+	}
+}
+
+func TestSimulateUpdateSweepMonotonic(t *testing.T) {
+	// Figure 7: as the update percentage grows, VeCycle's time and traffic
+	// rise toward the flat baseline.
+	mem := int64(512) * (1 << 20) // smaller guest keeps the test quick
+	var prev Result
+	base := Result{}
+	for i, pct := range []float64{0, 25, 50, 75, 100} {
+		g := newGuest(t, mem)
+		if err := g.FillRandom(1); err != nil {
+			t.Fatal(err)
+		}
+		cp := g.Checkpoint()
+		if err := g.UpdatePercent(0.9, pct); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(g, nil, LANCost(), Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := Simulate(g, cp, LANCost(), VeCycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = b
+		} else {
+			if vc.SourceSendBytes <= prev.SourceSendBytes {
+				t.Errorf("traffic not increasing at %v%%: %d <= %d", pct, vc.SourceSendBytes, prev.SourceSendBytes)
+			}
+			if vc.Time < prev.Time {
+				t.Errorf("time decreasing at %v%%: %v < %v", pct, vc.Time, prev.Time)
+			}
+			// Baseline is flat regardless of updates.
+			if b.SourceSendBytes != base.SourceSendBytes {
+				t.Errorf("baseline traffic varied with updates")
+			}
+		}
+		if vc.Time > b.Time+b.Time/10 {
+			t.Errorf("VeCycle slower than baseline at %v%%: %v vs %v", pct, vc.Time, b.Time)
+		}
+		prev = vc
+	}
+}
+
+func TestEffectiveBandwidthWindowClamp(t *testing.T) {
+	c := WANCost()
+	eff := c.EffectiveBandwidth()
+	if eff >= c.Link.BytesPerSecond {
+		t.Errorf("window did not clamp bandwidth: %v", eff)
+	}
+	// ~6 MiB/s, the paper's measured effective WAN rate.
+	if eff < 4e6 || eff > 9e6 {
+		t.Errorf("effective WAN bandwidth = %.1f MB/s, want ~6", eff/1e6)
+	}
+	lan := LANCost()
+	if lan.EffectiveBandwidth() != lan.Link.BytesPerSecond {
+		t.Error("LAN bandwidth clamped without a window")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "QEMU 2.0" || VeCycle.String() != "VeCycle" {
+		t.Error("mode labels wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Error("invalid mode label wrong")
+	}
+}
+
+func TestSimulateVeCycleWithoutCheckpoint(t *testing.T) {
+	g := newGuest(t, 10*vm.PageSize)
+	res, err := Simulate(g, nil, LANCost(), VeCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesFull != 10 || res.PagesSum != 0 {
+		t.Errorf("VeCycle without checkpoint must degrade to full: %+v", res)
+	}
+}

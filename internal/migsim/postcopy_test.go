@@ -1,0 +1,120 @@
+package migsim
+
+import (
+	"testing"
+
+	"vecycle/internal/vm"
+)
+
+func TestSimulatePostCopyValidation(t *testing.T) {
+	g := newGuest(t, 10*vm.PageSize)
+	if _, err := SimulatePostCopy(g, nil, CostModel{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+	other := newGuest(t, 20*vm.PageSize)
+	if _, err := SimulatePostCopy(g, other.Checkpoint(), LANCost()); err == nil {
+		t.Error("mismatched checkpoint accepted")
+	}
+}
+
+func TestSimulatePostCopyNoCheckpoint(t *testing.T) {
+	g := newGuest(t, gib)
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePostCopy(g, nil, LANCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissingPages != g.Pages() {
+		t.Errorf("missing = %d, want all %d", res.MissingPages, g.Pages())
+	}
+	// Every page faults over the network: total is near a baseline
+	// pre-copy, and the resume delay is tiny (manifest only).
+	base, err := Simulate(g, nil, LANCost(), Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < base.Time*8/10 {
+		t.Errorf("checkpoint-less post-copy total %v well below baseline %v", res.Time, base.Time)
+	}
+	// The resume delay is floored by the manifest's source checksum pass
+	// (1 GiB at 350 MiB/s ≈ 2.9 s) but still well under the baseline's
+	// full-copy hand-over.
+	if res.ResumeDelay >= base.Time/2 {
+		t.Errorf("resume delay %v, want below half the baseline total %v", res.ResumeDelay, base.Time)
+	}
+}
+
+func TestSimulatePostCopyIdleGuest(t *testing.T) {
+	g := newGuest(t, gib)
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Checkpoint()
+	res, err := SimulatePostCopy(g, cp, LANCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissingPages != 0 {
+		t.Errorf("idle guest missing %d pages", res.MissingPages)
+	}
+	// Manifest only: 16 B/page ≈ 4 MiB for 1 GiB.
+	if res.SourceSendBytes > 5<<20 {
+		t.Errorf("idle post-copy sent %d bytes", res.SourceSendBytes)
+	}
+}
+
+func TestSimulatePostCopyMovedContentNoFaults(t *testing.T) {
+	g := newGuest(t, 512<<20)
+	if err := g.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Checkpoint()
+	if err := g.ShuffleFrames(0.5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePostCopy(g, cp, LANCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissingPages != 0 {
+		t.Errorf("moved content faulted %d pages over the network", res.MissingPages)
+	}
+	// The moved frames are repaired from disk before resume; the disk stage
+	// must show up in the resume delay.
+	fresh := newGuest(t, 512<<20)
+	if err := fresh.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := SimulatePostCopy(fresh, fresh.Checkpoint(), LANCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumeDelay <= cleanRes.ResumeDelay {
+		t.Errorf("shuffled resume %v not above clean resume %v (disk reads unaccounted)",
+			res.ResumeDelay, cleanRes.ResumeDelay)
+	}
+}
+
+func TestShuffleFramesValidation(t *testing.T) {
+	g := newGuest(t, 10*vm.PageSize)
+	if err := g.ShuffleFrames(-0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := g.ShuffleFrames(1.1); err == nil {
+		t.Error("fraction above 1 accepted")
+	}
+	if err := g.FillRandom(1); err != nil {
+		t.Fatal(err)
+	}
+	before := g.Checkpoint()
+	if err := g.ShuffleFrames(0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Shuffling preserves the content multiset.
+	after := g.Checkpoint()
+	if before.UniqueBlocks() != after.UniqueBlocks() {
+		t.Errorf("shuffle changed unique blocks: %d -> %d", before.UniqueBlocks(), after.UniqueBlocks())
+	}
+}

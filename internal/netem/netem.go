@@ -1,0 +1,69 @@
+// Package netem models the network links of the paper's evaluation: the
+// dedicated gigabit Ethernet LAN of the benchmark hosts and the emulated
+// wide-area network configured after CloudNet (465 Mbps, 27 ms average
+// latency), which the authors built with Linux netem (§4.5).
+//
+// Two complementary mechanisms are provided:
+//
+//   - Link, a declarative bandwidth/latency model with pure virtual-time
+//     arithmetic. The paper-scale migration simulator (internal/migsim)
+//     uses it to compute migration times for 1–6 GiB guests without
+//     sleeping for the minutes such transfers take.
+//   - Shape, a token-bucket pacing wrapper around a real net.Conn, used by
+//     integration tests and examples to run the actual protocol through an
+//     actually-slow link at small scale.
+package netem
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link describes a network path by sustained bandwidth and propagation
+// latency.
+type Link struct {
+	// BytesPerSecond is the sustained data rate.
+	BytesPerSecond float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+}
+
+// Gigabit LAN: the paper measures ~120 MiB/s effective on its gigabit
+// switch and sub-millisecond latency.
+func LAN() Link {
+	return Link{BytesPerSecond: 120 * (1 << 20), Latency: 200 * time.Microsecond}
+}
+
+// WAN reproduces the CloudNet emulation parameters used in §4.4/§4.5:
+// a maximum bandwidth of 465 Mbps and an average latency of 27 ms.
+func WAN() Link {
+	return Link{BytesPerSecond: 465e6 / 8, Latency: 27 * time.Millisecond}
+}
+
+// Validate checks the link for usability.
+func (l Link) Validate() error {
+	if l.BytesPerSecond <= 0 {
+		return fmt.Errorf("netem: bandwidth must be positive, got %v", l.BytesPerSecond)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("netem: negative latency %v", l.Latency)
+	}
+	return nil
+}
+
+// TransferTime reports how long a bulk transfer of n bytes occupies the
+// link, excluding propagation latency.
+func (l Link) TransferTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.BytesPerSecond * float64(time.Second))
+}
+
+// RTT reports the round-trip propagation delay.
+func (l Link) RTT() time.Duration { return 2 * l.Latency }
+
+// String formats the link like "465 Mbps / 27ms".
+func (l Link) String() string {
+	return fmt.Sprintf("%.0f Mbps / %v", l.BytesPerSecond*8/1e6, l.Latency)
+}

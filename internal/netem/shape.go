@@ -1,0 +1,57 @@
+package netem
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Shape wraps a net.Conn so writes are paced to the link's bandwidth and
+// delayed by its one-way latency — a userspace stand-in for the kernel
+// netem qdisc the paper used. Reads pass through untouched (the peer's
+// writes are already shaped on their side).
+//
+// Pacing uses virtual send slots: each write reserves link time
+// proportional to its size, and the writer sleeps until its slot starts.
+// Latency is modelled once per write as an additive delay before the bytes
+// become visible, approximating propagation without per-byte timers.
+func Shape(c net.Conn, link Link) net.Conn {
+	return &shapedConn{Conn: c, link: link}
+}
+
+type shapedConn struct {
+	net.Conn
+	link Link
+
+	mu       sync.Mutex
+	nextSlot time.Time
+}
+
+// Write implements net.Conn with bandwidth pacing.
+func (s *shapedConn) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	now := time.Now()
+	start := s.nextSlot
+	if start.Before(now) {
+		start = now
+	}
+	// Reserve the link for this write's serialization time.
+	busy := s.link.TransferTime(int64(len(p)))
+	s.nextSlot = start.Add(busy)
+	s.mu.Unlock()
+
+	// Wait for our slot plus one-way propagation.
+	delay := start.Sub(now) + s.link.Latency
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return s.Conn.Write(p)
+}
+
+// ShapedPipe returns both ends of an in-memory connection whose writes are
+// shaped to the link in each direction — the harness for protocol tests
+// under WAN conditions.
+func ShapedPipe(link Link) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Shape(a, link), Shape(b, link)
+}

@@ -1,0 +1,180 @@
+// Package plot renders small ASCII charts — line series and horizontal
+// bars — so the benchmark harness can show the *shape* of each reproduced
+// figure directly in the terminal, next to the numeric tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vecycle/internal/stats"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// markers distinguish overlapping series, assigned in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// LineConfig controls line-chart rendering.
+type LineConfig struct {
+	// Title is printed above the chart.
+	Title string
+	// Width and Height are the plot area size in characters (excluding
+	// axes). Defaults: 64×16.
+	Width  int
+	Height int
+	// YMin/YMax fix the y-range; both zero = auto-scale.
+	YMin float64
+	YMax float64
+	// XLabel and YLabel annotate the axes.
+	XLabel string
+	YLabel string
+}
+
+func (c *LineConfig) setDefaults() {
+	if c.Width <= 0 {
+		c.Width = 64
+	}
+	if c.Height <= 0 {
+		c.Height = 16
+	}
+}
+
+// Line renders one or more series as an ASCII line chart.
+func Line(cfg LineConfig, series ...Series) (string, error) {
+	cfg.setDefaults()
+	var pts int
+	for _, s := range series {
+		pts += len(s.Points)
+	}
+	if pts == 0 {
+		return "", fmt.Errorf("plot: no points")
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if cfg.YMin != 0 || cfg.YMax != 0 {
+		ymin, ymax = cfg.YMin, cfg.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int((p.X - xmin) / (xmax - xmin) * float64(cfg.Width-1))
+			row := int((p.Y - ymin) / (ymax - ymin) * float64(cfg.Height-1))
+			if col < 0 || col >= cfg.Width || row < 0 || row >= cfg.Height {
+				continue
+			}
+			grid[cfg.Height-1-row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yLab := func(v float64) string { return fmt.Sprintf("%8.3g", v) }
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", 8)
+		switch r {
+		case 0:
+			label = yLab(ymax)
+		case cfg.Height - 1:
+			label = yLab(ymin)
+		case (cfg.Height - 1) / 2:
+			label = yLab((ymin + ymax) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 8), cfg.Width/2, xmin, cfg.Width-cfg.Width/2, xmax)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", 8), cfg.XLabel, cfg.YLabel)
+	}
+	if len(series) > 1 || series[0].Name != "" {
+		legend := make([]string, 0, len(series))
+		for si, s := range series {
+			legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+		}
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 8), strings.Join(legend, "   "))
+	}
+	return b.String(), nil
+}
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarConfig controls bar-chart rendering.
+type BarConfig struct {
+	Title string
+	// Width is the maximum bar length in characters (default 50).
+	Width int
+	// Max fixes the scale; zero auto-scales to the largest value.
+	Max float64
+}
+
+// Bars renders a horizontal bar chart.
+func Bars(cfg BarConfig, bars []Bar) (string, error) {
+	if len(bars) == 0 {
+		return "", fmt.Errorf("plot: no bars")
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 50
+	}
+	maxV := cfg.Max
+	if maxV <= 0 {
+		for _, b := range bars {
+			if b.Value > maxV {
+				maxV = b.Value
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", cfg.Title)
+	}
+	for _, b := range bars {
+		n := int(b.Value / maxV * float64(cfg.Width))
+		if n < 0 {
+			n = 0
+		}
+		if n > cfg.Width {
+			n = cfg.Width
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %.3g\n", labelW, b.Label, strings.Repeat("█", n), b.Value)
+	}
+	return sb.String(), nil
+}

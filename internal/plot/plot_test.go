@@ -1,0 +1,126 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"vecycle/internal/stats"
+)
+
+func TestLineEmpty(t *testing.T) {
+	if _, err := Line(LineConfig{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if _, err := Line(LineConfig{}, Series{Name: "x"}); err == nil {
+		t.Error("series without points accepted")
+	}
+}
+
+func TestLineBasicShape(t *testing.T) {
+	s := Series{Name: "decay"}
+	for i := 0; i < 20; i++ {
+		s.Points = append(s.Points, stats.Point{X: float64(i), Y: 1.0 / float64(i+1)})
+	}
+	out, err := Line(LineConfig{Title: "similarity", Width: 40, Height: 10}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "similarity") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + axis + x labels + legend.
+	if len(lines) < 13 {
+		t.Errorf("only %d lines rendered", len(lines))
+	}
+	// The decaying series should put a marker in the top-left and the
+	// bottom-right region, not vice versa.
+	topRows := strings.Join(lines[1:4], "\n")
+	if !strings.Contains(topRows, "*") {
+		t.Error("no marker near the top for the initial high values")
+	}
+}
+
+func TestLineMultipleSeriesMarkers(t *testing.T) {
+	a := Series{Name: "a", Points: []stats.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}}
+	b := Series{Name: "b", Points: []stats.Point{{X: 0, Y: 1}, {X: 1, Y: 0}}}
+	out, err := Line(LineConfig{}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("second series marker missing")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Error("legend missing")
+	}
+}
+
+func TestLineFixedYRange(t *testing.T) {
+	s := Series{Points: []stats.Point{{X: 0, Y: 0.5}}}
+	out, err := Line(LineConfig{YMin: 0, YMax: 1, Height: 9}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0") {
+		t.Error("y-axis labels missing")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	s := Series{Points: []stats.Point{{X: 0, Y: 5}, {X: 1, Y: 5}}}
+	if _, err := Line(LineConfig{}, s); err != nil {
+		t.Errorf("constant series failed: %v", err)
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	if _, err := Bars(BarConfig{}, nil); err == nil {
+		t.Error("empty bars accepted")
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	out, err := Bars(BarConfig{Title: "methods", Width: 20, Max: 1}, []Bar{
+		{Label: "dedup", Value: 0.9},
+		{Label: "hashes+dedup", Value: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "methods") || !strings.Contains(out, "dedup") {
+		t.Error("labels missing")
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 3 {
+		t.Fatalf("rendered %d rows", len(rows))
+	}
+	long := strings.Count(rows[1], "█")
+	short := strings.Count(rows[2], "█")
+	if long <= short {
+		t.Errorf("bar lengths wrong: %d vs %d", long, short)
+	}
+	if long != 18 { // 0.9 of width 20
+		t.Errorf("dedup bar length %d, want 18", long)
+	}
+}
+
+func TestBarsClampsAndAutoScales(t *testing.T) {
+	out, err := Bars(BarConfig{Width: 10}, []Bar{
+		{Label: "a", Value: -1},
+		{Label: "b", Value: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(rows[0], "█") != 0 {
+		t.Error("negative bar not clamped to zero")
+	}
+	if strings.Count(rows[1], "█") != 10 {
+		t.Error("max bar not full width under auto-scale")
+	}
+}

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Hot-spot mitigation (Wood et al., the paper's reference [27]): when a
+// host's aggregate load exceeds a watermark, its busiest VM moves to the
+// least-loaded host. Over time VMs oscillate within a small set of hosts —
+// the behaviour Birke et al. measured (68 % of VMs only ever visit two
+// hosts) and the reason checkpoint recycling pays.
+
+// BalancePolicy parameterizes the greedy balancer.
+type BalancePolicy struct {
+	// HighWater triggers evacuation when a host's load (sum of its VMs'
+	// activity levels) exceeds it.
+	HighWater float64
+	// MaxMovesPerStep caps migrations per sample (0 = one per step) so a
+	// load spike does not trigger a migration storm.
+	MaxMovesPerStep int
+}
+
+// Validate checks the policy.
+func (p BalancePolicy) Validate() error {
+	if p.HighWater <= 0 {
+		return fmt.Errorf("sched: HighWater must be positive")
+	}
+	if p.MaxMovesPerStep < 0 {
+		return fmt.Errorf("sched: negative MaxMovesPerStep")
+	}
+	return nil
+}
+
+// BalanceVM is one balanced VM: a name and its activity level over time.
+type BalanceVM struct {
+	Name  string
+	Level func(time.Time) float64
+}
+
+// BalanceEvent is one planned migration.
+type BalanceEvent struct {
+	At   time.Time
+	VM   string
+	From int
+	To   int
+}
+
+// PlanBalance walks the sampled timeline and emits the migrations the
+// policy would perform. initial assigns each VM (by index) to a starting
+// host; hosts are numbered 0..hosts-1.
+func (p BalancePolicy) PlanBalance(times []time.Time, vms []BalanceVM, hosts int, initial []int) ([]BalanceEvent, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if hosts < 2 {
+		return nil, fmt.Errorf("sched: need at least 2 hosts, got %d", hosts)
+	}
+	if len(initial) != len(vms) {
+		return nil, fmt.Errorf("sched: %d initial placements for %d VMs", len(initial), len(vms))
+	}
+	placement := make([]int, len(vms))
+	for i, h := range initial {
+		if h < 0 || h >= hosts {
+			return nil, fmt.Errorf("sched: VM %d placed on invalid host %d", i, h)
+		}
+		placement[i] = h
+	}
+
+	var events []BalanceEvent
+	for ti, ts := range times {
+		if ti > 0 && ts.Before(times[ti-1]) {
+			return nil, fmt.Errorf("sched: samples not ascending at %d", ti)
+		}
+		levels := make([]float64, len(vms))
+		loads := make([]float64, hosts)
+		for i, v := range vms {
+			levels[i] = v.Level(ts)
+			loads[placement[i]] += levels[i]
+		}
+		// Greedy evacuation, bounded per step.
+		budget := p.MaxMovesPerStep
+		if budget == 0 {
+			budget = 1
+		}
+		for moved := 0; moved < budget; moved++ {
+			// Hottest host above the watermark.
+			src := -1
+			for h := 0; h < hosts; h++ {
+				if loads[h] > p.HighWater && (src < 0 || loads[h] > loads[src]) {
+					src = h
+				}
+			}
+			if src < 0 {
+				break
+			}
+			// Its busiest VM.
+			vmIdx := -1
+			for i := range vms {
+				if placement[i] == src && (vmIdx < 0 || levels[i] > levels[vmIdx]) {
+					vmIdx = i
+				}
+			}
+			if vmIdx < 0 {
+				break
+			}
+			// Coolest host with room.
+			dst := -1
+			for h := 0; h < hosts; h++ {
+				if h == src {
+					continue
+				}
+				if dst < 0 || loads[h] < loads[dst] {
+					dst = h
+				}
+			}
+			// Move only if it strictly improves the imbalance — the
+			// Sandpiper-style relief condition. Without it a fleet that is
+			// globally overloaded would thrash or wedge.
+			if dst < 0 || loads[dst]+levels[vmIdx] >= loads[src] {
+				break
+			}
+			loads[src] -= levels[vmIdx]
+			loads[dst] += levels[vmIdx]
+			placement[vmIdx] = dst
+			events = append(events, BalanceEvent{At: ts, VM: vms[vmIdx].Name, From: src, To: dst})
+		}
+	}
+	return events, nil
+}
+
+// RevisitFraction reports, over a planned sequence, the fraction of
+// migrations whose destination the VM had already visited (including its
+// initial host) — the quantity behind Birke et al.'s "68 % of VMs visit
+// just two servers". A higher fraction means more recyclable checkpoints.
+func RevisitFraction(events []BalanceEvent, vms []BalanceVM, initial []int) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	visited := make(map[string]map[int]bool, len(vms))
+	for i, v := range vms {
+		visited[v.Name] = map[int]bool{initial[i]: true}
+	}
+	revisits := 0
+	for _, ev := range events {
+		hosts := visited[ev.VM]
+		if hosts == nil {
+			hosts = map[int]bool{}
+			visited[ev.VM] = hosts
+		}
+		if hosts[ev.To] {
+			revisits++
+		}
+		hosts[ev.To] = true
+		hosts[ev.From] = true
+	}
+	return float64(revisits) / float64(len(events))
+}
+
+// HostsVisited reports how many distinct hosts each VM touched (initial
+// placement included), sorted by VM name order of vms.
+func HostsVisited(events []BalanceEvent, vms []BalanceVM, initial []int) []int {
+	visited := make(map[string]map[int]bool, len(vms))
+	for i, v := range vms {
+		visited[v.Name] = map[int]bool{initial[i]: true}
+	}
+	for _, ev := range events {
+		visited[ev.VM][ev.To] = true
+	}
+	out := make([]int, len(vms))
+	for i, v := range vms {
+		out[i] = len(visited[v.Name])
+	}
+	sort.Ints(out)
+	return out
+}

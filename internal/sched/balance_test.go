@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBalancePolicyValidate(t *testing.T) {
+	if err := (BalancePolicy{HighWater: 0}).Validate(); err == nil {
+		t.Error("zero HighWater accepted")
+	}
+	if err := (BalancePolicy{HighWater: 1, MaxMovesPerStep: -1}).Validate(); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if err := (BalancePolicy{HighWater: 1}).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+}
+
+func TestPlanBalanceValidation(t *testing.T) {
+	p := BalancePolicy{HighWater: 1}
+	times := sampleGrid(2)
+	vms := []BalanceVM{{Name: "a", Level: func(time.Time) float64 { return 0 }}}
+	if _, err := p.PlanBalance(times, vms, 1, []int{0}); err == nil {
+		t.Error("single host accepted")
+	}
+	if _, err := p.PlanBalance(times, vms, 2, []int{0, 1}); err == nil {
+		t.Error("mismatched placements accepted")
+	}
+	if _, err := p.PlanBalance(times, vms, 2, []int{5}); err == nil {
+		t.Error("invalid initial host accepted")
+	}
+	bad := sampleGrid(3)
+	bad[1], bad[2] = bad[2], bad[1]
+	if _, err := p.PlanBalance(bad, vms, 2, []int{0}); err == nil {
+		t.Error("unsorted samples accepted")
+	}
+}
+
+func TestPlanBalanceRelievesHotspot(t *testing.T) {
+	// Two busy VMs start on host 0, host 1 is empty: the balancer must
+	// move exactly one of them.
+	p := BalancePolicy{HighWater: 1.0}
+	times := sampleGrid(1)
+	busy := func(time.Time) float64 { return 0.8 }
+	vms := []BalanceVM{
+		{Name: "a", Level: busy},
+		{Name: "b", Level: busy},
+	}
+	events, err := p.PlanBalance(times, vms, 2, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1: %+v", len(events), events)
+	}
+	if events[0].From != 0 || events[0].To != 1 {
+		t.Errorf("event = %+v, want 0→1", events[0])
+	}
+}
+
+func TestPlanBalanceNoMoveWhenBalanced(t *testing.T) {
+	p := BalancePolicy{HighWater: 1.0}
+	times := sampleGrid(10)
+	calm := func(time.Time) float64 { return 0.3 }
+	vms := []BalanceVM{
+		{Name: "a", Level: calm},
+		{Name: "b", Level: calm},
+	}
+	events, err := p.PlanBalance(times, vms, 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("balanced cluster migrated: %+v", events)
+	}
+}
+
+func TestPlanBalanceNoThrashWhenGloballyOverloaded(t *testing.T) {
+	// Every host over the watermark and no move improves anything: the
+	// balancer must not bounce VMs around.
+	p := BalancePolicy{HighWater: 0.5}
+	times := sampleGrid(10)
+	busy := func(time.Time) float64 { return 0.9 }
+	vms := []BalanceVM{
+		{Name: "a", Level: busy},
+		{Name: "b", Level: busy},
+	}
+	events, err := p.PlanBalance(times, vms, 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("globally overloaded cluster thrashed: %+v", events)
+	}
+}
+
+func TestPlanBalanceBudget(t *testing.T) {
+	// Three busy VMs on host 0; per-step budget 1 forces the relief to
+	// spread over steps.
+	p := BalancePolicy{HighWater: 0.5, MaxMovesPerStep: 1}
+	times := sampleGrid(3)
+	busy := func(time.Time) float64 { return 0.4 }
+	vms := []BalanceVM{
+		{Name: "a", Level: busy},
+		{Name: "b", Level: busy},
+		{Name: "c", Level: busy},
+	}
+	events, err := p.PlanBalance(times, vms, 3, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStep := map[time.Time]int{}
+	for _, ev := range events {
+		perStep[ev.At]++
+	}
+	for ts, n := range perStep {
+		if n > 1 {
+			t.Errorf("%d moves at %v, budget is 1", n, ts)
+		}
+	}
+	if len(events) < 2 {
+		t.Errorf("expected relief over multiple steps, got %d events", len(events))
+	}
+}
+
+func TestRevisitFraction(t *testing.T) {
+	vms := []BalanceVM{{Name: "a"}, {Name: "b"}}
+	initial := []int{0, 1}
+	events := []BalanceEvent{
+		{VM: "a", From: 0, To: 1}, // first visit to 1
+		{VM: "a", From: 1, To: 0}, // revisit (initial host)
+		{VM: "a", From: 0, To: 1}, // revisit
+		{VM: "b", From: 1, To: 2}, // first visit
+	}
+	got := RevisitFraction(events, vms, initial)
+	if got != 0.5 {
+		t.Errorf("RevisitFraction = %v, want 0.5 (2 of 4)", got)
+	}
+	if RevisitFraction(nil, vms, initial) != 0 {
+		t.Error("empty events should yield 0")
+	}
+}
+
+func TestHostsVisited(t *testing.T) {
+	vms := []BalanceVM{{Name: "a"}, {Name: "b"}}
+	initial := []int{0, 1}
+	events := []BalanceEvent{
+		{VM: "a", From: 0, To: 1},
+		{VM: "a", From: 1, To: 2},
+		{VM: "a", From: 2, To: 0},
+	}
+	got := HostsVisited(events, vms, initial)
+	// a visited {0,1,2} = 3; b stayed on {1} = 1. Sorted: [1, 3].
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("HostsVisited = %v, want [1 3]", got)
+	}
+}

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// Dynamic workload consolidation, the second migration pattern §2.2 cites
+// (Verma et al., MIDDLEWARE'14): low-activity VMs are packed onto a
+// consolidation server and move to an active host as soon as they wake up;
+// when they go quiet again they move back. Inter-migration times are hours,
+// exactly the regime where checkpoint recycling pays.
+
+// ConsolidationPolicy decides migrations from an activity signal with
+// hysteresis: a VM leaves the consolidation server when its activity rises
+// above WakeLevel, and returns once it has stayed below SleepLevel for
+// MinQuiet.
+type ConsolidationPolicy struct {
+	// WakeLevel triggers a migration to the active host.
+	WakeLevel float64
+	// SleepLevel arms the return migration.
+	SleepLevel float64
+	// MinQuiet is how long activity must stay below SleepLevel before the
+	// VM is consolidated again — hysteresis against flapping.
+	MinQuiet time.Duration
+}
+
+// Validate checks the policy.
+func (p ConsolidationPolicy) Validate() error {
+	if p.WakeLevel <= p.SleepLevel {
+		return fmt.Errorf("sched: WakeLevel %v must exceed SleepLevel %v", p.WakeLevel, p.SleepLevel)
+	}
+	if p.WakeLevel > 1 || p.SleepLevel < 0 {
+		return fmt.Errorf("sched: thresholds out of range [0,1]")
+	}
+	if p.MinQuiet < 0 {
+		return fmt.Errorf("sched: negative MinQuiet")
+	}
+	return nil
+}
+
+// ConsolidationEvent is one planned migration. ToWorkstation means "to the
+// active host" and ToServer "back to the consolidation server", mirroring
+// the VDI directions.
+type ConsolidationEvent struct {
+	At        time.Time
+	Direction Direction
+}
+
+// Plan walks a sampled activity signal (times must be ascending) and emits
+// the migrations the policy would perform. The VM starts consolidated.
+func (p ConsolidationPolicy) Plan(times []time.Time, level func(time.Time) float64) ([]ConsolidationEvent, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var events []ConsolidationEvent
+	consolidated := true
+	var quietSince time.Time
+	quiet := false
+	for i, ts := range times {
+		if i > 0 && ts.Before(times[i-1]) {
+			return nil, fmt.Errorf("sched: activity samples not ascending at %d", i)
+		}
+		l := level(ts)
+		if consolidated {
+			if l >= p.WakeLevel {
+				events = append(events, ConsolidationEvent{At: ts, Direction: ToWorkstation})
+				consolidated = false
+				quiet = false
+			}
+			continue
+		}
+		// Active host: watch for a sustained quiet period.
+		if l > p.SleepLevel {
+			quiet = false
+			continue
+		}
+		if !quiet {
+			quiet = true
+			quietSince = ts
+			continue
+		}
+		if ts.Sub(quietSince) >= p.MinQuiet {
+			events = append(events, ConsolidationEvent{At: ts, Direction: ToServer})
+			consolidated = true
+			quiet = false
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConsolidationPolicyValidate(t *testing.T) {
+	bad := []ConsolidationPolicy{
+		{WakeLevel: 0.2, SleepLevel: 0.5},               // inverted
+		{WakeLevel: 1.5, SleepLevel: 0.1},               // out of range
+		{WakeLevel: 0.5, SleepLevel: -0.1},              // out of range
+		{WakeLevel: 0.5, SleepLevel: 0.1, MinQuiet: -1}, // negative dwell
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %d accepted: %+v", i, p)
+		}
+	}
+	good := ConsolidationPolicy{WakeLevel: 0.5, SleepLevel: 0.1, MinQuiet: time.Hour}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+}
+
+// step builds an ascending 30-minute sample grid.
+func sampleGrid(n int) []time.Time {
+	t0 := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	out := make([]time.Time, n)
+	for i := range out {
+		out[i] = t0.Add(time.Duration(i) * 30 * time.Minute)
+	}
+	return out
+}
+
+func TestConsolidationPlanWakeSleepCycle(t *testing.T) {
+	p := ConsolidationPolicy{WakeLevel: 0.5, SleepLevel: 0.1, MinQuiet: time.Hour}
+	times := sampleGrid(20)
+	// Quiet for 5 samples, busy for 5, quiet for 10.
+	level := func(ts time.Time) float64 {
+		i := int(ts.Sub(times[0]) / (30 * time.Minute))
+		if i >= 5 && i < 10 {
+			return 0.9
+		}
+		return 0.0
+	}
+	events, err := p.Plan(times, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (wake + sleep): %+v", len(events), events)
+	}
+	if events[0].Direction != ToWorkstation {
+		t.Errorf("first event = %v, want wake", events[0].Direction)
+	}
+	if !events[0].At.Equal(times[5]) {
+		t.Errorf("wake at %v, want %v", events[0].At, times[5])
+	}
+	if events[1].Direction != ToServer {
+		t.Errorf("second event = %v, want sleep", events[1].Direction)
+	}
+	// MinQuiet of 1 h = two 30-minute samples after the first quiet one.
+	if events[1].At.Before(times[12]) {
+		t.Errorf("sleep at %v, too early for 1h hysteresis", events[1].At)
+	}
+}
+
+func TestConsolidationPlanHysteresis(t *testing.T) {
+	p := ConsolidationPolicy{WakeLevel: 0.5, SleepLevel: 0.1, MinQuiet: 2 * time.Hour}
+	times := sampleGrid(12)
+	// Busy, then alternating quiet/busy blips: never quiet for 2 h.
+	level := func(ts time.Time) float64 {
+		i := int(ts.Sub(times[0]) / (30 * time.Minute))
+		if i == 0 {
+			return 0.9
+		}
+		if i%3 == 0 {
+			return 0.4 // blip above SleepLevel resets the quiet timer
+		}
+		return 0.0
+	}
+	events, err := p.Plan(times, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[1:] {
+		if ev.Direction == ToServer {
+			t.Errorf("flapping activity produced a consolidation at %v", ev.At)
+		}
+	}
+}
+
+func TestConsolidationPlanNeverWakes(t *testing.T) {
+	p := ConsolidationPolicy{WakeLevel: 0.5, SleepLevel: 0.1, MinQuiet: time.Hour}
+	times := sampleGrid(10)
+	events, err := p.Plan(times, func(time.Time) float64 { return 0.05 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("idle VM migrated: %+v", events)
+	}
+}
+
+func TestConsolidationPlanUnsortedTimes(t *testing.T) {
+	p := ConsolidationPolicy{WakeLevel: 0.5, SleepLevel: 0.1}
+	times := sampleGrid(3)
+	times[1], times[2] = times[2], times[1]
+	if _, err := p.Plan(times, func(time.Time) float64 { return 0 }); err == nil {
+		t.Error("unsorted samples accepted")
+	}
+}
+
+func TestConsolidationPlanAlternates(t *testing.T) {
+	// Directions must strictly alternate wake/sleep.
+	p := ConsolidationPolicy{WakeLevel: 0.5, SleepLevel: 0.1, MinQuiet: 30 * time.Minute}
+	times := sampleGrid(48)
+	level := func(ts time.Time) float64 {
+		i := int(ts.Sub(times[0]) / (30 * time.Minute))
+		if (i/6)%2 == 1 {
+			return 0.9
+		}
+		return 0.0
+	}
+	events, err := p.Plan(times, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("expected several cycles, got %d events", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Direction == events[i-1].Direction {
+			t.Errorf("events %d and %d have the same direction", i-1, i)
+		}
+		if !events[i].At.After(events[i-1].At) {
+			t.Errorf("events not chronological at %d", i)
+		}
+	}
+	if events[0].Direction != ToWorkstation {
+		t.Error("first event must be a wake")
+	}
+}

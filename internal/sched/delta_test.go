@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/vm"
+)
+
+// TestPingPongWithDeltas runs the full two-host loop with SaveArrivals and
+// UseDelta: after the first round trip, partially-changed pages travel as
+// deltas and the wire shrinks below even the checksum-only baseline plus
+// full pages.
+func TestPingPongWithDeltas(t *testing.T) {
+	alpha := newHost(t, "alpha")
+	beta := newHost(t, "beta")
+	alpha.SaveArrivals = true
+	beta.SaveArrivals = true
+	addrA := listen(t, alpha)
+	addrB := listen(t, beta)
+
+	guest, err := vm.New(vm.Config{Name: "vm0", MemBytes: 64 * vm.PageSize, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guest.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	want := guest.Fingerprint64()
+	alpha.AddVM(guest)
+
+	wait := func(h *Host) *vm.VM {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if v, ok := h.VM("vm0"); ok {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("VM never arrived")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// partialTouch changes 64 bytes inside each of n pages.
+	partialTouch := func(v *vm.VM, n int) {
+		buf := make([]byte, vm.PageSize)
+		for p := 0; p < n; p++ {
+			v.ReadPage(p, buf)
+			for i := 0; i < 64; i++ {
+				buf[i] ^= 0xA5
+			}
+			v.WritePage(p, buf)
+		}
+	}
+
+	opts := MigrateOptions{Recycle: true, KeepCheckpoint: true, UseDelta: true}
+
+	// Leg 1: alpha → beta (full, first visit).
+	if _, err := alpha.MigrateTo(addrB, "vm0", opts); err != nil {
+		t.Fatal(err)
+	}
+	vb := wait(beta)
+	partialTouch(vb, 8)
+
+	// Leg 2: beta → alpha. Beta's arrival image == alpha's checkpoint, so
+	// the 8 partially-touched pages go as deltas.
+	m2, err := beta.MigrateTo(addrA, "vm0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := wait(alpha)
+	if m2.PagesDelta != 8 {
+		t.Errorf("leg 2 PagesDelta = %d, want 8", m2.PagesDelta)
+	}
+	if m2.PagesFull != 0 {
+		t.Errorf("leg 2 PagesFull = %d, want 0 (all changes partial)", m2.PagesFull)
+	}
+
+	// Leg 3: alpha → beta again, same dance.
+	partialTouch(va, 4)
+	m3, err := alpha.MigrateTo(addrB, "vm0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb = wait(beta)
+	if m3.PagesDelta != 4 {
+		t.Errorf("leg 3 PagesDelta = %d, want 4", m3.PagesDelta)
+	}
+
+	// Content integrity across all three legs: the pages never touched
+	// still match the original guest.
+	got := vb.Fingerprint64()
+	for i := 12; i < len(want); i++ { // pages 0..11 were touched
+		if got[i] != want[i] {
+			t.Fatalf("untouched page %d changed across the ping-pong", i)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/disk"
+	"vecycle/internal/vm"
+)
+
+// TestMigrateVMWithDisk moves a VM and its attached block device between
+// hosts (unshared-storage mode), twice, verifying content on both legs and
+// that the disk's second leg recycles its checkpoint.
+func TestMigrateVMWithDisk(t *testing.T) {
+	alpha := newHost(t, "alpha")
+	beta := newHost(t, "beta")
+	addrA := listen(t, alpha)
+	addrB := listen(t, beta)
+
+	guest := newGuest(t, "db-1", 32)
+	if err := guest.FillRandom(0.9); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := disk.New("db-1", 4*disk.BlockSize, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MkFS(0.75, 6); err != nil {
+		t.Fatal(err)
+	}
+	wantMem := guest.Fingerprint64()
+	wantDisk := dev.Backing().Fingerprint64()
+	alpha.AddVM(guest)
+	alpha.AttachDisk(dev)
+
+	waitBoth := func(h *Host, vmName string) (*vm.VM, *disk.Disk) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			v, okV := h.VM(vmName)
+			d, okD := h.Disk(vmName)
+			if okV && okD {
+				return v, d
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("VM/disk never arrived (vm=%v disk=%v)", okV, okD)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Leg 1: everything moves full.
+	if _, err := alpha.MigrateTo(addrB, "db-1", MigrateOptions{Recycle: true, KeepCheckpoint: true}); err != nil {
+		t.Fatal(err)
+	}
+	vb, db := waitBoth(beta, "db-1")
+	if _, stillThere := alpha.Disk("db-1"); stillThere {
+		t.Error("disk still attached at source after migration")
+	}
+	for i, h := range vb.Fingerprint64() {
+		if h != wantMem[i] {
+			t.Fatalf("memory page %d differs after leg 1", i)
+		}
+	}
+	for i, h := range db.Backing().Fingerprint64() {
+		if h != wantDisk[i] {
+			t.Fatalf("disk page %d differs after leg 1", i)
+		}
+	}
+	// Alpha checkpointed both.
+	if !alpha.Store().Has("db-1") || !alpha.Store().Has("db-1#disk") {
+		t.Error("source did not checkpoint VM and disk")
+	}
+
+	// Some disk writes at beta, then migrate back: the disk leg should
+	// recycle nearly everything.
+	if err := db.AppendLog(3, disk.BlockSize/2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := beta.MigrateTo(addrA, "db-1", MigrateOptions{Recycle: true, KeepCheckpoint: true}); err != nil {
+		t.Fatal(err)
+	}
+	va, da := waitBoth(alpha, "db-1")
+	if !vb.MemEqual(va) {
+		t.Error("memory differs after leg 2")
+	}
+	if !db.ContentEqual(da) {
+		t.Error("disk differs after leg 2")
+	}
+}

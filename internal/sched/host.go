@@ -1,0 +1,435 @@
+// Package sched provides the deployment layer above the migration engine:
+// hosts that accept incoming migrations over TCP, keep per-VM checkpoints
+// in a local store, remember the checksums seen on incoming migrations for
+// the ping-pong optimization, and the migration schedules of the paper's
+// use cases (the 9-to-5 VDI scenario of §4.6, dynamic consolidation).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vecycle/internal/checkpoint"
+	"vecycle/internal/checksum"
+	"vecycle/internal/core"
+	"vecycle/internal/disk"
+	"vecycle/internal/vm"
+)
+
+// dialTimeout bounds connection establishment to a peer host.
+const dialTimeout = 10 * time.Second
+
+// ErrNoSuchVM is returned when a named VM is not resident on the host.
+var ErrNoSuchVM = errors.New("sched: no such VM on this host")
+
+// Host is one physical machine: resident VMs, a checkpoint store, and an
+// optional TCP listener for incoming migrations.
+type Host struct {
+	name  string
+	store *checkpoint.Store
+
+	mu       sync.Mutex
+	vms      map[string]*vm.VM
+	disks    map[string]*disk.Disk    // VM name → attached block device
+	seen     map[string]*checksum.Set // VM name → sums observed on last incoming migration
+	arrivals int
+	ln       net.Listener
+	wg       sync.WaitGroup
+
+	// OnArrival, when non-nil, is invoked after a VM lands on this host.
+	OnArrival func(v *vm.VM, res core.DestResult)
+
+	// OnError, when non-nil, observes errors from incoming-migration
+	// handlers (which are otherwise only reported to the peer in-protocol).
+	OnError func(error)
+
+	// SaveArrivals checkpoints every VM right after it arrives. The arrival
+	// image is byte-identical to the checkpoint the sending peer wrote when
+	// the VM departed, which makes it a sound delta base for the return
+	// migration (see MigrateOptions.UseDelta). Costs one image write per
+	// arrival.
+	SaveArrivals bool
+}
+
+// NewHost creates a host whose checkpoint store lives at storeDir.
+func NewHost(name, storeDir string) (*Host, error) {
+	if name == "" {
+		return nil, fmt.Errorf("sched: empty host name")
+	}
+	store, err := checkpoint.NewStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		name:  name,
+		store: store,
+		vms:   make(map[string]*vm.VM),
+		disks: make(map[string]*disk.Disk),
+		seen:  make(map[string]*checksum.Set),
+	}, nil
+}
+
+// Name reports the host name.
+func (h *Host) Name() string { return h.name }
+
+// Store exposes the host's checkpoint store.
+func (h *Host) Store() *checkpoint.Store { return h.store }
+
+// AddVM places a VM on this host (initial placement, not migration).
+func (h *Host) AddVM(v *vm.VM) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.vms[v.Name()] = v
+}
+
+// AttachDisk associates a block device with a resident VM. Migrations of
+// the VM move the disk first (unshared-storage mode), as QEMU's block
+// migration does.
+func (h *Host) AttachDisk(d *disk.Disk) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.disks[d.VMName()] = d
+}
+
+// Disk looks up the device attached to a VM.
+func (h *Host) Disk(vmName string) (*disk.Disk, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.disks[vmName]
+	return d, ok
+}
+
+// VM looks up a resident VM.
+func (h *Host) VM(name string) (*vm.VM, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.vms[name]
+	return v, ok
+}
+
+// VMNames lists resident VMs.
+func (h *Host) VMNames() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.vms))
+	for n := range h.vms {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Listen starts accepting incoming migrations on addr (e.g.
+// "127.0.0.1:0"). The returned address carries the bound port.
+func (h *Host) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("sched: listen: %w", err)
+	}
+	h.mu.Lock()
+	h.ln = ln
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go h.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight migrations.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	ln := h.ln
+	h.ln = nil
+	h.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *Host) acceptLoop(ln net.Listener) {
+	defer h.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			defer conn.Close()
+			// Errors are also reported to the peer in-protocol.
+			if err := h.handleIncoming(conn); err != nil && h.OnError != nil {
+				h.OnError(err)
+			}
+		}()
+	}
+}
+
+// handleIncoming accepts one migration: it creates the destination VM from
+// the session parameters, runs the merge, and registers the VM as resident.
+func (h *Host) handleIncoming(conn net.Conn) error {
+	session, err := core.Accept(conn)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	_, resident := h.vms[session.VMName()]
+	if disk.IsDiskName(session.VMName()) {
+		base := session.VMName()[:len(session.VMName())-len(disk.DiskSuffix)]
+		_, resident = h.disks[base]
+	}
+	h.mu.Unlock()
+	if resident {
+		return session.Reject(fmt.Sprintf("VM %q already resident on %s", session.VMName(), h.name))
+	}
+	if session.IsPostCopy() {
+		return h.handlePostCopy(session)
+	}
+	// The seed only drives the guest's future workload randomness (its
+	// memory is about to be overwritten by the migration), but it must
+	// differ across hosts and across arrivals: a host resuming the same VM
+	// with a repeated seed would "randomly" write identical content, which
+	// then spuriously matches checkpoints.
+	h.mu.Lock()
+	h.arrivals++
+	seed := int64(fnv64(fmt.Sprintf("%s/%s/%d", h.name, session.VMName(), h.arrivals)))
+	h.mu.Unlock()
+	dst, err := vm.New(vm.Config{Name: session.VMName(), MemBytes: session.MemBytes(), Seed: seed})
+	if err != nil {
+		return session.Reject(err.Error())
+	}
+	res, err := session.Run(dst, core.DestOptions{
+		Store:         h.store,
+		TrackIncoming: true,
+	})
+	if err != nil {
+		return err
+	}
+	if h.SaveArrivals {
+		if err := h.store.Save(dst); err != nil {
+			return err
+		}
+	}
+	if disk.IsDiskName(dst.Name()) {
+		d, err := disk.FromBacking(dst)
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		h.disks[d.VMName()] = d
+		h.mu.Unlock()
+		return nil
+	}
+	h.mu.Lock()
+	h.vms[dst.Name()] = dst
+	h.seen[dst.Name()] = res.SeenSums
+	h.mu.Unlock()
+	if h.OnArrival != nil {
+		h.OnArrival(dst, res)
+	}
+	return nil
+}
+
+// handlePostCopy completes an incoming post-copy migration.
+func (h *Host) handlePostCopy(session *core.IncomingSession) error {
+	h.mu.Lock()
+	h.arrivals++
+	seed := int64(fnv64(fmt.Sprintf("%s/%s/%d", h.name, session.VMName(), h.arrivals)))
+	h.mu.Unlock()
+	dst, err := vm.New(vm.Config{Name: session.VMName(), MemBytes: session.MemBytes(), Seed: seed})
+	if err != nil {
+		return session.Reject(err.Error())
+	}
+	res, err := session.RunPostCopy(dst, core.PostCopyDestOptions{Store: h.store})
+	if err != nil {
+		return err
+	}
+	if h.SaveArrivals {
+		if err := h.store.Save(dst); err != nil {
+			return err
+		}
+	}
+	h.mu.Lock()
+	h.vms[dst.Name()] = dst
+	h.mu.Unlock()
+	if h.OnArrival != nil {
+		h.OnArrival(dst, core.DestResult{
+			Metrics:        res.Metrics.Metrics,
+			UsedCheckpoint: res.UsedCheckpoint,
+		})
+	}
+	return nil
+}
+
+// PostCopyTo moves the named VM to the peer at addr using the post-copy
+// protocol. The caller must have stopped the guest workload: post-copy
+// transfers a frozen state, and the guest logically resumes at the
+// destination the moment the manifest is resolved.
+func (h *Host) PostCopyTo(addr, vmName string) (core.PostCopyMetrics, error) {
+	h.mu.Lock()
+	v, ok := h.vms[vmName]
+	h.mu.Unlock()
+	if !ok {
+		return core.PostCopyMetrics{}, fmt.Errorf("%w: %q", ErrNoSuchVM, vmName)
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return core.PostCopyMetrics{}, fmt.Errorf("sched: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	m, err := core.PostCopySource(conn, v, core.PostCopySourceOptions{})
+	if err != nil {
+		return m, err
+	}
+	if err := h.store.Save(v); err != nil {
+		return m, fmt.Errorf("sched: checkpoint after migration: %w", err)
+	}
+	h.mu.Lock()
+	delete(h.vms, vmName)
+	delete(h.seen, vmName)
+	h.mu.Unlock()
+	return m, nil
+}
+
+// fnv64 hashes a string with FNV-1a.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// MigrateOptions tunes an outgoing migration from a host.
+type MigrateOptions struct {
+	// Recycle enables checkpoint-assisted mode (default in VeCycle
+	// deployments; disable for a baseline QEMU-style migration).
+	Recycle bool
+	// UsePingPong consults the checksums seen when this VM last arrived
+	// here, skipping the destination's announcement (§3.2). Only sound when
+	// the destination is the host the VM arrived from and its checkpoint is
+	// unchanged since.
+	UsePingPong bool
+	// KeepCheckpoint writes a local checkpoint after the VM leaves (the
+	// core of VeCycle). Disable to model a host with no spare disk.
+	KeepCheckpoint bool
+	// UseDelta sends partially-changed pages as XBZRLE deltas against this
+	// host's stored checkpoint of the VM. The optimization is *optimistic*:
+	// it assumes the local image equals the destination's checkpoint, which
+	// holds in two-host ping-pong with SaveArrivals + KeepCheckpoint but
+	// can go stale when the VM roams more hosts. A stale base is caught by
+	// the destination's mandatory per-delta verification; MigrateTo then
+	// retries the migration once without deltas.
+	UseDelta bool
+	// Pause and Resume bracket the stop-and-copy phase, as in
+	// core.SourceOptions.
+	Pause  func()
+	Resume func()
+}
+
+// MigrateTo live-migrates the named resident VM to the peer host listening
+// at addr. On success the VM is no longer resident here and, when
+// KeepCheckpoint is set, a checkpoint of its final state is stored locally.
+func (h *Host) MigrateTo(addr, vmName string, opts MigrateOptions) (core.Metrics, error) {
+	h.mu.Lock()
+	v, ok := h.vms[vmName]
+	var known *checksum.Set
+	if opts.UsePingPong {
+		known = h.seen[vmName]
+	}
+	h.mu.Unlock()
+	if !ok {
+		return core.Metrics{}, fmt.Errorf("%w: %q", ErrNoSuchVM, vmName)
+	}
+
+	var deltaBase core.PageProvider
+	if opts.UseDelta && h.store.Has(vmName) {
+		cp, err := h.store.Restore(vmName, checksum.MD5, nil)
+		if err != nil {
+			return core.Metrics{}, fmt.Errorf("sched: open delta base: %w", err)
+		}
+		defer cp.Close()
+		deltaBase = cp
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return core.Metrics{}, fmt.Errorf("sched: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	// Unshared storage: the block device moves first, through the same
+	// engine on its own connection, so the guest's final rounds overlap
+	// only with RAM streaming (QEMU's block-then-RAM ordering).
+	h.mu.Lock()
+	d := h.disks[vmName]
+	h.mu.Unlock()
+	if d != nil {
+		diskConn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err != nil {
+			return core.Metrics{}, fmt.Errorf("sched: dial %s for disk: %w", addr, err)
+		}
+		_, derr := core.MigrateSource(diskConn, d.Backing(), core.SourceOptions{Recycle: opts.Recycle})
+		diskConn.Close()
+		if derr != nil {
+			return core.Metrics{}, fmt.Errorf("sched: disk migration: %w", derr)
+		}
+		if opts.KeepCheckpoint {
+			if err := h.store.Save(d.Backing()); err != nil {
+				return core.Metrics{}, fmt.Errorf("sched: disk checkpoint: %w", err)
+			}
+		}
+	}
+
+	attempt := func(c net.Conn, base core.PageProvider) (core.Metrics, error) {
+		return core.MigrateSource(c, v, core.SourceOptions{
+			Recycle:       opts.Recycle,
+			KnownDestSums: known,
+			DeltaBase:     base,
+			Pause:         opts.Pause,
+			Resume:        opts.Resume,
+		})
+	}
+	m, err := attempt(conn, deltaBase)
+	if err != nil && deltaBase != nil {
+		// Delta encoding is optimistic: if this host's checkpoint mirror
+		// went stale (the VM visited the destination via a third host),
+		// the destination's mandatory per-delta verification aborts the
+		// stream. Retry once on a fresh connection without deltas.
+		if h.OnError != nil {
+			h.OnError(fmt.Errorf("sched: delta migration of %q to %s failed (%v); retrying without deltas", vmName, addr, err))
+		}
+		retryConn, dialErr := net.DialTimeout("tcp", addr, dialTimeout)
+		if dialErr != nil {
+			return m, fmt.Errorf("sched: redial %s: %w", addr, dialErr)
+		}
+		m, err = attempt(retryConn, nil)
+		retryConn.Close()
+	}
+	if err != nil {
+		return m, err
+	}
+
+	// The VM now runs at the destination. Write the local checkpoint —
+	// after the migration, off the critical path, as in the paper.
+	if opts.KeepCheckpoint {
+		if err := h.store.Save(v); err != nil {
+			return m, fmt.Errorf("sched: checkpoint after migration: %w", err)
+		}
+	}
+	h.mu.Lock()
+	delete(h.vms, vmName)
+	delete(h.disks, vmName)
+	delete(h.seen, vmName)
+	h.mu.Unlock()
+	return m, nil
+}

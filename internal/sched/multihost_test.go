@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vecycle/internal/vm"
+)
+
+// TestThreeHostDeltaStaleBaseRetry sends a VM around a three-host ring with
+// optimistic deltas enabled. On the third leg the source's checkpoint
+// mirror is stale (the VM reached the destination via the middle host);
+// the destination's verification must abort the delta attempt and the
+// automatic retry must complete the migration without deltas.
+func TestThreeHostDeltaStaleBaseRetry(t *testing.T) {
+	hosts := make([]*Host, 3)
+	addrs := make([]string, 3)
+	var (
+		errMu  sync.Mutex
+		errLog []string
+	)
+	for i := range hosts {
+		hosts[i] = newHost(t, string(rune('a'+i)))
+		hosts[i].SaveArrivals = true
+		hosts[i].OnError = func(err error) {
+			errMu.Lock()
+			defer errMu.Unlock()
+			errLog = append(errLog, err.Error())
+		}
+		addrs[i] = listen(t, hosts[i])
+	}
+	g, err := vm.New(vm.Config{Name: "vm0", MemBytes: 64 * vm.PageSize, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FillRandom(0.9); err != nil {
+		t.Fatal(err)
+	}
+	hosts[0].AddVM(g)
+
+	wait := func(h *Host) *vm.VM {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if v, ok := h.VM("vm0"); ok {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("VM never arrived")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	route := []int{1, 2, 0, 1}
+	cur := 0
+	var prev *vm.VM = g
+	for leg, to := range route {
+		m, err := hosts[cur].MigrateTo(addrs[to], "vm0", MigrateOptions{
+			Recycle: true, UseDelta: true, KeepCheckpoint: true,
+		})
+		if err != nil {
+			t.Fatalf("leg %d (%d->%d): %v", leg+1, cur, to, err)
+		}
+		v := wait(hosts[to])
+		if !prev.MemEqual(v) {
+			t.Fatalf("leg %d: memory differs", leg+1)
+		}
+		// Legs 3+ still recycle via checksums even when the delta attempt
+		// is retried away.
+		if leg >= 2 && m.PagesSum == 0 {
+			t.Errorf("leg %d recycled nothing", leg+1)
+		}
+		v.TouchRandomPages(8)
+		prev = v
+		cur = to
+	}
+	// At least one stale-base retry must have happened on this topology.
+	errMu.Lock()
+	defer errMu.Unlock()
+	retried := false
+	for _, e := range errLog {
+		if strings.Contains(e, "retrying without deltas") {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Errorf("expected a stale-delta retry; host errors: %v", errLog)
+	}
+}

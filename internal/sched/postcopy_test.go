@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"vecycle/internal/vm"
+)
+
+func TestPostCopyOverTCP(t *testing.T) {
+	alpha := newHost(t, "alpha")
+	beta := newHost(t, "beta")
+	alpha.SaveArrivals = true
+	beta.SaveArrivals = true
+	addrA := listen(t, alpha)
+	addrB := listen(t, beta)
+
+	guest, err := vm.New(vm.Config{Name: "vm0", MemBytes: 64 * vm.PageSize, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guest.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	want := guest.Fingerprint64()
+	alpha.AddVM(guest)
+
+	wait := func(h *Host) *vm.VM {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if v, ok := h.VM("vm0"); ok {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("VM never arrived")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Leg 1: post-copy with no checkpoint anywhere — every page is
+	// demand-fetched.
+	m1, err := alpha.PostCopyTo(addrB, "vm0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := wait(beta)
+	if m1.PagesRequested != 64 {
+		t.Errorf("leg 1 requested %d pages, want 64", m1.PagesRequested)
+	}
+	got := vb.Fingerprint64()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("page %d differs after post-copy", i)
+		}
+	}
+
+	// Leg 2: back to alpha, which now holds a checkpoint (written by
+	// PostCopyTo); only touched pages fault over the network.
+	vb.TouchRandomPages(5)
+	m2, err := beta.PostCopyTo(addrA, "vm0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(alpha)
+	if m2.PagesRequested == 0 || m2.PagesRequested > 5 {
+		t.Errorf("leg 2 requested %d pages, want 1..5", m2.PagesRequested)
+	}
+	if m2.BytesSent >= m1.BytesSent {
+		t.Errorf("leg 2 sent %d bytes, leg 1 %d", m2.BytesSent, m1.BytesSent)
+	}
+}
+
+func TestPostCopyNoSuchVM(t *testing.T) {
+	alpha := newHost(t, "alpha")
+	if _, err := alpha.PostCopyTo("127.0.0.1:1", "ghost"); err == nil {
+		t.Error("missing VM accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// The VDI schedule of §4.6: a virtual desktop migrates from the
+// consolidation server to the user's workstation when the user arrives
+// (9 am) and back when they leave (5 pm), on weekdays only. Over the
+// paper's 19-day trace window (5–23 Nov 2014) this yields 13 weekdays and
+// 26 migrations.
+
+// Direction tells where a VDI migration moves the desktop.
+type Direction uint8
+
+// VDI migration directions.
+const (
+	// ToWorkstation is the 9 am migration: consolidation server → desk.
+	ToWorkstation Direction = iota + 1
+	// ToServer is the 5 pm migration: desk → consolidation server.
+	ToServer
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case ToWorkstation:
+		return "server→workstation"
+	case ToServer:
+		return "workstation→server"
+	default:
+		return fmt.Sprintf("direction(%d)", uint8(d))
+	}
+}
+
+// VDIMigration is one scheduled desktop move.
+type VDIMigration struct {
+	At        time.Time
+	Direction Direction
+}
+
+// VDISchedule enumerates the migrations between start and end (inclusive
+// dates): one ToWorkstation at morningHour and one ToServer at eveningHour
+// on every weekday, none on weekends.
+func VDISchedule(start, end time.Time, morningHour, eveningHour int) ([]VDIMigration, error) {
+	if end.Before(start) {
+		return nil, fmt.Errorf("sched: end %v before start %v", end, start)
+	}
+	if morningHour < 0 || eveningHour > 24 || morningHour >= eveningHour {
+		return nil, fmt.Errorf("sched: invalid hours %d–%d", morningHour, eveningHour)
+	}
+	var out []VDIMigration
+	day := time.Date(start.Year(), start.Month(), start.Day(), 0, 0, 0, 0, start.Location())
+	for !day.After(end) {
+		if wd := day.Weekday(); wd != time.Saturday && wd != time.Sunday {
+			out = append(out,
+				VDIMigration{At: day.Add(time.Duration(morningHour) * time.Hour), Direction: ToWorkstation},
+				VDIMigration{At: day.Add(time.Duration(eveningHour) * time.Hour), Direction: ToServer},
+			)
+		}
+		day = day.AddDate(0, 0, 1)
+	}
+	// Trim migrations outside the [start, end] instant range.
+	filtered := out[:0]
+	for _, m := range out {
+		if !m.At.Before(start) && !m.At.After(end) {
+			filtered = append(filtered, m)
+		}
+	}
+	return filtered, nil
+}
+
+// PaperVDISchedule reproduces §4.6 exactly: 5–23 Nov 2014, 9 am and 5 pm,
+// 13 weekdays, 26 migrations.
+func PaperVDISchedule() []VDIMigration {
+	start := time.Date(2014, 11, 5, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2014, 11, 23, 23, 59, 0, 0, time.UTC)
+	sched, err := VDISchedule(start, end, 9, 17)
+	if err != nil {
+		// Unreachable: constants are valid.
+		panic(err)
+	}
+	return sched
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeltaBinner groups samples keyed by a time delta into fixed-width bins,
+// reproducing the binning of the paper's Figure 1: the first bin covers
+// deltas in [width/2, 3*width/2), the second [3*width/2, 5*width/2), and so
+// on, so that bin i is centred on (i+1)*width. With the paper's 30-minute
+// fingerprint period the first bin is [15 min, 45 min), centred on 30 min.
+type DeltaBinner struct {
+	width   time.Duration
+	maxBins int
+	bins    []Summary
+}
+
+// NewDeltaBinner creates a binner with the given bin width and a cap on the
+// number of bins (samples beyond the last bin are dropped, matching the
+// paper's 24-hour x-axis cut-off). width must be positive and maxBins at
+// least 1.
+func NewDeltaBinner(width time.Duration, maxBins int) (*DeltaBinner, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("stats: bin width must be positive, got %v", width)
+	}
+	if maxBins < 1 {
+		return nil, fmt.Errorf("stats: maxBins must be >= 1, got %d", maxBins)
+	}
+	return &DeltaBinner{
+		width:   width,
+		maxBins: maxBins,
+		bins:    make([]Summary, maxBins),
+	}, nil
+}
+
+// BinIndex reports the bin a delta falls into, or -1 if it is below the
+// first bin's lower edge or beyond the last bin.
+func (b *DeltaBinner) BinIndex(delta time.Duration) int {
+	lo := b.width / 2
+	if delta < lo {
+		return -1
+	}
+	idx := int((delta - lo) / b.width)
+	if idx >= b.maxBins {
+		return -1
+	}
+	return idx
+}
+
+// Add records sample v for the given delta. Samples outside the binned
+// range are silently dropped.
+func (b *DeltaBinner) Add(delta time.Duration, v float64) {
+	if idx := b.BinIndex(delta); idx >= 0 {
+		b.bins[idx].Add(v)
+	}
+}
+
+// Bin returns the summary for bin i (0-based). It panics if i is out of
+// range, mirroring slice indexing.
+func (b *DeltaBinner) Bin(i int) *Summary { return &b.bins[i] }
+
+// Len reports the configured number of bins.
+func (b *DeltaBinner) Len() int { return b.maxBins }
+
+// Center reports the delta at the centre of bin i.
+func (b *DeltaBinner) Center(i int) time.Duration {
+	return time.Duration(i+1) * b.width
+}
+
+// BinStat is the plotted content of one bin: its centre on the x-axis and
+// the min/avg/max envelope on the y-axis.
+type BinStat struct {
+	Center time.Duration
+	N      int
+	Min    float64
+	Avg    float64
+	Max    float64
+}
+
+// Series returns one BinStat per non-empty bin, in x order. This is exactly
+// the data behind one panel of Figure 1.
+func (b *DeltaBinner) Series() []BinStat {
+	out := make([]BinStat, 0, b.maxBins)
+	for i := range b.bins {
+		s := &b.bins[i]
+		if s.N() == 0 {
+			continue
+		}
+		out = append(out, BinStat{
+			Center: b.Center(i),
+			N:      s.N(),
+			Min:    s.Min(),
+			Avg:    s.Mean(),
+			Max:    s.Max(),
+		})
+	}
+	return out
+}

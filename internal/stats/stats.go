@@ -1,0 +1,184 @@
+// Package stats provides the small set of statistics primitives shared by
+// every experiment in the VeCycle reproduction: summary statistics
+// (min/avg/max as plotted in Figures 1 and 2), empirical CDFs (Figure 5),
+// and time-delta binning of fingerprint pairs.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by operations that require at least one sample.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Summary holds the aggregate statistics of a sample set. The zero value is
+// an empty summary ready for use; call Add to accumulate samples.
+type Summary struct {
+	n    int
+	min  float64
+	max  float64
+	sum  float64
+	sum2 float64
+}
+
+// Add accumulates one sample.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sum2 += v * v
+}
+
+// AddAll accumulates every sample in vs.
+func (s *Summary) AddAll(vs []float64) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// N reports the number of accumulated samples.
+func (s *Summary) N() int { return s.n }
+
+// Min reports the smallest sample, or 0 for an empty summary.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest sample, or 0 for an empty summary.
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum reports the sum of all samples.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Variance reports the population variance, or 0 for an empty summary.
+// Floating-point cancellation can drive the naive formula slightly
+// negative; the result is clamped at 0.
+func (s *Summary) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sum2/float64(s.n) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev reports the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds the samples of other into s.
+func (s *Summary) Merge(other Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	s.sum += other.sum
+	s.sum2 += other.sum2
+}
+
+// String formats the summary as "n=… min=… avg=… max=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4f avg=%.4f max=%.4f", s.n, s.Min(), s.Mean(), s.Max())
+}
+
+// CDF is an empirical cumulative distribution function over a fixed sample
+// set. Construct one with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the given samples. The input slice is
+// copied; the caller retains ownership.
+func NewCDF(samples []float64) (*CDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// N reports the number of samples underlying the CDF.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At reports P(X <= x), the fraction of samples less than or equal to x.
+func (c *CDF) At(x float64) float64 {
+	// sort.SearchFloat64s finds the first index with sorted[i] >= x; advance
+	// past equal values to make the CDF right-continuous (P(X <= x)).
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile reports the q-th quantile for q in [0,1] using nearest-rank
+// interpolation. Quantile(0) is the minimum and Quantile(1) the maximum.
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	pos := q * float64(len(c.sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) pairs suitable for
+// plotting the CDF curve, always including the extreme samples.
+func (c *CDF) Points(n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		// Map i over the sample index range [0, len-1].
+		idx := i * (len(c.sorted) - 1) / (n - 1)
+		x := c.sorted[idx]
+		pts = append(pts, Point{X: x, Y: float64(idx+1) / float64(len(c.sorted))})
+	}
+	return pts
+}
+
+// Point is one (x, y) pair of a plotted series.
+type Point struct {
+	X float64
+	Y float64
+}

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("zero-value Summary not empty: %v", s.String())
+	}
+	if s.Variance() != 0 || s.StdDev() != 0 {
+		t.Errorf("zero-value Summary variance/stddev not zero")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.N() != 1 {
+		t.Fatalf("N = %d, want 1", s.N())
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 || s.Mean() != 3.5 {
+		t.Errorf("single sample: min=%v max=%v mean=%v, want all 3.5", s.Min(), s.Max(), s.Mean())
+	}
+	if s.Variance() != 0 {
+		t.Errorf("single sample variance = %v, want 0", s.Variance())
+	}
+}
+
+func TestSummaryKnownValues(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got, want := s.Mean(), 5.0; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := s.StdDev(), 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{-5, -1, -3})
+	if s.Min() != -5 || s.Max() != -1 {
+		t.Errorf("Min/Max = %v/%v, want -5/-1", s.Min(), s.Max())
+	}
+	if got := s.Mean(); got != -3 {
+		t.Errorf("Mean = %v, want -3", got)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 20}
+	a.AddAll(xs)
+	b.AddAll(ys)
+	all.AddAll(append(append([]float64{}, xs...), ys...))
+	a.Merge(b)
+	if a.N() != all.N() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged summary %v != direct %v", a.String(), all.String())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v != direct %v", a.Mean(), all.Mean())
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(7)
+	before := a.String()
+	a.Merge(b) // merging empty is a no-op
+	if a.String() != before {
+		t.Errorf("merge of empty changed summary: %v -> %v", before, a.String())
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 7 {
+		t.Errorf("merge into empty: %v", b.String())
+	}
+}
+
+// Property: mean is always within [min, max], variance is non-negative.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(vs []float64) bool {
+		var s Summary
+		for _, v := range vs {
+			// Restrict to the library's domain (fractions, byte counts,
+			// seconds); astronomically large magnitudes overflow sum2.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9 && s.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Fatal("NewCDF(nil) should fail")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c, err := NewCDF([]float64{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50", got)
+	}
+	if got := c.Quantile(0.5); got != 30 {
+		t.Errorf("Quantile(0.5) = %v, want 30", got)
+	}
+	if got := c.Quantile(0.25); got != 20 {
+		t.Errorf("Quantile(0.25) = %v, want 20", got)
+	}
+}
+
+func TestCDFQuantileInterpolates(t *testing.T) {
+	c, err := NewCDF([]float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 5 (interpolated)", got)
+	}
+}
+
+// Property: CDF is monotonic and bounded in [0,1]; quantile inverts within
+// sample bounds.
+func TestCDFInvariants(t *testing.T) {
+	f := func(vs []float64, probe float64) bool {
+		clean := vs[:0]
+		for _, v := range vs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c, err := NewCDF(clean)
+		if err != nil {
+			return false
+		}
+		p := c.At(probe)
+		if p < 0 || p > 1 {
+			return false
+		}
+		// Monotonic: At(x) <= At(x + 1).
+		if !math.IsNaN(probe) && !math.IsInf(probe, 0) && c.At(probe) > c.At(probe+1) {
+			return false
+		}
+		// Quantiles stay within [min, max].
+		q := c.Quantile(0.37)
+		return q >= c.Quantile(0)-1e-9 && q <= c.Quantile(1)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) returned %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[len(pts)-1].X != 10 {
+		t.Errorf("Points should span the extremes, got first=%v last=%v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y || pts[i].X < pts[i-1].X {
+			t.Errorf("Points not monotonic at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestNewDeltaBinnerValidation(t *testing.T) {
+	if _, err := NewDeltaBinner(0, 10); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := NewDeltaBinner(time.Minute, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+func TestDeltaBinnerPaperEdges(t *testing.T) {
+	// Paper: 30-minute bins; the first bin covers [15, 45) minutes.
+	b, err := NewDeltaBinner(30*time.Minute, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		delta time.Duration
+		want  int
+	}{
+		{14 * time.Minute, -1},
+		{15 * time.Minute, 0},
+		{44 * time.Minute, 0},
+		{45 * time.Minute, 1},
+		{74 * time.Minute, 1},
+		{75 * time.Minute, 2},
+		{24*time.Hour + 14*time.Minute, 47},
+		{24*time.Hour + 15*time.Minute, -1}, // beyond the last bin
+	}
+	for _, tc := range cases {
+		if got := b.BinIndex(tc.delta); got != tc.want {
+			t.Errorf("BinIndex(%v) = %d, want %d", tc.delta, got, tc.want)
+		}
+	}
+}
+
+func TestDeltaBinnerCenter(t *testing.T) {
+	b, err := NewDeltaBinner(30*time.Minute, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Center(0); got != 30*time.Minute {
+		t.Errorf("Center(0) = %v, want 30m", got)
+	}
+	if got := b.Center(3); got != 2*time.Hour {
+		t.Errorf("Center(3) = %v, want 2h", got)
+	}
+}
+
+func TestDeltaBinnerSeries(t *testing.T) {
+	b, err := NewDeltaBinner(time.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(time.Hour, 0.5)
+	b.Add(time.Hour, 0.7)
+	b.Add(3*time.Hour, 0.2)
+	// Bin 1 (centre 2h) stays empty and must be skipped.
+	series := b.Series()
+	if len(series) != 2 {
+		t.Fatalf("Series length = %d, want 2", len(series))
+	}
+	if series[0].Center != time.Hour || series[0].N != 2 || series[0].Min != 0.5 || series[0].Max != 0.7 {
+		t.Errorf("series[0] = %+v", series[0])
+	}
+	if series[1].Center != 3*time.Hour || series[1].Avg != 0.2 {
+		t.Errorf("series[1] = %+v", series[1])
+	}
+}
+
+func TestDeltaBinnerDropsOutOfRange(t *testing.T) {
+	b, err := NewDeltaBinner(time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(10*time.Hour, 1.0)
+	b.Add(time.Minute, 1.0)
+	if got := len(b.Series()); got != 0 {
+		t.Errorf("out-of-range samples should be dropped, series has %d bins", got)
+	}
+}

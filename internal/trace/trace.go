@@ -1,0 +1,213 @@
+// Package trace serializes fingerprint traces so experiments can be
+// decoupled from trace generation, in the same way the paper's analysis
+// consumed pre-recorded Memory Buddies trace files.
+//
+// The binary format is little-endian and self-describing:
+//
+//	magic "VCTF" | version u16 | metadata | fingerprint count u32 |
+//	fingerprints...
+//
+// where metadata carries the Table 1 columns (machine name, OS, trace ID,
+// RAM size, model scale) and each fingerprint is a Unix-nano timestamp
+// followed by its page hashes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vecycle/internal/fingerprint"
+)
+
+// Magic identifies a VeCycle trace file.
+var Magic = [4]byte{'V', 'C', 'T', 'F'}
+
+// Version is the current format version.
+const Version uint16 = 1
+
+// Limits guarding against corrupt headers.
+const (
+	maxStringLen    = 4096
+	maxFingerprints = 1 << 20
+	maxPages        = 1 << 28
+)
+
+// Meta describes the traced machine — the columns of Table 1 plus the model
+// scale needed to convert model pages back to real bytes.
+type Meta struct {
+	// Name is the machine name ("Server A").
+	Name string
+	// OS is the traced operating system.
+	OS string
+	// TraceID references the source data set.
+	TraceID string
+	// RAMBytes is the real machine's memory size.
+	RAMBytes int64
+	// PagesPerGiB is the model scale the trace was generated at.
+	PagesPerGiB int32
+}
+
+// Trace is a fingerprint history with its metadata.
+type Trace struct {
+	Meta         Meta
+	Fingerprints []*fingerprint.Fingerprint
+}
+
+// Write serializes the trace to w.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, Version); err != nil {
+		return fmt.Errorf("trace: write version: %w", err)
+	}
+	for _, s := range []string{tr.Meta.Name, tr.Meta.OS, tr.Meta.TraceID} {
+		if err := writeString(bw, s); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, tr.Meta.RAMBytes); err != nil {
+		return fmt.Errorf("trace: write ram size: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, tr.Meta.PagesPerGiB); err != nil {
+		return fmt.Errorf("trace: write scale: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(tr.Fingerprints))); err != nil {
+		return fmt.Errorf("trace: write count: %w", err)
+	}
+	for i, fp := range tr.Fingerprints {
+		if err := binary.Write(bw, binary.LittleEndian, fp.Taken.UnixNano()); err != nil {
+			return fmt.Errorf("trace: write fingerprint %d time: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(fp.Hashes))); err != nil {
+			return fmt.Errorf("trace: write fingerprint %d size: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, fp.Hashes); err != nil {
+			return fmt.Errorf("trace: write fingerprint %d hashes: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("trace: read version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", version, Version)
+	}
+	tr := &Trace{}
+	for _, dst := range []*string{&tr.Meta.Name, &tr.Meta.OS, &tr.Meta.TraceID} {
+		s, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		*dst = s
+	}
+	if err := binary.Read(br, binary.LittleEndian, &tr.Meta.RAMBytes); err != nil {
+		return nil, fmt.Errorf("trace: read ram size: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &tr.Meta.PagesPerGiB); err != nil {
+		return nil, fmt.Errorf("trace: read scale: %w", err)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: read count: %w", err)
+	}
+	if count > maxFingerprints {
+		return nil, fmt.Errorf("trace: header claims %d fingerprints, limit %d", count, maxFingerprints)
+	}
+	tr.Fingerprints = make([]*fingerprint.Fingerprint, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var nanos int64
+		if err := binary.Read(br, binary.LittleEndian, &nanos); err != nil {
+			return nil, fmt.Errorf("trace: read fingerprint %d time: %w", i, err)
+		}
+		var pages uint32
+		if err := binary.Read(br, binary.LittleEndian, &pages); err != nil {
+			return nil, fmt.Errorf("trace: read fingerprint %d size: %w", i, err)
+		}
+		if pages > maxPages {
+			return nil, fmt.Errorf("trace: fingerprint %d claims %d pages, limit %d", i, pages, maxPages)
+		}
+		fp := &fingerprint.Fingerprint{
+			Taken:  time.Unix(0, nanos).UTC(),
+			Hashes: make([]fingerprint.PageHash, pages),
+		}
+		if err := binary.Read(br, binary.LittleEndian, fp.Hashes); err != nil {
+			return nil, fmt.Errorf("trace: read fingerprint %d hashes: %w", i, err)
+		}
+		tr.Fingerprints = append(tr.Fingerprints, fp)
+	}
+	return tr, nil
+}
+
+// WriteFile serializes the trace to the named file.
+func WriteFile(path string, tr *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	return Write(f, tr)
+}
+
+// ReadFile deserializes a trace from the named file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("trace: string of %d bytes exceeds limit %d", len(s), maxStringLen)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return fmt.Errorf("trace: write string length: %w", err)
+	}
+	if _, err := io.WriteString(w, s); err != nil {
+		return fmt.Errorf("trace: write string: %w", err)
+	}
+	return nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("trace: read string length: %w", err)
+	}
+	if int(n) > maxStringLen {
+		return "", fmt.Errorf("trace: string of %d bytes exceeds limit %d", n, maxStringLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("trace: read string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vecycle/internal/fingerprint"
+)
+
+func sampleTrace() *Trace {
+	t0 := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	return &Trace{
+		Meta: Meta{
+			Name:        "Server A",
+			OS:          "Linux",
+			TraceID:     "00065BEE5AA7",
+			RAMBytes:    1 << 30,
+			PagesPerGiB: 2048,
+		},
+		Fingerprints: []*fingerprint.Fingerprint{
+			{Taken: t0, Hashes: []fingerprint.PageHash{1, 2, 3, 0}},
+			{Taken: t0.Add(30 * time.Minute), Hashes: []fingerprint.PageHash{1, 9, 3, 0}},
+		},
+	}
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Meta != b.Meta || len(a.Fingerprints) != len(b.Fingerprints) {
+		return false
+	}
+	for i := range a.Fingerprints {
+		fa, fb := a.Fingerprints[i], b.Fingerprints[i]
+		if !fa.Taken.Equal(fb.Taken) || len(fa.Hashes) != len(fb.Hashes) {
+			return false
+		}
+		for j := range fa.Hashes {
+			if fa.Hashes[j] != fb.Hashes[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Errorf("round trip mismatch:\nwrote %+v\nread  %+v", tr, got)
+	}
+}
+
+func TestRoundTripEmptyFingerprints(t *testing.T) {
+	tr := &Trace{Meta: Meta{Name: "empty"}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fingerprints) != 0 || got.Meta.Name != "empty" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "server-a.vctf")
+	tr := sampleTrace()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.vctf")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE...."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 0xFF // corrupt version
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{3, 5, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestReadHostileCounts(t *testing.T) {
+	// Build a header that claims maxFingerprints+1 fingerprints.
+	var buf bytes.Buffer
+	tr := &Trace{Meta: Meta{Name: "x"}}
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The count is the last 4 bytes of this minimal trace.
+	for i := 1; i <= 4; i++ {
+		raw[len(raw)-i] = 0xFF
+	}
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("hostile fingerprint count accepted")
+	}
+}
+
+func TestWriteOverlongString(t *testing.T) {
+	tr := sampleTrace()
+	tr.Meta.Name = string(make([]byte, maxStringLen+1))
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err == nil {
+		t.Error("overlong string accepted")
+	}
+}
+
+// Property: any trace with valid timestamps round-trips losslessly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(name, os, id string, ram int64, hashes [][]uint64) bool {
+		if len(name) > 1024 || len(os) > 1024 || len(id) > 1024 {
+			return true
+		}
+		if ram < 0 {
+			ram = -ram
+		}
+		tr := &Trace{Meta: Meta{Name: name, OS: os, TraceID: id, RAMBytes: ram, PagesPerGiB: 2048}}
+		t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i, hs := range hashes {
+			fp := &fingerprint.Fingerprint{Taken: t0.Add(time.Duration(i) * time.Minute)}
+			for _, h := range hs {
+				fp.Hashes = append(fp.Hashes, fingerprint.PageHash(h))
+			}
+			tr.Fingerprints = append(tr.Fingerprints, fp)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
