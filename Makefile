@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet race ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate for every change: static analysis plus the full suite
+# under the race detector.
+ci: vet race

@@ -4,6 +4,7 @@
 package vecycle_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -192,11 +193,11 @@ func benchEngineOnce(b *testing.B, sopts core.SourceOptions) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			last, serr = core.MigrateSource(ca, guest, opts)
+			last, serr = core.MigrateSource(context.Background(), ca, guest, opts)
 		}()
 		go func() {
 			defer wg.Done()
-			_, derr = core.MigrateDest(cb, dst, core.DestOptions{Store: store})
+			_, derr = core.MigrateDest(context.Background(), cb, dst, core.DestOptions{Store: store})
 		}()
 		wg.Wait()
 		ca.Close()
@@ -284,11 +285,11 @@ func BenchmarkAblationDelta(b *testing.B) {
 				wg.Add(2)
 				go func() {
 					defer wg.Done()
-					last, serr = core.MigrateSource(ca, guest, v.opts(base))
+					last, serr = core.MigrateSource(context.Background(), ca, guest, v.opts(base))
 				}()
 				go func() {
 					defer wg.Done()
-					_, derr = core.MigrateDest(cb, dst, core.DestOptions{Store: destStore})
+					_, derr = core.MigrateDest(context.Background(), cb, dst, core.DestOptions{Store: destStore})
 				}()
 				wg.Wait()
 				ca.Close()

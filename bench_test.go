@@ -8,6 +8,7 @@
 package vecycle_test
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -151,11 +152,11 @@ func BenchmarkMigrationProtocol(b *testing.B) {
 				wg.Add(2)
 				go func() {
 					defer wg.Done()
-					_, serr = core.MigrateSource(ca, guest, core.SourceOptions{Recycle: mode.recycle})
+					_, serr = core.MigrateSource(context.Background(), ca, guest, core.SourceOptions{Recycle: mode.recycle})
 				}()
 				go func() {
 					defer wg.Done()
-					_, derr = core.MigrateDest(cb, dst, core.DestOptions{Store: store})
+					_, derr = core.MigrateDest(context.Background(), cb, dst, core.DestOptions{Store: store})
 				}()
 				wg.Wait()
 				ca.Close()
@@ -258,11 +259,11 @@ func BenchmarkPostCopyProtocol(b *testing.B) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			_, serr = core.PostCopySource(ca, guest, core.PostCopySourceOptions{})
+			_, serr = core.PostCopySource(context.Background(), ca, guest, core.PostCopySourceOptions{})
 		}()
 		go func() {
 			defer wg.Done()
-			last, derr = core.PostCopyDest(cb, dst, core.PostCopyDestOptions{Store: store})
+			last, derr = core.PostCopyDest(context.Background(), cb, dst, core.PostCopyDestOptions{Store: store})
 		}()
 		wg.Wait()
 		ca.Close()
@@ -310,11 +311,11 @@ func BenchmarkDiskMigration(b *testing.B) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			last, serr = core.MigrateSource(ca, dev.Backing(), core.SourceOptions{Recycle: true})
+			last, serr = core.MigrateSource(context.Background(), ca, dev.Backing(), core.SourceOptions{Recycle: true})
 		}()
 		go func() {
 			defer wg.Done()
-			_, derr = core.MigrateDest(cb, dstBacking, core.DestOptions{Store: store})
+			_, derr = core.MigrateDest(context.Background(), cb, dstBacking, core.DestOptions{Store: store})
 		}()
 		wg.Wait()
 		ca.Close()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +61,12 @@ func runSource(args []string) error {
 		store    = fs.String("store", "", "checkpoint store directory (required)")
 		recycle  = fs.Bool("recycle", true, "enable checkpoint-assisted migration")
 		postcopy = fs.Bool("postcopy", false, "use the post-copy protocol (manifest + demand fetch)")
+		compress = fs.Bool("compress", false, "deflate-compress full-page payloads")
+		workers  = fs.Int("checksum-workers", 0, "parallel first-round checksum workers (<2 = sequential)")
+		rounds   = fs.Int("max-rounds", 0, "pre-copy round cap (0 = engine default)")
+		stopAt   = fs.Int("stop-threshold", 0, "dirty-page count triggering the final round (0 = engine default)")
+		idle     = fs.Duration("idle-timeout", 0, "per-I/O idle timeout (0 = default, negative disables)")
+		retries  = fs.Int("retries", 1, "total migration attempts on transient transport failures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,8 +90,11 @@ func runSource(args []string) error {
 		return err
 	}
 	host.AddVM(guest)
+	if *idle != 0 {
+		host.IdleTimeout = *idle
+	}
 	if *postcopy {
-		m, err := host.PostCopyTo(*dest, *vmName)
+		m, err := host.PostCopyTo(context.Background(), *dest, *vmName)
 		if err != nil {
 			return err
 		}
@@ -92,9 +102,15 @@ func runSource(args []string) error {
 			core.FormatBytes(m.BytesSent), m.PagesRequested, m.ResumeDelay, m.Duration)
 		return nil
 	}
-	m, err := host.MigrateTo(*dest, *vmName, sched.MigrateOptions{
-		Recycle:        *recycle,
-		KeepCheckpoint: true,
+	m, err := host.MigrateTo(context.Background(), *dest, *vmName, sched.MigrateOptions{
+		Recycle:         *recycle,
+		KeepCheckpoint:  true,
+		Compress:        *compress,
+		ChecksumWorkers: *workers,
+		MaxRounds:       *rounds,
+		StopThreshold:   *stopAt,
+		IdleTimeout:     *idle,
+		Retry:           sched.RetryPolicy{Attempts: *retries},
 	})
 	if err != nil {
 		return err
@@ -164,7 +180,7 @@ func runDemo(args []string) error {
 	for i := 0; i < *migrations; i++ {
 		from, to := hosts[i%2], (i+1)%2
 		arrived.Add(1)
-		m, err := from.MigrateTo(addrs[to], "demo-vm", sched.MigrateOptions{
+		m, err := from.MigrateTo(context.Background(), addrs[to], "demo-vm", sched.MigrateOptions{
 			Recycle:        true,
 			KeepCheckpoint: true,
 		})

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,8 @@ func runFleet(args []string) error {
 		mem       = fs.String("mem", "8MiB", "memory size per VM")
 		rounds    = fs.Int("rounds", 3, "migration rounds (each VM moves once per round)")
 		touches   = fs.Int("touch", 32, "pages dirtied by each guest between rounds")
+		compress  = fs.Bool("compress", false, "deflate-compress full-page payloads")
+		workers   = fs.Int("checksum-workers", 0, "parallel first-round checksum workers (<2 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,10 +92,12 @@ func runFleet(args []string) error {
 				to = (to + 1) % *hostCount
 			}
 			arrived.Add(1)
-			m, err := hosts[from].MigrateTo(addrs[to], name, sched.MigrateOptions{
-				Recycle:        true,
-				UseDelta:       true,
-				KeepCheckpoint: true,
+			m, err := hosts[from].MigrateTo(context.Background(), addrs[to], name, sched.MigrateOptions{
+				Recycle:         true,
+				UseDelta:        true,
+				KeepCheckpoint:  true,
+				Compress:        *compress,
+				ChecksumWorkers: *workers,
 			})
 			if err != nil {
 				return fmt.Errorf("round %d, %s: %w", round, name, err)

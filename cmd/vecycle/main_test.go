@@ -56,6 +56,17 @@ func TestDemoEndToEnd(t *testing.T) {
 	}
 }
 
+func TestFleetWithCompression(t *testing.T) {
+	// The fleet command end-to-end with the new engine flags plumbed
+	// through: compression plus parallel checksumming must not disturb the
+	// migration outcome.
+	err := run([]string{"fleet", "-hosts", "2", "-vms", "2", "-mem", "1MiB",
+		"-rounds", "2", "-touch", "4", "-compress", "-checksum-workers", "2"})
+	if err != nil {
+		t.Fatalf("fleet with -compress failed: %v", err)
+	}
+}
+
 func TestSourceDestOverTCP(t *testing.T) {
 	dir := t.TempDir()
 	destStore := filepath.Join(dir, "dest")

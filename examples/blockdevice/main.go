@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -84,7 +85,7 @@ func run() error {
 		from, to := hosts[leg%2], (leg+1)%2
 		arrived.Add(1)
 		start := time.Now()
-		m, err := from.MigrateTo(addrs[to], "db-1", sched.MigrateOptions{
+		m, err := from.MigrateTo(context.Background(), addrs[to], "db-1", sched.MigrateOptions{
 			Recycle:        true,
 			KeepCheckpoint: true,
 		})

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -79,7 +80,7 @@ func run() error {
 	for i := 0; i < legs; i++ {
 		from, toIdx := hosts[i%2], (i+1)%2
 		arrived.Add(1)
-		m, err := from.MigrateTo(addrs[toIdx], "consolidated-vm", sched.MigrateOptions{
+		m, err := from.MigrateTo(context.Background(), addrs[toIdx], "consolidated-vm", sched.MigrateOptions{
 			Recycle:        true,
 			UsePingPong:    i >= 2, // by leg 3 the source has seen the VM arrive
 			KeepCheckpoint: true,

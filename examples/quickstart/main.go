@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -96,11 +97,11 @@ func migrateOnce(guest *vm.VM, store *checkpoint.Store) (core.Metrics, error) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		m, serr = core.MigrateSource(a, guest, core.SourceOptions{Recycle: true})
+		m, serr = core.MigrateSource(context.Background(), a, guest, core.SourceOptions{Recycle: true})
 	}()
 	go func() {
 		defer wg.Done()
-		_, derr = core.MigrateDest(b, dst, core.DestOptions{Store: store})
+		_, derr = core.MigrateDest(context.Background(), b, dst, core.DestOptions{Store: store})
 	}()
 	wg.Wait()
 	if serr != nil {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -102,11 +103,11 @@ func migrateShaped(guest *vm.VM, store *checkpoint.Store, link netem.Link, recyc
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		m, serr = core.MigrateSource(a, guest, core.SourceOptions{Recycle: recycle})
+		m, serr = core.MigrateSource(context.Background(), a, guest, core.SourceOptions{Recycle: recycle})
 	}()
 	go func() {
 		defer wg.Done()
-		_, derr = core.MigrateDest(b, dst, core.DestOptions{Store: store})
+		_, derr = core.MigrateDest(context.Background(), b, dst, core.DestOptions{Store: store})
 	}()
 	wg.Wait()
 	if serr != nil {

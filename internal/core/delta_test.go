@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -127,12 +128,12 @@ func TestDeltaStaleBaseDetected(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_, _ = MigrateSource(a, src, SourceOptions{Recycle: true, DeltaBase: base})
+		_, _ = MigrateSource(context.Background(), a, src, SourceOptions{Recycle: true, DeltaBase: base})
 		a.Close()
 	}()
 	go func() {
 		defer wg.Done()
-		_, derr = MigrateDest(b, dst, DestOptions{Store: destStore})
+		_, derr = MigrateDest(context.Background(), b, dst, DestOptions{Store: destStore})
 		b.Close()
 	}()
 	wg.Wait()

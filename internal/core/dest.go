@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -45,18 +46,30 @@ type DestResult struct {
 // but nothing has been acknowledged yet. Hosts use this to create or locate
 // the destination VM before completing the migration with Run.
 type IncomingSession struct {
-	h  hello
-	w  *bufio.Writer
-	r  *bufio.Reader
-	cw *countingWriter
-	cr *countingReader
+	h    hello
+	conn io.ReadWriter
+	w    *bufio.Writer
+	r    *bufio.Reader
+	cw   *countingWriter
+	cr   *countingReader
 }
 
 // Accept reads the source's hello from conn and returns the session.
-func Accept(conn io.ReadWriter) (*IncomingSession, error) {
-	s := &IncomingSession{
-		cw: &countingWriter{w: conn},
-		cr: &countingReader{r: conn},
+// Cancelling ctx aborts the blocked hello read when conn supports deadlines
+// or Abort.
+func Accept(ctx context.Context, conn io.ReadWriter) (s *IncomingSession, err error) {
+	ctx = orBackground(ctx)
+	stop := watchContext(ctx, conn)
+	defer stop()
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}()
+	s = &IncomingSession{
+		conn: conn,
+		cw:   &countingWriter{w: conn},
+		cr:   &countingReader{r: conn},
 	}
 	s.w = bufio.NewWriterSize(s.cw, 1<<16)
 	s.r = bufio.NewReaderSize(s.cr, 1<<16)
@@ -98,16 +111,26 @@ func (s *IncomingSession) Reject(reason string) error {
 // Checkpoint loading happens between hello and hello-ack. The paper
 // excludes this setup from the reported migration time — Metrics.Duration
 // here starts after the checkpoint is loaded, matching that accounting.
-func MigrateDest(conn io.ReadWriter, v *vm.VM, opts DestOptions) (DestResult, error) {
-	s, err := Accept(conn)
+func MigrateDest(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts DestOptions) (DestResult, error) {
+	s, err := Accept(ctx, conn)
 	if err != nil {
 		return DestResult{}, err
 	}
-	return s.Run(v, opts)
+	return s.Run(ctx, v, opts)
 }
 
-// Run completes an accepted incoming migration into v.
-func (s *IncomingSession) Run(v *vm.VM, opts DestOptions) (res DestResult, err error) {
+// Run completes an accepted incoming migration into v. Cancelling ctx
+// aborts the merge at the next message boundary (or mid-read when the
+// session's connection supports deadlines or Abort).
+func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (res DestResult, err error) {
+	ctx = orBackground(ctx)
+	stop := watchContext(ctx, s.conn)
+	defer stop()
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}()
 	h := s.h
 	w, r := s.w, s.r
 	defer func() {
@@ -161,6 +184,9 @@ func (s *IncomingSession) Run(v *vm.VM, opts DestOptions) (res DestResult, err e
 	pageBuf := make([]byte, vm.PageSize)
 	var decomp *pageDecompressor
 	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		t, err := readMsgType(r)
 		if err != nil {
 			return res, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -54,11 +55,11 @@ func TestVerifyPayloadsCatchesCorruption(t *testing.T) {
 		// The source may fail with a broken pipe once the destination
 		// aborts; either way it must not report clean success with a
 		// corrupted stream delivered.
-		_, _ = MigrateSource(evil, src, SourceOptions{})
+		_, _ = MigrateSource(context.Background(), evil, src, SourceOptions{})
 	}()
 	go func() {
 		defer wg.Done()
-		_, derr = MigrateDest(b, dst, DestOptions{VerifyPayloads: true})
+		_, derr = MigrateDest(context.Background(), b, dst, DestOptions{VerifyPayloads: true})
 		// The destination aborted mid-stream: close its pipe end so the
 		// still-writing source unblocks with a broken pipe.
 		b.Close()
@@ -87,8 +88,8 @@ func TestCorruptionWithoutVerifyIsSilent(t *testing.T) {
 	var wg sync.WaitGroup
 	var serr, derr error
 	wg.Add(2)
-	go func() { defer wg.Done(); _, serr = MigrateSource(evil, src, SourceOptions{}) }()
-	go func() { defer wg.Done(); _, derr = MigrateDest(b, dst, DestOptions{}) }()
+	go func() { defer wg.Done(); _, serr = MigrateSource(context.Background(), evil, src, SourceOptions{}) }()
+	go func() { defer wg.Done(); _, derr = MigrateDest(context.Background(), b, dst, DestOptions{}) }()
 	wg.Wait()
 	if serr != nil || derr != nil {
 		t.Fatalf("migration failed: source=%v dest=%v", serr, derr)
@@ -133,8 +134,8 @@ func TestTruncatedStreamFailsCleanly(t *testing.T) {
 		var wg sync.WaitGroup
 		var serr, derr error
 		wg.Add(2)
-		go func() { defer wg.Done(); _, serr = MigrateSource(cut, src, SourceOptions{}) }()
-		go func() { defer wg.Done(); _, derr = MigrateDest(b, dst, DestOptions{}) }()
+		go func() { defer wg.Done(); _, serr = MigrateSource(context.Background(), cut, src, SourceOptions{}) }()
+		go func() { defer wg.Done(); _, derr = MigrateDest(context.Background(), b, dst, DestOptions{}) }()
 		wg.Wait()
 		a.Close()
 		b.Close()
@@ -161,7 +162,7 @@ func TestDestRejectsOutOfRangePage(t *testing.T) {
 	if err := writePageFull(&stream, 99, checksum.MD5.Page(page), page); err != nil {
 		t.Fatal(err)
 	}
-	_, err := MigrateDest(readWriter{&stream, io.Discard}, dst, DestOptions{})
+	_, err := MigrateDest(context.Background(), readWriter{&stream, io.Discard}, dst, DestOptions{})
 	if !errors.Is(err, ErrProtocol) {
 		t.Errorf("err = %v, want ErrProtocol", err)
 	}
@@ -184,7 +185,7 @@ func TestDestRejectsPageSumWithoutCheckpoint(t *testing.T) {
 	if err := writePageSum(&stream, 0, checksum.MD5.Page([]byte("x"))); err != nil {
 		t.Fatal(err)
 	}
-	_, err := MigrateDest(readWriter{&stream, io.Discard}, dst, DestOptions{})
+	_, err := MigrateDest(context.Background(), readWriter{&stream, io.Discard}, dst, DestOptions{})
 	if !errors.Is(err, ErrProtocol) {
 		t.Errorf("err = %v, want ErrProtocol", err)
 	}
@@ -204,7 +205,7 @@ func TestDestRejectsUnknownMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	stream.WriteByte(0xEE) // nonsense tag
-	_, err := MigrateDest(readWriter{&stream, io.Discard}, dst, DestOptions{})
+	_, err := MigrateDest(context.Background(), readWriter{&stream, io.Discard}, dst, DestOptions{})
 	if !errors.Is(err, ErrProtocol) {
 		t.Errorf("err = %v, want ErrProtocol", err)
 	}
@@ -213,7 +214,7 @@ func TestDestRejectsUnknownMessage(t *testing.T) {
 func TestAcceptRejectsNonHello(t *testing.T) {
 	var stream bytes.Buffer
 	stream.WriteByte(byte(msgAck))
-	if _, err := Accept(readWriter{&stream, io.Discard}); !errors.Is(err, ErrProtocol) {
+	if _, err := Accept(context.Background(), readWriter{&stream, io.Discard}); !errors.Is(err, ErrProtocol) {
 		t.Errorf("err = %v, want ErrProtocol", err)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -22,7 +23,7 @@ func TestAcceptNeverPanicsOnGarbage(t *testing.T) {
 					t.Fatalf("input %d (%x): panic %v", i, raw, r)
 				}
 			}()
-			s, err := Accept(readWriter{bytes.NewReader(raw), io.Discard})
+			s, err := Accept(context.Background(), readWriter{bytes.NewReader(raw), io.Discard})
 			if err != nil {
 				return // expected for almost every input
 			}
@@ -30,7 +31,7 @@ func TestAcceptNeverPanicsOnGarbage(t *testing.T) {
 			// terminate with an error (the stream is exhausted).
 			v := newVM(t, s.VMName(), 4, 1)
 			if s.MemBytes() == int64(4*4096) {
-				_, _ = s.Run(v, DestOptions{})
+				_, _ = s.Run(context.Background(), v, DestOptions{})
 			}
 		}()
 	}
@@ -63,7 +64,7 @@ func TestDestGarbageAfterValidHello(t *testing.T) {
 					t.Fatalf("iteration %d: panic %v", i, r)
 				}
 			}()
-			if _, err := MigrateDest(readWriter{&stream, io.Discard}, dst, DestOptions{}); err == nil {
+			if _, err := MigrateDest(context.Background(), readWriter{&stream, io.Discard}, dst, DestOptions{}); err == nil {
 				t.Errorf("iteration %d: garbage stream accepted", i)
 			}
 		}()
@@ -85,7 +86,7 @@ func TestSourceGarbageResponses(t *testing.T) {
 				}
 			}()
 			// The writer is unbounded (io.Discard); only reads can fail.
-			_, _ = MigrateSource(readWriter{bytes.NewReader(junk), io.Discard}, src,
+			_, _ = MigrateSource(context.Background(), readWriter{bytes.NewReader(junk), io.Discard}, src,
 				SourceOptions{Recycle: true})
 		}()
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -50,11 +51,11 @@ func migrate(t *testing.T, src, dst *vm.VM, sopts SourceOptions, dopts DestOptio
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		sm, serr = MigrateSource(a, src, sopts)
+		sm, serr = MigrateSource(context.Background(), a, src, sopts)
 	}()
 	go func() {
 		defer wg.Done()
-		dres, derr = MigrateDest(b, dst, dopts)
+		dres, derr = MigrateDest(context.Background(), b, dst, dopts)
 	}()
 	wg.Wait()
 	if serr != nil {
@@ -306,8 +307,8 @@ func TestHelloRejectionWrongName(t *testing.T) {
 	var wg sync.WaitGroup
 	var serr, derr error
 	wg.Add(2)
-	go func() { defer wg.Done(); _, serr = MigrateSource(a, src, SourceOptions{}) }()
-	go func() { defer wg.Done(); _, derr = MigrateDest(b, dst, DestOptions{}) }()
+	go func() { defer wg.Done(); _, serr = MigrateSource(context.Background(), a, src, SourceOptions{}) }()
+	go func() { defer wg.Done(); _, derr = MigrateDest(context.Background(), b, dst, DestOptions{}) }()
 	wg.Wait()
 	if !errors.Is(serr, ErrRejected) {
 		t.Errorf("source error = %v, want ErrRejected", serr)
@@ -326,8 +327,8 @@ func TestHelloRejectionWrongSize(t *testing.T) {
 	var wg sync.WaitGroup
 	var serr error
 	wg.Add(2)
-	go func() { defer wg.Done(); _, serr = MigrateSource(a, src, SourceOptions{}) }()
-	go func() { defer wg.Done(); _, _ = MigrateDest(b, dst, DestOptions{}) }()
+	go func() { defer wg.Done(); _, serr = MigrateSource(context.Background(), a, src, SourceOptions{}) }()
+	go func() { defer wg.Done(); _, _ = MigrateDest(context.Background(), b, dst, DestOptions{}) }()
 	wg.Wait()
 	if !errors.Is(serr, ErrRejected) {
 		t.Errorf("source error = %v, want ErrRejected", serr)
@@ -338,7 +339,7 @@ func TestSourceRejectsWeakAlgorithm(t *testing.T) {
 	src := newVM(t, "vm0", 8, 1)
 	a, _ := net.Pipe()
 	defer a.Close()
-	if _, err := MigrateSource(a, src, SourceOptions{Alg: checksum.FNV}); err == nil {
+	if _, err := MigrateSource(context.Background(), a, src, SourceOptions{Alg: checksum.FNV}); err == nil {
 		t.Error("FNV accepted for cross-host matching")
 	}
 }
@@ -418,10 +419,13 @@ func TestMigrationCorrectnessProperty(t *testing.T) {
 		var wg sync.WaitGroup
 		var serr, derr error
 		wg.Add(2)
-		go func() { defer wg.Done(); _, serr = MigrateSource(a, src, SourceOptions{Recycle: true}) }()
 		go func() {
 			defer wg.Done()
-			_, derr = MigrateDest(b, dst, DestOptions{Store: store, VerifyPayloads: true})
+			_, serr = MigrateSource(context.Background(), a, src, SourceOptions{Recycle: true})
+		}()
+		go func() {
+			defer wg.Done()
+			_, derr = MigrateDest(context.Background(), b, dst, DestOptions{Store: store, VerifyPayloads: true})
 		}()
 		wg.Wait()
 		return serr == nil && derr == nil && src.MemEqual(dst)

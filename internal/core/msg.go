@@ -121,6 +121,11 @@ func readMsgType(r io.Reader) (msgType, error) {
 }
 
 func writeHello(w io.Writer, h hello) error {
+	// Validate before the tag byte goes out: failing after a partial frame
+	// would leave the stream desynced for any later traffic.
+	if len(h.VMName) > maxNameLen {
+		return fmt.Errorf("core: VM name of %d bytes exceeds limit %d", len(h.VMName), maxNameLen)
+	}
 	if err := writeMsgType(w, msgHello); err != nil {
 		return err
 	}
@@ -133,9 +138,6 @@ func writeHello(w io.Writer, h hello) error {
 	}
 	if h.PostCopy {
 		flags |= 4
-	}
-	if len(h.VMName) > maxNameLen {
-		return fmt.Errorf("core: VM name of %d bytes exceeds limit %d", len(h.VMName), maxNameLen)
 	}
 	fields := []interface{}{
 		h.Version,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -25,7 +26,7 @@ func FuzzAccept(f *testing.F) {
 	f.Add([]byte{byte(msgHello)})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		s, err := Accept(readWriter{bytes.NewReader(raw), io.Discard})
+		s, err := Accept(context.Background(), readWriter{bytes.NewReader(raw), io.Discard})
 		if err != nil {
 			return
 		}
@@ -57,7 +58,7 @@ func FuzzMergeStream(f *testing.F) {
 			t.Fatal(err)
 		}
 		// Must terminate with success or error, never panic.
-		_, _ = MigrateDest(readWriter{bytes.NewReader(raw), io.Discard}, dst, DestOptions{})
+		_, _ = MigrateDest(context.Background(), readWriter{bytes.NewReader(raw), io.Discard}, dst, DestOptions{})
 	})
 }
 

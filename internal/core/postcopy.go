@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -28,12 +29,23 @@ import (
 //	destination → source: page requests (page numbers), then done
 //	source → destination: one full page per request, in request order
 //	source → destination: ack after done
+//
+// Requests are pipelined: the destination writes them in windows of
+// requestWindow pages and flushes once per window, then drains the
+// responses in order. One network round trip is paid per window instead of
+// per page — on the paper's WAN parameters (27 ms RTT) that is the
+// difference between seconds and minutes of post-copy degradation.
 
 // Additional message tags for the post-copy protocol.
 const (
 	msgManifest msgType = iota + 32
 	msgPageRequest
 )
+
+// requestWindow is the number of pipelined page requests in flight per
+// flush on the post-copy fetch path. 256 requests are 2.3 KiB on the wire
+// (well inside one TCP window) and amortize one RTT over 1 MiB of pages.
+const requestWindow = 256
 
 // PostCopySourceOptions configures the source of a post-copy migration.
 type PostCopySourceOptions struct {
@@ -55,7 +67,16 @@ type PostCopyMetrics struct {
 // PostCopySource runs the source side. The guest must already be paused:
 // post-copy transfers a frozen state. The function returns once every
 // requested page has been served and the destination confirmed completion.
-func PostCopySource(conn io.ReadWriter, v *vm.VM, opts PostCopySourceOptions) (m PostCopyMetrics, err error) {
+// Cancelling ctx aborts at the next protocol turn.
+func PostCopySource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts PostCopySourceOptions) (m PostCopyMetrics, err error) {
+	ctx = orBackground(ctx)
+	stop := watchContext(ctx, conn)
+	defer stop()
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}()
 	if opts.Alg == 0 {
 		opts.Alg = checksum.MD5
 	}
@@ -114,6 +135,11 @@ func PostCopySource(conn io.ReadWriter, v *vm.VM, opts PostCopySourceOptions) (m
 	}
 	buf := make([]byte, vm.PageSize)
 	for i := 0; i < v.NumPages(); i++ {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return m, err
+			}
+		}
 		v.ReadPage(i, buf)
 		sum := opts.Alg.Page(buf)
 		if _, err := w.Write(sum[:]); err != nil {
@@ -125,8 +151,13 @@ func PostCopySource(conn io.ReadWriter, v *vm.VM, opts PostCopySourceOptions) (m
 	}
 	m.ResumeDelay = time.Since(start)
 
-	// Serve page requests until the destination is done.
+	// Serve page requests until the destination is done. Responses are only
+	// flushed once no further request is already buffered, so a pipelined
+	// window of requests is answered with one batched write.
 	for {
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
 		t, err := readMsgType(r)
 		if err != nil {
 			return m, err
@@ -147,8 +178,10 @@ func PostCopySource(conn io.ReadWriter, v *vm.VM, opts PostCopySourceOptions) (m
 			if err := writePageFull(w, page, opts.Alg.Page(buf), buf); err != nil {
 				return m, err
 			}
-			if err := flush(w); err != nil {
-				return m, err
+			if r.Buffered() == 0 {
+				if err := flush(w); err != nil {
+					return m, err
+				}
 			}
 		case msgDone:
 			if err := writeMsgType(w, msgAck); err != nil {
@@ -184,20 +217,30 @@ type PostCopyDestResult struct {
 
 // PostCopyDest runs the destination side: resolve the manifest against the
 // local checkpoint, "resume" the guest, then fetch the missing pages.
-func PostCopyDest(conn io.ReadWriter, v *vm.VM, opts PostCopyDestOptions) (PostCopyDestResult, error) {
-	s, err := Accept(conn)
+func PostCopyDest(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts PostCopyDestOptions) (PostCopyDestResult, error) {
+	s, err := Accept(ctx, conn)
 	if err != nil {
 		return PostCopyDestResult{}, err
 	}
-	return s.RunPostCopy(v, opts)
+	return s.RunPostCopy(ctx, v, opts)
 }
 
 // IsPostCopy reports whether the accepted session requests the post-copy
 // protocol.
 func (s *IncomingSession) IsPostCopy() bool { return s.h.PostCopy }
 
-// RunPostCopy completes an accepted post-copy migration into v.
-func (s *IncomingSession) RunPostCopy(v *vm.VM, opts PostCopyDestOptions) (res PostCopyDestResult, err error) {
+// RunPostCopy completes an accepted post-copy migration into v. Cancelling
+// ctx aborts at the next protocol turn (request-window boundaries during the
+// fetch phase).
+func (s *IncomingSession) RunPostCopy(ctx context.Context, v *vm.VM, opts PostCopyDestOptions) (res PostCopyDestResult, err error) {
+	ctx = orBackground(ctx)
+	stop := watchContext(ctx, s.conn)
+	defer stop()
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}()
 	h := s.h
 	w, r := s.w, s.r
 	defer func() {
@@ -252,6 +295,11 @@ func (s *IncomingSession) RunPostCopy(v *vm.VM, opts PostCopyDestOptions) (res P
 	var missing []uint64
 	var sum checksum.Sum
 	for i := uint64(0); i < count; i++ {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		if _, err := io.ReadFull(r, sum[:]); err != nil {
 			return res, fmt.Errorf("core: read manifest sum %d: %w", i, err)
 		}
@@ -280,41 +328,54 @@ func (s *IncomingSession) RunPostCopy(v *vm.VM, opts PostCopyDestOptions) (res P
 		opts.OnResume(len(missing))
 	}
 
-	// Background pre-paging: request the missing pages in order.
+	// Background pre-paging: request the missing pages in order, pipelined
+	// in windows — one flush (and so one round trip) per requestWindow
+	// pages instead of one per page.
 	pageBuf := make([]byte, vm.PageSize)
-	for _, page := range missing {
-		var reqBuf [9]byte
-		reqBuf[0] = byte(msgPageRequest)
-		binary.LittleEndian.PutUint64(reqBuf[1:], page)
-		if _, err := w.Write(reqBuf[:]); err != nil {
-			return res, fmt.Errorf("core: write page request: %w", err)
+	for start := 0; start < len(missing); start += requestWindow {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		end := start + requestWindow
+		if end > len(missing) {
+			end = len(missing)
+		}
+		for _, page := range missing[start:end] {
+			var reqBuf [9]byte
+			reqBuf[0] = byte(msgPageRequest)
+			binary.LittleEndian.PutUint64(reqBuf[1:], page)
+			if _, err := w.Write(reqBuf[:]); err != nil {
+				return res, fmt.Errorf("core: write page request: %w", err)
+			}
 		}
 		if err := flush(w); err != nil {
 			return res, err
 		}
-		t, err := readMsgType(r)
-		if err != nil {
-			return res, err
+		for _, page := range missing[start:end] {
+			t, err := readMsgType(r)
+			if err != nil {
+				return res, err
+			}
+			if t != msgPageFull {
+				return res, fmt.Errorf("%w: expected page-full, got %v", ErrProtocol, t)
+			}
+			got, gotSum, err := readPageHeader(r)
+			if err != nil {
+				return res, err
+			}
+			if got != page {
+				return res, fmt.Errorf("%w: requested page %d, received %d", ErrProtocol, page, got)
+			}
+			if _, err := io.ReadFull(r, pageBuf); err != nil {
+				return res, fmt.Errorf("core: read page %d payload: %w", page, err)
+			}
+			if h.Alg.Page(pageBuf) != gotSum {
+				return res, fmt.Errorf("%w: page %d payload checksum mismatch", ErrProtocol, page)
+			}
+			v.InstallPage(int(page), pageBuf)
+			res.Metrics.PagesRequested++
+			res.Metrics.PagesFull++
 		}
-		if t != msgPageFull {
-			return res, fmt.Errorf("%w: expected page-full, got %v", ErrProtocol, t)
-		}
-		got, gotSum, err := readPageHeader(r)
-		if err != nil {
-			return res, err
-		}
-		if got != page {
-			return res, fmt.Errorf("%w: requested page %d, received %d", ErrProtocol, page, got)
-		}
-		if _, err := io.ReadFull(r, pageBuf); err != nil {
-			return res, fmt.Errorf("core: read page %d payload: %w", page, err)
-		}
-		if h.Alg.Page(pageBuf) != gotSum {
-			return res, fmt.Errorf("%w: page %d payload checksum mismatch", ErrProtocol, page)
-		}
-		v.InstallPage(int(page), pageBuf)
-		res.Metrics.PagesRequested++
-		res.Metrics.PagesFull++
 	}
 	if err := writeMsgType(w, msgDone); err != nil {
 		return res, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -25,11 +26,11 @@ func postcopy(t *testing.T, src, dst *vm.VM, sopts PostCopySourceOptions, dopts 
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		sm, serr = PostCopySource(a, src, sopts)
+		sm, serr = PostCopySource(context.Background(), a, src, sopts)
 	}()
 	go func() {
 		defer wg.Done()
-		dres, derr = PostCopyDest(b, dst, dopts)
+		dres, derr = PostCopyDest(context.Background(), b, dst, dopts)
 	}()
 	wg.Wait()
 	if serr != nil {
@@ -165,7 +166,7 @@ func TestPostCopyRejectsWeakAlgorithm(t *testing.T) {
 	src := newVM(t, "vm0", 4, 1)
 	a, _ := net.Pipe()
 	defer a.Close()
-	if _, err := PostCopySource(a, src, PostCopySourceOptions{Alg: checksum.FNV}); err == nil {
+	if _, err := PostCopySource(context.Background(), a, src, PostCopySourceOptions{Alg: checksum.FNV}); err == nil {
 		t.Error("FNV accepted")
 	}
 }
@@ -179,8 +180,11 @@ func TestPostCopyRejectsMismatchedVM(t *testing.T) {
 	var wg sync.WaitGroup
 	var serr, derr error
 	wg.Add(2)
-	go func() { defer wg.Done(); _, serr = PostCopySource(a, src, PostCopySourceOptions{}) }()
-	go func() { defer wg.Done(); _, derr = PostCopyDest(b, dst, PostCopyDestOptions{}) }()
+	go func() {
+		defer wg.Done()
+		_, serr = PostCopySource(context.Background(), a, src, PostCopySourceOptions{})
+	}()
+	go func() { defer wg.Done(); _, derr = PostCopyDest(context.Background(), b, dst, PostCopyDestOptions{}) }()
 	wg.Wait()
 	if !errors.Is(serr, ErrRejected) || !errors.Is(derr, ErrRejected) {
 		t.Errorf("source=%v dest=%v, want ErrRejected on both", serr, derr)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -100,11 +101,24 @@ type PageProvider interface {
 // The guest may keep running (writing pages) throughout; the caller's
 // Pause hook is invoked before the final stop-and-copy round.
 //
+// Cancelling ctx aborts the migration: the cancellation is observed at
+// every protocol turn-taking point, and — when conn supports deadlines or
+// Abort (net.Conn, DeadlineConn) — also interrupts an in-flight blocking
+// read or write. The returned error is then ctx.Err().
+//
 // On success the returned metrics describe the transfer as seen from the
 // source. The caller is responsible for writing the outgoing checkpoint
 // afterwards (checkpoint.Store.Save) — excluded from the migration time,
 // as in the paper's measurements.
-func MigrateSource(conn io.ReadWriter, v *vm.VM, opts SourceOptions) (m Metrics, err error) {
+func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts SourceOptions) (m Metrics, err error) {
+	ctx = orBackground(ctx)
+	stop := watchContext(ctx, conn)
+	defer stop()
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}()
 	opts.setDefaults()
 	if err := opts.validate(); err != nil {
 		return m, err
@@ -199,7 +213,7 @@ func MigrateSource(conn io.ReadWriter, v *vm.VM, opts SourceOptions) (m Metrics,
 	// on several workers; messages are still emitted in page order.
 	m.Rounds = 1
 	buf := make([]byte, vm.PageSize)
-	if err := firstRound(w, v, opts, destSums, comp, &m); err != nil {
+	if err := firstRound(ctx, w, v, opts, destSums, comp, &m); err != nil {
 		return m, err
 	}
 	if err := writeRoundEnd(w, 1, uint64(v.DirtyCount())); err != nil {
@@ -218,6 +232,9 @@ func MigrateSource(conn io.ReadWriter, v *vm.VM, opts SourceOptions) (m Metrics,
 		}
 	}()
 	for round := 2; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
 		final := round >= opts.MaxRounds || v.DirtyCount() <= opts.StopThreshold
 		if final && !paused {
 			if opts.Pause != nil {
@@ -289,7 +306,8 @@ func sendFullPage(w io.Writer, page uint64, sum checksum.Sum, data []byte, comp 
 
 // firstRound streams every page of the VM, batching reads and (optionally)
 // parallelizing the checksum computation across opts.ChecksumWorkers.
-func firstRound(w io.Writer, v *vm.VM, opts SourceOptions, destSums *checksum.Set, comp *pageCompressor, m *Metrics) error {
+// Cancellation is checked once per batch.
+func firstRound(ctx context.Context, w io.Writer, v *vm.VM, opts SourceOptions, destSums *checksum.Set, comp *pageCompressor, m *Metrics) error {
 	const batchPages = 256
 	workers := opts.ChecksumWorkers
 	if workers < 1 {
@@ -299,6 +317,9 @@ func firstRound(w io.Writer, v *vm.VM, opts SourceOptions, destSums *checksum.Se
 	sums := make([]checksum.Sum, batchPages)
 
 	for start := 0; start < v.NumPages(); start += batchPages {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		end := start + batchPages
 		if end > v.NumPages() {
 			end = v.NumPages()

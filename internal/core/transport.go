@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// ErrIdleTimeout is returned (wrapped) when a transport made no progress for
+// longer than its configured idle budget. A migration blocked on a hung peer
+// fails with this instead of wedging forever; the sched layer classifies it
+// as retryable.
+var ErrIdleTimeout = errors.New("core: transport idle timeout")
+
+// deadlineSetter is the part of net.Conn the transport layer needs to bound
+// individual reads and writes. net.Pipe and TCP connections both provide it.
+type deadlineSetter interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// aborter is implemented by connections that can be failed from another
+// goroutine (context cancellation, host shutdown). Subsequent and in-flight
+// I/O returns the abort cause.
+type aborter interface {
+	Abort(cause error)
+}
+
+// DeadlineConn wraps a connection with a per-I/O idle deadline: every Read
+// and Write re-arms the deadline, so a transfer that keeps making progress
+// never times out while a stalled peer fails the operation within idle.
+// Timeout errors are wrapped in ErrIdleTimeout.
+//
+// When the underlying connection does not support deadlines (e.g. an
+// in-memory buffer), the wrapper degrades to a transparent pass-through —
+// Abort still works for future operations, but cannot interrupt a blocked
+// one.
+type DeadlineConn struct {
+	conn io.ReadWriter
+	dl   deadlineSetter // nil when conn cannot set deadlines
+	idle time.Duration
+
+	aborted atomic.Bool
+	cause   atomic.Value // error set by Abort
+}
+
+// NewDeadlineConn wraps conn with an idle timeout. idle <= 0 disables the
+// per-I/O deadline (the wrapper still supports Abort).
+func NewDeadlineConn(conn io.ReadWriter, idle time.Duration) *DeadlineConn {
+	c := &DeadlineConn{conn: conn, idle: idle}
+	if dl, ok := conn.(deadlineSetter); ok {
+		c.dl = dl
+	}
+	return c
+}
+
+// Read arms the read deadline and reads from the underlying connection.
+func (c *DeadlineConn) Read(p []byte) (int, error) {
+	if err := c.abortCause(); err != nil {
+		return 0, err
+	}
+	if c.dl != nil && c.idle > 0 {
+		_ = c.dl.SetReadDeadline(time.Now().Add(c.idle))
+	}
+	n, err := c.conn.Read(p)
+	return n, c.mapErr(err)
+}
+
+// Write arms the write deadline and writes to the underlying connection.
+func (c *DeadlineConn) Write(p []byte) (int, error) {
+	if err := c.abortCause(); err != nil {
+		return 0, err
+	}
+	if c.dl != nil && c.idle > 0 {
+		_ = c.dl.SetWriteDeadline(time.Now().Add(c.idle))
+	}
+	n, err := c.conn.Write(p)
+	return n, c.mapErr(err)
+}
+
+// Abort fails the connection with the given cause: in-flight reads and
+// writes are unblocked via a past deadline and future ones fail immediately.
+func (c *DeadlineConn) Abort(cause error) {
+	if cause == nil {
+		cause = net.ErrClosed
+	}
+	c.cause.Store(cause)
+	c.aborted.Store(true)
+	if c.dl != nil {
+		past := time.Unix(1, 0)
+		_ = c.dl.SetReadDeadline(past)
+		_ = c.dl.SetWriteDeadline(past)
+	}
+}
+
+// Close closes the underlying connection when it supports closing.
+func (c *DeadlineConn) Close() error {
+	if cl, ok := c.conn.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+func (c *DeadlineConn) abortCause() error {
+	if !c.aborted.Load() {
+		return nil
+	}
+	if err, ok := c.cause.Load().(error); ok {
+		return err
+	}
+	return net.ErrClosed
+}
+
+// mapErr rewrites I/O errors: an abort cause wins, then deadline expiry is
+// surfaced as ErrIdleTimeout.
+func (c *DeadlineConn) mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if cause := c.abortCause(); cause != nil {
+		return cause
+	}
+	if isTimeout(err) {
+		return fmt.Errorf("%w: no progress for %v (%v)", ErrIdleTimeout, c.idle, err)
+	}
+	return err
+}
+
+// isTimeout reports whether err is a deadline-expiry error.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// watchContext arranges for conn to be aborted when ctx is cancelled, so a
+// protocol goroutine blocked in Read or Write observes the cancellation
+// instead of hanging until the peer acts. The returned stop function must be
+// called before the caller returns; it releases the watcher goroutine.
+//
+// Connections that support neither Abort nor deadlines cannot be interrupted
+// mid-I/O; cancellation is then only observed at protocol turn-taking
+// points.
+func watchContext(ctx context.Context, conn io.ReadWriter) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	ab, isAborter := conn.(aborter)
+	dl, isSetter := conn.(deadlineSetter)
+	if !isAborter && !isSetter {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			if isAborter {
+				ab.Abort(ctx.Err())
+			} else {
+				past := time.Unix(1, 0)
+				_ = dl.SetReadDeadline(past)
+				_ = dl.SetWriteDeadline(past)
+			}
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// orBackground normalizes a possibly-nil context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"path/filepath"
 	"sync"
@@ -168,11 +169,11 @@ func TestDiskMigrationWithRecycling(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		sm, serr = core.MigrateSource(a, src.Backing(), core.SourceOptions{Recycle: true})
+		sm, serr = core.MigrateSource(context.Background(), a, src.Backing(), core.SourceOptions{Recycle: true})
 	}()
 	go func() {
 		defer wg.Done()
-		_, derr = core.MigrateDest(b, dstBacking, core.DestOptions{Store: store, VerifyPayloads: true})
+		_, derr = core.MigrateDest(context.Background(), b, dstBacking, core.DestOptions{Store: store, VerifyPayloads: true})
 	}()
 	wg.Wait()
 	if serr != nil || derr != nil {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -58,7 +59,7 @@ func TestPingPongWithDeltas(t *testing.T) {
 	opts := MigrateOptions{Recycle: true, KeepCheckpoint: true, UseDelta: true}
 
 	// Leg 1: alpha → beta (full, first visit).
-	if _, err := alpha.MigrateTo(addrB, "vm0", opts); err != nil {
+	if _, err := alpha.MigrateTo(context.Background(), addrB, "vm0", opts); err != nil {
 		t.Fatal(err)
 	}
 	vb := wait(beta)
@@ -66,7 +67,7 @@ func TestPingPongWithDeltas(t *testing.T) {
 
 	// Leg 2: beta → alpha. Beta's arrival image == alpha's checkpoint, so
 	// the 8 partially-touched pages go as deltas.
-	m2, err := beta.MigrateTo(addrA, "vm0", opts)
+	m2, err := beta.MigrateTo(context.Background(), addrA, "vm0", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestPingPongWithDeltas(t *testing.T) {
 
 	// Leg 3: alpha → beta again, same dance.
 	partialTouch(va, 4)
-	m3, err := alpha.MigrateTo(addrB, "vm0", opts)
+	m3, err := alpha.MigrateTo(context.Background(), addrB, "vm0", opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -50,7 +51,7 @@ func TestMigrateVMWithDisk(t *testing.T) {
 	}
 
 	// Leg 1: everything moves full.
-	if _, err := alpha.MigrateTo(addrB, "db-1", MigrateOptions{Recycle: true, KeepCheckpoint: true}); err != nil {
+	if _, err := alpha.MigrateTo(context.Background(), addrB, "db-1", MigrateOptions{Recycle: true, KeepCheckpoint: true}); err != nil {
 		t.Fatal(err)
 	}
 	vb, db := waitBoth(beta, "db-1")
@@ -77,7 +78,7 @@ func TestMigrateVMWithDisk(t *testing.T) {
 	if err := db.AppendLog(3, disk.BlockSize/2, 9); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := beta.MigrateTo(addrA, "db-1", MigrateOptions{Recycle: true, KeepCheckpoint: true}); err != nil {
+	if _, err := beta.MigrateTo(context.Background(), addrA, "db-1", MigrateOptions{Recycle: true, KeepCheckpoint: true}); err != nil {
 		t.Fatal(err)
 	}
 	va, da := waitBoth(alpha, "db-1")

@@ -6,8 +6,11 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -22,6 +25,12 @@ import (
 // dialTimeout bounds connection establishment to a peer host.
 const dialTimeout = 10 * time.Second
 
+// DefaultIdleTimeout is the per-I/O idle budget applied to migration
+// connections when Host.IdleTimeout is zero. Any single read or write that
+// makes no progress for this long fails the migration instead of wedging
+// the handler (and with it Host.Close) forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // ErrNoSuchVM is returned when a named VM is not resident on the host.
 var ErrNoSuchVM = errors.New("sched: no such VM on this host")
 
@@ -31,10 +40,16 @@ type Host struct {
 	name  string
 	store *checkpoint.Store
 
+	// lifeCtx is cancelled by Close, aborting every in-flight incoming
+	// handler so Close returns promptly even with a wedged peer.
+	lifeCtx context.Context
+	cancel  context.CancelFunc
+
 	mu       sync.Mutex
 	vms      map[string]*vm.VM
 	disks    map[string]*disk.Disk    // VM name → attached block device
 	seen     map[string]*checksum.Set // VM name → sums observed on last incoming migration
+	pending  map[string]bool          // arrivals in flight, reserved until registered
 	arrivals int
 	ln       net.Listener
 	wg       sync.WaitGroup
@@ -43,7 +58,8 @@ type Host struct {
 	OnArrival func(v *vm.VM, res core.DestResult)
 
 	// OnError, when non-nil, observes errors from incoming-migration
-	// handlers (which are otherwise only reported to the peer in-protocol).
+	// handlers (which are otherwise only reported to the peer in-protocol)
+	// and retry/backoff decisions on the outgoing side.
 	OnError func(error)
 
 	// SaveArrivals checkpoints every VM right after it arrives. The arrival
@@ -52,6 +68,16 @@ type Host struct {
 	// migration (see MigrateOptions.UseDelta). Costs one image write per
 	// arrival.
 	SaveArrivals bool
+
+	// IdleTimeout bounds each individual read and write on migration
+	// connections, both accept- and dial-side. Zero selects
+	// DefaultIdleTimeout; negative disables the per-I/O deadline.
+	IdleTimeout time.Duration
+
+	// DialFunc, when non-nil, replaces outbound connection establishment —
+	// the seam the fault-injection tests use to interpose a
+	// core.FaultConn. nil dials TCP with dialTimeout.
+	DialFunc func(ctx context.Context, addr string) (io.ReadWriteCloser, error)
 }
 
 // NewHost creates a host whose checkpoint store lives at storeDir.
@@ -63,12 +89,16 @@ func NewHost(name, storeDir string) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Host{
-		name:  name,
-		store: store,
-		vms:   make(map[string]*vm.VM),
-		disks: make(map[string]*disk.Disk),
-		seen:  make(map[string]*checksum.Set),
+		name:    name,
+		store:   store,
+		lifeCtx: ctx,
+		cancel:  cancel,
+		vms:     make(map[string]*vm.VM),
+		disks:   make(map[string]*disk.Disk),
+		seen:    make(map[string]*checksum.Set),
+		pending: make(map[string]bool),
 	}, nil
 }
 
@@ -121,6 +151,35 @@ func (h *Host) VMNames() []string {
 	return names
 }
 
+// idle resolves the host's per-I/O idle budget.
+func (h *Host) idle() time.Duration {
+	return resolveIdle(h.IdleTimeout)
+}
+
+func resolveIdle(d time.Duration) time.Duration {
+	switch {
+	case d < 0:
+		return 0 // disabled
+	case d == 0:
+		return DefaultIdleTimeout
+	default:
+		return d
+	}
+}
+
+// dial establishes an outbound migration connection.
+func (h *Host) dial(ctx context.Context, addr string) (io.ReadWriteCloser, error) {
+	if h.DialFunc != nil {
+		return h.DialFunc(ctx, addr)
+	}
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
 // Listen starts accepting incoming migrations on addr (e.g.
 // "127.0.0.1:0"). The returned address carries the bound port.
 func (h *Host) Listen(addr string) (string, error) {
@@ -136,8 +195,12 @@ func (h *Host) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight migrations.
+// Close stops the listener, aborts in-flight incoming migrations, and waits
+// for their handlers. A handler blocked on a stalled peer is unblocked by
+// the cancellation, so Close returns promptly rather than waiting out the
+// peer.
 func (h *Host) Close() error {
+	h.cancel()
 	h.mu.Lock()
 	ln := h.ln
 	h.ln = nil
@@ -161,33 +224,57 @@ func (h *Host) acceptLoop(ln net.Listener) {
 		go func() {
 			defer h.wg.Done()
 			defer conn.Close()
+			// Per-I/O deadlines so a hung peer cannot wedge the handler;
+			// the host context aborts the connection on Close.
+			dc := core.NewDeadlineConn(conn, h.idle())
 			// Errors are also reported to the peer in-protocol.
-			if err := h.handleIncoming(conn); err != nil && h.OnError != nil {
+			if err := h.handleIncoming(h.lifeCtx, dc); err != nil && h.OnError != nil {
 				h.OnError(err)
 			}
 		}()
 	}
 }
 
+// reserveArrival claims the VM name for one in-flight incoming migration.
+// It reports false when the VM is already resident or already arriving —
+// the duplicate-arrival race is decided here, under one lock acquisition.
+func (h *Host) reserveArrival(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, resident := h.vms[name]
+	if disk.IsDiskName(name) {
+		base := name[:len(name)-len(disk.DiskSuffix)]
+		if _, ok := h.disks[base]; ok {
+			resident = true
+		}
+	}
+	if resident || h.pending[name] {
+		return false
+	}
+	h.pending[name] = true
+	return true
+}
+
+func (h *Host) releaseArrival(name string) {
+	h.mu.Lock()
+	delete(h.pending, name)
+	h.mu.Unlock()
+}
+
 // handleIncoming accepts one migration: it creates the destination VM from
 // the session parameters, runs the merge, and registers the VM as resident.
-func (h *Host) handleIncoming(conn net.Conn) error {
-	session, err := core.Accept(conn)
+func (h *Host) handleIncoming(ctx context.Context, conn io.ReadWriter) error {
+	session, err := core.Accept(ctx, conn)
 	if err != nil {
 		return err
 	}
-	h.mu.Lock()
-	_, resident := h.vms[session.VMName()]
-	if disk.IsDiskName(session.VMName()) {
-		base := session.VMName()[:len(session.VMName())-len(disk.DiskSuffix)]
-		_, resident = h.disks[base]
+	name := session.VMName()
+	if !h.reserveArrival(name) {
+		return session.Reject(fmt.Sprintf("VM %q already resident on %s", name, h.name))
 	}
-	h.mu.Unlock()
-	if resident {
-		return session.Reject(fmt.Sprintf("VM %q already resident on %s", session.VMName(), h.name))
-	}
+	defer h.releaseArrival(name)
 	if session.IsPostCopy() {
-		return h.handlePostCopy(session)
+		return h.handlePostCopy(ctx, session)
 	}
 	// The seed only drives the guest's future workload randomness (its
 	// memory is about to be overwritten by the migration), but it must
@@ -196,13 +283,13 @@ func (h *Host) handleIncoming(conn net.Conn) error {
 	// then spuriously matches checkpoints.
 	h.mu.Lock()
 	h.arrivals++
-	seed := int64(fnv64(fmt.Sprintf("%s/%s/%d", h.name, session.VMName(), h.arrivals)))
+	seed := int64(fnv64(fmt.Sprintf("%s/%s/%d", h.name, name, h.arrivals)))
 	h.mu.Unlock()
-	dst, err := vm.New(vm.Config{Name: session.VMName(), MemBytes: session.MemBytes(), Seed: seed})
+	dst, err := vm.New(vm.Config{Name: name, MemBytes: session.MemBytes(), Seed: seed})
 	if err != nil {
 		return session.Reject(err.Error())
 	}
-	res, err := session.Run(dst, core.DestOptions{
+	res, err := session.Run(ctx, dst, core.DestOptions{
 		Store:         h.store,
 		TrackIncoming: true,
 	})
@@ -220,22 +307,39 @@ func (h *Host) handleIncoming(conn net.Conn) error {
 			return err
 		}
 		h.mu.Lock()
+		if _, dup := h.disks[d.VMName()]; dup {
+			h.mu.Unlock()
+			return fmt.Errorf("sched: disk for %q became resident on %s during migration; dropping duplicate arrival", d.VMName(), h.name)
+		}
 		h.disks[d.VMName()] = d
 		h.mu.Unlock()
 		return nil
 	}
-	h.mu.Lock()
-	h.vms[dst.Name()] = dst
-	h.seen[dst.Name()] = res.SeenSums
-	h.mu.Unlock()
+	if err := h.register(dst, res.SeenSums); err != nil {
+		return err
+	}
 	if h.OnArrival != nil {
 		h.OnArrival(dst, res)
 	}
 	return nil
 }
 
+// register makes an arrived VM resident, re-checking residency under the
+// same lock acquisition as the insert: two racing arrivals of one VM must
+// never silently overwrite each other, whichever registers second loses.
+func (h *Host) register(dst *vm.VM, sums *checksum.Set) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.vms[dst.Name()]; dup {
+		return fmt.Errorf("sched: VM %q became resident on %s during migration; dropping duplicate arrival", dst.Name(), h.name)
+	}
+	h.vms[dst.Name()] = dst
+	h.seen[dst.Name()] = sums
+	return nil
+}
+
 // handlePostCopy completes an incoming post-copy migration.
-func (h *Host) handlePostCopy(session *core.IncomingSession) error {
+func (h *Host) handlePostCopy(ctx context.Context, session *core.IncomingSession) error {
 	h.mu.Lock()
 	h.arrivals++
 	seed := int64(fnv64(fmt.Sprintf("%s/%s/%d", h.name, session.VMName(), h.arrivals)))
@@ -244,7 +348,7 @@ func (h *Host) handlePostCopy(session *core.IncomingSession) error {
 	if err != nil {
 		return session.Reject(err.Error())
 	}
-	res, err := session.RunPostCopy(dst, core.PostCopyDestOptions{Store: h.store})
+	res, err := session.RunPostCopy(ctx, dst, core.PostCopyDestOptions{Store: h.store})
 	if err != nil {
 		return err
 	}
@@ -253,9 +357,9 @@ func (h *Host) handlePostCopy(session *core.IncomingSession) error {
 			return err
 		}
 	}
-	h.mu.Lock()
-	h.vms[dst.Name()] = dst
-	h.mu.Unlock()
+	if err := h.register(dst, nil); err != nil {
+		return err
+	}
 	if h.OnArrival != nil {
 		h.OnArrival(dst, core.DestResult{
 			Metrics:        res.Metrics.Metrics,
@@ -268,20 +372,24 @@ func (h *Host) handlePostCopy(session *core.IncomingSession) error {
 // PostCopyTo moves the named VM to the peer at addr using the post-copy
 // protocol. The caller must have stopped the guest workload: post-copy
 // transfers a frozen state, and the guest logically resumes at the
-// destination the moment the manifest is resolved.
-func (h *Host) PostCopyTo(addr, vmName string) (core.PostCopyMetrics, error) {
+// destination the moment the manifest is resolved. Cancelling ctx aborts
+// the transfer; per-I/O deadlines follow Host.IdleTimeout.
+func (h *Host) PostCopyTo(ctx context.Context, addr, vmName string) (core.PostCopyMetrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	h.mu.Lock()
 	v, ok := h.vms[vmName]
 	h.mu.Unlock()
 	if !ok {
 		return core.PostCopyMetrics{}, fmt.Errorf("%w: %q", ErrNoSuchVM, vmName)
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	conn, err := h.dial(ctx, addr)
 	if err != nil {
-		return core.PostCopyMetrics{}, fmt.Errorf("sched: dial %s: %w", addr, err)
+		return core.PostCopyMetrics{}, err
 	}
 	defer conn.Close()
-	m, err := core.PostCopySource(conn, v, core.PostCopySourceOptions{})
+	m, err := core.PostCopySource(ctx, core.NewDeadlineConn(conn, h.idle()), v, core.PostCopySourceOptions{})
 	if err != nil {
 		return m, err
 	}
@@ -309,6 +417,89 @@ func fnv64(s string) uint64 {
 	return h
 }
 
+// RetryPolicy configures how MigrateTo re-attempts a migration after a
+// transient transport failure — a dial error, an idle timeout, a mid-stream
+// reset. Terminal failures (the destination rejecting the migration, a
+// local protocol violation, context cancellation) are never retried.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first. Values
+	// below 2 mean a single attempt (no retry).
+	Attempts int
+	// Backoff is the delay before the first retry. Defaults to 200ms.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Defaults to 5s.
+	MaxBackoff time.Duration
+	// Multiplier scales the delay after each retry. Defaults to 2.
+	Multiplier float64
+	// Jitter spreads each delay by ±Jitter fraction to avoid retry
+	// stampedes across a fleet. Defaults to 0.2.
+	Jitter float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// delay computes the backoff before the (retry+1)-th retry, 0-indexed.
+func (p RetryPolicy) delay(retry int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 0; i < retry; i++ {
+		d *= mult
+		if d >= float64(maxB) {
+			d = float64(maxB)
+			break
+		}
+	}
+	jitter := p.Jitter
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+	d *= 1 + jitter*(2*rand.Float64()-1)
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(maxB) {
+		d = float64(maxB)
+	}
+	return time.Duration(d)
+}
+
+// Retryable classifies a migration error: true means a fresh attempt on a
+// new connection could plausibly succeed (the peer or the network hiccuped),
+// false means retrying is pointless or unsafe.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, core.ErrRejected):
+		return false // the destination said no; asking again won't help
+	case errors.Is(err, core.ErrProtocol):
+		return false // one of the two sides is broken, not the network
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, ErrNoSuchVM):
+		return false
+	default:
+		// Dial failures, idle timeouts, resets, truncated streams.
+		return true
+	}
+}
+
 // MigrateOptions tunes an outgoing migration from a host.
 type MigrateOptions struct {
 	// Recycle enables checkpoint-assisted mode (default in VeCycle
@@ -330,16 +521,50 @@ type MigrateOptions struct {
 	// the destination's mandatory per-delta verification; MigrateTo then
 	// retries the migration once without deltas.
 	UseDelta bool
+	// Compress deflates full-page payloads (core.SourceOptions.Compress).
+	Compress bool
+	// ChecksumWorkers parallelizes first-round checksumming
+	// (core.SourceOptions.ChecksumWorkers); values below 2 stay sequential.
+	ChecksumWorkers int
+	// MaxRounds bounds the pre-copy rounds (core.SourceOptions.MaxRounds);
+	// 0 keeps the engine default.
+	MaxRounds int
+	// StopThreshold is the dirty-page count triggering the final round
+	// (core.SourceOptions.StopThreshold); 0 keeps the engine default.
+	StopThreshold int
+	// IdleTimeout overrides Host.IdleTimeout for this migration's
+	// connections. Zero inherits the host setting; negative disables.
+	IdleTimeout time.Duration
+	// Retry re-attempts the migration on transient transport failures with
+	// exponential backoff. The zero value performs a single attempt.
+	Retry RetryPolicy
 	// Pause and Resume bracket the stop-and-copy phase, as in
 	// core.SourceOptions.
 	Pause  func()
 	Resume func()
 }
 
+// migrationIdle resolves the per-migration idle budget against the host's.
+func (h *Host) migrationIdle(override time.Duration) time.Duration {
+	if override != 0 {
+		return resolveIdle(override)
+	}
+	return h.idle()
+}
+
 // MigrateTo live-migrates the named resident VM to the peer host listening
 // at addr. On success the VM is no longer resident here and, when
 // KeepCheckpoint is set, a checkpoint of its final state is stored locally.
-func (h *Host) MigrateTo(addr, vmName string, opts MigrateOptions) (core.Metrics, error) {
+//
+// Cancelling ctx aborts the migration (and any pending retry wait) with
+// ctx's error. Transient failures are retried per opts.Retry; a rejection
+// by the destination is terminal. An attempt with an optimistic delta base
+// that fails is re-run once without deltas before the retry policy is
+// consulted, preserving the stale-delta fallback.
+func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateOptions) (core.Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	h.mu.Lock()
 	v, ok := h.vms[vmName]
 	var known *checksum.Set
@@ -361,11 +586,7 @@ func (h *Host) MigrateTo(addr, vmName string, opts MigrateOptions) (core.Metrics
 		deltaBase = cp
 	}
 
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return core.Metrics{}, fmt.Errorf("sched: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
+	idle := h.migrationIdle(opts.IdleTimeout)
 
 	// Unshared storage: the block device moves first, through the same
 	// engine on its own connection, so the guest's final rounds overlap
@@ -374,11 +595,11 @@ func (h *Host) MigrateTo(addr, vmName string, opts MigrateOptions) (core.Metrics
 	d := h.disks[vmName]
 	h.mu.Unlock()
 	if d != nil {
-		diskConn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		diskConn, err := h.dial(ctx, addr)
 		if err != nil {
-			return core.Metrics{}, fmt.Errorf("sched: dial %s for disk: %w", addr, err)
+			return core.Metrics{}, fmt.Errorf("sched: dial for disk: %w", err)
 		}
-		_, derr := core.MigrateSource(diskConn, d.Backing(), core.SourceOptions{Recycle: opts.Recycle})
+		_, derr := core.MigrateSource(ctx, core.NewDeadlineConn(diskConn, idle), d.Backing(), core.SourceOptions{Recycle: opts.Recycle})
 		diskConn.Close()
 		if derr != nil {
 			return core.Metrics{}, fmt.Errorf("sched: disk migration: %w", derr)
@@ -390,33 +611,69 @@ func (h *Host) MigrateTo(addr, vmName string, opts MigrateOptions) (core.Metrics
 		}
 	}
 
-	attempt := func(c net.Conn, base core.PageProvider) (core.Metrics, error) {
-		return core.MigrateSource(c, v, core.SourceOptions{
-			Recycle:       opts.Recycle,
-			KnownDestSums: known,
-			DeltaBase:     base,
-			Pause:         opts.Pause,
-			Resume:        opts.Resume,
+	attempt := func(base core.PageProvider) (core.Metrics, error) {
+		conn, err := h.dial(ctx, addr)
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		defer conn.Close()
+		return core.MigrateSource(ctx, core.NewDeadlineConn(conn, idle), v, core.SourceOptions{
+			Recycle:         opts.Recycle,
+			KnownDestSums:   known,
+			DeltaBase:       base,
+			Compress:        opts.Compress,
+			ChecksumWorkers: opts.ChecksumWorkers,
+			MaxRounds:       opts.MaxRounds,
+			StopThreshold:   opts.StopThreshold,
+			Pause:           opts.Pause,
+			Resume:          opts.Resume,
 		})
 	}
-	m, err := attempt(conn, deltaBase)
-	if err != nil && deltaBase != nil {
-		// Delta encoding is optimistic: if this host's checkpoint mirror
-		// went stale (the VM visited the destination via a third host),
-		// the destination's mandatory per-delta verification aborts the
-		// stream. Retry once on a fresh connection without deltas.
+
+	attempts := opts.Retry.attempts()
+	base := deltaBase
+	deltaFallback := base != nil
+	var m core.Metrics
+	var err error
+	for retries := 0; ; {
+		m, err = attempt(base)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return m, err
+		}
+		if errors.Is(err, core.ErrRejected) {
+			return m, err
+		}
+		if deltaFallback {
+			// Delta encoding is optimistic: if this host's checkpoint mirror
+			// went stale (the VM visited the destination via a third host),
+			// the destination's mandatory per-delta verification aborts the
+			// stream. Retry once on a fresh connection without deltas; this
+			// fallback does not consume a retry attempt.
+			if h.OnError != nil {
+				h.OnError(fmt.Errorf("sched: delta migration of %q to %s failed (%v); retrying without deltas", vmName, addr, err))
+			}
+			base = nil
+			deltaFallback = false
+			continue
+		}
+		if !Retryable(err) || retries >= attempts-1 {
+			return m, err
+		}
+		retries++
+		delay := opts.Retry.delay(retries - 1)
 		if h.OnError != nil {
-			h.OnError(fmt.Errorf("sched: delta migration of %q to %s failed (%v); retrying without deltas", vmName, addr, err))
+			h.OnError(fmt.Errorf("sched: migration of %q to %s failed (attempt %d/%d: %v); retrying in %v", vmName, addr, retries, attempts, err, delay))
 		}
-		retryConn, dialErr := net.DialTimeout("tcp", addr, dialTimeout)
-		if dialErr != nil {
-			return m, fmt.Errorf("sched: redial %s: %w", addr, dialErr)
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return m, ctx.Err()
+		case <-timer.C:
 		}
-		m, err = attempt(retryConn, nil)
-		retryConn.Close()
-	}
-	if err != nil {
-		return m, err
 	}
 
 	// The VM now runs at the destination. Write the local checkpoint —

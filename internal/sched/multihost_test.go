@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -58,7 +59,7 @@ func TestThreeHostDeltaStaleBaseRetry(t *testing.T) {
 	cur := 0
 	var prev *vm.VM = g
 	for leg, to := range route {
-		m, err := hosts[cur].MigrateTo(addrs[to], "vm0", MigrateOptions{
+		m, err := hosts[cur].MigrateTo(context.Background(), addrs[to], "vm0", MigrateOptions{
 			Recycle: true, UseDelta: true, KeepCheckpoint: true,
 		})
 		if err != nil {

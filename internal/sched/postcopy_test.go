@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -41,7 +42,7 @@ func TestPostCopyOverTCP(t *testing.T) {
 
 	// Leg 1: post-copy with no checkpoint anywhere — every page is
 	// demand-fetched.
-	m1, err := alpha.PostCopyTo(addrB, "vm0")
+	m1, err := alpha.PostCopyTo(context.Background(), addrB, "vm0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestPostCopyOverTCP(t *testing.T) {
 	// Leg 2: back to alpha, which now holds a checkpoint (written by
 	// PostCopyTo); only touched pages fault over the network.
 	vb.TouchRandomPages(5)
-	m2, err := beta.PostCopyTo(addrA, "vm0")
+	m2, err := beta.PostCopyTo(context.Background(), addrA, "vm0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestPostCopyOverTCP(t *testing.T) {
 
 func TestPostCopyNoSuchVM(t *testing.T) {
 	alpha := newHost(t, "alpha")
-	if _, err := alpha.PostCopyTo("127.0.0.1:1", "ghost"); err == nil {
+	if _, err := alpha.PostCopyTo(context.Background(), "127.0.0.1:1", "ghost"); err == nil {
 		t.Error("missing VM accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -77,7 +78,7 @@ func TestMigrateOverTCP(t *testing.T) {
 	arrived := make(chan core.DestResult, 1)
 	dst.OnArrival = func(_ *vm.VM, res core.DestResult) { arrived <- res }
 
-	m, err := src.MigrateTo(addr, "vm0", MigrateOptions{Recycle: true, KeepCheckpoint: true})
+	m, err := src.MigrateTo(context.Background(), addr, "vm0", MigrateOptions{Recycle: true, KeepCheckpoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestPingPongOverTCP(t *testing.T) {
 	}
 
 	// Leg 1: alpha → beta (full, alpha checkpoints).
-	m1, err := alpha.MigrateTo(addrB, "vm0", MigrateOptions{Recycle: true, KeepCheckpoint: true})
+	m1, err := alpha.MigrateTo(context.Background(), addrB, "vm0", MigrateOptions{Recycle: true, KeepCheckpoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestPingPongOverTCP(t *testing.T) {
 	// Touch some pages at beta, then send it home with ping-pong.
 	vb, _ := beta.VM("vm0")
 	vb.TouchRandomPages(5)
-	m2, err := beta.MigrateTo(addrA, "vm0", MigrateOptions{Recycle: true, UsePingPong: true, KeepCheckpoint: true})
+	m2, err := beta.MigrateTo(context.Background(), addrA, "vm0", MigrateOptions{Recycle: true, UsePingPong: true, KeepCheckpoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestPingPongOverTCP(t *testing.T) {
 
 	// Leg 3: alpha → beta again; beta now has a checkpoint, announcement
 	// path this time (no ping-pong flag).
-	m3, err := alpha.MigrateTo(addrB, "vm0", MigrateOptions{Recycle: true, KeepCheckpoint: true})
+	m3, err := alpha.MigrateTo(context.Background(), addrB, "vm0", MigrateOptions{Recycle: true, KeepCheckpoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestMigrateNoSuchVM(t *testing.T) {
 	src := newHost(t, "alpha")
 	dst := newHost(t, "beta")
 	addr := listen(t, dst)
-	_, err := src.MigrateTo(addr, "ghost", MigrateOptions{})
+	_, err := src.MigrateTo(context.Background(), addr, "ghost", MigrateOptions{})
 	if !errors.Is(err, ErrNoSuchVM) {
 		t.Errorf("err = %v, want ErrNoSuchVM", err)
 	}
@@ -193,7 +194,7 @@ func TestMigrateRejectedWhenResident(t *testing.T) {
 	dst.AddVM(newGuest(t, "vm0", 8)) // name collision at destination
 	v := newGuest(t, "vm0", 8)
 	src.AddVM(v)
-	_, err := src.MigrateTo(addr, "vm0", MigrateOptions{})
+	_, err := src.MigrateTo(context.Background(), addr, "vm0", MigrateOptions{})
 	if !errors.Is(err, core.ErrRejected) {
 		t.Errorf("err = %v, want ErrRejected", err)
 	}
@@ -206,7 +207,7 @@ func TestMigrateRejectedWhenResident(t *testing.T) {
 func TestMigrateDialFailure(t *testing.T) {
 	src := newHost(t, "alpha")
 	src.AddVM(newGuest(t, "vm0", 8))
-	if _, err := src.MigrateTo("127.0.0.1:1", "vm0", MigrateOptions{}); err == nil {
+	if _, err := src.MigrateTo(context.Background(), "127.0.0.1:1", "vm0", MigrateOptions{}); err == nil {
 		t.Error("dial to dead port succeeded")
 	}
 }
