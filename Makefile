@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci
+.PHONY: build test vet race race-pipeline bench ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# race-pipeline is the focused gate for the concurrent migration engine:
+# the golden-stream, leak, and barrier tests under the race detector.
+race-pipeline:
+	$(GO) test -race -run 'Golden|Pipeline|IterativeRoundSum|DestWorkerError' ./internal/core/
+
+# bench records the migration-engine benchmarks (first-round throughput at
+# several pipeline widths, destination merge-loop throughput, per-page
+# checksum rates) as machine-readable output for regression tracking.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFirstRound|BenchmarkMergeLoop' -benchmem -json ./internal/core/ > BENCH_migration.json
+	$(GO) test -run '^$$' -bench 'BenchmarkChecksumPage' -benchmem -json ./internal/checksum/ >> BENCH_migration.json
+
 # ci is the gate for every change: static analysis plus the full suite
-# under the race detector.
-ci: vet race
+# under the race detector (which includes the pipeline tests).
+ci: vet race race-pipeline

@@ -16,10 +16,11 @@ import (
 func runDest(args []string) error {
 	fs := flag.NewFlagSet("vecycle dest", flag.ContinueOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:7001", "address to accept migrations on")
-		store  = fs.String("store", "", "checkpoint store directory (required)")
-		count  = fs.Int("count", 1, "number of migrations to accept before exiting (0 = forever)")
-		name   = fs.String("name", "dest-host", "host name")
+		listen  = fs.String("listen", "127.0.0.1:7001", "address to accept migrations on")
+		store   = fs.String("store", "", "checkpoint store directory (required)")
+		count   = fs.Int("count", 1, "number of migrations to accept before exiting (0 = forever)")
+		name    = fs.String("name", "dest-host", "host name")
+		workers = fs.Int("workers", 0, "pipelined merge workers for incoming migrations (<1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -31,6 +32,7 @@ func runDest(args []string) error {
 	if err != nil {
 		return err
 	}
+	host.Workers = *workers
 	arrivals := make(chan core.DestResult)
 	host.OnArrival = func(v *vm.VM, res core.DestResult) {
 		fmt.Printf("VM %q arrived: %d full pages, %d checksum-only (%d reused in place, %d from disk), checkpoint=%v\n",
@@ -62,7 +64,8 @@ func runSource(args []string) error {
 		recycle  = fs.Bool("recycle", true, "enable checkpoint-assisted migration")
 		postcopy = fs.Bool("postcopy", false, "use the post-copy protocol (manifest + demand fetch)")
 		compress = fs.Bool("compress", false, "deflate-compress full-page payloads")
-		workers  = fs.Int("checksum-workers", 0, "parallel first-round checksum workers (<2 = sequential)")
+		workers  = fs.Int("workers", 0, "pipeline encode workers (<1 = sequential engine)")
+		ckworker = fs.Int("checksum-workers", 0, "deprecated alias for -workers (used when -workers is 0)")
 		rounds   = fs.Int("max-rounds", 0, "pre-copy round cap (0 = engine default)")
 		stopAt   = fs.Int("stop-threshold", 0, "dirty-page count triggering the final round (0 = engine default)")
 		idle     = fs.Duration("idle-timeout", 0, "per-I/O idle timeout (0 = default, negative disables)")
@@ -106,7 +109,8 @@ func runSource(args []string) error {
 		Recycle:         *recycle,
 		KeepCheckpoint:  true,
 		Compress:        *compress,
-		ChecksumWorkers: *workers,
+		Workers:         *workers,
+		ChecksumWorkers: *ckworker,
 		MaxRounds:       *rounds,
 		StopThreshold:   *stopAt,
 		IdleTimeout:     *idle,

@@ -27,7 +27,7 @@ func runFleet(args []string) error {
 		rounds    = fs.Int("rounds", 3, "migration rounds (each VM moves once per round)")
 		touches   = fs.Int("touch", 32, "pages dirtied by each guest between rounds")
 		compress  = fs.Bool("compress", false, "deflate-compress full-page payloads")
-		workers   = fs.Int("checksum-workers", 0, "parallel first-round checksum workers (<2 = sequential)")
+		workers   = fs.Int("workers", 0, "pipeline encode/merge workers (<1 = sequential engines)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +56,7 @@ func runFleet(args []string) error {
 			return err
 		}
 		h.SaveArrivals = true
+		h.Workers = *workers
 		h.OnArrival = func(*vm.VM, core.DestResult) { arrived.Done() }
 		addr, err := h.Listen("127.0.0.1:0")
 		if err != nil {
@@ -93,11 +94,11 @@ func runFleet(args []string) error {
 			}
 			arrived.Add(1)
 			m, err := hosts[from].MigrateTo(context.Background(), addrs[to], name, sched.MigrateOptions{
-				Recycle:         true,
-				UseDelta:        true,
-				KeepCheckpoint:  true,
-				Compress:        *compress,
-				ChecksumWorkers: *workers,
+				Recycle:        true,
+				UseDelta:       true,
+				KeepCheckpoint: true,
+				Compress:       *compress,
+				Workers:        *workers,
 			})
 			if err != nil {
 				return fmt.Errorf("round %d, %s: %w", round, name, err)

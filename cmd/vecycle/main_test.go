@@ -61,7 +61,7 @@ func TestFleetWithCompression(t *testing.T) {
 	// through: compression plus parallel checksumming must not disturb the
 	// migration outcome.
 	err := run([]string{"fleet", "-hosts", "2", "-vms", "2", "-mem", "1MiB",
-		"-rounds", "2", "-touch", "4", "-compress", "-checksum-workers", "2"})
+		"-rounds", "2", "-touch", "4", "-compress", "-workers", "2"})
 	if err != nil {
 		t.Fatalf("fleet with -compress failed: %v", err)
 	}

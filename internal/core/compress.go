@@ -99,7 +99,15 @@ func (d *pageDecompressor) readInto(r io.Reader, dst []byte) error {
 	if _, err := io.ReadFull(r, d.comp); err != nil {
 		return fmt.Errorf("core: read compressed payload: %w", err)
 	}
-	if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(d.comp), nil); err != nil {
+	return d.inflate(d.comp, dst)
+}
+
+// inflate decompresses one already-read deflate payload into dst, which
+// must hold exactly PageSize bytes. Pipeline workers use this directly:
+// the decoder stage reads the payload off the wire and the worker inflates
+// it off-thread.
+func (d *pageDecompressor) inflate(comp, dst []byte) error {
+	if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
 		return fmt.Errorf("core: reset inflater: %w", err)
 	}
 	if _, err := io.ReadFull(d.fr, dst[:vm.PageSize]); err != nil {

@@ -27,6 +27,20 @@ type DestOptions struct {
 	// and rejects mismatches. Costs one hash per page; useful under
 	// unreliable transports and in tests.
 	VerifyPayloads bool
+	// Workers sizes the destination pipeline: frame decoding runs on one
+	// goroutine while Workers goroutines decompress, verify, resolve
+	// checkpoint blocks, apply deltas, and install pages. Installs within a
+	// round are disjoint frames and proceed unordered; round boundaries are
+	// barriers. Values below 1 keep the single-goroutine merge loop.
+	Workers int
+}
+
+// workers resolves the effective pipeline width (0 = sequential merge).
+func (o *DestOptions) workers() int {
+	if o.Workers < 1 {
+		return 0
+	}
+	return o.Workers
 }
 
 // DestResult reports the outcome of an incoming migration.
@@ -132,7 +146,7 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 		}
 	}()
 	h := s.h
-	w, r := s.w, s.r
+	w := s.w
 	defer func() {
 		res.Metrics.BytesSent = s.cw.n
 		res.Metrics.BytesReceived = s.cr.n
@@ -179,41 +193,52 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 		return res, err
 	}
 
-	// Merge loop — Listing 1, extended with full-page installs and round
-	// bookkeeping.
+	if workers := opts.workers(); workers >= 1 {
+		return res, s.mergePipelined(ctx, v, opts, cp, &res, start, workers)
+	}
+	return res, s.mergeSequential(ctx, v, opts, cp, &res, start)
+}
+
+// mergeSequential is the single-goroutine merge loop — Listing 1, extended
+// with full-page installs and round bookkeeping. It is the reference the
+// pipelined variant is tested against.
+func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts DestOptions, cp *checkpoint.Checkpoint, res *DestResult, start time.Time) error {
+	h := s.h
+	w, r := s.w, s.r
 	pageBuf := make([]byte, vm.PageSize)
+	var deltaBuf []byte
 	var decomp *pageDecompressor
 	for {
 		if err := ctx.Err(); err != nil {
-			return res, err
+			return err
 		}
 		t, err := readMsgType(r)
 		if err != nil {
-			return res, err
+			return err
 		}
 		switch t {
 		case msgPageFull, msgPageFullZ:
 			page, sum, err := readPageHeader(r)
 			if err != nil {
-				return res, err
+				return err
 			}
 			if page >= uint64(v.NumPages()) {
-				return res, fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
+				return fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
 			}
 			if t == msgPageFullZ {
 				if decomp == nil {
 					decomp = newPageDecompressor()
 				}
 				if err := decomp.readInto(r, pageBuf); err != nil {
-					return res, err
+					return err
 				}
 				res.Metrics.PagesCompressed++
 			} else if _, err := io.ReadFull(r, pageBuf); err != nil {
-				return res, fmt.Errorf("core: read page %d payload: %w", page, err)
+				return fmt.Errorf("core: read page %d payload: %w", page, err)
 			}
 			if opts.VerifyPayloads {
 				if got := h.Alg.Page(pageBuf); got != sum {
-					return res, fmt.Errorf("%w: page %d payload checksum mismatch", ErrProtocol, page)
+					return fmt.Errorf("%w: page %d payload checksum mismatch", ErrProtocol, page)
 				}
 			}
 			v.InstallPage(int(page), pageBuf)
@@ -222,13 +247,13 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 		case msgPageSum:
 			page, sum, err := readPageHeader(r)
 			if err != nil {
-				return res, err
+				return err
 			}
 			if page >= uint64(v.NumPages()) {
-				return res, fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
+				return fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
 			}
 			if cp == nil {
-				return res, fmt.Errorf("%w: page-sum received without a checkpoint", ErrProtocol)
+				return fmt.Errorf("%w: page-sum received without a checkpoint", ErrProtocol)
 			}
 			res.Metrics.PagesSum++
 			// Fast path: the frame content inherited from the checkpoint
@@ -241,63 +266,67 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 			// re-read the block from disk (lseek+read of Listing 1).
 			data, ok, err := cp.ReadBlock(sum)
 			if err != nil {
-				return res, err
+				return err
 			}
 			if !ok {
-				return res, fmt.Errorf("%w: source referenced checksum %v absent from checkpoint", ErrProtocol, sum)
+				return fmt.Errorf("%w: source referenced checksum %v absent from checkpoint", ErrProtocol, sum)
 			}
 			v.InstallPage(int(page), data)
+			cp.Release(data)
 			res.Metrics.PagesReusedFromDisk++
 
 		case msgPageDelta:
 			page, sum, err := readPageHeader(r)
 			if err != nil {
-				return res, err
+				return err
 			}
 			if page >= uint64(v.NumPages()) {
-				return res, fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
+				return fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
 			}
 			if cp == nil {
-				return res, fmt.Errorf("%w: page-delta received without a checkpoint", ErrProtocol)
+				return fmt.Errorf("%w: page-delta received without a checkpoint", ErrProtocol)
 			}
 			var lenBuf [4]byte
 			if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-				return res, fmt.Errorf("core: read delta length: %w", err)
+				return fmt.Errorf("core: read delta length: %w", err)
 			}
 			n := binary.LittleEndian.Uint32(lenBuf[:])
 			if n == 0 || n > vm.PageSize {
-				return res, fmt.Errorf("%w: delta length %d out of range", ErrProtocol, n)
+				return fmt.Errorf("%w: delta length %d out of range", ErrProtocol, n)
 			}
-			enc := make([]byte, n)
+			if cap(deltaBuf) < int(n) {
+				deltaBuf = make([]byte, n)
+			}
+			enc := deltaBuf[:n]
 			if _, err := io.ReadFull(r, enc); err != nil {
-				return res, fmt.Errorf("core: read delta payload: %w", err)
+				return fmt.Errorf("core: read delta payload: %w", err)
 			}
 			// The frame still holds bootstrap (checkpoint) content in round
 			// one; apply the delta against it.
 			v.ReadPage(int(page), pageBuf)
 			if err := delta.Decode(pageBuf, enc, pageBuf); err != nil {
-				return res, fmt.Errorf("%w: %v", ErrProtocol, err)
+				return fmt.Errorf("%w: %v", ErrProtocol, err)
 			}
 			// Deltas are always verified: a base mismatch (stale mirror at
 			// the source) silently corrupts otherwise.
 			if got := h.Alg.Page(pageBuf); got != sum {
-				return res, fmt.Errorf("%w: page %d delta produced checksum mismatch (stale delta base?)", ErrProtocol, page)
+				return fmt.Errorf("%w: page %d delta produced checksum mismatch (stale delta base?)", ErrProtocol, page)
 			}
 			v.InstallPage(int(page), pageBuf)
 			res.Metrics.PagesDelta++
 
 		case msgRoundEnd:
 			if _, _, err := readRoundEnd(r); err != nil {
-				return res, err
+				return err
 			}
 			res.Metrics.Rounds++
 
 		case msgDone:
 			if err := writeMsgType(w, msgAck); err != nil {
-				return res, err
+				return err
 			}
 			if err := flush(w); err != nil {
-				return res, err
+				return err
 			}
 			res.Metrics.Duration = time.Since(start)
 			// Record the checksum set of the *final* arrived state. This is
@@ -307,14 +336,12 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 			// leg. Tracking stream messages instead would also capture
 			// stale intermediate contents that the peer never checkpointed.
 			if opts.TrackIncoming {
-				for i := 0; i < v.NumPages(); i++ {
-					res.SeenSums.Add(v.PageSum(i, h.Alg))
-				}
+				collectSums(v, h.Alg, res.SeenSums)
 			}
-			return res, nil
+			return nil
 
 		default:
-			return res, fmt.Errorf("%w: unexpected %v during merge", ErrProtocol, t)
+			return fmt.Errorf("%w: unexpected %v during merge", ErrProtocol, t)
 		}
 	}
 }

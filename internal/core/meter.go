@@ -43,11 +43,63 @@ type Metrics struct {
 	// Rounds is the number of pre-copy rounds, including the final
 	// stop-and-copy round.
 	Rounds int
+	// Stages breaks the pipelined engine down by stage, so a throughput
+	// regression can be attributed (reader-bound, worker-bound, or
+	// wire-bound) instead of guessed. All zero when the sequential
+	// (Workers <= 0) engine ran.
+	Stages StageMetrics
 	// Duration is the wall-clock migration time: from initiating the
 	// migration until the destination acknowledged the final merge. As in
 	// the paper, destination setup (checkpoint load) and source checkpoint
 	// writing are excluded.
 	Duration time.Duration
+}
+
+// StageMetrics records per-stage busy and stall time of a pipelined
+// transfer. On the source, ingest is the page reader, workers hash +
+// compress + delta-encode, and emit is the in-order frame writer; on the
+// destination, ingest is the frame decoder and workers
+// decompress/verify/install (there is no emit stage). A stage's stall time
+// is how long it spent blocked on its neighbours' bounded queues: a large
+// EmitStall means the workers are the bottleneck, a large IngestStall on
+// the destination means the workers cannot keep up with the wire.
+type StageMetrics struct {
+	// Batches counts work units through the pipeline: page batches on the
+	// source, page messages on the destination.
+	Batches int64
+	// IngestBusy/IngestStall: the reader (source) or decoder (dest) stage.
+	IngestBusy  time.Duration
+	IngestStall time.Duration
+	// WorkerBusy is the summed busy time across the worker pool.
+	WorkerBusy time.Duration
+	// EmitBusy/EmitStall: the source's in-order emitter. Zero on the
+	// destination, where installs are unordered and happen in the workers.
+	EmitBusy  time.Duration
+	EmitStall time.Duration
+}
+
+// add accumulates another round's (or side's) stage counters.
+func (s *StageMetrics) add(o StageMetrics) {
+	s.Batches += o.Batches
+	s.IngestBusy += o.IngestBusy
+	s.IngestStall += o.IngestStall
+	s.WorkerBusy += o.WorkerBusy
+	s.EmitBusy += o.EmitBusy
+	s.EmitStall += o.EmitStall
+}
+
+// addPageCounters merges the per-page counters a pipeline batch collected
+// into the migration-wide metrics. Transport-level fields (BytesSent,
+// Duration, Rounds, ...) are owned by the protocol driver and not touched.
+func (m *Metrics) addPageCounters(d Metrics) {
+	m.PagesFull += d.PagesFull
+	m.PagesSum += d.PagesSum
+	m.PagesDelta += d.PagesDelta
+	m.PagesCompressed += d.PagesCompressed
+	m.CompressionSavedBytes += d.CompressionSavedBytes
+	m.DeltaSavedBytes += d.DeltaSavedBytes
+	m.PagesReusedInPlace += d.PagesReusedInPlace
+	m.PagesReusedFromDisk += d.PagesReusedFromDisk
 }
 
 // String summarizes the metrics in one line.

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/delta"
+	"vecycle/internal/vm"
+)
+
+// The source half of the pipelined migration engine (§3.4): page reads,
+// checksum + compression + delta encoding, and wire emission run as three
+// concurrent stages connected by bounded queues, so batch N+1 is being
+// hashed and compressed while batch N is on the wire. The checksum rate —
+// not the network — bounds fast-link migrations (MD5 at ~350 MiB/s vs
+// 10/40 GbE), which is why the encode stage is the one that fans out.
+//
+// Ordering guarantee: the emitter writes batches strictly in read order, so
+// the wire stream is byte-for-byte identical to the sequential engine's for
+// any worker count. Per-page encoding decisions (checksum-set lookup, delta
+// attempt, deflate) depend only on the page content, never on neighbouring
+// pages, which is what makes the fan-out sound.
+
+// batchPages is the pipeline's work-unit size: 256 pages (1 MiB of guest
+// memory) amortizes channel and scheduling overhead while keeping at most a
+// few MiB in flight.
+const batchPages = 256
+
+// pageSeq enumerates the pages of one pre-copy round: the full address
+// space in round one, the harvested dirty list afterwards.
+type pageSeq struct {
+	list  []int // explicit page numbers; nil means the range [0, count)
+	count int   // used when list == nil
+}
+
+func seqAll(n int) pageSeq        { return pageSeq{count: n} }
+func seqList(pages []int) pageSeq { return pageSeq{list: pages, count: len(pages)} }
+func (s pageSeq) len() int        { return s.count }
+func (s pageSeq) at(i int) int {
+	if s.list != nil {
+		return s.list[i]
+	}
+	return i
+}
+
+// pageBatch carries up to batchPages pages through the pipeline. The worker
+// serializes its frames into buf; the emitter writes buf out in sequence
+// order and merges the per-batch counters.
+type pageBatch struct {
+	pages []int        // page numbers
+	data  []byte       // page payloads, len(pages)*PageSize
+	buf   bytes.Buffer // encoded wire frames, in page order
+	m     Metrics      // per-batch page counters
+	err   error        // set instead of buf when encoding failed
+	done  chan struct{}
+}
+
+// fail marks the batch failed and releases its emitter.
+func (b *pageBatch) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+	close(b.done)
+}
+
+var batchPool = sync.Pool{New: func() interface{} {
+	return &pageBatch{
+		pages: make([]int, 0, batchPages),
+		data:  make([]byte, 0, batchPages*vm.PageSize),
+	}
+}}
+
+func putBatch(b *pageBatch) {
+	b.pages = b.pages[:0]
+	b.data = b.data[:0]
+	b.buf.Reset()
+	b.m = Metrics{}
+	b.err = nil
+	b.done = nil
+	batchPool.Put(b)
+}
+
+// pipelineStats accumulates stage timings from concurrently running stages.
+type pipelineStats struct {
+	batches     atomic.Int64
+	ingestBusy  atomic.Int64
+	ingestStall atomic.Int64
+	workerBusy  atomic.Int64
+	emitBusy    atomic.Int64
+	emitStall   atomic.Int64
+}
+
+func (s *pipelineStats) stageMetrics() StageMetrics {
+	return StageMetrics{
+		Batches:     s.batches.Load(),
+		IngestBusy:  time.Duration(s.ingestBusy.Load()),
+		IngestStall: time.Duration(s.ingestStall.Load()),
+		WorkerBusy:  time.Duration(s.workerBusy.Load()),
+		EmitBusy:    time.Duration(s.emitBusy.Load()),
+		EmitStall:   time.Duration(s.emitStall.Load()),
+	}
+}
+
+// encoderConfig captures the per-round encoding parameters shared by the
+// sequential engine and every pipeline worker.
+type encoderConfig struct {
+	alg      checksum.Algorithm
+	destSums *checksum.Set // nil: no redundancy elimination
+	base     PageProvider  // nil: no delta encoding (rounds >= 2, baseline)
+	compress bool
+}
+
+// sourceEncoder is the per-goroutine encoding state: a reusable deflate
+// encoder and a delta scratch buffer. Encoding is pure per page, so any
+// number of encoders produce identical bytes for identical input.
+type sourceEncoder struct {
+	alg      checksum.Algorithm
+	destSums *checksum.Set
+	comp     *pageCompressor
+	deltaBuf []byte
+}
+
+func newSourceEncoder(cfg encoderConfig) (*sourceEncoder, error) {
+	e := &sourceEncoder{alg: cfg.alg, destSums: cfg.destSums}
+	if cfg.compress {
+		c, err := newPageCompressor()
+		if err != nil {
+			return nil, err
+		}
+		e.comp = c
+	}
+	return e, nil
+}
+
+// encodePage emits the wire frame for one page: a bare checksum when the
+// destination already holds the content, else a delta against base when one
+// fits, else the full (possibly deflated) payload. base is non-nil in the
+// first round of a recycled migration only.
+func (e *sourceEncoder) encodePage(w io.Writer, base PageProvider, page uint64, data []byte, m *Metrics) error {
+	sum := e.alg.Page(data)
+	if e.destSums != nil && e.destSums.Contains(sum) {
+		m.PagesSum++
+		return writePageSum(w, page, sum)
+	}
+	if base != nil {
+		sent, err := e.tryDelta(w, base, page, sum, data, m)
+		if err != nil {
+			return err
+		}
+		if sent {
+			return nil
+		}
+	}
+	m.PagesFull++
+	return sendFullPage(w, page, sum, data, e.comp, m)
+}
+
+// tryDelta attempts an XBZRLE delta of data against the provider's content
+// for the frame. sent reports whether a message was written.
+func (e *sourceEncoder) tryDelta(w io.Writer, base PageProvider, page uint64, sum checksum.Sum, data []byte, m *Metrics) (sent bool, err error) {
+	old, ok, err := base.PageAt(int(page))
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	enc, err := delta.Encode(e.deltaBuf[:0], old, data, deltaLimit)
+	if errors.Is(err, delta.ErrTooLarge) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	e.deltaBuf = enc[:0] // keep the (possibly grown) scratch for reuse
+	if err := writePageHeader(w, msgPageDelta, page, sum); err != nil {
+		return false, err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return false, fmt.Errorf("core: write delta length: %w", err)
+	}
+	if _, err := w.Write(enc); err != nil {
+		return false, fmt.Errorf("core: write delta payload: %w", err)
+	}
+	m.PagesDelta++
+	m.DeltaSavedBytes += int64(vm.PageSize - len(enc) - 4)
+	return true, nil
+}
+
+// runSourcePipeline streams the pages of one round through the three-stage
+// pipeline: a reader filling batches, `workers` encoders, and the in-order
+// emitter (the calling goroutine) writing to w.
+//
+// Error propagation: any stage error cancels the pipeline context; the
+// reader stops producing, workers fail remaining queued batches without
+// encoding them, and the emitter drains the ordered queue before returning
+// the first error — no goroutine outlives the call. Cancellation of ctx is
+// observed the same way (the caller's conn watcher unblocks a stuck write).
+func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq, workers int, cfg encoderConfig, m *Metrics) error {
+	n := pages.len()
+	if n == 0 {
+		return ctx.Err()
+	}
+	encs := make([]*sourceEncoder, workers)
+	for i := range encs {
+		e, err := newSourceEncoder(cfg)
+		if err != nil {
+			return err
+		}
+		encs[i] = e
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var stats pipelineStats
+	jobs := make(chan *pageBatch)
+	// ordered bounds the number of in-flight batches: the reader cannot run
+	// more than workers+2 batches ahead of the emitter.
+	ordered := make(chan *pageBatch, workers+2)
+
+	// Stage 1: reader.
+	go func() {
+		defer close(jobs)
+		defer close(ordered)
+		for off := 0; off < n; off += batchPages {
+			t0 := time.Now()
+			cnt := batchPages
+			if off+cnt > n {
+				cnt = n - off
+			}
+			b := batchPool.Get().(*pageBatch)
+			b.done = make(chan struct{})
+			b.pages = b.pages[:cnt]
+			b.data = b.data[:cnt*vm.PageSize]
+			for i := 0; i < cnt; i++ {
+				p := pages.at(off + i)
+				b.pages[i] = p
+				v.ReadPage(p, b.data[i*vm.PageSize:(i+1)*vm.PageSize])
+			}
+			stats.ingestBusy.Add(int64(time.Since(t0)))
+			t1 := time.Now()
+			select {
+			case ordered <- b:
+			case <-pctx.Done():
+				putBatch(b)
+				return
+			}
+			select {
+			case jobs <- b:
+			case <-pctx.Done():
+				// Already visible to the emitter but never reaching a
+				// worker: fail it so the emitter does not wait forever.
+				b.fail(pctx.Err())
+				return
+			}
+			stats.ingestStall.Add(int64(time.Since(t1)))
+			stats.batches.Add(1)
+		}
+	}()
+
+	// Stage 2: encode workers.
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(enc *sourceEncoder) {
+			defer wg.Done()
+			for b := range jobs {
+				if err := pctx.Err(); err != nil {
+					b.fail(err)
+					continue
+				}
+				t0 := time.Now()
+				err := encodeBatch(enc, cfg.base, b)
+				stats.workerBusy.Add(int64(time.Since(t0)))
+				if err != nil {
+					b.fail(err)
+					cancel()
+					continue
+				}
+				close(b.done)
+			}
+		}(encs[k])
+	}
+
+	// Stage 3: in-order emitter (this goroutine).
+	var firstErr error
+	for b := range ordered {
+		t0 := time.Now()
+		<-b.done // closed by a worker, or by the reader on teardown
+		stats.emitStall.Add(int64(time.Since(t0)))
+		if firstErr == nil && b.err != nil {
+			firstErr = b.err
+			cancel()
+		}
+		if firstErr == nil {
+			t1 := time.Now()
+			if _, err := w.Write(b.buf.Bytes()); err != nil {
+				firstErr = err
+				cancel()
+			}
+			stats.emitBusy.Add(int64(time.Since(t1)))
+			m.addPageCounters(b.m)
+		}
+		putBatch(b)
+	}
+	wg.Wait()
+	m.Stages.add(stats.stageMetrics())
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return firstErr
+}
+
+// encodeBatch serializes every page of the batch into its buffer.
+func encodeBatch(enc *sourceEncoder, base PageProvider, b *pageBatch) error {
+	for i, p := range b.pages {
+		data := b.data[i*vm.PageSize : (i+1)*vm.PageSize]
+		if err := enc.encodePage(&b.buf, base, uint64(p), data, &b.m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// minPagesPerSumWorker keeps the whole-memory checksum fan-out from
+// spawning workers for toy guests.
+const minPagesPerSumWorker = 256
+
+// collectSums adds the checksum of every page of v to set, fanning the hash
+// work across cores for large guests — the destination's TrackIncoming
+// final pass (§3.2).
+func collectSums(v *vm.VM, alg checksum.Algorithm, set *checksum.Set) {
+	n := v.NumPages()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/minPagesPerSumWorker {
+		workers = n / minPagesPerSumWorker
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			set.Add(v.PageSum(i, alg))
+		}
+		return
+	}
+	sums := make([]checksum.Sum, n)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < n; i += workers {
+				sums[i] = v.PageSum(i, alg)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, s := range sums {
+		set.Add(s)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+
+	"vecycle/internal/vm"
+)
+
+const benchPages = 4096 // 16 MiB guest
+
+func benchVM(b *testing.B, seed int64) *vm.VM {
+	b.Helper()
+	v, err := vm.New(vm.Config{Name: "bench-vm", MemBytes: benchPages * vm.PageSize, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Half compressible, half random: both encoder branches stay hot.
+	if err := v.FillRandom(1.0); err != nil {
+		b.Fatal(err)
+	}
+	if err := v.FillCompressible(0.5); err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// BenchmarkFirstRound measures a cold first-round migration (no checkpoint
+// at the destination, every page crosses the wire, compression on) at
+// several pipeline widths. On a multi-core host workers=NumCPU should beat
+// workers=1 by ~NumCPU/2 or better; on a single-core runner the widths
+// converge.
+func BenchmarkFirstRound(b *testing.B) {
+	src := benchVM(b, 7)
+	dst := benchVM(b, 8)
+	widths := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(benchPages * vm.PageSize)
+			for i := 0; i < b.N; i++ {
+				a, c := net.Pipe()
+				var wg sync.WaitGroup
+				var serr, derr error
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, derr = MigrateDest(context.Background(), c, dst, DestOptions{Workers: workers})
+				}()
+				_, serr = MigrateSource(context.Background(), a, src, SourceOptions{
+					Compress: true,
+					Workers:  workers,
+				})
+				wg.Wait()
+				a.Close()
+				c.Close()
+				if serr != nil || derr != nil {
+					b.Fatalf("source: %v, dest: %v", serr, derr)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeLoop isolates the destination: one migration's inbound
+// byte stream is recorded once, then replayed from memory, so the numbers
+// reflect decode + verify + install throughput alone.
+func BenchmarkMergeLoop(b *testing.B) {
+	src := benchVM(b, 7)
+	rec := recordStream(b, src)
+	dst := benchVM(b, 8)
+	for _, workers := range []int{0, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(benchPages * vm.PageSize)
+			for i := 0; i < b.N; i++ {
+				conn := readWriter{bytes.NewReader(rec), io.Discard}
+				if _, err := MigrateDest(context.Background(), conn, dst, DestOptions{
+					Workers:        workers,
+					VerifyPayloads: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// recordStream runs one real migration and captures every byte the
+// destination read.
+func recordStream(b *testing.B, src *vm.VM) []byte {
+	b.Helper()
+	dst := benchVM(b, 9)
+	a, c := net.Pipe()
+	defer a.Close()
+	defer c.Close()
+	rc := &recordConn{Conn: a}
+	var wg sync.WaitGroup
+	var derr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, derr = MigrateDest(context.Background(), c, dst, DestOptions{})
+	}()
+	if _, err := MigrateSource(context.Background(), rc, src, SourceOptions{Compress: true}); err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+	if derr != nil {
+		b.Fatal(derr)
+	}
+	return rc.rec.Bytes()
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+const goldenPages = 600
+
+// fillGolden writes the pre-checkpoint state: compressible pages, random
+// pages, and a tail of zero pages — all deterministic, so every call
+// reconstructs the identical guest.
+func fillGolden(src *vm.VM) {
+	rng := rand.New(rand.NewSource(1234))
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < 240; i++ { // low-entropy: exercises deflate
+		for j := range buf {
+			buf[j] = byte((j % 32) * (i + 1))
+		}
+		src.WritePage(i, buf)
+	}
+	for i := 240; i < 480; i++ { // high-entropy: deflate falls back to raw
+		rng.Read(buf)
+		src.WritePage(i, buf)
+	}
+	// 480..599 stay zero.
+}
+
+// mutateGolden diverges the guest from its checkpoint: small in-place edits
+// (delta-friendly), full rewrites (delta too large), everything else left
+// matching (checksum-eliminated).
+func mutateGolden(src *vm.VM) {
+	rng := rand.New(rand.NewSource(5678))
+	buf := make([]byte, vm.PageSize)
+	for i := 240; i < 300; i++ {
+		src.ReadPage(i, buf)
+		for k := 0; k < 8; k++ {
+			buf[(k*571)%vm.PageSize] ^= 0x5a
+		}
+		src.WritePage(i, buf)
+	}
+	for i := 300; i < 360; i++ {
+		rng.Read(buf)
+		src.WritePage(i, buf)
+	}
+}
+
+// goldenPause generates the round-2 (stop-and-copy) traffic: one page whose
+// new content already sits in the destination checkpoint (iterative-round
+// checksum elimination), one genuinely new random page, one compressible
+// page.
+func goldenPause(src *vm.VM) {
+	buf := make([]byte, vm.PageSize)
+	src.ReadPage(5, buf) // page 5 is unchanged checkpoint content
+	src.WritePage(520, buf)
+	rand.New(rand.NewSource(91)).Read(buf)
+	src.WritePage(521, buf)
+	for j := range buf {
+		buf[j] = byte(j % 7)
+	}
+	src.WritePage(522, buf)
+}
+
+// recordConn tees everything the source writes. The recording is read only
+// after the migration goroutines are joined.
+type recordConn struct {
+	net.Conn
+	rec bytes.Buffer
+}
+
+func (c *recordConn) Write(p []byte) (int, error) {
+	c.rec.Write(p)
+	return c.Conn.Write(p)
+}
+
+// goldenRun migrates a freshly reconstructed golden guest with the given
+// worker count and returns the exact byte stream the source emitted.
+func goldenRun(t *testing.T, workers int) ([]byte, Metrics, *vm.VM) {
+	t.Helper()
+	src, err := vm.New(vm.Config{Name: "vm0", MemBytes: goldenPages * vm.PageSize, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGolden(src)
+	store := newStore(t)
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	mutateGolden(src)
+	base, err := store.Restore("vm0", checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+
+	dst := newVM(t, "vm0", goldenPages, int64(1000+workers))
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	rc := &recordConn{Conn: a}
+
+	var (
+		wg   sync.WaitGroup
+		sm   Metrics
+		serr error
+		derr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sm, serr = MigrateSource(context.Background(), rc, src, SourceOptions{
+			Recycle:   true,
+			Compress:  true,
+			DeltaBase: base,
+			Workers:   workers,
+			Pause:     func() { goldenPause(src) },
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		// Half the variants merge pipelined too, so the golden stream is
+		// also decoded by both destination engines.
+		_, derr = MigrateDest(context.Background(), b, dst, DestOptions{
+			Store:          store,
+			VerifyPayloads: true,
+			Workers:        workers / 2,
+		})
+	}()
+	wg.Wait()
+	if serr != nil {
+		t.Fatalf("workers=%d: source: %v", workers, serr)
+	}
+	if derr != nil {
+		t.Fatalf("workers=%d: destination: %v", workers, derr)
+	}
+	if !src.MemEqual(dst) {
+		t.Fatalf("workers=%d: memory differs at page %d", workers, src.FirstDifference(dst))
+	}
+	return rc.rec.Bytes(), sm, src
+}
+
+// TestGoldenStreamEquivalence asserts the pipelined source emits a
+// byte-identical wire stream to the sequential engine for several worker
+// counts, with compression, deltas, checksum elimination, and a second
+// round all active.
+func TestGoldenStreamEquivalence(t *testing.T) {
+	golden, gm, _ := goldenRun(t, 0)
+	// The scenario must actually exercise every encoding.
+	if gm.PagesSum == 0 || gm.PagesFull == 0 || gm.PagesDelta == 0 || gm.PagesCompressed == 0 {
+		t.Fatalf("golden scenario too narrow: %+v", gm)
+	}
+	if gm.Rounds < 2 {
+		t.Fatalf("golden scenario ran %d round(s), want >= 2", gm.Rounds)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		stream, sm, _ := goldenRun(t, workers)
+		if !bytes.Equal(stream, golden) {
+			i := 0
+			for i < len(stream) && i < len(golden) && stream[i] == golden[i] {
+				i++
+			}
+			t.Fatalf("workers=%d: stream diverges from sequential at byte %d (lens %d vs %d)",
+				workers, i, len(stream), len(golden))
+		}
+		if sm.PagesFull != gm.PagesFull || sm.PagesSum != gm.PagesSum ||
+			sm.PagesDelta != gm.PagesDelta || sm.PagesCompressed != gm.PagesCompressed ||
+			sm.BytesSent != gm.BytesSent {
+			t.Errorf("workers=%d: metrics diverge: got %+v want %+v", workers, sm, gm)
+		}
+	}
+}
+
+// TestPipelineStageMetrics checks the per-stage counters are populated by a
+// pipelined run and absent from a sequential one.
+func TestPipelineStageMetrics(t *testing.T) {
+	_, seq, _ := goldenRun(t, 0)
+	if seq.Stages.Batches != 0 {
+		t.Errorf("sequential run recorded %d pipeline batches", seq.Stages.Batches)
+	}
+	_, par, _ := goldenRun(t, 2)
+	if par.Stages.Batches == 0 {
+		t.Error("pipelined run recorded no batches")
+	}
+	if par.Stages.WorkerBusy == 0 {
+		t.Error("pipelined run recorded no worker busy time")
+	}
+}
+
+// TestIterativeRoundSumElimination verifies the satellite behavior: a page
+// dirtied between rounds whose new content already exists in the
+// destination's checkpoint crosses the wire as a bare checksum, in any
+// round — not just the first.
+func TestIterativeRoundSumElimination(t *testing.T) {
+	src := newVM(t, "vm0", 128, 1)
+	if err := src.FillRandom(0.95); err != nil {
+		t.Fatal(err)
+	}
+	store := newStore(t)
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 128, 2)
+
+	pause := func() {
+		// Page 100's new content duplicates page 3 — present in the
+		// destination checkpoint, so rounds >= 2 can still eliminate it.
+		buf := make([]byte, vm.PageSize)
+		src.ReadPage(3, buf)
+		src.WritePage(100, buf)
+		// Page 101 gets content the checkpoint cannot know.
+		rand.New(rand.NewSource(424242)).Read(buf)
+		src.WritePage(101, buf)
+	}
+	sm, dres := migrate(t, src, dst,
+		SourceOptions{Recycle: true, Pause: pause},
+		DestOptions{Store: store, VerifyPayloads: true})
+	if !src.MemEqual(dst) {
+		t.Fatalf("memory differs at page %d", src.FirstDifference(dst))
+	}
+	// Round 1 eliminates all 128 pages; round 2 eliminates page 100 again.
+	if sm.PagesSum != 129 {
+		t.Errorf("PagesSum = %d, want 129 (dirty page with checkpointed content not eliminated)", sm.PagesSum)
+	}
+	if sm.PagesFull != 1 {
+		t.Errorf("PagesFull = %d, want 1", sm.PagesFull)
+	}
+	// Page 100's frame held stale content, so the destination repaired it
+	// from the checkpoint file.
+	if dres.Metrics.PagesReusedFromDisk == 0 {
+		t.Error("destination never re-read a checkpoint block")
+	}
+}
+
+// countConn counts bytes written while passing deadlines through to the
+// underlying net.Conn.
+type countConn struct {
+	net.Conn
+	n atomic.Int64
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// waitGoroutines fails the test if the goroutine count does not return to
+// the baseline within a grace period.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d alive, baseline %d\n%s", n, base, buf[:m])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPipelineCancellationNoLeak cancels a pipelined migration mid-stream
+// on both sides and verifies every stage goroutine exits.
+func TestPipelineCancellationNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	src := newVM(t, "vm0", 2048, 1)
+	if err := src.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 2048, 2)
+
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cc := &countConn{Conn: a}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var serr, derr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, serr = MigrateSource(ctx, NewDeadlineConn(cc, time.Second), src, SourceOptions{Workers: 4})
+	}()
+	go func() {
+		defer wg.Done()
+		_, derr = MigrateDest(ctx, NewDeadlineConn(b, time.Second), dst, DestOptions{Workers: 4})
+	}()
+	// Cancel once the transfer is demonstrably mid-stream.
+	for cc.n.Load() < 512*1024 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if !errors.Is(serr, context.Canceled) {
+		t.Errorf("source error = %v, want context.Canceled", serr)
+	}
+	if !errors.Is(derr, context.Canceled) {
+		t.Errorf("destination error = %v, want context.Canceled", derr)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestPipelineFaultResetNoLeak injects a mid-stream connection reset under
+// pipelined engines on both sides and verifies clean teardown.
+func TestPipelineFaultResetNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	src := newVM(t, "vm0", 512, 1)
+	if err := src.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 512, 2)
+
+	a, b := net.Pipe()
+	cut := NewFaultConn(a, FaultConfig{ResetAfterBytes: 300_000})
+
+	var wg sync.WaitGroup
+	var serr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, serr = MigrateSource(context.Background(), cut, src, SourceOptions{Workers: 4})
+		a.Close() // unblock the destination's pending read
+	}()
+	go func() {
+		defer wg.Done()
+		_, _ = MigrateDest(context.Background(), b, dst, DestOptions{Workers: 4})
+		b.Close()
+	}()
+	wg.Wait()
+	if !errors.Is(serr, ErrInjectedReset) {
+		t.Errorf("source error = %v, want ErrInjectedReset", serr)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestDestWorkerErrorAbortsDecoder injects a payload corruption that only a
+// destination worker can detect and verifies the failure propagates out of
+// the decoder (which would otherwise stay blocked reading) without leaks.
+func TestDestWorkerErrorAbortsDecoder(t *testing.T) {
+	base := runtime.NumGoroutine()
+	src := newVM(t, "vm0", 512, 1)
+	if err := src.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 512, 2)
+
+	a, b := net.Pipe()
+	// Flip one byte inside the 100th page's payload on the wire.
+	corrupt := &corruptConn{Conn: a, target: 150_000}
+
+	var wg sync.WaitGroup
+	var serr, derr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, serr = MigrateSource(context.Background(), NewDeadlineConn(corrupt, time.Second), src, SourceOptions{})
+		a.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		_, derr = MigrateDest(context.Background(), NewDeadlineConn(b, time.Second), dst, DestOptions{Workers: 4, VerifyPayloads: true})
+		b.Close()
+	}()
+	wg.Wait()
+	if !errors.Is(derr, ErrProtocol) {
+		t.Errorf("destination error = %v, want ErrProtocol (checksum mismatch)", derr)
+	}
+	if serr == nil {
+		t.Error("source finished cleanly against an aborted destination")
+	}
+	waitGoroutines(t, base)
+}

@@ -315,6 +315,7 @@ func (s *IncomingSession) RunPostCopy(ctx context.Context, v *vm.VM, opts PostCo
 			return res, err
 		} else if ok {
 			v.InstallPage(int(i), data)
+			cp.Release(data)
 			res.Metrics.PagesReusedFromDisk++
 			continue
 		}

@@ -3,15 +3,12 @@ package core
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"vecycle/internal/checksum"
-	"vecycle/internal/delta"
 	"vecycle/internal/vm"
 )
 
@@ -48,9 +45,16 @@ type SourceOptions struct {
 	// optimization, combinable with checkpoint recycling). Pages that do
 	// not shrink are sent raw.
 	Compress bool
-	// ChecksumWorkers parallelizes the first round's page checksumming —
-	// §3.4's remedy when the checksum rate, not the network, bounds the
-	// migration (10/40 GbE). Values below 2 keep the sequential path.
+	// Workers sizes the source pipeline: page reads, per-page encoding
+	// (checksum + compression + delta), and wire emission run as concurrent
+	// stages, with Workers goroutines in the encode stage — §3.4's remedy
+	// when the checksum rate, not the network, bounds the migration
+	// (10/40 GbE). The wire stream is byte-for-byte identical to the
+	// sequential engine's for any worker count. Values below 1 keep the
+	// single-goroutine sequential engine.
+	Workers int
+	// ChecksumWorkers is the deprecated name for Workers, kept so existing
+	// callers keep parallelizing; it is consulted only when Workers is 0.
 	ChecksumWorkers int
 	// DeltaBase supplies the content the destination's RAM will hold after
 	// its checkpoint bootstrap, per frame — typically this host's own
@@ -89,6 +93,20 @@ func (o *SourceOptions) validate() error {
 	return nil
 }
 
+// workers resolves the effective pipeline width: Workers wins, the
+// deprecated ChecksumWorkers is the fallback, and anything below 1 selects
+// the sequential engine (returned as 0).
+func (o *SourceOptions) workers() int {
+	w := o.Workers
+	if w == 0 {
+		w = o.ChecksumWorkers
+	}
+	if w < 1 {
+		return 0
+	}
+	return w
+}
+
 // PageProvider supplies the page content a delta can be based on.
 // *checkpoint.Checkpoint implements it.
 type PageProvider interface {
@@ -122,15 +140,6 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	opts.setDefaults()
 	if err := opts.validate(); err != nil {
 		return m, err
-	}
-
-	var comp *pageCompressor
-	if opts.Compress {
-		c, err := newPageCompressor()
-		if err != nil {
-			return m, err
-		}
-		comp = c
 	}
 
 	start := time.Now()
@@ -204,16 +213,36 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		opts.DeltaBase = nil
 	}
 
+	cfg := encoderConfig{alg: opts.Alg, destSums: destSums, compress: opts.Compress}
+	workers := opts.workers()
+	var seqEnc *sourceEncoder
+	if workers == 0 {
+		seqEnc, err = newSourceEncoder(cfg)
+		if err != nil {
+			return m, err
+		}
+	}
+	// stream sends one round's pages: through the staged pipeline when
+	// workers were requested, else through the sequential engine. Both emit
+	// identical bytes; base (delta encoding) is set in round one only.
+	stream := func(pages pageSeq, base PageProvider) error {
+		if workers >= 1 {
+			rcfg := cfg
+			rcfg.base = base
+			return runSourcePipeline(ctx, w, v, pages, workers, rcfg, &m)
+		}
+		return sendSequential(ctx, w, v, pages, seqEnc, base, &m)
+	}
+
 	// Reset the dirty log: everything the guest writes from here on must be
 	// re-sent in a later round.
 	v.HarvestDirty()
 
 	// Round 1: walk every page. With a destination checksum set, redundant
-	// pages shrink to (page number, checksum). Checksum computation can run
-	// on several workers; messages are still emitted in page order.
+	// pages shrink to (page number, checksum). Encoding runs on the worker
+	// pool; messages are still emitted in page order.
 	m.Rounds = 1
-	buf := make([]byte, vm.PageSize)
-	if err := firstRound(ctx, w, v, opts, destSums, comp, &m); err != nil {
+	if err := stream(seqAll(v.NumPages()), opts.DeltaBase); err != nil {
 		return m, err
 	}
 	if err := writeRoundEnd(w, 1, uint64(v.DirtyCount())); err != nil {
@@ -224,13 +253,17 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	}
 
 	// Iterative rounds: resend pages dirtied while the previous round
-	// streamed. The final round runs with the guest paused.
+	// streamed. A dirty page whose new content is already in the
+	// destination's checkpoint index still shrinks to a checksum — the
+	// destination resolves msgPageSum via its index in any round. The final
+	// round runs with the guest paused.
 	paused := false
 	defer func() {
 		if paused && opts.Resume != nil {
 			opts.Resume()
 		}
 	}()
+	var dirtyList []int
 	for round := 2; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return m, err
@@ -244,22 +277,14 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		}
 		dirty := v.HarvestDirty()
 		m.Rounds = round
-		sent := 0
-		var werr error
+		dirtyList = dirtyList[:0]
 		dirty.ForEachSet(func(page int) {
-			if werr != nil {
-				return
-			}
-			v.ReadPage(page, buf)
-			sum := opts.Alg.Page(buf)
-			m.PagesFull++
-			sent++
-			werr = sendFullPage(w, uint64(page), sum, buf, comp, &m)
+			dirtyList = append(dirtyList, page)
 		})
-		if werr != nil {
-			return m, werr
+		if err := stream(seqList(dirtyList), nil); err != nil {
+			return m, err
 		}
-		if err := writeRoundEnd(w, uint32(round), uint64(sent)); err != nil {
+		if err := writeRoundEnd(w, uint32(round), uint64(len(dirtyList))); err != nil {
 			return m, err
 		}
 		if err := flush(w); err != nil {
@@ -304,68 +329,25 @@ func sendFullPage(w io.Writer, page uint64, sum checksum.Sum, data []byte, comp 
 	return writePageFull(w, page, sum, data)
 }
 
-// firstRound streams every page of the VM, batching reads and (optionally)
-// parallelizing the checksum computation across opts.ChecksumWorkers.
+// sendSequential is the single-goroutine engine: it reads pages in
+// batchPages chunks and encodes them in order on the calling goroutine.
+// The reference implementation the pipeline is tested against.
 // Cancellation is checked once per batch.
-func firstRound(ctx context.Context, w io.Writer, v *vm.VM, opts SourceOptions, destSums *checksum.Set, comp *pageCompressor, m *Metrics) error {
-	const batchPages = 256
-	workers := opts.ChecksumWorkers
-	if workers < 1 {
-		workers = 1
-	}
-	batch := make([]byte, batchPages*vm.PageSize)
-	sums := make([]checksum.Sum, batchPages)
-
-	for start := 0; start < v.NumPages(); start += batchPages {
+func sendSequential(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq, enc *sourceEncoder, base PageProvider, m *Metrics) error {
+	n := pages.len()
+	buf := make([]byte, vm.PageSize)
+	for off := 0; off < n; off += batchPages {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		end := start + batchPages
-		if end > v.NumPages() {
-			end = v.NumPages()
+		end := off + batchPages
+		if end > n {
+			end = n
 		}
-		n := end - start
-		for i := 0; i < n; i++ {
-			v.ReadPage(start+i, batch[i*vm.PageSize:(i+1)*vm.PageSize])
-		}
-		if workers == 1 || n < workers {
-			for i := 0; i < n; i++ {
-				sums[i] = opts.Alg.Page(batch[i*vm.PageSize : (i+1)*vm.PageSize])
-			}
-		} else {
-			var wg sync.WaitGroup
-			for wkr := 0; wkr < workers; wkr++ {
-				wg.Add(1)
-				go func(wkr int) {
-					defer wg.Done()
-					for i := wkr; i < n; i += workers {
-						sums[i] = opts.Alg.Page(batch[i*vm.PageSize : (i+1)*vm.PageSize])
-					}
-				}(wkr)
-			}
-			wg.Wait()
-		}
-		for i := 0; i < n; i++ {
-			page := uint64(start + i)
-			data := batch[i*vm.PageSize : (i+1)*vm.PageSize]
-			if destSums != nil && destSums.Contains(sums[i]) {
-				m.PagesSum++
-				if err := writePageSum(w, page, sums[i]); err != nil {
-					return err
-				}
-				continue
-			}
-			if opts.DeltaBase != nil {
-				sent, err := tryDelta(w, opts.DeltaBase, page, sums[i], data, m)
-				if err != nil {
-					return err
-				}
-				if sent {
-					continue
-				}
-			}
-			m.PagesFull++
-			if err := sendFullPage(w, page, sums[i], data, comp, m); err != nil {
+		for i := off; i < end; i++ {
+			page := pages.at(i)
+			v.ReadPage(page, buf)
+			if err := enc.encodePage(w, base, uint64(page), buf, m); err != nil {
 				return err
 			}
 		}
@@ -376,36 +358,3 @@ func firstRound(ctx context.Context, w io.Writer, v *vm.VM, opts SourceOptions, 
 // deltaLimit caps delta size: beyond half a page the full (or compressed)
 // encoding is at least as good once framing is paid.
 const deltaLimit = vm.PageSize / 2
-
-// tryDelta attempts an XBZRLE delta of data against the provider's content
-// for the frame. sent reports whether a message was written.
-func tryDelta(w io.Writer, base PageProvider, page uint64, sum checksum.Sum, data []byte, m *Metrics) (sent bool, err error) {
-	old, ok, err := base.PageAt(int(page))
-	if err != nil {
-		return false, err
-	}
-	if !ok {
-		return false, nil
-	}
-	enc, err := delta.Encode(nil, old, data, deltaLimit)
-	if errors.Is(err, delta.ErrTooLarge) {
-		return false, nil
-	}
-	if err != nil {
-		return false, err
-	}
-	if err := writePageHeader(w, msgPageDelta, page, sum); err != nil {
-		return false, err
-	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(enc)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return false, fmt.Errorf("core: write delta length: %w", err)
-	}
-	if _, err := w.Write(enc); err != nil {
-		return false, fmt.Errorf("core: write delta payload: %w", err)
-	}
-	m.PagesDelta++
-	m.DeltaSavedBytes += int64(vm.PageSize - len(enc) - 4)
-	return true, nil
-}

@@ -74,6 +74,12 @@ type Host struct {
 	// DefaultIdleTimeout; negative disables the per-I/O deadline.
 	IdleTimeout time.Duration
 
+	// Workers sizes the pipelined merge of incoming migrations
+	// (core.DestOptions.Workers): frames are decoded on one goroutine while
+	// this many workers decompress, verify, and install pages. Values below
+	// 1 keep the sequential merge loop.
+	Workers int
+
 	// DialFunc, when non-nil, replaces outbound connection establishment —
 	// the seam the fault-injection tests use to interpose a
 	// core.FaultConn. nil dials TCP with dialTimeout.
@@ -292,6 +298,7 @@ func (h *Host) handleIncoming(ctx context.Context, conn io.ReadWriter) error {
 	res, err := session.Run(ctx, dst, core.DestOptions{
 		Store:         h.store,
 		TrackIncoming: true,
+		Workers:       h.Workers,
 	})
 	if err != nil {
 		return err
@@ -523,8 +530,12 @@ type MigrateOptions struct {
 	UseDelta bool
 	// Compress deflates full-page payloads (core.SourceOptions.Compress).
 	Compress bool
-	// ChecksumWorkers parallelizes first-round checksumming
-	// (core.SourceOptions.ChecksumWorkers); values below 2 stay sequential.
+	// Workers sizes the source pipeline (core.SourceOptions.Workers): page
+	// reads, per-page encoding, and wire emission overlap, with this many
+	// encode workers. Values below 1 keep the sequential engine.
+	Workers int
+	// ChecksumWorkers is the deprecated name for Workers
+	// (core.SourceOptions.ChecksumWorkers); consulted only when Workers is 0.
 	ChecksumWorkers int
 	// MaxRounds bounds the pre-copy rounds (core.SourceOptions.MaxRounds);
 	// 0 keeps the engine default.
@@ -622,6 +633,7 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 			KnownDestSums:   known,
 			DeltaBase:       base,
 			Compress:        opts.Compress,
+			Workers:         opts.Workers,
 			ChecksumWorkers: opts.ChecksumWorkers,
 			MaxRounds:       opts.MaxRounds,
 			StopThreshold:   opts.StopThreshold,
