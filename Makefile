@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-pipeline bench ci
+.PHONY: build test vet race race-pipeline bench docs ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFirstRound|BenchmarkMergeLoop' -benchmem -json ./internal/core/ > BENCH_migration.json
 	$(GO) test -run '^$$' -bench 'BenchmarkChecksumPage' -benchmem -json ./internal/checksum/ >> BENCH_migration.json
 
-# ci is the gate for every change: static analysis plus the full suite
-# under the race detector (which includes the pipeline tests).
-ci: vet race race-pipeline
+# docs is the documentation gate: every exported identifier in the
+# operator-facing packages must carry a doc comment, and every relative
+# markdown link in README/docs must resolve (tools/lintdocs).
+docs:
+	$(GO) run ./tools/lintdocs
+
+# ci is the gate for every change: static analysis, the docs gate, plus
+# the full suite under the race detector (which includes the pipeline
+# tests).
+ci: vet docs race race-pipeline

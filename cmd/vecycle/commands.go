@@ -19,8 +19,10 @@ func runDest(args []string) error {
 		listen  = fs.String("listen", "127.0.0.1:7001", "address to accept migrations on")
 		store   = fs.String("store", "", "checkpoint store directory (required)")
 		count   = fs.Int("count", 1, "number of migrations to accept before exiting (0 = forever)")
-		name    = fs.String("name", "dest-host", "host name")
-		workers = fs.Int("workers", 0, "pipelined merge workers for incoming migrations (<1 = sequential)")
+		name     = fs.String("name", "dest-host", "host name")
+		workers  = fs.Int("workers", 0, "pipelined merge workers for incoming migrations (<1 = sequential)")
+		opsAddr  = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
+		traceOut = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -33,6 +35,9 @@ func runDest(args []string) error {
 		return err
 	}
 	host.Workers = *workers
+	if err := startOps(host, *opsAddr); err != nil {
+		return err
+	}
 	arrivals := make(chan core.DestResult)
 	host.OnArrival = func(v *vm.VM, res core.DestResult) {
 		fmt.Printf("VM %q arrived: %d full pages, %d checksum-only (%d reused in place, %d from disk), checkpoint=%v\n",
@@ -49,7 +54,7 @@ func runDest(args []string) error {
 	for i := 0; *count == 0 || i < *count; i++ {
 		<-arrivals
 	}
-	return nil
+	return writeTraces(host.Traces(), *traceOut)
 }
 
 func runSource(args []string) error {
@@ -70,6 +75,8 @@ func runSource(args []string) error {
 		stopAt   = fs.Int("stop-threshold", 0, "dirty-page count triggering the final round (0 = engine default)")
 		idle     = fs.Duration("idle-timeout", 0, "per-I/O idle timeout (0 = default, negative disables)")
 		retries  = fs.Int("retries", 1, "total migration attempts on transient transport failures")
+		opsAddr  = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
+		traceOut = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,14 +103,17 @@ func runSource(args []string) error {
 	if *idle != 0 {
 		host.IdleTimeout = *idle
 	}
+	if err := startOps(host, *opsAddr); err != nil {
+		return err
+	}
+	defer host.Close()
 	if *postcopy {
 		m, err := host.PostCopyTo(context.Background(), *dest, *vmName)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("post-copy complete: sent %s, %d pages fetched after resume, resume delay %v, total %v\n",
-			core.FormatBytes(m.BytesSent), m.PagesRequested, m.ResumeDelay, m.Duration)
-		return nil
+		fmt.Printf("post-copy complete: %s\n", m)
+		return writeTraces(host.Traces(), *traceOut)
 	}
 	m, err := host.MigrateTo(context.Background(), *dest, *vmName, sched.MigrateOptions{
 		Recycle:         *recycle,
@@ -120,7 +130,7 @@ func runSource(args []string) error {
 		return err
 	}
 	printMetrics("migration complete", m)
-	return nil
+	return writeTraces(host.Traces(), *traceOut)
 }
 
 func runDemo(args []string) error {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vecycle/internal/core"
+	"vecycle/internal/obs"
 	"vecycle/internal/sched"
 	"vecycle/internal/vm"
 )
@@ -28,6 +29,8 @@ func runFleet(args []string) error {
 		touches   = fs.Int("touch", 32, "pages dirtied by each guest between rounds")
 		compress  = fs.Bool("compress", false, "deflate-compress full-page payloads")
 		workers   = fs.Int("workers", 0, "pipeline encode/merge workers (<1 = sequential engines)")
+		opsAddr   = fs.String("ops-addr", "", "serve the whole fleet's /metrics, /debug/migrations and /debug/pprof on this address")
+		traceOut  = fs.String("trace-out", "", "write the fleet's migration traces as JSONL to this file on exit (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +49,18 @@ func runFleet(args []string) error {
 	}
 	defer os.RemoveAll(dir)
 
+	// One registry and trace log for the whole fleet: every host reports
+	// into the same scrape endpoint, distinguished by the host label.
+	reg := obs.NewRegistry()
+	traces := obs.NewTraceLog(0)
+	if *opsAddr != "" {
+		srv, err := serveSharedOps(*opsAddr, reg, traces)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
 	var arrived sync.WaitGroup
 	hosts := make([]*sched.Host, *hostCount)
 	addrs := make([]string, *hostCount)
@@ -55,6 +70,7 @@ func runFleet(args []string) error {
 		if err != nil {
 			return err
 		}
+		h.UseObservability(reg, traces)
 		h.SaveArrivals = true
 		h.Workers = *workers
 		h.OnArrival = func(*vm.VM, core.DestResult) { arrived.Done() }
@@ -118,5 +134,5 @@ func runFleet(args []string) error {
 			round, core.FormatBytes(roundBytes), roundDuration.Round(time.Millisecond))
 	}
 	fmt.Println("\nlater rounds revisit checkpointed hosts: traffic drops to the working set")
-	return nil
+	return writeTraces(traces, *traceOut)
 }

@@ -15,6 +15,11 @@
 //	    Self-contained ping-pong demo: two in-process hosts migrate one VM
 //	    back and forth, printing the per-migration traffic shrinking as
 //	    checkpoints accumulate.
+//
+// The source, dest and fleet subcommands take -ops-addr to serve live
+// metrics and migration traces over HTTP (/metrics in Prometheus text
+// format, /debug/migrations, /debug/pprof) and -trace-out to export the
+// per-migration event traces as JSONL on exit; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -73,7 +78,8 @@ func parseMem(s string) (int64, error) {
 	}
 }
 
+// printMetrics prints the normalized one-line summary (core.Metrics.String),
+// so CLI output, logs, and tests all read the same format.
 func printMetrics(prefix string, m core.Metrics) {
-	fmt.Printf("%s: sent %s (%d full pages, %d checksum-only), %d rounds, %v\n",
-		prefix, core.FormatBytes(m.BytesSent), m.PagesFull, m.PagesSum, m.Rounds, m.Duration)
+	fmt.Printf("%s: %s\n", prefix, m)
 }

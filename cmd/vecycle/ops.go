@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vecycle/internal/obs"
+	"vecycle/internal/sched"
+)
+
+// notifyOps is a test hook: when non-nil it receives the bound ops address
+// of each listener a command starts. The long-running commands (dest with
+// -count 0) never return, so tests cannot learn the ephemeral port from a
+// return value.
+var notifyOps func(addr string)
+
+// startOps starts a host's ops HTTP listener when -ops-addr was given.
+func startOps(h *sched.Host, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	bound, err := h.ListenOps(addr)
+	if err != nil {
+		return err
+	}
+	announceOps(bound)
+	return nil
+}
+
+// serveSharedOps exposes a fleet-wide registry and trace log on one
+// listener. The caller closes the returned server.
+func serveSharedOps(addr string, reg *obs.Registry, traces *obs.TraceLog) (*obs.Server, error) {
+	srv, err := obs.Serve(addr, obs.Handler(reg, traces))
+	if err != nil {
+		return nil, err
+	}
+	announceOps(srv.Addr())
+	return srv, nil
+}
+
+func announceOps(bound string) {
+	fmt.Printf("ops endpoint on http://%s/ (/metrics, /debug/migrations, /debug/pprof)\n", bound)
+	if notifyOps != nil {
+		notifyOps(bound)
+	}
+}
+
+// writeTraces exports the migration trace log as JSONL when -trace-out was
+// given. "-" writes to stdout.
+func writeTraces(traces *obs.TraceLog, path string) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return traces.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traces.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote migration traces to %s\n", path)
+	return nil
+}

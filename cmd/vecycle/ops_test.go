@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vecycle/internal/obs"
+)
+
+// TestDestOpsEndpoint runs the dest command with -ops-addr, migrates to it
+// over loopback, and scrapes the live ops endpoint: /metrics must serve
+// Prometheus text and /debug/migrations the completed migration's trace.
+func TestDestOpsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	const addr = "127.0.0.1:39725"
+
+	opsc := make(chan string, 1)
+	notifyOps = func(a string) { opsc <- a }
+	defer func() { notifyOps = nil }()
+
+	// -count 2 keeps the dest (and its ops listener) alive while we scrape
+	// after the first migration; the second migration lets it exit cleanly.
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"dest", "-listen", addr, "-store", filepath.Join(dir, "d"),
+			"-count", "2", "-name", "ops-dest", "-ops-addr", "127.0.0.1:0"})
+	}()
+	var ops string
+	select {
+	case ops = <-opsc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dest never reported its ops address")
+	}
+
+	// The endpoint serves before any migration ran.
+	body := httpGetBody(t, "http://"+ops+"/metrics")
+	if !strings.Contains(body, `vecycle_host_vms{host="ops-dest"} 0`) {
+		t.Errorf("pre-migration scrape missing host gauge:\n%s", body)
+	}
+
+	// First migration, exporting the source's trace as JSONL.
+	tracePath := filepath.Join(dir, "traces.jsonl")
+	migrate := func(vmName, traceOut string) {
+		t.Helper()
+		args := []string{"source", "-dest", addr, "-store", filepath.Join(dir, "s"),
+			"-vm", vmName, "-mem", "1MiB"}
+		if traceOut != "" {
+			args = append(args, "-trace-out", traceOut)
+		}
+		var err error
+		for i := 0; i < 100; i++ {
+			if err = run(args); err == nil {
+				return
+			}
+		}
+		t.Fatalf("source %s: %v", vmName, err)
+	}
+	migrate("ops-vm", tracePath)
+
+	body = httpGetBody(t, "http://"+ops+"/metrics")
+	if !strings.Contains(body, `vecycle_migrations_total{host="ops-dest",role="dest",outcome="success"} 1`) {
+		t.Errorf("post-migration scrape missing success counter:\n%s", body)
+	}
+	var page struct {
+		Recent []obs.Migration `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(httpGetBody(t, "http://"+ops+"/debug/migrations")), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Recent) != 1 || page.Recent[0].VM != "ops-vm" || page.Recent[0].End.IsZero() {
+		t.Errorf("/debug/migrations = %+v", page.Recent)
+	}
+
+	// The source's -trace-out file is one valid JSONL record per migration.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	records := 0
+	for sc.Scan() {
+		var m obs.Migration
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("trace line %d: %v", records+1, err)
+		}
+		if m.Role != "source" || m.VM != "ops-vm" {
+			t.Errorf("trace record = role %q vm %q", m.Role, m.VM)
+		}
+		records++
+	}
+	if records != 1 {
+		t.Errorf("trace records = %d, want 1", records)
+	}
+
+	// Second migration releases the dest.
+	migrate("ops-vm-2", "")
+	if derr := <-errc; derr != nil {
+		t.Fatalf("dest: %v", derr)
+	}
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

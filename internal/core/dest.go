@@ -33,6 +33,10 @@ type DestOptions struct {
 	// round are disjoint frames and proceed unordered; round boundaries are
 	// barriers. Values below 1 keep the single-goroutine merge loop.
 	Workers int
+	// OnEvent, when non-nil, observes each protocol turn (hello, the
+	// announcement, round ends, done) for tracing. Emission never alters
+	// the wire stream.
+	OnEvent EventFunc
 }
 
 // workers resolves the effective pipeline width (0 = sequential merge).
@@ -182,12 +186,15 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil}); err != nil {
 		return res, err
 	}
+	opts.OnEvent.emit(Event{Kind: EventHello, Pages: int64(h.PageCount),
+		Detail: fmt.Sprintf("have_checkpoint=%v", cp != nil)})
 	if cp != nil && !h.SkipAnnounce {
 		before := s.cw.n + int64(w.Buffered())
 		if err := writeHashAnnounce(w, cp.SumSet()); err != nil {
 			return res, err
 		}
 		res.Metrics.AnnounceBytes = s.cw.n + int64(w.Buffered()) - before
+		opts.OnEvent.emit(Event{Kind: EventAnnounce, Bytes: res.Metrics.AnnounceBytes})
 	}
 	if err := flush(w); err != nil {
 		return res, err
@@ -208,6 +215,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 	pageBuf := make([]byte, vm.PageSize)
 	var deltaBuf []byte
 	var decomp *pageDecompressor
+	roundStart := s.cr.n
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -316,10 +324,14 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			res.Metrics.PagesDelta++
 
 		case msgRoundEnd:
-			if _, _, err := readRoundEnd(r); err != nil {
+			round, dirty, err := readRoundEnd(r)
+			if err != nil {
 				return err
 			}
 			res.Metrics.Rounds++
+			opts.OnEvent.emit(Event{Kind: EventRound, Round: int(round),
+				Pages: int64(dirty), Bytes: s.cr.n - roundStart})
+			roundStart = s.cr.n
 
 		case msgDone:
 			if err := writeMsgType(w, msgAck); err != nil {
@@ -329,6 +341,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 				return err
 			}
 			res.Metrics.Duration = time.Since(start)
+			opts.OnEvent.emit(Event{Kind: EventDone, Bytes: s.cr.n})
 			// Record the checksum set of the *final* arrived state. This is
 			// exactly "the set of pages existing at the source" (§3.2): the
 			// source checkpoints its paused final state, which is what this

@@ -202,6 +202,7 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 		return err
 	}
 
+	roundStart := s.cr.n
 	for {
 		if err := pctx.Err(); err != nil {
 			return retErr(err)
@@ -258,7 +259,8 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 			stats.ingestStall.Add(int64(time.Since(t1)))
 
 		case msgRoundEnd:
-			if _, _, err := readRoundEnd(r); err != nil {
+			round, dirty, err := readRoundEnd(r)
+			if err != nil {
 				return retErr(err)
 			}
 			// Barrier: the next round may retransmit any frame, so all of
@@ -268,6 +270,9 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 				return werr
 			}
 			res.Metrics.Rounds++
+			opts.OnEvent.emit(Event{Kind: EventRound, Round: int(round),
+				Pages: int64(dirty), Bytes: s.cr.n - roundStart})
+			roundStart = s.cr.n
 
 		case msgDone:
 			inflight.Wait()
@@ -281,6 +286,7 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 				return err
 			}
 			res.Metrics.Duration = time.Since(start)
+			opts.OnEvent.emit(Event{Kind: EventDone, Bytes: s.cr.n})
 			if opts.TrackIncoming {
 				collectSums(v, h.Alg, res.SeenSums)
 			}

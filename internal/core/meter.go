@@ -102,10 +102,15 @@ func (m *Metrics) addPageCounters(d Metrics) {
 	m.PagesReusedFromDisk += d.PagesReusedFromDisk
 }
 
-// String summarizes the metrics in one line.
+// String summarizes the metrics in one line. Both byte directions render
+// through FormatBytes and the field order is fixed, so source- and
+// destination-side summaries line up column-for-column in logs (the
+// destination's recv mirrors the source's sent). PostCopyMetrics.String
+// extends this prefix with the post-copy fields.
 func (m Metrics) String() string {
-	return fmt.Sprintf("sent=%s full=%d sum=%d rounds=%d time=%v",
-		FormatBytes(m.BytesSent), m.PagesFull, m.PagesSum, m.Rounds, m.Duration)
+	return fmt.Sprintf("sent=%s recv=%s full=%d sum=%d rounds=%d time=%v",
+		FormatBytes(m.BytesSent), FormatBytes(m.BytesReceived),
+		m.PagesFull, m.PagesSum, m.Rounds, m.Duration)
 }
 
 // FormatBytes renders a byte count in binary units.

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsStringNormalized pins the one-line summary format: both byte
+// directions in binary units via FormatBytes, fixed field order, and the
+// post-copy variant extending — not reordering — the shared prefix. A
+// source's sent=X and the destination's recv=X then agree byte-for-byte in
+// logs.
+func TestMetricsStringNormalized(t *testing.T) {
+	m := Metrics{
+		BytesSent:     3 << 20,
+		BytesReceived: 1 << 10,
+		PagesFull:     7,
+		PagesSum:      9,
+		Rounds:        2,
+		Duration:      1500 * time.Millisecond,
+	}
+	want := "sent=3.00 MiB recv=1.00 KiB full=7 sum=9 rounds=2 time=1.5s"
+	if got := m.String(); got != want {
+		t.Errorf("Metrics.String() = %q, want %q", got, want)
+	}
+
+	pm := PostCopyMetrics{
+		Metrics:        m,
+		ResumeDelay:    200 * time.Millisecond,
+		PagesRequested: 5,
+	}
+	if got := pm.String(); !strings.HasPrefix(got, want+" ") {
+		t.Errorf("PostCopyMetrics.String() = %q, want prefix %q", got, want)
+	} else if got != want+" resume=200ms fetched=5" {
+		t.Errorf("PostCopyMetrics.String() = %q", got)
+	}
+
+	// The two sides of one migration must summarize symmetrically: the
+	// destination view (directions swapped) renders its received volume
+	// with the same unit formatting the source used for sent.
+	destView := Metrics{BytesSent: m.BytesReceived, BytesReceived: m.BytesSent}
+	if !strings.Contains(destView.String(), "recv="+FormatBytes(m.BytesSent)) {
+		t.Errorf("dest view %q does not mirror source sent volume", destView.String())
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+// Migration event hooks. The engine reports each protocol turn to an
+// optional per-migration callback so the observability layer
+// (internal/obs, wired by sched.Host) can build span-like traces without
+// the engine importing it — and, critically, without touching the wire
+// format: events are emitted about the stream, never into it.
+
+// Event kinds emitted by the migration engines. docs/OBSERVABILITY.md
+// documents each kind's fields.
+const (
+	// EventHello: session established. Detail carries
+	// "have_checkpoint=true|false" (pre-copy source/dest) as negotiated.
+	EventHello = "hello"
+	// EventAnnounce: the bulk checksum announcement crossed the wire
+	// (sent on the destination, received on the source). Bytes is its
+	// size.
+	EventAnnounce = "announce"
+	// EventRound: one pre-copy round completed. Round is the 1-based
+	// round number, Pages the pages streamed (source) or observed dirty
+	// (per the round-end frame), Bytes the wire volume of the round as
+	// seen from the emitting side.
+	EventRound = "round"
+	// EventPause: the source paused the guest for stop-and-copy.
+	EventPause = "pause"
+	// EventResume: the source resumed/released the guest after the
+	// destination acknowledged.
+	EventResume = "resume"
+	// EventManifest: the post-copy checksum manifest crossed the wire.
+	// Bytes is its size; Pages (destination only) the pages still
+	// missing after resolving it locally.
+	EventManifest = "manifest"
+	// EventFetch: the post-copy demand-fetch phase finished. Pages is
+	// the number of pages served over the network after resume.
+	EventFetch = "fetch"
+	// EventDone: the migration completed from this side's perspective.
+	EventDone = "done"
+)
+
+// Event is one protocol turn reported to an OnEvent hook.
+type Event struct {
+	// Kind is one of the Event* constants.
+	Kind string
+	// Round is the 1-based pre-copy round, zero when not applicable.
+	Round int
+	// Pages is the page count the turn covered.
+	Pages int64
+	// Bytes is the wire volume attributed to the turn.
+	Bytes int64
+	// Detail carries free-form context.
+	Detail string
+}
+
+// EventFunc observes migration protocol turns. Callbacks run on the
+// migration's protocol goroutine and must be fast; nil disables emission.
+type EventFunc func(Event)
+
+// emit invokes the hook when set.
+func (f EventFunc) emit(e Event) {
+	if f != nil {
+		f(e)
+	}
+}

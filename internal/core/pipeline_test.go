@@ -86,7 +86,9 @@ func (c *recordConn) Write(p []byte) (int, error) {
 
 // goldenRun migrates a freshly reconstructed golden guest with the given
 // worker count and returns the exact byte stream the source emitted.
-func goldenRun(t *testing.T, workers int) ([]byte, Metrics, *vm.VM) {
+// onEvent, when non-nil, is installed on both endpoints — the golden
+// comparison then proves observability never reaches the wire.
+func goldenRun(t *testing.T, workers int, onEvent EventFunc) ([]byte, Metrics, *vm.VM) {
 	t.Helper()
 	src, err := vm.New(vm.Config{Name: "vm0", MemBytes: goldenPages * vm.PageSize, Seed: 7})
 	if err != nil {
@@ -125,6 +127,7 @@ func goldenRun(t *testing.T, workers int) ([]byte, Metrics, *vm.VM) {
 			DeltaBase: base,
 			Workers:   workers,
 			Pause:     func() { goldenPause(src) },
+			OnEvent:   onEvent,
 		})
 	}()
 	go func() {
@@ -135,6 +138,7 @@ func goldenRun(t *testing.T, workers int) ([]byte, Metrics, *vm.VM) {
 			Store:          store,
 			VerifyPayloads: true,
 			Workers:        workers / 2,
+			OnEvent:        onEvent,
 		})
 	}()
 	wg.Wait()
@@ -153,9 +157,11 @@ func goldenRun(t *testing.T, workers int) ([]byte, Metrics, *vm.VM) {
 // TestGoldenStreamEquivalence asserts the pipelined source emits a
 // byte-identical wire stream to the sequential engine for several worker
 // counts, with compression, deltas, checksum elimination, and a second
-// round all active.
+// round all active. The baseline runs with no event hook and every
+// variant with one, so equality also proves observability is about the
+// stream, never in it.
 func TestGoldenStreamEquivalence(t *testing.T) {
-	golden, gm, _ := goldenRun(t, 0)
+	golden, gm, _ := goldenRun(t, 0, nil)
 	// The scenario must actually exercise every encoding.
 	if gm.PagesSum == 0 || gm.PagesFull == 0 || gm.PagesDelta == 0 || gm.PagesCompressed == 0 {
 		t.Fatalf("golden scenario too narrow: %+v", gm)
@@ -163,8 +169,12 @@ func TestGoldenStreamEquivalence(t *testing.T) {
 	if gm.Rounds < 2 {
 		t.Fatalf("golden scenario ran %d round(s), want >= 2", gm.Rounds)
 	}
-	for _, workers := range []int{1, 2, 8} {
-		stream, sm, _ := goldenRun(t, workers)
+	for _, workers := range []int{0, 1, 2, 8} {
+		var events atomic.Int64
+		stream, sm, _ := goldenRun(t, workers, func(Event) { events.Add(1) })
+		if events.Load() == 0 {
+			t.Fatalf("workers=%d: no events observed", workers)
+		}
 		if !bytes.Equal(stream, golden) {
 			i := 0
 			for i < len(stream) && i < len(golden) && stream[i] == golden[i] {
@@ -184,11 +194,11 @@ func TestGoldenStreamEquivalence(t *testing.T) {
 // TestPipelineStageMetrics checks the per-stage counters are populated by a
 // pipelined run and absent from a sequential one.
 func TestPipelineStageMetrics(t *testing.T) {
-	_, seq, _ := goldenRun(t, 0)
+	_, seq, _ := goldenRun(t, 0, nil)
 	if seq.Stages.Batches != 0 {
 		t.Errorf("sequential run recorded %d pipeline batches", seq.Stages.Batches)
 	}
-	_, par, _ := goldenRun(t, 2)
+	_, par, _ := goldenRun(t, 2, nil)
 	if par.Stages.Batches == 0 {
 		t.Error("pipelined run recorded no batches")
 	}

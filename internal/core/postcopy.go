@@ -51,6 +51,9 @@ const requestWindow = 256
 type PostCopySourceOptions struct {
 	// Alg is the page-checksum algorithm (strong required). Defaults to MD5.
 	Alg checksum.Algorithm
+	// OnEvent, when non-nil, observes each protocol turn (hello, manifest,
+	// fetch, done) for tracing. Emission never alters the wire stream.
+	OnEvent EventFunc
 }
 
 // PostCopyMetrics extends the shared metrics with post-copy specifics.
@@ -62,6 +65,14 @@ type PostCopyMetrics struct {
 	ResumeDelay time.Duration
 	// PagesRequested counts pages served over the network after resume.
 	PagesRequested int
+}
+
+// String summarizes the metrics in one line: the shared prefix of
+// Metrics.String (identical field order and units on either side),
+// followed by the post-copy specifics.
+func (m PostCopyMetrics) String() string {
+	return fmt.Sprintf("%s resume=%v fetched=%d",
+		m.Metrics.String(), m.ResumeDelay, m.PagesRequested)
 }
 
 // PostCopySource runs the source side. The guest must already be paused:
@@ -123,8 +134,11 @@ func PostCopySource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Post
 	if !ack.OK {
 		return m, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
 	}
+	opts.OnEvent.emit(Event{Kind: EventHello, Pages: int64(v.NumPages()),
+		Detail: fmt.Sprintf("have_checkpoint=%v", ack.HaveCheckpoint)})
 
 	// Manifest: one checksum per page, in page order.
+	manifestStart := cw.n
 	if err := writeMsgType(w, msgManifest); err != nil {
 		return m, err
 	}
@@ -150,6 +164,8 @@ func PostCopySource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Post
 		return m, err
 	}
 	m.ResumeDelay = time.Since(start)
+	opts.OnEvent.emit(Event{Kind: EventManifest, Bytes: cw.n - manifestStart,
+		Pages: int64(v.NumPages())})
 
 	// Serve page requests until the destination is done. Responses are only
 	// flushed once no further request is already buffered, so a pipelined
@@ -191,6 +207,8 @@ func PostCopySource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Post
 				return m, err
 			}
 			m.Duration = time.Since(start)
+			opts.OnEvent.emit(Event{Kind: EventFetch, Pages: int64(m.PagesRequested)})
+			opts.OnEvent.emit(Event{Kind: EventDone, Bytes: cw.n})
 			return m, nil
 		default:
 			return m, fmt.Errorf("%w: unexpected %v while serving pages", ErrProtocol, t)
@@ -206,6 +224,10 @@ type PostCopyDestOptions struct {
 	// after the manifest has been resolved against local state, with the
 	// number of pages still missing (to be demand-fetched).
 	OnResume func(missing int)
+	// OnEvent, when non-nil, observes each protocol turn (hello, manifest,
+	// resume, fetch, done) for tracing. Emission never alters the wire
+	// stream.
+	OnEvent EventFunc
 }
 
 // PostCopyDestResult reports the outcome at the destination.
@@ -273,8 +295,11 @@ func (s *IncomingSession) RunPostCopy(ctx context.Context, v *vm.VM, opts PostCo
 	if err := flush(w); err != nil {
 		return res, err
 	}
+	opts.OnEvent.emit(Event{Kind: EventHello, Pages: int64(h.PageCount),
+		Detail: fmt.Sprintf("have_checkpoint=%v", cp != nil)})
 
 	// Manifest.
+	manifestStart := s.cr.n
 	t, err := readMsgType(r)
 	if err != nil {
 		return res, err
@@ -325,6 +350,9 @@ func (s *IncomingSession) RunPostCopy(ctx context.Context, v *vm.VM, opts PostCo
 	// The guest can resume now: every resident page is final; the missing
 	// ones fault over the network as touched.
 	res.Metrics.ResumeDelay = time.Since(start)
+	opts.OnEvent.emit(Event{Kind: EventManifest, Bytes: s.cr.n - manifestStart,
+		Pages: int64(len(missing))})
+	opts.OnEvent.emit(Event{Kind: EventResume, Pages: int64(len(missing))})
 	if opts.OnResume != nil {
 		opts.OnResume(len(missing))
 	}
@@ -391,5 +419,7 @@ func (s *IncomingSession) RunPostCopy(ctx context.Context, v *vm.VM, opts PostCo
 		return res, fmt.Errorf("%w: expected ack, got %v", ErrProtocol, t)
 	}
 	res.Metrics.Duration = time.Since(start)
+	opts.OnEvent.emit(Event{Kind: EventFetch, Pages: int64(res.Metrics.PagesRequested)})
+	opts.OnEvent.emit(Event{Kind: EventDone, Bytes: s.cr.n})
 	return res, nil
 }

@@ -69,6 +69,9 @@ type SourceOptions struct {
 	// non-nil, is invoked after the destination acknowledges.
 	Pause  func()
 	Resume func()
+	// OnEvent, when non-nil, observes each protocol turn (hello, rounds,
+	// pause, done) for tracing. Emission never alters the wire stream.
+	OnEvent EventFunc
 }
 
 func (o *SourceOptions) setDefaults() {
@@ -182,6 +185,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	if !ack.OK {
 		return m, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
 	}
+	opts.OnEvent.emit(Event{Kind: EventHello, Pages: int64(v.NumPages()),
+		Detail: fmt.Sprintf("have_checkpoint=%v", ack.HaveCheckpoint)})
 
 	// Determine the set of checksums available at the destination.
 	var destSums *checksum.Set
@@ -205,6 +210,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 			return m, err
 		}
 		m.AnnounceBytes = cr.n - before
+		opts.OnEvent.emit(Event{Kind: EventAnnounce, Bytes: m.AnnounceBytes})
 	}
 
 	// Delta encoding is only sound when the destination actually
@@ -242,6 +248,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	// pages shrink to (page number, checksum). Encoding runs on the worker
 	// pool; messages are still emitted in page order.
 	m.Rounds = 1
+	roundStart := cw.n
 	if err := stream(seqAll(v.NumPages()), opts.DeltaBase); err != nil {
 		return m, err
 	}
@@ -251,6 +258,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	if err := flush(w); err != nil {
 		return m, err
 	}
+	opts.OnEvent.emit(Event{Kind: EventRound, Round: 1,
+		Pages: int64(v.NumPages()), Bytes: cw.n - roundStart})
 
 	// Iterative rounds: resend pages dirtied while the previous round
 	// streamed. A dirty page whose new content is already in the
@@ -274,6 +283,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 				opts.Pause()
 			}
 			paused = true
+			opts.OnEvent.emit(Event{Kind: EventPause, Round: round,
+				Pages: int64(v.DirtyCount())})
 		}
 		dirty := v.HarvestDirty()
 		m.Rounds = round
@@ -281,6 +292,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		dirty.ForEachSet(func(page int) {
 			dirtyList = append(dirtyList, page)
 		})
+		roundStart = cw.n
 		if err := stream(seqList(dirtyList), nil); err != nil {
 			return m, err
 		}
@@ -290,6 +302,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		if err := flush(w); err != nil {
 			return m, err
 		}
+		opts.OnEvent.emit(Event{Kind: EventRound, Round: round,
+			Pages: int64(len(dirtyList)), Bytes: cw.n - roundStart})
 		if final {
 			break
 		}
@@ -308,7 +322,11 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	if t != msgAck {
 		return m, fmt.Errorf("%w: expected ack, got %v", ErrProtocol, t)
 	}
+	if paused {
+		opts.OnEvent.emit(Event{Kind: EventResume})
+	}
 	m.Duration = time.Since(start)
+	opts.OnEvent.emit(Event{Kind: EventDone, Bytes: cw.n})
 	return m, nil
 }
 

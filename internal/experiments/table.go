@@ -1,8 +1,11 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation from the reproduction's own substrates. Each runner returns
+// evaluation (§2 trace study: Table 1, Figures 1-3; §4 benchmarks:
+// Figures 4-8) from the reproduction's own substrates. Each runner returns
 // printable tables: cmd/vecycle-bench renders them, the repository-root
 // benchmarks time them, and EXPERIMENTS.md records their output against the
-// paper's numbers.
+// paper's numbers. DESIGN.md §4 indexes which packages feed which figure,
+// and DESIGN.md §2 documents where synthetic substrates substitute for the
+// paper's unretrievable traces and testbed.
 package experiments
 
 import (

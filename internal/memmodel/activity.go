@@ -16,7 +16,8 @@
 // transfers relative to content hashes (Figure 5).
 //
 // The models are calibrated against every number the paper's prose reports;
-// EXPERIMENTS.md records the paper-vs-measured comparison.
+// EXPERIMENTS.md records the paper-vs-measured comparison and DESIGN.md §2
+// records this trace substitution alongside the others.
 package memmodel
 
 import (

@@ -11,7 +11,8 @@
 // the paper's measured constants: 120 MiB/s effective gigabit Ethernet,
 // a 465 Mbps/27 ms CloudNet WAN whose TCP throughput collapses to ~6 MiB/s
 // (the paper measures 1 GiB in 177 s), 350 MiB/s single-core MD5, and
-// ~130 MiB/s sequential disk.
+// ~130 MiB/s sequential disk. DESIGN.md §2 records this
+// metadata-simulation substitution alongside the others.
 package migsim
 
 import (

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The ops endpoint. One handler serves everything an operator needs to
+// watch a host's migrations live:
+//
+//	/metrics                 Prometheus text format (the registry)
+//	/debug/migrations        JSON {active, recent}: traces of in-flight and
+//	                         just-completed migrations
+//	/debug/migrations.jsonl  completed traces as JSON Lines (curl-able into
+//	                         the same format -trace-out writes)
+//	/debug/pprof/...         the standard runtime profiles
+//
+// Observability is purely host-side: nothing here touches the migration
+// wire protocol.
+
+// metricsContentType is the Prometheus text exposition content type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler builds the ops HTTP handler for a registry and trace log.
+// Either may be nil, disabling the corresponding routes.
+func Handler(reg *Registry, traces *TraceLog) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", metricsContentType)
+			_ = reg.WritePrometheus(w)
+		})
+	}
+	if traces != nil {
+		mux.HandleFunc("/debug/migrations", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Active []Migration `json:"active"`
+				Recent []Migration `json:"recent"`
+			}{traces.Active(), traces.Recent()})
+		})
+		mux.HandleFunc("/debug/migrations.jsonl", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = traces.WriteJSONL(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a minimal HTTP server wrapper around Handler, used by
+// sched.Host.ListenOps and the vecycle -ops-addr flags.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an ops server on addr (e.g. "127.0.0.1:0") and returns once
+// the listener is bound; requests are served on a background goroutine.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

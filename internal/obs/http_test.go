@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestOpsServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vecycle_up_total", "h").Inc()
+	traces := NewTraceLog(4)
+	rec := traces.Begin("h", "source", "vm0", "")
+	rec.Event(Event{Kind: "hello"})
+	rec.Finish(nil)
+
+	srv, err := Serve("127.0.0.1:0", Handler(reg, traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "vecycle_up_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if ctype != metricsContentType {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+
+	body, _ = get("/debug/migrations")
+	if !strings.Contains(body, `"vm": "vm0"`) || !strings.Contains(body, `"recent"`) {
+		t.Errorf("/debug/migrations body:\n%s", body)
+	}
+
+	body, _ = get("/debug/migrations.jsonl")
+	if !strings.Contains(body, `"vm":"vm0"`) {
+		t.Errorf("/debug/migrations.jsonl body:\n%s", body)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,18 @@
+// Package obs is the host-side observability layer: a dependency-free
+// metrics registry rendering the Prometheus text exposition format, a
+// bounded per-migration event trace with JSONL export, and an ops HTTP
+// handler combining the two with net/http/pprof.
+//
+// The paper's entire evaluation (Figures 1-8, Table 1) is a measurement
+// story — migration time, traffic, downtime, per-technique savings. The
+// engine's core.Metrics values remain the programmatic API; this package
+// observes them at the seams (sched.Host feeds every completed migration
+// into its registry and trace log) so the wire format is untouched and an
+// operator can watch a fleet of live migrations instead of reading test
+// output. See docs/OBSERVABILITY.md for the full metric and trace
+// catalogue, and DESIGN.md §2 for the reproduction context.
+//
+// The package deliberately has no dependency beyond the standard library:
+// the text format is simple enough to render by hand, and the repo must
+// not grow a client_golang dependency it cannot vendor.
+package obs

@@ -1,0 +1,419 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The registry is get-or-create: asking twice for the same family returns
+// the same family, so several hosts in one process can share a registry and
+// distinguish themselves with a label (the fleet command does exactly
+// this). Registering the same name with a different kind or label set is a
+// programming error and panics, matching client_golang's MustRegister
+// contract.
+
+// metricKind discriminates the three supported Prometheus metric types.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+var (
+	validName  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	validLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label-key schema; it holds one
+// series per distinct label-value combination.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending, +Inf implicit
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (family, label values) time series.
+type series struct {
+	labelValues []string
+
+	mu    sync.Mutex
+	value float64        // counter and gauge
+	fn    func() float64 // gauge callback, overrides value when non-nil
+	// histogram state: counts[i] counts observations <= buckets[i];
+	// counts[len(buckets)] is the +Inf bucket. Counts are per-bucket here
+	// and accumulated at render time.
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// family fetches or creates a metric family, panicking on schema conflicts
+// (same name, different kind/labels/buckets) — those are programming
+// errors, not runtime conditions.
+func (r *Registry) family(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabel.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		if strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %q re-registered with labels %v (was %v)", name, labels, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: normalizeBuckets(buckets),
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// normalizeBuckets sorts, dedupes, and strips non-finite upper bounds (the
+// +Inf bucket is always implicit).
+func normalizeBuckets(buckets []float64) []float64 {
+	out := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			out = append(out, b)
+		}
+	}
+	sort.Float64s(out)
+	n := 0
+	for i, b := range out {
+		if i == 0 || b != out[n-1] {
+			out[n] = b
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// get fetches or creates the series for the given label values.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	if f.kind == histogramKind {
+		s.counts = make([]uint64, len(f.buckets)+1)
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters only go
+// up).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.s.mu.Lock()
+	c.s.value += delta
+	c.s.mu.Unlock()
+}
+
+// Value reports the current count.
+func (c *Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.value
+}
+
+// Gauge is a value that can go up and down, or be computed at scrape time
+// via SetFunc.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value (and clears any scrape callback).
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.value, g.s.fn = v, nil
+	g.s.mu.Unlock()
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	g.s.mu.Lock()
+	g.s.value += delta
+	g.s.mu.Unlock()
+}
+
+// SetFunc makes the gauge report fn() at every scrape — for values that
+// already live elsewhere (store usage, resident-VM counts) and would only
+// go stale if copied.
+func (g *Gauge) SetFunc(fn func() float64) {
+	g.s.mu.Lock()
+	g.s.fn = fn
+	g.s.mu.Unlock()
+}
+
+// Value reports the current gauge value (calling the callback if set).
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	fn, v := g.s.fn, g.s.value
+	g.s.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return v
+}
+
+// Histogram counts observations into its family's fixed buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
+	h.s.mu.Lock()
+	h.s.counts[idx]++
+	h.s.sum += v
+	h.s.count++
+	h.s.mu.Unlock()
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Counter fetches or creates an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{r.family(name, help, counterKind, nil, nil).get(nil)}
+}
+
+// Gauge fetches or creates an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{r.family(name, help, gaugeKind, nil, nil).get(nil)}
+}
+
+// Histogram fetches or creates an unlabelled histogram with the given
+// upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, histogramKind, nil, buckets)
+	return &Histogram{f.get(nil), f.buckets}
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec fetches or creates a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, counterKind, labels, nil)}
+}
+
+// With resolves the counter for the given label values (positional, in
+// registration order).
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{v.f.get(values)} }
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec fetches or creates a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, gaugeKind, labels, nil)}
+}
+
+// With resolves the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{v.f.get(values)} }
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec fetches or creates a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, histogramKind, labels, buckets)}
+}
+
+// With resolves the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{v.f.get(values), v.f.buckets}
+}
+
+// Names reports every registered metric family name, sorted — the set
+// docs/OBSERVABILITY.md must cover (a test diffs the two).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus renders every family in the text exposition format:
+// families sorted by name, series sorted by label values, label keys in
+// registration order, histograms with cumulative buckets and a trailing
+// +Inf bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snaps := make([]*series, len(keys))
+	for i, k := range keys {
+		snaps[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	for _, s := range snaps {
+		s.mu.Lock()
+		value, fn := s.value, s.fn
+		counts := append([]uint64(nil), s.counts...)
+		sum, count := s.sum, s.count
+		s.mu.Unlock()
+		switch f.kind {
+		case counterKind, gaugeKind:
+			if fn != nil {
+				value = fn()
+			}
+			fmt.Fprintf(b, "%s%s %s\n", f.name, formatLabels(f.labels, s.labelValues, "", 0), formatFloat(value))
+		case histogramKind:
+			var cum uint64
+			for i, bound := range f.buckets {
+				cum += counts[i]
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, formatLabels(f.labels, s.labelValues, "le", bound), cum)
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, formatLabels(f.labels, s.labelValues, "le", math.Inf(1)), count)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, formatLabels(f.labels, s.labelValues, "", 0), formatFloat(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, formatLabels(f.labels, s.labelValues, "", 0), count)
+		}
+	}
+}
+
+// formatLabels renders {k1="v1",...}, optionally appending a le bucket
+// label; it returns "" when there are no labels at all.
+func formatLabels(keys, values []string, le string, bound float64) string {
+	if len(keys) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(values[i]))
+	}
+	if le != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, le, formatFloat(bound))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the label-value escaping of the text format: exactly
+// backslash, double quote, and newline (other bytes pass through raw, per
+// the exposition-format spec).
+func escapeLabel(v string) string {
+	return strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`).Replace(v)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only; quotes are
+// legal there).
+func escapeHelp(h string) string {
+	return strings.NewReplacer("\\", "\\\\", "\n", "\\n").Replace(h)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip decimal, "+Inf"/"-Inf" for infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// render builds a registry via setup and returns the exposition text.
+func render(t *testing.T, setup func(r *Registry)) string {
+	t.Helper()
+	r := NewRegistry()
+	setup(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(r *Registry)
+		want  string
+	}{
+		{
+			name: "counter scalar",
+			setup: func(r *Registry) {
+				c := r.Counter("vecycle_test_total", "a counter")
+				c.Add(41)
+				c.Inc()
+			},
+			want: "# HELP vecycle_test_total a counter\n" +
+				"# TYPE vecycle_test_total counter\n" +
+				"vecycle_test_total 42\n",
+		},
+		{
+			name: "counter ignores negative add",
+			setup: func(r *Registry) {
+				c := r.Counter("neg_total", "h")
+				c.Add(5)
+				c.Add(-3)
+			},
+			want: "# HELP neg_total h\n# TYPE neg_total counter\nneg_total 5\n",
+		},
+		{
+			name: "gauge func evaluated at scrape",
+			setup: func(r *Registry) {
+				r.Gauge("usage_bytes", "h").SetFunc(func() float64 { return 1024 })
+			},
+			want: "# HELP usage_bytes h\n# TYPE usage_bytes gauge\nusage_bytes 1024\n",
+		},
+		{
+			name: "label keys in registration order, series sorted by value",
+			setup: func(r *Registry) {
+				v := r.CounterVec("migrations_total", "h", "role", "outcome")
+				v.With("source", "success").Add(3)
+				v.With("dest", "success").Add(2)
+				v.With("dest", "error").Inc()
+			},
+			want: "# HELP migrations_total h\n" +
+				"# TYPE migrations_total counter\n" +
+				`migrations_total{role="dest",outcome="error"} 1` + "\n" +
+				`migrations_total{role="dest",outcome="success"} 2` + "\n" +
+				`migrations_total{role="source",outcome="success"} 3` + "\n",
+		},
+		{
+			name: "label value escaping",
+			setup: func(r *Registry) {
+				r.GaugeVec("weird", "h", "vm").With("a\\b\"c\nd").Set(1)
+			},
+			want: "# HELP weird h\n# TYPE weird gauge\n" +
+				`weird{vm="a\\b\"c\nd"} 1` + "\n",
+		},
+		{
+			name: "help escaping",
+			setup: func(r *Registry) {
+				r.Gauge("g", "line\nbreak \\ slash").Set(0)
+			},
+			want: "# HELP g line\\nbreak \\\\ slash\n# TYPE g gauge\ng 0\n",
+		},
+		{
+			name: "histogram cumulative buckets with +Inf",
+			setup: func(r *Registry) {
+				h := r.Histogram("dur_seconds", "h", []float64{0.1, 1, 10})
+				h.Observe(0.05) // le 0.1
+				h.Observe(0.5)  // le 1
+				h.Observe(0.7)  // le 1
+				h.Observe(99)   // +Inf only
+			},
+			want: "# HELP dur_seconds h\n" +
+				"# TYPE dur_seconds histogram\n" +
+				`dur_seconds_bucket{le="0.1"} 1` + "\n" +
+				`dur_seconds_bucket{le="1"} 3` + "\n" +
+				`dur_seconds_bucket{le="10"} 3` + "\n" +
+				`dur_seconds_bucket{le="+Inf"} 4` + "\n" +
+				"dur_seconds_sum 100.25\n" +
+				"dur_seconds_count 4\n",
+		},
+		{
+			name: "histogram boundary value lands in its bucket",
+			setup: func(r *Registry) {
+				// le is inclusive: an observation equal to the bound counts.
+				r.Histogram("b", "h", []float64{1}).Observe(1)
+			},
+			want: "# HELP b h\n# TYPE b histogram\n" +
+				`b_bucket{le="1"} 1` + "\n" +
+				`b_bucket{le="+Inf"} 1` + "\n" +
+				"b_sum 1\nb_count 1\n",
+		},
+		{
+			name: "labelled histogram keeps le last",
+			setup: func(r *Registry) {
+				v := r.HistogramVec("lat", "h", []float64{1}, "role")
+				v.With("source").Observe(2)
+			},
+			want: "# HELP lat h\n# TYPE lat histogram\n" +
+				`lat_bucket{role="source",le="1"} 0` + "\n" +
+				`lat_bucket{role="source",le="+Inf"} 1` + "\n" +
+				`lat_sum{role="source"} 2` + "\n" +
+				`lat_count{role="source"} 1` + "\n",
+		},
+		{
+			name: "unsorted duplicate buckets normalized",
+			setup: func(r *Registry) {
+				r.Histogram("n", "h", []float64{10, 1, 10}).Observe(5)
+			},
+			want: "# HELP n h\n# TYPE n histogram\n" +
+				`n_bucket{le="1"} 0` + "\n" +
+				`n_bucket{le="10"} 1` + "\n" +
+				`n_bucket{le="+Inf"} 1` + "\n" +
+				"n_sum 5\nn_count 1\n",
+		},
+		{
+			name: "families sorted by name",
+			setup: func(r *Registry) {
+				r.Counter("zz_total", "z").Inc()
+				r.Gauge("aa", "a").Set(1)
+			},
+			want: "# HELP aa a\n# TYPE aa gauge\naa 1\n" +
+				"# HELP zz_total z\n# TYPE zz_total counter\nzz_total 1\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := render(t, tc.setup)
+			if got != tc.want {
+				t.Errorf("rendered output mismatch\n got:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "h")
+	b := r.Counter("c_total", "h")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Errorf("shared counter = %v, want 2", got)
+	}
+	v := r.CounterVec("v_total", "h", "host")
+	if v.With("x") == nil || r.CounterVec("v_total", "h", "host").With("x").Value() != 0 {
+		t.Errorf("vec get-or-create broken")
+	}
+}
+
+func TestRegistryConflictsPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("c_total", "h")
+	mustPanic("kind conflict", func() { r.Gauge("c_total", "h") })
+	r.CounterVec("v_total", "h", "a")
+	mustPanic("label conflict", func() { r.CounterVec("v_total", "h", "b") })
+	mustPanic("bad metric name", func() { r.Counter("bad-name", "h") })
+	mustPanic("bad label name", func() { r.CounterVec("ok_total", "h", "bad-label") })
+	mustPanic("reserved le label", func() { r.HistogramVec("h2", "h", nil, "le") })
+	mustPanic("label arity", func() { r.CounterVec("v_total", "h", "a").With("x", "y") })
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "h")
+	r.Gauge("a", "h")
+	r.Histogram("c", "h", []float64{1})
+	got := r.Names()
+	want := []string{"a", "b_total", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceLogRecordsEvents(t *testing.T) {
+	l := NewTraceLog(4)
+	rec := l.Begin("alpha", "source", "vm0", "127.0.0.1:1")
+	rec.Event(Event{Kind: "hello", Detail: "have_checkpoint=true"})
+	rec.Event(Event{Kind: "round", Round: 1, Pages: 256, Bytes: 1 << 20})
+	if got := len(l.Active()); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+	rec.Finish(nil)
+	if got := len(l.Active()); got != 0 {
+		t.Fatalf("active after finish = %d, want 0", got)
+	}
+	recent := l.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d, want 1", len(recent))
+	}
+	m := recent[0]
+	if m.Host != "alpha" || m.VM != "vm0" || m.Role != "source" || m.Err != "" {
+		t.Errorf("unexpected migration header: %+v", m)
+	}
+	if len(m.Events) != 2 || m.Events[1].Kind != "round" || m.Events[1].Bytes != 1<<20 {
+		t.Errorf("unexpected events: %+v", m.Events)
+	}
+	if m.End.Before(m.Start) {
+		t.Errorf("End %v before Start %v", m.End, m.Start)
+	}
+}
+
+func TestTraceLogFinishError(t *testing.T) {
+	l := NewTraceLog(4)
+	rec := l.Begin("alpha", "dest", "vm0", "")
+	rec.Finish(errors.New("boom"))
+	rec.Finish(nil) // idempotent: must not clear the error or duplicate
+	recent := l.Recent()
+	if len(recent) != 1 || recent[0].Err != "boom" {
+		t.Fatalf("recent = %+v, want single record with err=boom", recent)
+	}
+	// Events after Finish must not mutate the completed record.
+	rec.Event(Event{Kind: "late"})
+	if got := len(l.Recent()[0].Events); got != 0 {
+		t.Errorf("late event appended to finished trace (%d events)", got)
+	}
+}
+
+func TestTraceLogRingTruncation(t *testing.T) {
+	const capacity = 8
+	l := NewTraceLog(capacity)
+	for i := 0; i < 3*capacity; i++ {
+		rec := l.Begin("h", "source", fmt.Sprintf("vm-%d", i), "")
+		rec.Finish(nil)
+	}
+	recent := l.Recent()
+	if len(recent) != capacity {
+		t.Fatalf("ring holds %d, want %d", len(recent), capacity)
+	}
+	// Newest first: the last Begin must lead.
+	if recent[0].VM != fmt.Sprintf("vm-%d", 3*capacity-1) {
+		t.Errorf("newest = %s", recent[0].VM)
+	}
+}
+
+// TestTraceLogConcurrent hammers one log from many goroutines — writers
+// appending events, migrations finishing, and readers snapshotting — and
+// checks the retention bounds hold. Run under -race (make ci does).
+func TestTraceLogConcurrent(t *testing.T) {
+	const (
+		capacity   = 16
+		writers    = 8
+		migrations = 50
+		events     = 30
+	)
+	l := NewTraceLog(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < migrations; i++ {
+				rec := l.Begin("h", "source", fmt.Sprintf("w%d-m%d", w, i), "")
+				var ewg sync.WaitGroup
+				for e := 0; e < 3; e++ {
+					ewg.Add(1)
+					go func(e int) { // concurrent writers on ONE recorder
+						defer ewg.Done()
+						for k := 0; k < events; k++ {
+							rec.Event(Event{Kind: "round", Round: e*events + k})
+						}
+					}(e)
+				}
+				ewg.Wait()
+				rec.Finish(nil)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = l.Recent()
+				_ = l.Active()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	recent := l.Recent()
+	if len(recent) != capacity {
+		t.Fatalf("ring holds %d, want %d", len(recent), capacity)
+	}
+	for _, m := range recent {
+		if got := len(m.Events) + m.DroppedEvents; got != 3*events {
+			t.Errorf("%s: %d events + %d dropped, want %d total", m.VM, len(m.Events), m.DroppedEvents, 3*events)
+		}
+	}
+	if got := len(l.Active()); got != 0 {
+		t.Errorf("active after all finished = %d", got)
+	}
+}
+
+func TestTraceLogEventCap(t *testing.T) {
+	l := NewTraceLog(1)
+	rec := l.Begin("h", "source", "vm", "")
+	for i := 0; i < maxEventsPerMigration+10; i++ {
+		rec.Event(Event{Kind: "round", Round: i})
+	}
+	rec.Finish(nil)
+	m := l.Recent()[0]
+	if len(m.Events) != maxEventsPerMigration || m.DroppedEvents != 10 {
+		t.Errorf("events=%d dropped=%d, want %d/%d", len(m.Events), m.DroppedEvents, maxEventsPerMigration, 10)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l := NewTraceLog(4)
+	for i := 0; i < 2; i++ {
+		rec := l.Begin("h", "dest", fmt.Sprintf("vm-%d", i), "peer:1")
+		rec.Event(Event{Kind: "hello"})
+		rec.Finish(nil)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var m Migration
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if m.VM != fmt.Sprintf("vm-%d", lines) { // oldest first
+			t.Errorf("line %d: vm %s", lines, m.VM)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+}

@@ -1,8 +1,17 @@
 // Package sched provides the deployment layer above the migration engine:
 // hosts that accept incoming migrations over TCP, keep per-VM checkpoints
 // in a local store, remember the checksums seen on incoming migrations for
-// the ping-pong optimization, and the migration schedules of the paper's
-// use cases (the 9-to-5 VDI scenario of §4.6, dynamic consolidation).
+// the ping-pong optimization (§3.2), and the migration schedules of the
+// paper's use cases (§2.2): the 9-to-5 VDI scenario evaluated in §4.6 and
+// Figure 8, dynamic consolidation, and hot-spot balancing.
+//
+// A Host stands in for the paper's migration manager on each physical
+// machine (the QEMU-external daemon of §3.1; see DESIGN.md §2 for what the
+// reproduction substitutes for the hypervisor). It also carries the
+// transport hardening (idle deadlines, retry/backoff, delta fallback) and
+// the observability seam: every migration, either role, is folded into an
+// internal/obs registry and trace log, optionally served over HTTP by
+// ListenOps (docs/OBSERVABILITY.md).
 package sched
 
 import (
@@ -19,6 +28,7 @@ import (
 	"vecycle/internal/checksum"
 	"vecycle/internal/core"
 	"vecycle/internal/disk"
+	"vecycle/internal/obs"
 	"vecycle/internal/vm"
 )
 
@@ -52,7 +62,12 @@ type Host struct {
 	pending  map[string]bool          // arrivals in flight, reserved until registered
 	arrivals int
 	ln       net.Listener
+	opsSrv   *obs.Server // optional ops HTTP listener (ListenOps)
 	wg       sync.WaitGroup
+
+	// obs folds every migration into a metrics registry and trace log
+	// (see obs.go); always non-nil after NewHost.
+	obs *hostObs
 
 	// OnArrival, when non-nil, is invoked after a VM lands on this host.
 	OnArrival func(v *vm.VM, res core.DestResult)
@@ -96,7 +111,7 @@ func NewHost(name, storeDir string) (*Host, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Host{
+	h := &Host{
 		name:    name,
 		store:   store,
 		lifeCtx: ctx,
@@ -105,7 +120,9 @@ func NewHost(name, storeDir string) (*Host, error) {
 		disks:   make(map[string]*disk.Disk),
 		seen:    make(map[string]*checksum.Set),
 		pending: make(map[string]bool),
-	}, nil
+	}
+	h.obs = newHostObs(h, obs.NewRegistry(), obs.NewTraceLog(0))
+	return h, nil
 }
 
 // Name reports the host name.
@@ -210,10 +227,15 @@ func (h *Host) Close() error {
 	h.mu.Lock()
 	ln := h.ln
 	h.ln = nil
+	opsSrv := h.opsSrv
+	h.opsSrv = nil
 	h.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	if opsSrv != nil {
+		opsSrv.Close()
 	}
 	h.wg.Wait()
 	return err
@@ -234,7 +256,7 @@ func (h *Host) acceptLoop(ln net.Listener) {
 			// the host context aborts the connection on Close.
 			dc := core.NewDeadlineConn(conn, h.idle())
 			// Errors are also reported to the peer in-protocol.
-			if err := h.handleIncoming(h.lifeCtx, dc); err != nil && h.OnError != nil {
+			if err := h.handleIncoming(h.lifeCtx, dc, conn.RemoteAddr().String()); err != nil && h.OnError != nil {
 				h.OnError(err)
 			}
 		}()
@@ -269,19 +291,31 @@ func (h *Host) releaseArrival(name string) {
 
 // handleIncoming accepts one migration: it creates the destination VM from
 // the session parameters, runs the merge, and registers the VM as resident.
-func (h *Host) handleIncoming(ctx context.Context, conn io.ReadWriter) error {
+func (h *Host) handleIncoming(ctx context.Context, conn io.ReadWriter, peer string) error {
 	session, err := core.Accept(ctx, conn)
 	if err != nil {
 		return err
 	}
 	name := session.VMName()
+	rec := h.obs.begin("dest", name, peer)
 	if !h.reserveArrival(name) {
+		rerr := fmt.Errorf("%w: VM %q already resident on %s", core.ErrRejected, name, h.name)
+		h.obs.finish(rec, "dest", name, core.Metrics{}, rerr)
 		return session.Reject(fmt.Sprintf("VM %q already resident on %s", name, h.name))
 	}
 	defer h.releaseArrival(name)
 	if session.IsPostCopy() {
-		return h.handlePostCopy(ctx, session)
+		return h.handlePostCopy(ctx, session, rec)
 	}
+	res, err := h.runIncoming(ctx, session, rec)
+	h.obs.finish(rec, "dest", name, res.Metrics, err)
+	return err
+}
+
+// runIncoming is the body of handleIncoming for the pre-copy path, split
+// out so every return funnels through one obs.finish call.
+func (h *Host) runIncoming(ctx context.Context, session *core.IncomingSession, rec *obs.Recorder) (core.DestResult, error) {
+	name := session.VMName()
 	// The seed only drives the guest's future workload randomness (its
 	// memory is about to be overwritten by the migration), but it must
 	// differ across hosts and across arrivals: a host resuming the same VM
@@ -293,42 +327,44 @@ func (h *Host) handleIncoming(ctx context.Context, conn io.ReadWriter) error {
 	h.mu.Unlock()
 	dst, err := vm.New(vm.Config{Name: name, MemBytes: session.MemBytes(), Seed: seed})
 	if err != nil {
-		return session.Reject(err.Error())
+		return core.DestResult{}, session.Reject(err.Error())
 	}
 	res, err := session.Run(ctx, dst, core.DestOptions{
 		Store:         h.store,
 		TrackIncoming: true,
 		Workers:       h.Workers,
+		OnEvent:       h.obs.eventFunc(rec, "dest"),
 	})
 	if err != nil {
-		return err
+		return res, err
 	}
 	if h.SaveArrivals {
 		if err := h.store.Save(dst); err != nil {
-			return err
+			return res, err
 		}
+		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "arrival image"})
 	}
 	if disk.IsDiskName(dst.Name()) {
 		d, err := disk.FromBacking(dst)
 		if err != nil {
-			return err
+			return res, err
 		}
 		h.mu.Lock()
 		if _, dup := h.disks[d.VMName()]; dup {
 			h.mu.Unlock()
-			return fmt.Errorf("sched: disk for %q became resident on %s during migration; dropping duplicate arrival", d.VMName(), h.name)
+			return res, fmt.Errorf("sched: disk for %q became resident on %s during migration; dropping duplicate arrival", d.VMName(), h.name)
 		}
 		h.disks[d.VMName()] = d
 		h.mu.Unlock()
-		return nil
+		return res, nil
 	}
 	if err := h.register(dst, res.SeenSums); err != nil {
-		return err
+		return res, err
 	}
 	if h.OnArrival != nil {
 		h.OnArrival(dst, res)
 	}
-	return nil
+	return res, nil
 }
 
 // register makes an arrived VM resident, re-checking residency under the
@@ -346,26 +382,36 @@ func (h *Host) register(dst *vm.VM, sums *checksum.Set) error {
 }
 
 // handlePostCopy completes an incoming post-copy migration.
-func (h *Host) handlePostCopy(ctx context.Context, session *core.IncomingSession) error {
+func (h *Host) handlePostCopy(ctx context.Context, session *core.IncomingSession, rec *obs.Recorder) error {
+	res, err := h.runPostCopy(ctx, session, rec)
+	h.obs.finishPostCopy(rec, "dest", session.VMName(), res.Metrics, err)
+	return err
+}
+
+func (h *Host) runPostCopy(ctx context.Context, session *core.IncomingSession, rec *obs.Recorder) (core.PostCopyDestResult, error) {
 	h.mu.Lock()
 	h.arrivals++
 	seed := int64(fnv64(fmt.Sprintf("%s/%s/%d", h.name, session.VMName(), h.arrivals)))
 	h.mu.Unlock()
 	dst, err := vm.New(vm.Config{Name: session.VMName(), MemBytes: session.MemBytes(), Seed: seed})
 	if err != nil {
-		return session.Reject(err.Error())
+		return core.PostCopyDestResult{}, session.Reject(err.Error())
 	}
-	res, err := session.RunPostCopy(ctx, dst, core.PostCopyDestOptions{Store: h.store})
+	res, err := session.RunPostCopy(ctx, dst, core.PostCopyDestOptions{
+		Store:   h.store,
+		OnEvent: h.obs.eventFunc(rec, "dest"),
+	})
 	if err != nil {
-		return err
+		return res, err
 	}
 	if h.SaveArrivals {
 		if err := h.store.Save(dst); err != nil {
-			return err
+			return res, err
 		}
+		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "arrival image"})
 	}
 	if err := h.register(dst, nil); err != nil {
-		return err
+		return res, err
 	}
 	if h.OnArrival != nil {
 		h.OnArrival(dst, core.DestResult{
@@ -373,7 +419,7 @@ func (h *Host) handlePostCopy(ctx context.Context, session *core.IncomingSession
 			UsedCheckpoint: res.UsedCheckpoint,
 		})
 	}
-	return nil
+	return res, nil
 }
 
 // PostCopyTo moves the named VM to the peer at addr using the post-copy
@@ -391,18 +437,28 @@ func (h *Host) PostCopyTo(ctx context.Context, addr, vmName string) (core.PostCo
 	if !ok {
 		return core.PostCopyMetrics{}, fmt.Errorf("%w: %q", ErrNoSuchVM, vmName)
 	}
+	rec := h.obs.begin("source", vmName, addr)
+	m, err := h.runPostCopyTo(ctx, addr, vmName, v, rec)
+	h.obs.finishPostCopy(rec, "source", vmName, m, err)
+	return m, err
+}
+
+func (h *Host) runPostCopyTo(ctx context.Context, addr, vmName string, v *vm.VM, rec *obs.Recorder) (core.PostCopyMetrics, error) {
 	conn, err := h.dial(ctx, addr)
 	if err != nil {
 		return core.PostCopyMetrics{}, err
 	}
 	defer conn.Close()
-	m, err := core.PostCopySource(ctx, core.NewDeadlineConn(conn, h.idle()), v, core.PostCopySourceOptions{})
+	m, err := core.PostCopySource(ctx, core.NewDeadlineConn(conn, h.idle()), v, core.PostCopySourceOptions{
+		OnEvent: h.obs.eventFunc(rec, "source"),
+	})
 	if err != nil {
 		return m, err
 	}
 	if err := h.store.Save(v); err != nil {
 		return m, fmt.Errorf("sched: checkpoint after migration: %w", err)
 	}
+	rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "departure image"})
 	h.mu.Lock()
 	delete(h.vms, vmName)
 	delete(h.seen, vmName)
@@ -586,7 +642,15 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 	if !ok {
 		return core.Metrics{}, fmt.Errorf("%w: %q", ErrNoSuchVM, vmName)
 	}
+	rec := h.obs.begin("source", vmName, addr)
+	m, err := h.runMigrateTo(ctx, addr, vmName, v, known, opts, rec)
+	h.obs.finish(rec, "source", vmName, m, err)
+	return m, err
+}
 
+// runMigrateTo is the body of MigrateTo, split out so every return funnels
+// through one obs.finish call.
+func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, known *checksum.Set, opts MigrateOptions, rec *obs.Recorder) (core.Metrics, error) {
 	var deltaBase core.PageProvider
 	if opts.UseDelta && h.store.Has(vmName) {
 		cp, err := h.store.Restore(vmName, checksum.MD5, nil)
@@ -606,15 +670,16 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 	d := h.disks[vmName]
 	h.mu.Unlock()
 	if d != nil {
-		diskConn, err := h.dial(ctx, addr)
-		if err != nil {
-			return core.Metrics{}, fmt.Errorf("sched: dial for disk: %w", err)
-		}
-		_, derr := core.MigrateSource(ctx, core.NewDeadlineConn(diskConn, idle), d.Backing(), core.SourceOptions{Recycle: opts.Recycle})
-		diskConn.Close()
+		// The disk leg is its own wire session; trace and count it as its
+		// own migration record, named after the disk's backing VM.
+		diskName := d.Backing().Name()
+		drec := h.obs.begin("source", diskName, addr)
+		dm, derr := h.migrateDisk(ctx, addr, d, idle, opts, drec)
+		h.obs.finish(drec, "source", diskName, dm, derr)
 		if derr != nil {
 			return core.Metrics{}, fmt.Errorf("sched: disk migration: %w", derr)
 		}
+		rec.Event(obs.Event{Kind: "disk", Bytes: dm.BytesSent, Detail: diskName})
 		if opts.KeepCheckpoint {
 			if err := h.store.Save(d.Backing()); err != nil {
 				return core.Metrics{}, fmt.Errorf("sched: disk checkpoint: %w", err)
@@ -639,6 +704,7 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 			StopThreshold:   opts.StopThreshold,
 			Pause:           opts.Pause,
 			Resume:          opts.Resume,
+			OnEvent:         h.obs.eventFunc(rec, "source"),
 		})
 	}
 
@@ -667,6 +733,8 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 			if h.OnError != nil {
 				h.OnError(fmt.Errorf("sched: delta migration of %q to %s failed (%v); retrying without deltas", vmName, addr, err))
 			}
+			h.obs.fallbacks.With(h.name).Inc()
+			rec.Event(obs.Event{Kind: "delta-fallback", Detail: err.Error()})
 			base = nil
 			deltaFallback = false
 			continue
@@ -679,6 +747,8 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 		if h.OnError != nil {
 			h.OnError(fmt.Errorf("sched: migration of %q to %s failed (attempt %d/%d: %v); retrying in %v", vmName, addr, retries, attempts, err, delay))
 		}
+		h.obs.retries.With(h.name).Inc()
+		rec.Event(obs.Event{Kind: "retry", Round: retries, Detail: fmt.Sprintf("%v; backoff %v", err, delay)})
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
@@ -694,6 +764,7 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 		if err := h.store.Save(v); err != nil {
 			return m, fmt.Errorf("sched: checkpoint after migration: %w", err)
 		}
+		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "departure image"})
 	}
 	h.mu.Lock()
 	delete(h.vms, vmName)
@@ -701,4 +772,17 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 	delete(h.seen, vmName)
 	h.mu.Unlock()
 	return m, nil
+}
+
+// migrateDisk streams the block device to the peer on its own connection.
+func (h *Host) migrateDisk(ctx context.Context, addr string, d *disk.Disk, idle time.Duration, opts MigrateOptions, rec *obs.Recorder) (core.Metrics, error) {
+	diskConn, err := h.dial(ctx, addr)
+	if err != nil {
+		return core.Metrics{}, fmt.Errorf("sched: dial for disk: %w", err)
+	}
+	defer diskConn.Close()
+	return core.MigrateSource(ctx, core.NewDeadlineConn(diskConn, idle), d.Backing(), core.SourceOptions{
+		Recycle: opts.Recycle,
+		OnEvent: h.obs.eventFunc(rec, "source"),
+	})
 }

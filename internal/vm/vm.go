@@ -4,7 +4,8 @@
 // ever observes pages, dirty bits and checksums, so this substrate exposes
 // the identical surface a hypervisor would — and lets integration tests
 // assert byte-for-byte equality of source and destination memory after a
-// migration.
+// migration. This is the central substitution of the reproduction; see
+// DESIGN.md §2 for the full substitution table.
 package vm
 
 import (

@@ -1,0 +1,184 @@
+// Command lintdocs is the repository's documentation gate, run by
+// `make docs` (part of `make ci`). It enforces two invariants:
+//
+//  1. Every exported identifier in the packages listed in docPackages has
+//     a doc comment (checked via go/ast, no external linters).
+//  2. Every relative markdown link in the repo's documentation resolves to
+//     an existing file (anchors and external URLs are not followed).
+//
+// It exits non-zero listing every violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// docPackages are the directories whose exported identifiers must all
+// carry doc comments. internal/obs is the operator-facing surface this
+// gate was introduced for; grow the list as packages are brought up to
+// the same standard.
+var docPackages = []string{
+	"internal/obs",
+}
+
+// docFiles are the markdown files whose relative links must resolve.
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"PROTOCOL.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	for _, dir := range docPackages {
+		p, err := checkExportedDocs(filepath.Join(root, dir))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdocs:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	files := make([]string, 0, len(docFiles))
+	for _, f := range docFiles {
+		files = append(files, filepath.Join(root, f))
+	}
+	globbed, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintdocs:", err)
+		os.Exit(2)
+	}
+	files = append(files, globbed...)
+	for _, f := range files {
+		p, err := checkLinks(root, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdocs:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "lintdocs: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkExportedDocs parses every non-test Go file in dir and reports
+// exported declarations lacking a doc comment.
+func checkExportedDocs(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && !isExportedMethodOfUnexported(d) {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// isExportedMethodOfUnexported reports whether d is a method on an
+// unexported receiver type — not part of the package API surface.
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+// checkGenDecl reports undocumented exported types, consts and vars. A doc
+// comment on the grouped declaration covers every name in the group, as
+// gofmt conventions allow for const/var blocks.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	what := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+	if what == "" {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), what, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), what, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// mdLink matches inline markdown links; the first capture is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks reports relative links in file that do not resolve to an
+// existing file or directory under root.
+func checkLinks(root, file string) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", file, i+1, m[1], resolved))
+			}
+		}
+	}
+	return problems, nil
+}
