@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-pipeline bench docs ci
+.PHONY: build test vet race race-pipeline bench bench-smoke docs ci
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,18 @@ race-pipeline:
 
 # bench records the migration-engine benchmarks (first-round throughput at
 # several pipeline widths, destination merge-loop throughput, per-page
-# checksum rates) as machine-readable output for regression tracking.
+# checksum rates, warm vs cold checkpoint open, announce-frame sizes) as
+# machine-readable output for regression tracking.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFirstRound|BenchmarkMergeLoop' -benchmem -json ./internal/core/ > BENCH_migration.json
-	$(GO) test -run '^$$' -bench 'BenchmarkChecksumPage' -benchmem -json ./internal/checksum/ >> BENCH_migration.json
+	$(GO) test -run '^$$' -bench 'BenchmarkChecksumPage|BenchmarkAnnounceSize' -benchmem -json ./internal/checksum/ >> BENCH_migration.json
+	$(GO) test -run '^$$' -bench 'BenchmarkOpen' -benchmem -json ./internal/checkpoint/ >> BENCH_migration.json
+
+# bench-smoke compiles and runs every benchmark in the repo exactly once —
+# a cheap guard against benchmarks rotting outside the bench target's
+# curated list. No timing output is recorded.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # docs is the documentation gate: every exported identifier in the
 # operator-facing packages must carry a doc comment, and every relative
@@ -32,7 +40,7 @@ bench:
 docs:
 	$(GO) run ./tools/lintdocs
 
-# ci is the gate for every change: static analysis, the docs gate, plus
-# the full suite under the race detector (which includes the pipeline
-# tests).
-ci: vet docs race race-pipeline
+# ci is the gate for every change: static analysis, the docs gate, the
+# full suite under the race detector (which includes the pipeline tests),
+# and a single-iteration pass over every benchmark.
+ci: vet docs race race-pipeline bench-smoke

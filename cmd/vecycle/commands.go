@@ -16,13 +16,15 @@ import (
 func runDest(args []string) error {
 	fs := flag.NewFlagSet("vecycle dest", flag.ContinueOnError)
 	var (
-		listen  = fs.String("listen", "127.0.0.1:7001", "address to accept migrations on")
-		store   = fs.String("store", "", "checkpoint store directory (required)")
-		count   = fs.Int("count", 1, "number of migrations to accept before exiting (0 = forever)")
-		name     = fs.String("name", "dest-host", "host name")
-		workers  = fs.Int("workers", 0, "pipelined merge workers for incoming migrations (<1 = sequential)")
-		opsAddr  = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
-		traceOut = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
+		listen    = fs.String("listen", "127.0.0.1:7001", "address to accept migrations on")
+		store     = fs.String("store", "", "checkpoint store directory (required)")
+		count     = fs.Int("count", 1, "number of migrations to accept before exiting (0 = forever)")
+		name      = fs.String("name", "dest-host", "host name")
+		workers   = fs.Int("workers", 0, "pipelined merge workers for incoming migrations (<1 = sequential)")
+		noSidecar = fs.Bool("no-sidecar", false, "disable checkpoint fingerprint sidecars (always rehash images on restore)")
+		noCompact = fs.Bool("no-compact-announce", false, "keep the v1 announcement encoding even when the peer supports compaction")
+		opsAddr   = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
+		traceOut  = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -35,6 +37,8 @@ func runDest(args []string) error {
 		return err
 	}
 	host.Workers = *workers
+	host.SetNoSidecar(*noSidecar)
+	host.NoCompactAnnounce = *noCompact
 	if err := startOps(host, *opsAddr); err != nil {
 		return err
 	}
@@ -60,23 +64,25 @@ func runDest(args []string) error {
 func runSource(args []string) error {
 	fs := flag.NewFlagSet("vecycle source", flag.ContinueOnError)
 	var (
-		dest     = fs.String("dest", "", "destination host address (required)")
-		vmName   = fs.String("vm", "vm0", "VM name")
-		mem      = fs.String("mem", "64MiB", "VM memory size (e.g. 64MiB, 1GiB)")
-		fill     = fs.Float64("fill", 0.95, "fraction of memory filled with random data before migrating")
-		seed     = fs.Int64("seed", 1, "guest content seed")
-		store    = fs.String("store", "", "checkpoint store directory (required)")
-		recycle  = fs.Bool("recycle", true, "enable checkpoint-assisted migration")
-		postcopy = fs.Bool("postcopy", false, "use the post-copy protocol (manifest + demand fetch)")
-		compress = fs.Bool("compress", false, "deflate-compress full-page payloads")
-		workers  = fs.Int("workers", 0, "pipeline encode workers (<1 = sequential engine)")
-		ckworker = fs.Int("checksum-workers", 0, "deprecated alias for -workers (used when -workers is 0)")
-		rounds   = fs.Int("max-rounds", 0, "pre-copy round cap (0 = engine default)")
-		stopAt   = fs.Int("stop-threshold", 0, "dirty-page count triggering the final round (0 = engine default)")
-		idle     = fs.Duration("idle-timeout", 0, "per-I/O idle timeout (0 = default, negative disables)")
-		retries  = fs.Int("retries", 1, "total migration attempts on transient transport failures")
-		opsAddr  = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
-		traceOut = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
+		dest      = fs.String("dest", "", "destination host address (required)")
+		vmName    = fs.String("vm", "vm0", "VM name")
+		mem       = fs.String("mem", "64MiB", "VM memory size (e.g. 64MiB, 1GiB)")
+		fill      = fs.Float64("fill", 0.95, "fraction of memory filled with random data before migrating")
+		seed      = fs.Int64("seed", 1, "guest content seed")
+		store     = fs.String("store", "", "checkpoint store directory (required)")
+		recycle   = fs.Bool("recycle", true, "enable checkpoint-assisted migration")
+		postcopy  = fs.Bool("postcopy", false, "use the post-copy protocol (manifest + demand fetch)")
+		compress  = fs.Bool("compress", false, "deflate-compress full-page payloads")
+		workers   = fs.Int("workers", 0, "pipeline encode workers (<1 = sequential engine)")
+		ckworker  = fs.Int("checksum-workers", 0, "deprecated alias for -workers (used when -workers is 0)")
+		rounds    = fs.Int("max-rounds", 0, "pre-copy round cap (0 = engine default)")
+		stopAt    = fs.Int("stop-threshold", 0, "dirty-page count triggering the final round (0 = engine default)")
+		idle      = fs.Duration("idle-timeout", 0, "per-I/O idle timeout (0 = default, negative disables)")
+		retries   = fs.Int("retries", 1, "total migration attempts on transient transport failures")
+		noSidecar = fs.Bool("no-sidecar", false, "disable checkpoint fingerprint sidecars (always rehash images on restore)")
+		noCompact = fs.Bool("no-compact-announce", false, "withhold the compact-announce capability (pin the v1 announcement encoding)")
+		opsAddr   = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
+		traceOut  = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +106,7 @@ func runSource(args []string) error {
 		return err
 	}
 	host.AddVM(guest)
+	host.SetNoSidecar(*noSidecar)
 	if *idle != 0 {
 		host.IdleTimeout = *idle
 	}
@@ -116,15 +123,16 @@ func runSource(args []string) error {
 		return writeTraces(host.Traces(), *traceOut)
 	}
 	m, err := host.MigrateTo(context.Background(), *dest, *vmName, sched.MigrateOptions{
-		Recycle:         *recycle,
-		KeepCheckpoint:  true,
-		Compress:        *compress,
-		Workers:         *workers,
-		ChecksumWorkers: *ckworker,
-		MaxRounds:       *rounds,
-		StopThreshold:   *stopAt,
-		IdleTimeout:     *idle,
-		Retry:           sched.RetryPolicy{Attempts: *retries},
+		Recycle:           *recycle,
+		KeepCheckpoint:    true,
+		Compress:          *compress,
+		Workers:           *workers,
+		ChecksumWorkers:   *ckworker,
+		MaxRounds:         *rounds,
+		StopThreshold:     *stopAt,
+		NoCompactAnnounce: *noCompact,
+		IdleTimeout:       *idle,
+		Retry:             sched.RetryPolicy{Attempts: *retries},
 	})
 	if err != nil {
 		return err

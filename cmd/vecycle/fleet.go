@@ -29,6 +29,8 @@ func runFleet(args []string) error {
 		touches   = fs.Int("touch", 32, "pages dirtied by each guest between rounds")
 		compress  = fs.Bool("compress", false, "deflate-compress full-page payloads")
 		workers   = fs.Int("workers", 0, "pipeline encode/merge workers (<1 = sequential engines)")
+		noSidecar = fs.Bool("no-sidecar", false, "disable checkpoint fingerprint sidecars on every host")
+		noCompact = fs.Bool("no-compact-announce", false, "keep the v1 announcement encoding fleet-wide")
 		opsAddr   = fs.String("ops-addr", "", "serve the whole fleet's /metrics, /debug/migrations and /debug/pprof on this address")
 		traceOut  = fs.String("trace-out", "", "write the fleet's migration traces as JSONL to this file on exit (- for stdout)")
 	)
@@ -73,6 +75,8 @@ func runFleet(args []string) error {
 		h.UseObservability(reg, traces)
 		h.SaveArrivals = true
 		h.Workers = *workers
+		h.SetNoSidecar(*noSidecar)
+		h.NoCompactAnnounce = *noCompact
 		h.OnArrival = func(*vm.VM, core.DestResult) { arrived.Done() }
 		addr, err := h.Listen("127.0.0.1:0")
 		if err != nil {
@@ -110,11 +114,12 @@ func runFleet(args []string) error {
 			}
 			arrived.Add(1)
 			m, err := hosts[from].MigrateTo(context.Background(), addrs[to], name, sched.MigrateOptions{
-				Recycle:        true,
-				UseDelta:       true,
-				KeepCheckpoint: true,
-				Compress:       *compress,
-				Workers:        *workers,
+				Recycle:           true,
+				UseDelta:          true,
+				KeepCheckpoint:    true,
+				Compress:          *compress,
+				Workers:           *workers,
+				NoCompactAnnounce: *noCompact,
 			})
 			if err != nil {
 				return fmt.Errorf("round %d, %s: %w", round, name, err)

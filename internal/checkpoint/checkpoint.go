@@ -13,6 +13,8 @@ package checkpoint
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -70,46 +72,77 @@ func (ix *Index) Len() int { return len(ix.entries) }
 // Write dumps the VM's memory to path as a raw page-ordered image,
 // streaming pages sequentially. This is what the migration source does
 // right after an outgoing migration completes.
-func Write(path string, source *vm.VM) (err error) {
+func Write(path string, source *vm.VM) error {
+	_, err := writeImage(path, source)
+	return err
+}
+
+// writeImage streams the VM's memory to path and returns the hex SHA-256 of
+// the written bytes, computed in the same pass — the store's integrity
+// record and sidecar digest come for free instead of re-reading the image.
+func writeImage(path string, source *vm.VM) (digest string, err error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return "", fmt.Errorf("checkpoint: %w", err)
 	}
 	defer func() {
 		if cerr := f.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("checkpoint: close %s: %w", path, cerr)
 		}
 	}()
-	bw := bufio.NewWriterSize(f, 1<<20)
+	h := sha256.New()
+	bw := bufio.NewWriterSize(io.MultiWriter(f, h), 1<<20)
 	buf := make([]byte, vm.PageSize)
 	for i := 0; i < source.NumPages(); i++ {
 		source.ReadPage(i, buf)
 		if _, err := bw.Write(buf); err != nil {
-			return fmt.Errorf("checkpoint: write page %d: %w", i, err)
+			return "", fmt.Errorf("checkpoint: write page %d: %w", i, err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("checkpoint: flush: %w", err)
+		return "", fmt.Errorf("checkpoint: flush: %w", err)
 	}
-	return nil
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Checkpoint is an opened checkpoint image: the file handle, the
 // checksum→offset index, and the set of block checksums for the hash
 // announcement. Close it when the migration completes.
 type Checkpoint struct {
-	f     *os.File
-	alg   checksum.Algorithm
-	index Index
-	sums  *checksum.Set
-	pages int
+	f       *os.File
+	alg     checksum.Algorithm
+	index   Index
+	sums    *checksum.Set
+	pages   int
+	sidecar SidecarStatus
+}
+
+// OpenConfig tunes how Open builds the checksum index.
+type OpenConfig struct {
+	// NoSidecar bypasses the fingerprint sidecar entirely: the index is
+	// rebuilt by the full rescan and no sidecar is read or written.
+	NoSidecar bool
+	// ExpectedDigest, when non-empty, is the hex SHA-256 the image is
+	// supposed to have (the store's integrity record). A sidecar recording
+	// a different digest is stale and ignored, and the digest is embedded
+	// in any sidecar rewrite.
+	ExpectedDigest string
 }
 
 // Open scans the image at path sequentially, building the checksum index
 // and the announcement set. If dst is non-nil each block is also installed
 // into the corresponding page of dst — the destination's RAM bootstrap —
 // in which case the image size must match the VM's memory exactly.
+//
+// When a valid fingerprint sidecar sits next to the image the scan is
+// skipped: the index loads from the sidecar and the image is only read (a
+// plain sequential copy, no hashing) when dst needs its pages installed.
 func Open(path string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) {
+	return OpenWith(path, alg, dst, OpenConfig{})
+}
+
+// OpenWith is Open with explicit sidecar configuration.
+func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (*Checkpoint, error) {
 	if !alg.Valid() {
 		return nil, fmt.Errorf("checkpoint: invalid checksum algorithm")
 	}
@@ -132,10 +165,28 @@ func Open(path string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) 
 		return nil, fmt.Errorf("checkpoint: image has %d pages, VM has %d", pages, dst.NumPages())
 	}
 	cp := &Checkpoint{
-		f:     f,
-		alg:   alg,
-		sums:  checksum.NewSet(pages),
-		pages: pages,
+		f:       f,
+		alg:     alg,
+		sums:    checksum.NewSet(pages),
+		pages:   pages,
+		sidecar: SidecarDisabled,
+	}
+	if !cfg.NoSidecar {
+		sums, serr := loadSidecar(SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest)
+		switch {
+		case serr == nil:
+			if err := cp.fromSums(sums, dst); err != nil {
+				f.Close()
+				return nil, err
+			}
+			cp.sidecar = SidecarHit
+			cp.index.sort()
+			return cp, nil
+		case os.IsNotExist(serr):
+			cp.sidecar = SidecarMiss
+		default:
+			cp.sidecar = SidecarFallback
+		}
 	}
 	br := bufio.NewReaderSize(f, 1<<20)
 	workers := runtime.GOMAXPROCS(0)
@@ -144,6 +195,7 @@ func Open(path string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) 
 	}
 	if workers < 2 {
 		// Small image or single core: the sequential scan of §3.3.
+		cp.index.entries = make([]indexEntry, 0, pages)
 		buf := make([]byte, vm.PageSize)
 		for i := 0; i < pages; i++ {
 			if _, err := io.ReadFull(br, buf); err != nil {
@@ -161,8 +213,42 @@ func Open(path string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) 
 		f.Close()
 		return nil, err
 	}
+	if !cfg.NoSidecar {
+		// Self-heal: persist the freshly rebuilt index so the next Open is
+		// warm. Entries are still in page order here (sorting happens
+		// below), so the entry list doubles as the page-ordered sum list.
+		// Best effort — a failed rewrite only costs the next Open a rescan.
+		entries := cp.index.entries
+		_ = writeSidecar(SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest,
+			len(entries), func(i int) checksum.Sum { return entries[i].sum })
+	}
 	cp.index.sort()
 	return cp, nil
+}
+
+// fromSums builds the index and announcement set from sidecar-loaded
+// page-ordered sums, installing the image into dst when non-nil. The
+// install is a plain sequential read — no hashing, the sums are already
+// known.
+func (c *Checkpoint) fromSums(sums []checksum.Sum, dst *vm.VM) error {
+	entries := make([]indexEntry, len(sums))
+	for i, s := range sums {
+		entries[i] = indexEntry{sum: s, offset: int64(i) * vm.PageSize}
+		c.sums.Add(s)
+	}
+	c.index.entries = entries
+	if dst == nil {
+		return nil
+	}
+	br := bufio.NewReaderSize(c.f, 1<<20)
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < c.pages; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("checkpoint: read block %d: %w", i, err)
+		}
+		dst.InstallPage(i, buf)
+	}
+	return nil
 }
 
 // openChunkPages is the work unit of the parallel index build: 2 MiB of
@@ -232,6 +318,11 @@ func openParallel(br io.Reader, alg checksum.Algorithm, dst *vm.VM, cp *Checkpoi
 
 // Pages reports the number of blocks in the image.
 func (c *Checkpoint) Pages() int { return c.pages }
+
+// Sidecar reports how this Open interacted with the fingerprint sidecar:
+// loaded from it (hit), rebuilt because none existed (miss), rebuilt because
+// it failed validation (fallback), or bypassed (disabled).
+func (c *Checkpoint) Sidecar() SidecarStatus { return c.sidecar }
 
 // Algorithm reports the checksum algorithm the index was built with.
 func (c *Checkpoint) Algorithm() checksum.Algorithm { return c.alg }

@@ -22,16 +22,23 @@ func (s *Store) digestPath(vmName string) string {
 	return s.ImagePath(vmName) + ".sha256"
 }
 
-// writeDigest hashes the stored image and writes the sidecar.
-func (s *Store) writeDigest(vmName string) error {
-	sum, err := hashFile(s.ImagePath(vmName))
-	if err != nil {
-		return err
-	}
+// writeDigestValue records a digest computed while the image was written —
+// Save hashes in the same pass as the write, so no re-read happens here.
+func (s *Store) writeDigestValue(vmName, sum string) error {
 	if err := os.WriteFile(s.digestPath(vmName), []byte(sum+"\n"), 0o644); err != nil {
 		return fmt.Errorf("checkpoint: write digest: %w", err)
 	}
 	return nil
+}
+
+// readDigest returns the recorded image digest, or "" when none exists (an
+// image from an older store, or a raced Remove).
+func (s *Store) readDigest(vmName string) string {
+	raw, err := os.ReadFile(s.digestPath(vmName))
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(raw))
 }
 
 // Verify re-hashes the named VM's image and compares it with the recorded

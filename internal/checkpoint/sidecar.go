@@ -1,0 +1,244 @@
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// The persistent fingerprint sidecar. checkpoint.Open rebuilds the §3.3
+// checksum→offset index by re-reading and re-hashing the whole image on
+// every migration — an O(RAM) rescan that dominates the warm-start path on
+// the paper's WAN setting. Save therefore persists the per-page sums next
+// to the image in a versioned sidecar; Open loads the sidecar instead of
+// rehashing when its header validates against the image, and falls back to
+// the full rescan (rewriting the sidecar) on any mismatch, truncation, or
+// decode error. The sidecar is an acceleration cache, never a source of
+// truth: deleting it only costs the next Open a rescan.
+//
+// File layout (little-endian):
+//
+//	magic     [4]byte  "VCFP"
+//	version   uint16   sidecarVersion
+//	alg       uint8    checksum.Algorithm the sums were computed with
+//	reserved  uint8    zero
+//	pageSize  uint32   vm.PageSize the image was paginated with
+//	imageSize uint64   byte size of the image the sums describe
+//	count     uint64   number of page sums (= imageSize / pageSize)
+//	digest    [32]byte SHA-256 of the image, all zero when unknown
+//	sums      count × checksum.Size bytes, in page order
+
+const (
+	sidecarSuffix  = ".idx"
+	sidecarVersion = 1
+
+	// sidecarHeaderSize is the fixed header: magic, version, alg, reserved,
+	// pageSize, imageSize, count, digest.
+	sidecarHeaderSize = 4 + 2 + 1 + 1 + 4 + 8 + 8 + 32
+)
+
+var sidecarMagic = [4]byte{'V', 'C', 'F', 'P'}
+
+// SidecarPath reports where the fingerprint sidecar for an image lives.
+func SidecarPath(imagePath string) string { return imagePath + sidecarSuffix }
+
+// SidecarStatus reports how an Open interacted with the fingerprint sidecar.
+type SidecarStatus uint8
+
+const (
+	// SidecarDisabled: the sidecar was bypassed (OpenConfig.NoSidecar).
+	SidecarDisabled SidecarStatus = iota
+	// SidecarHit: the index was loaded from a validated sidecar.
+	SidecarHit
+	// SidecarMiss: no sidecar file existed; the image was rehashed.
+	SidecarMiss
+	// SidecarFallback: a sidecar existed but failed validation or decoding;
+	// the image was rehashed and the sidecar rewritten.
+	SidecarFallback
+)
+
+// String returns the status as the label used by the obs metrics.
+func (s SidecarStatus) String() string {
+	switch s {
+	case SidecarDisabled:
+		return "disabled"
+	case SidecarHit:
+		return "hit"
+	case SidecarMiss:
+		return "miss"
+	case SidecarFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("SidecarStatus(%d)", uint8(s))
+	}
+}
+
+// writeSidecar writes a sidecar for an image of imageSize bytes whose page
+// sums under alg are sum(0) … sum(n-1). digestHex, when non-empty, is the
+// hex SHA-256 of the image. The write goes through a temp file + rename so
+// a crash never leaves a torn sidecar for the next Open to trip over.
+func writeSidecar(path string, alg checksum.Algorithm, imageSize int64, digestHex string, n int, sum func(i int) checksum.Sum) (err error) {
+	var hdr [sidecarHeaderSize]byte
+	copy(hdr[0:4], sidecarMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], sidecarVersion)
+	hdr[6] = byte(alg)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(vm.PageSize))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(imageSize))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(n))
+	if digestHex != "" {
+		raw, derr := hex.DecodeString(digestHex)
+		if derr != nil || len(raw) != 32 {
+			return fmt.Errorf("checkpoint: sidecar digest %q is not a hex SHA-256", digestHex)
+		}
+		copy(hdr[28:60], raw)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: sidecar: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err = bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: sidecar header: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		s := sum(i)
+		if _, err = bw.Write(s[:]); err != nil {
+			return fmt.Errorf("checkpoint: sidecar sum %d: %w", i, err)
+		}
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: sidecar flush: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: sidecar close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint: sidecar rename: %w", err)
+	}
+	return nil
+}
+
+// loadSidecar streams the sidecar at path and returns the page-ordered sums
+// for an image of imageSize bytes hashed under alg. wantDigestHex, when
+// non-empty, is the expected image digest: a sidecar recording a different
+// (or no) digest is stale and rejected. Any validation or decode failure
+// returns an error; callers treat os.IsNotExist as a miss and anything else
+// as a fallback, and rehash either way.
+func loadSidecar(path string, alg checksum.Algorithm, imageSize int64, wantDigestHex string) ([]checksum.Sum, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: sidecar stat: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var hdr [sidecarHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: sidecar header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != sidecarMagic {
+		return nil, fmt.Errorf("checkpoint: sidecar has bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != sidecarVersion {
+		return nil, fmt.Errorf("checkpoint: sidecar format version %d, want %d", v, sidecarVersion)
+	}
+	if got := checksum.Algorithm(hdr[6]); got != alg {
+		return nil, fmt.Errorf("checkpoint: sidecar hashed with %v, index needs %v", got, alg)
+	}
+	if ps := binary.LittleEndian.Uint32(hdr[8:12]); ps != vm.PageSize {
+		return nil, fmt.Errorf("checkpoint: sidecar page size %d, want %d", ps, vm.PageSize)
+	}
+	if sz := binary.LittleEndian.Uint64(hdr[12:20]); sz != uint64(imageSize) {
+		return nil, fmt.Errorf("checkpoint: sidecar describes a %d-byte image, image is %d bytes", sz, imageSize)
+	}
+	count := binary.LittleEndian.Uint64(hdr[20:28])
+	if count != uint64(imageSize)/vm.PageSize {
+		return nil, fmt.Errorf("checkpoint: sidecar has %d sums for a %d-byte image", count, imageSize)
+	}
+	if wantDigestHex != "" {
+		want, derr := hex.DecodeString(wantDigestHex)
+		if derr != nil || len(want) != 32 {
+			return nil, fmt.Errorf("checkpoint: expected digest %q is not a hex SHA-256", wantDigestHex)
+		}
+		if !bytes.Equal(hdr[28:60], want) {
+			return nil, fmt.Errorf("checkpoint: sidecar digest does not match image digest")
+		}
+	}
+	wantSize := int64(sidecarHeaderSize) + int64(count)*checksum.Size
+	if st.Size() != wantSize {
+		return nil, fmt.Errorf("checkpoint: sidecar is %d bytes, want %d (truncated or trailing data)", st.Size(), wantSize)
+	}
+	// Streamed body read: fixed chunks through the buffered reader, never a
+	// whole-file slurp.
+	sums := make([]checksum.Sum, count)
+	const chunkSums = 4096
+	buf := make([]byte, chunkSums*checksum.Size)
+	for off := uint64(0); off < count; {
+		n := uint64(chunkSums)
+		if off+n > count {
+			n = count - off
+		}
+		b := buf[:n*checksum.Size]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("checkpoint: sidecar sums at %d: %w", off, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			sums[off+i] = checksum.Sum(b[i*checksum.Size : (i+1)*checksum.Size])
+		}
+		off += n
+	}
+	return sums, nil
+}
+
+// minPagesPerSumWorker keeps the parallel sidecar build from fanning out
+// over trivially small guests; mirrors the migration engine's checksum
+// fan-out granularity.
+const minPagesPerSumWorker = 256
+
+// pageSums computes the per-page sums of a live VM with the same strided
+// parallel fan-out the migration engine uses for its checksum collection.
+func pageSums(v *vm.VM, alg checksum.Algorithm) []checksum.Sum {
+	pages := v.NumPages()
+	sums := make([]checksum.Sum, pages)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > pages/minPagesPerSumWorker {
+		workers = pages / minPagesPerSumWorker
+	}
+	if workers < 2 {
+		for i := range sums {
+			sums[i] = v.PageSum(i, alg)
+		}
+		return sums
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < pages; i += workers {
+				sums[i] = v.PageSum(i, alg)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return sums
+}

@@ -1,0 +1,339 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// saveVM creates a store with one saved checkpoint and returns both.
+func saveOne(t *testing.T, name string, pages int) (*Store, *vm.VM) {
+	t.Helper()
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newVM(t, name, pages, 1)
+	fillPattern(src)
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	return store, src
+}
+
+func TestSaveWritesSidecar(t *testing.T) {
+	store, _ := saveOne(t, "vm0", 16)
+	sc := SidecarPath(store.ImagePath("vm0"))
+	st, err := os.Stat(sc)
+	if err != nil {
+		t.Fatalf("Save left no sidecar: %v", err)
+	}
+	if want := int64(sidecarHeaderSize + 16*checksum.Size); st.Size() != want {
+		t.Errorf("sidecar is %d bytes, want %d", st.Size(), want)
+	}
+}
+
+func TestRestoreWarmHitMatchesCold(t *testing.T) {
+	store, src := saveOne(t, "vm0", 32)
+
+	dst := newVM(t, "vm0", 32, 9)
+	warm, err := store.Restore("vm0", checksum.MD5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if warm.Sidecar() != SidecarHit {
+		t.Errorf("Sidecar() = %v, want hit", warm.Sidecar())
+	}
+	if !src.MemEqual(dst) {
+		t.Errorf("warm restore lost memory at page %d", src.FirstDifference(dst))
+	}
+
+	cold, err := OpenWith(store.ImagePath("vm0"), checksum.MD5, nil, OpenConfig{NoSidecar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	if cold.Sidecar() != SidecarDisabled {
+		t.Errorf("cold Sidecar() = %v, want disabled", cold.Sidecar())
+	}
+	// Same announcement set and same resolvable blocks either way.
+	if warm.SumSet().Len() != cold.SumSet().Len() ||
+		warm.SumSet().IntersectCount(cold.SumSet()) != cold.SumSet().Len() {
+		t.Error("warm and cold announcement sets differ")
+	}
+	for i := 0; i < src.NumPages(); i++ {
+		sum := src.PageSum(i, checksum.MD5)
+		wd, ok, err := warm.ReadBlock(sum)
+		if err != nil || !ok {
+			t.Fatalf("warm ReadBlock(page %d): ok=%v err=%v", i, ok, err)
+		}
+		warm.Release(wd)
+	}
+}
+
+func TestOpenMissRewritesSidecar(t *testing.T) {
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 16, 1)
+	fillPattern(src)
+	path := filepath.Join(dir, "vm0.img")
+	// A bare Write (the migration source's path) leaves no sidecar.
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Open(path, checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Sidecar() != SidecarMiss {
+		t.Errorf("first Open Sidecar() = %v, want miss", cp.Sidecar())
+	}
+	cp.Close()
+	if _, err := os.Stat(SidecarPath(path)); err != nil {
+		t.Fatalf("miss did not rewrite the sidecar: %v", err)
+	}
+	cp2, err := Open(path, checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Sidecar() != SidecarHit {
+		t.Errorf("second Open Sidecar() = %v, want hit", cp2.Sidecar())
+	}
+}
+
+func TestOpenNoSidecarLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	src := newVM(t, "vm0", 8, 1)
+	fillPattern(src)
+	path := filepath.Join(dir, "vm0.img")
+	if err := Write(path, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenWith(path, checksum.MD5, nil, OpenConfig{NoSidecar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Sidecar() != SidecarDisabled {
+		t.Errorf("Sidecar() = %v, want disabled", cp.Sidecar())
+	}
+	if _, err := os.Stat(SidecarPath(path)); !os.IsNotExist(err) {
+		t.Errorf("NoSidecar open wrote a sidecar (stat err=%v)", err)
+	}
+}
+
+func TestStoreSetNoSidecar(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetNoSidecar(true)
+	src := newVM(t, "vm0", 8, 1)
+	fillPattern(src)
+	if err := store.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(SidecarPath(store.ImagePath("vm0"))); !os.IsNotExist(err) {
+		t.Errorf("SetNoSidecar Save wrote a sidecar (stat err=%v)", err)
+	}
+	cp, err := store.Restore("vm0", checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Sidecar() != SidecarDisabled {
+		t.Errorf("Sidecar() = %v, want disabled", cp.Sidecar())
+	}
+}
+
+// TestSidecarCorruptionFallsBack covers the corruption matrix: every broken
+// sidecar must fall back to the rescan without surfacing an error, restore
+// the right memory, and leave behind a rewritten sidecar that the next
+// Restore hits.
+func TestSidecarCorruptionFallsBack(t *testing.T) {
+	cases := map[string]struct {
+		corrupt func(t *testing.T, store *Store, imagePath string)
+		alg     checksum.Algorithm
+	}{
+		"truncated file": {
+			corrupt: func(t *testing.T, _ *Store, imagePath string) {
+				if err := os.Truncate(SidecarPath(imagePath), sidecarHeaderSize+5); err != nil {
+					t.Fatal(err)
+				}
+			},
+			alg: checksum.MD5,
+		},
+		"wrong algorithm": {
+			// The sidecar records MD5 sums; this restore asks for SHA256.
+			corrupt: func(t *testing.T, _ *Store, _ string) {},
+			alg:     checksum.SHA256,
+		},
+		"stale image digest": {
+			corrupt: func(t *testing.T, store *Store, imagePath string) {
+				// Rewrite the image in place (same size, new content) and
+				// refresh the integrity record, leaving the sidecar stale.
+				raw, err := os.ReadFile(imagePath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range raw {
+					raw[i] ^= 0x5a
+				}
+				if err := os.WriteFile(imagePath, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				digest, err := hashFile(imagePath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := store.writeDigestValue("vm0", digest); err != nil {
+					t.Fatal(err)
+				}
+			},
+			alg: checksum.MD5,
+		},
+		"bad magic": {
+			corrupt: func(t *testing.T, _ *Store, imagePath string) {
+				f, err := os.OpenFile(SidecarPath(imagePath), os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if _, err := f.WriteAt([]byte("XXXX"), 0); err != nil {
+					t.Fatal(err)
+				}
+			},
+			alg: checksum.MD5,
+		},
+		"future version": {
+			corrupt: func(t *testing.T, _ *Store, imagePath string) {
+				f, err := os.OpenFile(SidecarPath(imagePath), os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if _, err := f.WriteAt([]byte{0xff, 0x7f}, 4); err != nil {
+					t.Fatal(err)
+				}
+			},
+			alg: checksum.MD5,
+		},
+		"garbage sums trailing": {
+			corrupt: func(t *testing.T, _ *Store, imagePath string) {
+				f, err := os.OpenFile(SidecarPath(imagePath), os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if _, err := f.Write(make([]byte, 7)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			alg: checksum.MD5,
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			store, _ := saveOne(t, "vm0", 16)
+			tc.corrupt(t, store, store.ImagePath("vm0"))
+
+			dst := newVM(t, "vm0", 16, 9)
+			cp, err := store.Restore("vm0", tc.alg, dst)
+			if err != nil {
+				t.Fatalf("corrupt sidecar broke Restore: %v", err)
+			}
+			if cp.Sidecar() != SidecarFallback {
+				t.Errorf("Sidecar() = %v, want fallback", cp.Sidecar())
+			}
+			// The fallback must produce a correct index over the image as
+			// it is now: every installed page resolves by checksum.
+			for i := 0; i < dst.NumPages(); i++ {
+				if !cp.SumSet().Contains(dst.PageSum(i, tc.alg)) {
+					t.Fatalf("page %d missing from fallback index", i)
+				}
+			}
+			cp.Close()
+
+			// The fallback rewrote the sidecar: same algorithm hits now.
+			cp2, err := store.Restore("vm0", tc.alg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cp2.Close()
+			if cp2.Sidecar() != SidecarHit {
+				t.Errorf("post-fallback Sidecar() = %v, want hit", cp2.Sidecar())
+			}
+		})
+	}
+}
+
+// TestWarmOpenSkipsImageHashing proves the warm path does not rehash: with
+// a validated sidecar and no VM to install into, Open never reads image
+// content, so doctoring the image behind the sidecar's back goes unnoticed
+// (integrity remains the digest subsystem's job — see VerifyOnRestore).
+func TestWarmOpenSkipsImageHashing(t *testing.T) {
+	store, src := saveOne(t, "vm0", 16)
+	imagePath := store.ImagePath("vm0")
+	raw, err := os.ReadFile(imagePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		raw[i] ^= 0xff
+	}
+	// Same size, different content; sidecar and digest record are unchanged
+	// so the header still validates.
+	if err := os.WriteFile(imagePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := store.Restore("vm0", checksum.MD5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Sidecar() != SidecarHit {
+		t.Fatalf("Sidecar() = %v, want hit", cp.Sidecar())
+	}
+	// The announcement still reflects the original content: nothing was
+	// rehashed.
+	if !cp.SumSet().Contains(src.PageSum(0, checksum.MD5)) {
+		t.Error("warm open rehashed the image")
+	}
+}
+
+// TestConcurrentRemoveDuringRestore races Store.Remove against
+// Store.Restore. Either outcome is legal — a clean restore (possibly via
+// sidecar-miss fallback) or a not-found error — but never a wrong index, a
+// panic, or a data race.
+func TestConcurrentRemoveDuringRestore(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		store, _ := saveOne(t, "vm0", 32)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = store.Remove("vm0")
+		}()
+		go func() {
+			defer wg.Done()
+			cp, err := store.Restore("vm0", checksum.MD5, nil)
+			if err != nil {
+				// The image side of the race: acceptable.
+				return
+			}
+			defer cp.Close()
+			if cp.Pages() != 32 {
+				t.Errorf("raced restore produced %d pages, want 32", cp.Pages())
+			}
+			if cp.SumSet().Len() == 0 {
+				t.Error("raced restore produced an empty index")
+			}
+		}()
+		wg.Wait()
+	}
+}

@@ -24,6 +24,7 @@ type Store struct {
 	dir             string
 	quota           int64
 	verifyOnRestore bool
+	noSidecar       bool
 }
 
 // NewStore opens (creating if needed) a checkpoint store rooted at dir.
@@ -83,7 +84,8 @@ func (s *Store) Save(source *vm.VM) error {
 			return err
 		}
 	}
-	if err := Write(s.ImagePath(source.Name()), source); err != nil {
+	digest, err := writeImage(s.ImagePath(source.Name()), source)
+	if err != nil {
 		return err
 	}
 	gens := source.GenSnapshot()
@@ -94,8 +96,31 @@ func (s *Store) Save(source *vm.VM) error {
 	if err := os.WriteFile(s.genPath(source.Name()), raw, 0o644); err != nil {
 		return fmt.Errorf("checkpoint: write generations: %w", err)
 	}
-	return s.writeDigest(source.Name())
+	if !s.noSidecar {
+		// Persist the fingerprint sidecar so the next Restore warm-starts
+		// instead of rehashing the image. Hashing fans out across cores,
+		// same as the migration engine's checksum collection.
+		sums := pageSums(source, SidecarAlgorithm)
+		if err := writeSidecar(SidecarPath(s.ImagePath(source.Name())), SidecarAlgorithm,
+			source.MemBytes(), digest, len(sums), func(i int) checksum.Sum { return sums[i] }); err != nil {
+			return err
+		}
+	}
+	return s.writeDigestValue(source.Name(), digest)
 }
+
+// SidecarAlgorithm is the checksum algorithm Store.Save records in the
+// fingerprint sidecar. Restores requesting a different algorithm fall back
+// to the rescan path and rewrite the sidecar under the requested one.
+const SidecarAlgorithm = checksum.MD5
+
+// SetNoSidecar disables the fingerprint sidecar for this store: Save skips
+// writing it and Restore neither reads nor rewrites one. Escape hatch for
+// debugging and for hosts where the extra ~0.4 % of image size matters.
+func (s *Store) SetNoSidecar(on bool) { s.noSidecar = on }
+
+// NoSidecar reports whether the fingerprint sidecar is disabled.
+func (s *Store) NoSidecar() bool { return s.noSidecar }
 
 // Restore opens the named VM's checkpoint, installing its blocks into dst
 // (when non-nil) and returning the indexed handle for the merge phase.
@@ -105,7 +130,13 @@ func (s *Store) Restore(vmName string, alg checksum.Algorithm, dst *vm.VM) (*Che
 			return nil, err
 		}
 	}
-	cp, err := Open(s.ImagePath(vmName), alg, dst)
+	cfg := OpenConfig{NoSidecar: s.noSidecar}
+	if !s.noSidecar {
+		// Pin the sidecar to the image the integrity record describes: a
+		// string compare at load time replaces a full rehash.
+		cfg.ExpectedDigest = s.readDigest(vmName)
+	}
+	cp, err := OpenWith(s.ImagePath(vmName), alg, dst, cfg)
 	if err == nil {
 		s.touch(vmName)
 	}
@@ -129,9 +160,12 @@ func (s *Store) Generations(vmName string) (dirtytrack.GenVector, bool, error) {
 	return gens, true, nil
 }
 
-// Remove deletes the named VM's checkpoint and sidecar, if present.
+// Remove deletes the named VM's checkpoint and sidecars, if present. The
+// image goes first: a concurrent Restore that wins the race on the
+// fingerprint sidecar alone only pays a rescan fallback, never reads sums
+// for a different image.
 func (s *Store) Remove(vmName string) error {
-	for _, p := range []string{s.ImagePath(vmName), s.genPath(vmName), s.digestPath(vmName)} {
+	for _, p := range []string{s.ImagePath(vmName), SidecarPath(s.ImagePath(vmName)), s.genPath(vmName), s.digestPath(vmName)} {
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("checkpoint: remove %s: %w", p, err)
 		}

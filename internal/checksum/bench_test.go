@@ -35,6 +35,55 @@ func BenchmarkChecksumPage(b *testing.B) {
 	})
 }
 
+// BenchmarkAnnounceSize compares the v1 and compact (v2) announce frame
+// sizes and encode rates for two populations: uniform random sums (the MD5
+// worst case, near the sorted-entropy floor) and a realistic structured
+// image under FNV (where the byte-plane transpose collapses the fixed zero
+// half). Reported metrics: v1_bytes, v2_bytes, and v2_ratio (v2/v1).
+func BenchmarkAnnounceSize(b *testing.B) {
+	populations := []struct {
+		name string
+		st   *Set
+	}{
+		{"uniform-md5", func() *Set {
+			st := NewSet(1 << 14)
+			var s Sum
+			for i := 0; i < 1<<14; i++ {
+				// Fill with a cheap PRN so sums look like MD5 output.
+				x := uint64(i)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+				for j := 0; j < Size; j += 8 {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					for k := 0; k < 8; k++ {
+						s[j+k] = byte(x >> (8 * k))
+					}
+				}
+				st.Add(s)
+			}
+			return st
+		}()},
+		{"realistic-fnv", realisticImageSums(1 << 14)},
+	}
+	for _, p := range populations {
+		v1 := EncodedSize(p.st.Len())
+		b.Run(p.name, func(b *testing.B) {
+			var v2 int
+			for i := 0; i < b.N; i++ {
+				n, err := EncodeSetCompact(io.Discard, p.st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v2 = n
+			}
+			b.SetBytes(int64(v1))
+			b.ReportMetric(float64(v1), "v1_bytes")
+			b.ReportMetric(float64(v2), "v2_bytes")
+			b.ReportMetric(float64(v2)/float64(v1), "v2_ratio")
+		})
+	}
+}
+
 // BenchmarkEncodeSet measures the bulk hash-announcement encoding rate for
 // guest sizes matching Figure 6's x-axis (1–6 GiB at 4 KiB pages).
 func BenchmarkEncodeSet(b *testing.B) {

@@ -74,9 +74,16 @@ func (st *Set) Clone() *Set {
 
 // Sums returns the set's contents in unspecified order.
 func (st *Set) Sums() []Sum {
-	out := make([]Sum, 0, st.Len())
+	return st.AppendSums(make([]Sum, 0, st.Len()))
+}
+
+// AppendSums appends the set's contents to dst in unspecified order and
+// returns the extended slice. Callers on hot paths (the announce encoders)
+// pass a recycled scratch slice to avoid allocating 16 bytes per sum on
+// every announcement.
+func (st *Set) AppendSums(dst []Sum) []Sum {
 	for s := range st.m {
-		out = append(out, s)
+		dst = append(dst, s)
 	}
-	return out
+	return dst
 }

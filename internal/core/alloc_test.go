@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"runtime"
+	"testing"
+
+	"vecycle/internal/vm"
+)
+
+// scriptedPeer builds the exact byte sequence a baseline destination sends a
+// source: a positive hello-ack (no checkpoint, so no announcement) and the
+// final ack. Replaying it from memory lets a test run the full source engine
+// — pipeline, compression, round loop — with no peer goroutine, so memory
+// measurements see only the source's own allocations.
+func scriptedPeer(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeHelloAck(&buf, helloAck{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsgType(&buf, msgAck); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// migrationAllocBytes reports the average bytes allocated by one compressed
+// source migration at the given pipeline width, after warming the
+// process-wide pools.
+func migrationAllocBytes(t *testing.T, v *vm.VM, script []byte, workers int) uint64 {
+	t.Helper()
+	run := func() {
+		conn := readWriter{bytes.NewReader(script), io.Discard}
+		if _, err := MigrateSource(context.Background(), conn, v, SourceOptions{
+			Compress: true,
+			Workers:  workers,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const iters = 5
+	for i := 0; i < iters; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.TotalAlloc - before.TotalAlloc) / iters
+}
+
+// TestPipelineAllocCeiling pins the fix for the encoder-pool allocation
+// regression: runSourcePipeline used to build `workers` fresh
+// sourceEncoders — each owning a new deflate window of several hundred
+// KiB — every round, so a 4-worker migration allocated ~3× what a 1-worker
+// one did. Encoders are now created once per migration and their deflate
+// state is pooled process-wide; steady-state allocation must stay within a
+// fixed ceiling and must not scale with the worker count.
+func TestPipelineAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation skews allocation accounting")
+	}
+	const pages = 512 // 2 MiB guest, compressible: the deflate path stays hot
+	v, err := vm.New(vm.Config{Name: "alloc-vm", MemBytes: pages * vm.PageSize, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.FillCompressible(1.0); err != nil {
+		t.Fatal(err)
+	}
+	script := scriptedPeer(t)
+
+	one := migrationAllocBytes(t, v, script, 1)
+	four := migrationAllocBytes(t, v, script, 4)
+	t.Logf("steady-state alloc per migration: workers=1 %d B, workers=4 %d B", one, four)
+
+	// A single deflate window alone is ~600 KiB; the pre-fix 4-worker
+	// figure was several MiB per migration. Steady state with pooled
+	// encoders needs only batch bookkeeping and goroutine machinery.
+	const ceiling = 1 << 20 // 1 MiB
+	if four > ceiling {
+		t.Errorf("workers=4 allocates %d B per migration, want <= %d", four, ceiling)
+	}
+	// And width must not multiply allocations: allow generous slack for
+	// scheduling noise, but not the ~3x of the per-round rebuild.
+	if one > 0 && four > one*2+256<<10 {
+		t.Errorf("allocation scales with workers: %d B (w=1) -> %d B (w=4)", one, four)
+	}
+}

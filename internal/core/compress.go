@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"vecycle/internal/checksum"
 	"vecycle/internal/vm"
@@ -32,6 +33,26 @@ func newPageCompressor() (*pageCompressor, error) {
 	}
 	c.fw = fw
 	return c, nil
+}
+
+// compressorPool recycles pageCompressors across migrations and workers.
+// Each one owns a flate.Writer holding several hundred KiB of window and
+// hash-chain state — far too expensive to rebuild per round.
+var compressorPool sync.Pool
+
+func getPageCompressor() (*pageCompressor, error) {
+	if c, ok := compressorPool.Get().(*pageCompressor); ok {
+		return c, nil
+	}
+	return newPageCompressor()
+}
+
+func putPageCompressor(c *pageCompressor) {
+	if c == nil {
+		return
+	}
+	c.buf.Reset()
+	compressorPool.Put(c)
 }
 
 // compress deflates page. ok=false means the page did not shrink and the

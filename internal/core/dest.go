@@ -33,6 +33,10 @@ type DestOptions struct {
 	// round are disjoint frames and proceed unordered; round boundaries are
 	// barriers. Values below 1 keep the single-goroutine merge loop.
 	Workers int
+	// NoCompactAnnounce keeps the v1 announcement encoding even when the
+	// source advertised the compact-announce capability. For interop testing
+	// and as an escape hatch.
+	NoCompactAnnounce bool
 	// OnEvent, when non-nil, observes each protocol turn (hello, the
 	// announcement, round ends, done) for tracing. Emission never alters
 	// the wire stream.
@@ -176,6 +180,7 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	if cp != nil {
 		defer cp.Close()
 		res.UsedCheckpoint = true
+		opts.OnEvent.emit(Event{Kind: EventSidecar, Detail: cp.Sidecar().String()})
 	}
 
 	if opts.TrackIncoming {
@@ -183,18 +188,30 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	}
 
 	start := time.Now()
-	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil}); err != nil {
+	// The capability holds only when both ends opted in: the source's hello
+	// bit and our own configuration. The ack echoes the decision so the
+	// source knows which announcement encoding to expect.
+	useV2 := h.CompactAnnounce && !opts.NoCompactAnnounce
+	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil, CompactAnnounce: useV2}); err != nil {
 		return res, err
 	}
 	opts.OnEvent.emit(Event{Kind: EventHello, Pages: int64(h.PageCount),
 		Detail: fmt.Sprintf("have_checkpoint=%v", cp != nil)})
 	if cp != nil && !h.SkipAnnounce {
+		set := cp.SumSet()
 		before := s.cw.n + int64(w.Buffered())
-		if err := writeHashAnnounce(w, cp.SumSet()); err != nil {
+		if useV2 {
+			err = writeHashAnnounceV2(w, set)
+		} else {
+			err = writeHashAnnounce(w, set)
+		}
+		if err != nil {
 			return res, err
 		}
 		res.Metrics.AnnounceBytes = s.cw.n + int64(w.Buffered()) - before
-		opts.OnEvent.emit(Event{Kind: EventAnnounce, Bytes: res.Metrics.AnnounceBytes})
+		res.Metrics.AnnounceRawBytes = int64(checksum.EncodedSize(set.Len()))
+		opts.OnEvent.emit(Event{Kind: EventAnnounce, Bytes: res.Metrics.AnnounceBytes,
+			Pages: int64(set.Len())})
 	}
 	if err := flush(w); err != nil {
 		return res, err

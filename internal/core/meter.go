@@ -38,8 +38,14 @@ type Metrics struct {
 	// DeltaSavedBytes is the payload volume delta encoding avoided.
 	DeltaSavedBytes int64
 	// AnnounceBytes is the size of the bulk hash announcement (§3.2's
-	// "additional traffic", 16 MiB for a 4 GiB guest with MD5).
+	// "additional traffic", 16 MiB for a 4 GiB guest with MD5) as it
+	// crossed the wire — compacted when the v2 encoding was negotiated.
 	AnnounceBytes int64
+	// AnnounceRawBytes is what the same announcement would have cost in the
+	// v1 encoding (count + raw sums). AnnounceRawBytes - AnnounceBytes is
+	// the volume the compact encoding saved; equal (modulo framing) when v1
+	// was used.
+	AnnounceRawBytes int64
 	// Rounds is the number of pre-copy rounds, including the final
 	// stop-and-copy round.
 	Rounds int

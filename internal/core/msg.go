@@ -44,6 +44,10 @@ const (
 	msgAck                             // destination → source: merge complete, VM may resume
 	msgPageFullZ                       // source → destination: deflate-compressed page payload
 	msgPageDelta                       // source → destination: XBZRLE delta against the checkpoint frame
+	// msgHashAnnounceV2 replaces msgHashAnnounce when both ends negotiated
+	// the compact-announce capability in the hello exchange: same checksum
+	// set, delta-encoded and deflated (checksum.EncodeSetCompact).
+	msgHashAnnounceV2 // destination → source: compact checksum announcement
 )
 
 func (m msgType) String() string {
@@ -68,6 +72,8 @@ func (m msgType) String() string {
 		return "page-full-z"
 	case msgPageDelta:
 		return "page-delta"
+	case msgHashAnnounceV2:
+		return "hash-announce-v2"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(m))
 	}
@@ -89,6 +95,10 @@ type hello struct {
 	// PostCopy selects the post-copy protocol (manifest + demand fetch)
 	// instead of iterative pre-copy.
 	PostCopy bool
+	// CompactAnnounce advertises that the source can decode the compact
+	// (v2) hash announcement. Old peers ignore unknown flag bits, so the
+	// capability degrades silently to the v1 byte stream.
+	CompactAnnounce bool
 }
 
 // helloAck is the destination's response.
@@ -99,6 +109,10 @@ type helloAck struct {
 	// HaveCheckpoint reports whether a checkpoint was found and loaded; a
 	// recycle-mode migration degrades to a full first round otherwise.
 	HaveCheckpoint bool
+	// CompactAnnounce confirms the destination will ship its announcement
+	// in the compact (v2) frame. Only set when the source advertised the
+	// capability in its hello.
+	CompactAnnounce bool
 }
 
 const maxNameLen = 1024
@@ -138,6 +152,9 @@ func writeHello(w io.Writer, h hello) error {
 	}
 	if h.PostCopy {
 		flags |= 4
+	}
+	if h.CompactAnnounce {
+		flags |= 8
 	}
 	fields := []interface{}{
 		h.Version,
@@ -189,6 +206,7 @@ func readHello(r io.Reader) (hello, error) {
 	h.Recycle = flags&1 != 0
 	h.SkipAnnounce = flags&2 != 0
 	h.PostCopy = flags&4 != 0
+	h.CompactAnnounce = flags&8 != 0
 	return h, nil
 }
 
@@ -202,6 +220,9 @@ func writeHelloAck(w io.Writer, a helloAck) error {
 	}
 	if a.HaveCheckpoint {
 		flags |= 2
+	}
+	if a.CompactAnnounce {
+		flags |= 4
 	}
 	if len(a.Reason) > maxNameLen {
 		a.Reason = a.Reason[:maxNameLen]
@@ -227,6 +248,7 @@ func readHelloAck(r io.Reader) (helloAck, error) {
 	}
 	a.OK = flags&1 != 0
 	a.HaveCheckpoint = flags&2 != 0
+	a.CompactAnnounce = flags&4 != 0
 	var n uint16
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return a, fmt.Errorf("core: read hello-ack reason length: %w", err)
@@ -252,6 +274,21 @@ func writeHashAnnounce(w io.Writer, set *checksum.Set) error {
 // readHashAnnounce parses the bulk checksum set after the tag byte.
 func readHashAnnounce(r io.Reader) (*checksum.Set, error) {
 	return checksum.DecodeSet(r)
+}
+
+// writeHashAnnounceV2 emits the compact announcement; only sent after both
+// ends negotiated the capability in the hello exchange.
+func writeHashAnnounceV2(w io.Writer, set *checksum.Set) error {
+	if err := writeMsgType(w, msgHashAnnounceV2); err != nil {
+		return err
+	}
+	_, err := checksum.EncodeSetCompact(w, set)
+	return err
+}
+
+// readHashAnnounceV2 parses the compact checksum set after the tag byte.
+func readHashAnnounceV2(r io.Reader) (*checksum.Set, error) {
+	return checksum.DecodeSetCompact(r)
 }
 
 // pageHeader is shared by msgPageSum and msgPageFull: the page number and

@@ -14,8 +14,15 @@ const (
 	EventHello = "hello"
 	// EventAnnounce: the bulk checksum announcement crossed the wire
 	// (sent on the destination, received on the source). Bytes is its
-	// size.
+	// size as encoded (compact when negotiated); Pages the number of
+	// checksums announced, from which the pre-compaction v1 size follows
+	// (checksum.EncodedSize).
 	EventAnnounce = "announce"
+	// EventSidecar: the destination restored its checkpoint and consulted
+	// the fingerprint sidecar. Detail is the outcome: "hit" (index loaded
+	// from the sidecar), "miss" (no sidecar; image rehashed), "fallback"
+	// (sidecar invalid; image rehashed), or "disabled".
+	EventSidecar = "sidecar"
 	// EventRound: one pre-copy round completed. Round is the 1-based
 	// round number, Pages the pages streamed (source) or observed dirty
 	// (per the round-end frame), Bytes the wire volume of the round as

@@ -115,7 +115,6 @@ func (s *pipelineStats) stageMetrics() StageMetrics {
 type encoderConfig struct {
 	alg      checksum.Algorithm
 	destSums *checksum.Set // nil: no redundancy elimination
-	base     PageProvider  // nil: no delta encoding (rounds >= 2, baseline)
 	compress bool
 }
 
@@ -132,13 +131,23 @@ type sourceEncoder struct {
 func newSourceEncoder(cfg encoderConfig) (*sourceEncoder, error) {
 	e := &sourceEncoder{alg: cfg.alg, destSums: cfg.destSums}
 	if cfg.compress {
-		c, err := newPageCompressor()
+		c, err := getPageCompressor()
 		if err != nil {
 			return nil, err
 		}
 		e.comp = c
 	}
 	return e, nil
+}
+
+// release returns the encoder's pooled resources; the encoder must not be
+// used afterwards. Safe on nil.
+func (e *sourceEncoder) release() {
+	if e == nil {
+		return
+	}
+	putPageCompressor(e.comp)
+	e.comp = nil
 }
 
 // encodePage emits the wire frame for one page: a bare checksum when the
@@ -199,26 +208,22 @@ func (e *sourceEncoder) tryDelta(w io.Writer, base PageProvider, page uint64, su
 }
 
 // runSourcePipeline streams the pages of one round through the three-stage
-// pipeline: a reader filling batches, `workers` encoders, and the in-order
-// emitter (the calling goroutine) writing to w.
+// pipeline: a reader filling batches, one encoder goroutine per entry of
+// encs, and the in-order emitter (the calling goroutine) writing to w. The
+// encoders are created once per migration by the caller and reused across
+// rounds: each may own a pooled deflate encoder plus delta scratch, which
+// used to be rebuilt every round and dominated the engine's allocations.
 //
 // Error propagation: any stage error cancels the pipeline context; the
 // reader stops producing, workers fail remaining queued batches without
 // encoding them, and the emitter drains the ordered queue before returning
 // the first error — no goroutine outlives the call. Cancellation of ctx is
 // observed the same way (the caller's conn watcher unblocks a stuck write).
-func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq, workers int, cfg encoderConfig, m *Metrics) error {
+func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq, encs []*sourceEncoder, base PageProvider, m *Metrics) error {
 	n := pages.len()
+	workers := len(encs)
 	if n == 0 {
 		return ctx.Err()
-	}
-	encs := make([]*sourceEncoder, workers)
-	for i := range encs {
-		e, err := newSourceEncoder(cfg)
-		if err != nil {
-			return err
-		}
-		encs[i] = e
 	}
 
 	pctx, cancel := context.WithCancel(ctx)
@@ -282,7 +287,7 @@ func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq
 					continue
 				}
 				t0 := time.Now()
-				err := encodeBatch(enc, cfg.base, b)
+				err := encodeBatch(enc, base, b)
 				stats.workerBusy.Add(int64(time.Since(t0)))
 				if err != nil {
 					b.fail(err)

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-accounting tests skip themselves under it: instrumentation
+// adds per-allocation overhead that breaks absolute byte ceilings.
+const raceEnabled = true

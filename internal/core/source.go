@@ -45,6 +45,10 @@ type SourceOptions struct {
 	// optimization, combinable with checkpoint recycling). Pages that do
 	// not shrink are sent raw.
 	Compress bool
+	// NoCompactAnnounce withholds the compact-announce capability from the
+	// hello, forcing the destination to use the v1 announcement encoding.
+	// For interop testing and as an escape hatch.
+	NoCompactAnnounce bool
 	// Workers sizes the source pipeline: page reads, per-page encoding
 	// (checksum + compression + delta), and wire emission run as concurrent
 	// stages, with Workers goroutines in the encode stage — §3.4's remedy
@@ -163,6 +167,10 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		Alg:          opts.Alg,
 		Recycle:      opts.Recycle,
 		SkipAnnounce: opts.Recycle && opts.KnownDestSums != nil,
+		// Capability, not a demand: the destination answers with its own
+		// compact-announce bit and only then may use the v2 encoding. Old
+		// destinations ignore the flag bit entirely.
+		CompactAnnounce: !opts.NoCompactAnnounce,
 	}
 	if err := writeHello(w, h); err != nil {
 		return m, err
@@ -201,16 +209,25 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		if err != nil {
 			return m, err
 		}
-		if t != msgHashAnnounce {
+		before := cr.n
+		switch t {
+		case msgHashAnnounce:
+			destSums, err = readHashAnnounce(r)
+		case msgHashAnnounceV2:
+			if !h.CompactAnnounce || !ack.CompactAnnounce {
+				return m, fmt.Errorf("%w: compact announce without negotiation", ErrProtocol)
+			}
+			destSums, err = readHashAnnounceV2(r)
+		default:
 			return m, fmt.Errorf("%w: expected hash-announce, got %v", ErrProtocol, t)
 		}
-		before := cr.n
-		destSums, err = readHashAnnounce(r)
 		if err != nil {
 			return m, err
 		}
 		m.AnnounceBytes = cr.n - before
-		opts.OnEvent.emit(Event{Kind: EventAnnounce, Bytes: m.AnnounceBytes})
+		m.AnnounceRawBytes = int64(checksum.EncodedSize(destSums.Len()))
+		opts.OnEvent.emit(Event{Kind: EventAnnounce, Bytes: m.AnnounceBytes,
+			Pages: int64(destSums.Len())})
 	}
 
 	// Delta encoding is only sound when the destination actually
@@ -219,13 +236,31 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		opts.DeltaBase = nil
 	}
 
+	// Encoders are created once per migration — not per round — and their
+	// deflate state comes from a process-wide pool, so an N-worker migration
+	// no longer allocates N fresh compressor windows every round.
 	cfg := encoderConfig{alg: opts.Alg, destSums: destSums, compress: opts.Compress}
 	workers := opts.workers()
 	var seqEnc *sourceEncoder
+	var encs []*sourceEncoder
+	defer func() {
+		seqEnc.release()
+		for _, e := range encs {
+			e.release()
+		}
+	}()
 	if workers == 0 {
 		seqEnc, err = newSourceEncoder(cfg)
 		if err != nil {
 			return m, err
+		}
+	} else {
+		for i := 0; i < workers; i++ {
+			e, err := newSourceEncoder(cfg)
+			if err != nil {
+				return m, err
+			}
+			encs = append(encs, e)
 		}
 	}
 	// stream sends one round's pages: through the staged pipeline when
@@ -233,9 +268,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	// identical bytes; base (delta encoding) is set in round one only.
 	stream := func(pages pageSeq, base PageProvider) error {
 		if workers >= 1 {
-			rcfg := cfg
-			rcfg.base = base
-			return runSourcePipeline(ctx, w, v, pages, workers, rcfg, &m)
+			return runSourcePipeline(ctx, w, v, pages, encs, base, &m)
 		}
 		return sendSequential(ctx, w, v, pages, seqEnc, base, &m)
 	}

@@ -95,6 +95,11 @@ type Host struct {
 	// 1 keep the sequential merge loop.
 	Workers int
 
+	// NoCompactAnnounce keeps incoming migrations on the v1 announcement
+	// encoding even when the source advertises the compact-announce
+	// capability (core.DestOptions.NoCompactAnnounce).
+	NoCompactAnnounce bool
+
 	// DialFunc, when non-nil, replaces outbound connection establishment —
 	// the seam the fault-injection tests use to interpose a
 	// core.FaultConn. nil dials TCP with dialTimeout.
@@ -130,6 +135,11 @@ func (h *Host) Name() string { return h.name }
 
 // Store exposes the host's checkpoint store.
 func (h *Host) Store() *checkpoint.Store { return h.store }
+
+// SetNoSidecar disables fingerprint sidecars in the host's checkpoint
+// store: Save stops writing them and Restore rehashes the image instead of
+// consulting one. The warm-start escape hatch behind the -no-sidecar flag.
+func (h *Host) SetNoSidecar(on bool) { h.store.SetNoSidecar(on) }
 
 // AddVM places a VM on this host (initial placement, not migration).
 func (h *Host) AddVM(v *vm.VM) {
@@ -330,10 +340,11 @@ func (h *Host) runIncoming(ctx context.Context, session *core.IncomingSession, r
 		return core.DestResult{}, session.Reject(err.Error())
 	}
 	res, err := session.Run(ctx, dst, core.DestOptions{
-		Store:         h.store,
-		TrackIncoming: true,
-		Workers:       h.Workers,
-		OnEvent:       h.obs.eventFunc(rec, "dest"),
+		Store:             h.store,
+		TrackIncoming:     true,
+		Workers:           h.Workers,
+		NoCompactAnnounce: h.NoCompactAnnounce,
+		OnEvent:           h.obs.eventFunc(rec, "dest"),
 	})
 	if err != nil {
 		return res, err
@@ -590,6 +601,10 @@ type MigrateOptions struct {
 	// reads, per-page encoding, and wire emission overlap, with this many
 	// encode workers. Values below 1 keep the sequential engine.
 	Workers int
+	// NoCompactAnnounce withholds the compact-announce capability from the
+	// hello (core.SourceOptions.NoCompactAnnounce), pinning the v1
+	// announcement encoding.
+	NoCompactAnnounce bool
 	// ChecksumWorkers is the deprecated name for Workers
 	// (core.SourceOptions.ChecksumWorkers); consulted only when Workers is 0.
 	ChecksumWorkers int
@@ -659,6 +674,8 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 		}
 		defer cp.Close()
 		deltaBase = cp
+		h.obs.sidecar.With(h.name, cp.Sidecar().String()).Inc()
+		rec.Event(obs.Event{Kind: core.EventSidecar, Detail: cp.Sidecar().String()})
 	}
 
 	idle := h.migrationIdle(opts.IdleTimeout)
@@ -694,17 +711,18 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 		}
 		defer conn.Close()
 		return core.MigrateSource(ctx, core.NewDeadlineConn(conn, idle), v, core.SourceOptions{
-			Recycle:         opts.Recycle,
-			KnownDestSums:   known,
-			DeltaBase:       base,
-			Compress:        opts.Compress,
-			Workers:         opts.Workers,
-			ChecksumWorkers: opts.ChecksumWorkers,
-			MaxRounds:       opts.MaxRounds,
-			StopThreshold:   opts.StopThreshold,
-			Pause:           opts.Pause,
-			Resume:          opts.Resume,
-			OnEvent:         h.obs.eventFunc(rec, "source"),
+			Recycle:           opts.Recycle,
+			KnownDestSums:     known,
+			DeltaBase:         base,
+			Compress:          opts.Compress,
+			Workers:           opts.Workers,
+			ChecksumWorkers:   opts.ChecksumWorkers,
+			MaxRounds:         opts.MaxRounds,
+			StopThreshold:     opts.StopThreshold,
+			NoCompactAnnounce: opts.NoCompactAnnounce,
+			Pause:             opts.Pause,
+			Resume:            opts.Resume,
+			OnEvent:           h.obs.eventFunc(rec, "source"),
 		})
 	}
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"vecycle/internal/checksum"
 	"vecycle/internal/core"
 	"vecycle/internal/obs"
 )
@@ -45,22 +46,24 @@ type hostObs struct {
 	reg    *obs.Registry
 	traces *obs.TraceLog
 
-	migrations *obs.CounterVec   // vecycle_migrations_total{host,role,outcome}
-	active     *obs.GaugeVec     // vecycle_migrations_active{host,role}
-	duration   *obs.HistogramVec // vecycle_migration_duration_seconds{host,role}
-	downtime   *obs.HistogramVec // vecycle_migration_downtime_seconds{host}
-	roundBytes *obs.HistogramVec // vecycle_migration_round_bytes{host,role}
-	bytes      *obs.CounterVec   // vecycle_migration_bytes_total{host,role,direction}
-	pages      *obs.CounterVec   // vecycle_migration_pages_total{host,kind}
-	rounds     *obs.CounterVec   // vecycle_migration_rounds_total{host}
-	announce   *obs.CounterVec   // vecycle_announce_bytes_total{host}
-	retries    *obs.CounterVec   // vecycle_migration_retries_total{host}
-	fallbacks  *obs.CounterVec   // vecycle_delta_fallbacks_total{host}
-	stage      *obs.CounterVec   // vecycle_stage_seconds_total{host,stage,state}
-	vmTotal    *obs.CounterVec   // vecycle_vm_migrations_total{host,vm,role}
-	vmLast     *obs.GaugeVec     // vecycle_vm_last_migration_seconds{host,vm}
-	resume     *obs.HistogramVec // vecycle_postcopy_resume_delay_seconds{host,role}
-	fetched    *obs.CounterVec   // vecycle_postcopy_pages_fetched_total{host}
+	migrations  *obs.CounterVec   // vecycle_migrations_total{host,role,outcome}
+	active      *obs.GaugeVec     // vecycle_migrations_active{host,role}
+	duration    *obs.HistogramVec // vecycle_migration_duration_seconds{host,role}
+	downtime    *obs.HistogramVec // vecycle_migration_downtime_seconds{host}
+	roundBytes  *obs.HistogramVec // vecycle_migration_round_bytes{host,role}
+	bytes       *obs.CounterVec   // vecycle_migration_bytes_total{host,role,direction}
+	pages       *obs.CounterVec   // vecycle_migration_pages_total{host,kind}
+	rounds      *obs.CounterVec   // vecycle_migration_rounds_total{host}
+	announce    *obs.CounterVec   // vecycle_announce_bytes_total{host}
+	announceRaw *obs.CounterVec   // vecycle_announce_raw_bytes_total{host}
+	sidecar     *obs.CounterVec   // vecycle_sidecar_total{host,outcome}
+	retries     *obs.CounterVec   // vecycle_migration_retries_total{host}
+	fallbacks   *obs.CounterVec   // vecycle_delta_fallbacks_total{host}
+	stage       *obs.CounterVec   // vecycle_stage_seconds_total{host,stage,state}
+	vmTotal     *obs.CounterVec   // vecycle_vm_migrations_total{host,vm,role}
+	vmLast      *obs.GaugeVec     // vecycle_vm_last_migration_seconds{host,vm}
+	resume      *obs.HistogramVec // vecycle_postcopy_resume_delay_seconds{host,role}
+	fetched     *obs.CounterVec   // vecycle_postcopy_pages_fetched_total{host}
 }
 
 // newHostObs registers (or re-attaches to) every vecycle metric family in
@@ -97,6 +100,12 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		announce: reg.CounterVec("vecycle_announce_bytes_total",
 			"Bulk checksum-announcement traffic (the paper's 'additional traffic', §3.2).",
 			"host"),
+		announceRaw: reg.CounterVec("vecycle_announce_raw_bytes_total",
+			"What announcements would have cost in the v1 encoding; minus vecycle_announce_bytes_total this is the compact-announce saving.",
+			"host"),
+		sidecar: reg.CounterVec("vecycle_sidecar_total",
+			"Checkpoint fingerprint-sidecar consultations by outcome (hit, miss, fallback, disabled).",
+			"host", "outcome"),
 		retries: reg.CounterVec("vecycle_migration_retries_total",
 			"Outgoing migration attempts re-run after transient transport failures.",
 			"host"),
@@ -178,6 +187,9 @@ func (o *hostObs) eventFunc(rec *obs.Recorder, role string) core.EventFunc {
 			o.rounds.With(o.host).Inc()
 		case core.EventAnnounce:
 			o.announce.With(o.host).Add(float64(e.Bytes))
+			o.announceRaw.With(o.host).Add(float64(checksum.EncodedSize(int(e.Pages))))
+		case core.EventSidecar:
+			o.sidecar.With(o.host, e.Detail).Inc()
 		case core.EventPause:
 			pausedAt = time.Now()
 		case core.EventResume:
