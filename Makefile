@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-pipeline bench bench-smoke docs ci
+.PHONY: build test vet race race-pipeline bench bench-smoke chaos-smoke docs ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# chaos-smoke is the resumability gate: the deterministic fault-schedule
+# harness kills one migration at every protocol turn and asserts the retry
+# chain converges on salvage checkpoints (plus the engine-level
+# salvage/resume contract tests), under the race detector.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos' ./internal/sched/
+	$(GO) test -race -run 'TestSalvage|TestPartialSkipped|TestKillPointMatrix|TestTornImage' ./internal/core/ ./internal/checkpoint/
+
 # docs is the documentation gate: every exported identifier in the
 # operator-facing packages must carry a doc comment, and every relative
 # markdown link in README/docs must resolve (tools/lintdocs).
@@ -42,5 +50,6 @@ docs:
 
 # ci is the gate for every change: static analysis, the docs gate, the
 # full suite under the race detector (which includes the pipeline tests),
-# and a single-iteration pass over every benchmark.
-ci: vet docs race race-pipeline bench-smoke
+# the chaos/resumability gate, and a single-iteration pass over every
+# benchmark.
+ci: vet docs race race-pipeline chaos-smoke bench-smoke

@@ -23,6 +23,7 @@ func runDest(args []string) error {
 		workers   = fs.Int("workers", 0, "pipelined merge workers for incoming migrations (<1 = sequential)")
 		noSidecar = fs.Bool("no-sidecar", false, "disable checkpoint fingerprint sidecars (always rehash images on restore)")
 		noCompact = fs.Bool("no-compact-announce", false, "keep the v1 announcement encoding even when the peer supports compaction")
+		noSalvage = fs.Bool("no-salvage", false, "discard partially-installed pages on failed incoming migrations instead of persisting a salvage checkpoint")
 		opsAddr   = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
 		traceOut  = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
@@ -39,6 +40,7 @@ func runDest(args []string) error {
 	host.Workers = *workers
 	host.SetNoSidecar(*noSidecar)
 	host.NoCompactAnnounce = *noCompact
+	host.NoSalvage = *noSalvage
 	if err := startOps(host, *opsAddr); err != nil {
 		return err
 	}

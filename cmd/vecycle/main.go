@@ -16,6 +16,12 @@
 //	    back and forth, printing the per-migration traffic shrinking as
 //	    checkpoints accumulate.
 //
+//	vecycle store ls -store /var/lib/vecycle
+//	vecycle store scrub -store /var/lib/vecycle
+//	    Inspect a checkpoint store (entry state — complete, partial salvage,
+//	    quarantined — plus sidecar status) or run the crash-recovery scan on
+//	    demand; scrub exits non-zero while quarantined entries remain.
+//
 // The source, dest and fleet subcommands take -ops-addr to serve live
 // metrics and migration traces over HTTP (/metrics in Prometheus text
 // format, /debug/migrations, /debug/pprof) and -trace-out to export the
@@ -38,7 +44,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: vecycle <demo|fleet|source|dest> [flags]")
+		return fmt.Errorf("usage: vecycle <demo|fleet|source|dest|store> [flags]")
 	}
 	switch args[0] {
 	case "demo":
@@ -49,8 +55,10 @@ func run(args []string) error {
 		return runDest(args[1:])
 	case "fleet":
 		return runFleet(args[1:])
+	case "store":
+		return runStore(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want demo, fleet, source or dest)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want demo, fleet, source, dest or store)", args[0])
 	}
 }
 

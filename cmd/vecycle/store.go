@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"vecycle/internal/checkpoint"
+)
+
+// runStore inspects and repairs a checkpoint store directory:
+//
+//	vecycle store ls    -store DIR   list entries with state and sidecar status
+//	vecycle store scrub -store DIR   run the recovery scan and report findings
+//
+// Opening the store already runs the startup recovery scan (orphaned temp
+// files deleted, legacy images adopted, torn images quarantined); ls shows
+// its outcome, scrub reports it explicitly.
+func runStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: vecycle store <ls|scrub> -store DIR")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("vecycle store "+sub, flag.ContinueOnError)
+	dir := fs.String("store", "", "checkpoint store directory (required)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	st, err := checkpoint.NewStore(*dir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "ls":
+		return storeLs(st)
+	case "scrub":
+		return storeScrub(st)
+	default:
+		return fmt.Errorf("unknown store subcommand %q (want ls or scrub)", sub)
+	}
+}
+
+// storeLs prints one line per entry: partial (salvage) and quarantined
+// entries are first-class states, not hidden files.
+func storeLs(st *checkpoint.Store) error {
+	entries, err := st.Entries()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("store is empty")
+		return nil
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tSTATE\tSIZE\tSIDECAR\tDIGEST\tREASON")
+	for _, e := range entries {
+		sidecar := "no"
+		if e.HasSidecar {
+			sidecar = "yes"
+		}
+		digest := e.Digest
+		if len(digest) > 12 {
+			digest = digest[:12]
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\n",
+			e.Name, e.State, e.Size, sidecar, digest, e.Reason)
+	}
+	return w.Flush()
+}
+
+// storeScrub re-runs the recovery scan and reports what it found.
+func storeScrub(st *checkpoint.Store) error {
+	rep, err := st.Scrub()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scrub: %d entries checked\n", rep.Checked)
+	report := func(label string, names []string) {
+		if len(names) > 0 {
+			fmt.Printf("  %s: %s\n", label, strings.Join(names, ", "))
+		}
+	}
+	report("adopted", rep.Adopted)
+	report("quarantined", rep.Quarantined)
+	report("dropped (image vanished)", rep.Dropped)
+	report("temp files removed", rep.TempFiles)
+	// Exit non-zero while any entry (newly or previously caught) remains
+	// quarantined, so the command doubles as a health check.
+	entries, err := st.Entries()
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, e := range entries {
+		if e.State == checkpoint.EntryQuarantined {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("store holds %d quarantined entries", bad)
+	}
+	return nil
+}

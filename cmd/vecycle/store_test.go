@@ -1,0 +1,134 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"vecycle/internal/checkpoint"
+	"vecycle/internal/vm"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// seedStore builds a store with one complete entry, one partial (salvage)
+// entry, and one entry whose image is torn after the fact.
+func seedStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, seed int64) *vm.VM {
+		v, err := vm.New(vm.Config{Name: name, MemBytes: 16 * vm.PageSize, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.FillRandom(1.0); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if err := st.Save(mk("good", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSalvage(mk("part", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(mk("rot", 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear rot's image behind the store's back; the next open quarantines it.
+	img := st.ImagePath("rot")
+	f, err := os.OpenFile(img, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, 4096); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return dir
+}
+
+func TestStoreLs(t *testing.T) {
+	dir := seedStore(t)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"store", "ls", "-store", dir})
+	})
+	if err != nil {
+		t.Fatalf("store ls: %v\n%s", err, out)
+	}
+	for _, want := range []string{"NAME", "good", "complete", "part", "partial", "rot", "quarantined", "digest mismatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ls output missing %q:\n%s", want, out)
+		}
+	}
+	// The complete and partial entries carry sidecars; the listing says so.
+	if !strings.Contains(out, "yes") {
+		t.Errorf("ls output reports no sidecars:\n%s", out)
+	}
+}
+
+func TestStoreScrub(t *testing.T) {
+	dir := seedStore(t)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"store", "scrub", "-store", dir})
+	})
+	if err == nil {
+		t.Fatalf("scrub of a store with a torn image exited clean:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Errorf("scrub error = %v, want it to mention quarantine", err)
+	}
+	if !strings.Contains(out, "entries checked") {
+		t.Errorf("scrub output missing the checked count:\n%s", out)
+	}
+
+	// Remove the torn entry; a re-scrub is then healthy.
+	st, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("rot"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = captureStdout(t, func() error {
+		return run([]string{"store", "scrub", "-store", dir})
+	})
+	if err != nil {
+		t.Fatalf("scrub of a healthy store failed: %v\n%s", err, out)
+	}
+}
+
+func TestStoreUsageErrors(t *testing.T) {
+	if err := run([]string{"store"}); err == nil {
+		t.Error("store without subcommand accepted")
+	}
+	if err := run([]string{"store", "bogus", "-store", t.TempDir()}); err == nil {
+		t.Error("unknown store subcommand accepted")
+	}
+	if err := run([]string{"store", "ls"}); err == nil {
+		t.Error("store ls without -store accepted")
+	}
+}

@@ -29,7 +29,9 @@ func BenchmarkOpen(b *testing.B) {
 		b.Fatal(err)
 	}
 	path := store.ImagePath("bench")
-	digest := store.readDigest("bench")
+	store.mu.Lock()
+	digest := store.readDigestLocked("bench")
+	store.mu.Unlock()
 
 	b.Run("cold", func(b *testing.B) {
 		b.SetBytes(pages * vm.PageSize)

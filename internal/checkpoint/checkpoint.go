@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -80,14 +81,20 @@ func Write(path string, source *vm.VM) error {
 // writeImage streams the VM's memory to path and returns the hex SHA-256 of
 // the written bytes, computed in the same pass — the store's integrity
 // record and sidecar digest come for free instead of re-reading the image.
+// The image lands via tmp+fsync+rename+dir-fsync, so a crash mid-write
+// leaves the previous image intact, never a torn one under the final name.
 func writeImage(path string, source *vm.VM) (digest string, err error) {
-	f, err := os.Create(path)
+	tmp := path + tmpSuffix
+	f, err := os.Create(tmp)
 	if err != nil {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}
 	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("checkpoint: close %s: %w", path, cerr)
+		if err != nil {
+			f.Close()
+			if !killed(err) {
+				os.Remove(tmp)
+			}
 		}
 	}()
 	h := sha256.New()
@@ -95,12 +102,33 @@ func writeImage(path string, source *vm.VM) (digest string, err error) {
 	buf := make([]byte, vm.PageSize)
 	for i := 0; i < source.NumPages(); i++ {
 		source.ReadPage(i, buf)
-		if _, err := bw.Write(buf); err != nil {
+		if _, err = bw.Write(buf); err != nil {
 			return "", fmt.Errorf("checkpoint: write page %d: %w", i, err)
 		}
 	}
-	if err := bw.Flush(); err != nil {
+	if err = bw.Flush(); err != nil {
 		return "", fmt.Errorf("checkpoint: flush: %w", err)
+	}
+	if err = kill("image-written"); err != nil {
+		return "", err
+	}
+	if err = f.Sync(); err != nil {
+		return "", fmt.Errorf("checkpoint: sync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return "", fmt.Errorf("checkpoint: close %s: %w", tmp, err)
+	}
+	if err = kill("image-synced"); err != nil {
+		return "", err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("checkpoint: rename %s: %w", tmp, err)
+	}
+	if err = kill("image-renamed"); err != nil {
+		return "", err
+	}
+	if err = syncDir(filepath.Dir(path)); err != nil {
+		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -15,25 +15,22 @@ import (
 // media corruption would otherwise surface only as a hard protocol error
 // mid-migration, or — with an unlucky flip in a reused block — not at all
 // on the unverified fast path. Save therefore records a whole-image
-// SHA-256 alongside each image, and Verify (or Restore, via the store's
-// VerifyOnRestore knob) replays it.
+// SHA-256 in the store manifest (hashed in the same pass as the write),
+// the startup recovery scan replays it against the disk, and Verify (or
+// Restore, via the store's VerifyOnRestore knob) re-checks it on demand.
+// Pre-manifest stores recorded the digest in a <image>.sha256 file, read
+// here as a fallback until the recovery scan adopts the entry.
 
 func (s *Store) digestPath(vmName string) string {
 	return s.ImagePath(vmName) + ".sha256"
 }
 
-// writeDigestValue records a digest computed while the image was written —
-// Save hashes in the same pass as the write, so no re-read happens here.
-func (s *Store) writeDigestValue(vmName, sum string) error {
-	if err := os.WriteFile(s.digestPath(vmName), []byte(sum+"\n"), 0o644); err != nil {
-		return fmt.Errorf("checkpoint: write digest: %w", err)
+// readDigestLocked returns the recorded image digest — manifest first,
+// legacy .sha256 file second — or "" when none exists.
+func (s *Store) readDigestLocked(vmName string) string {
+	if e, ok := s.man.Entries[sanitize(vmName)]; ok && e.Digest != "" {
+		return e.Digest
 	}
-	return nil
-}
-
-// readDigest returns the recorded image digest, or "" when none exists (an
-// image from an older store, or a raced Remove).
-func (s *Store) readDigest(vmName string) string {
 	raw, err := os.ReadFile(s.digestPath(vmName))
 	if err != nil {
 		return ""
@@ -42,17 +39,14 @@ func (s *Store) readDigest(vmName string) string {
 }
 
 // Verify re-hashes the named VM's image and compares it with the recorded
-// digest. A missing digest sidecar (images from older stores) verifies
-// trivially.
+// digest. An entry with no recorded digest verifies trivially.
 func (s *Store) Verify(vmName string) error {
-	raw, err := os.ReadFile(s.digestPath(vmName))
-	if os.IsNotExist(err) {
+	s.mu.Lock()
+	want := s.readDigestLocked(vmName)
+	s.mu.Unlock()
+	if want == "" {
 		return nil
 	}
-	if err != nil {
-		return fmt.Errorf("checkpoint: read digest: %w", err)
-	}
-	want := strings.TrimSpace(string(raw))
 	got, err := hashFile(s.ImagePath(vmName))
 	if err != nil {
 		return err

@@ -35,14 +35,22 @@ func TestVerifyDetectsBitRot(t *testing.T) {
 	}
 }
 
-func TestVerifyMissingSidecarTrivial(t *testing.T) {
+func TestVerifyMissingDigestTrivial(t *testing.T) {
 	s := quotaStore(t)
 	saveVM(t, s, "a", 4)
-	if err := os.Remove(s.digestPath("a")); err != nil {
+	// Forget the recorded digest (an entry adopted from a store predating
+	// both the manifest and the legacy .sha256 record).
+	s.mu.Lock()
+	e := s.man.Entries["a"]
+	e.Digest = ""
+	s.man.Entries["a"] = e
+	err := s.commitManifestLocked()
+	s.mu.Unlock()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Verify("a"); err != nil {
-		t.Errorf("missing sidecar should verify trivially: %v", err)
+		t.Errorf("missing digest should verify trivially: %v", err)
 	}
 }
 

@@ -1,0 +1,177 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The store manifest. The image, sidecar and generation files are each
+// written atomically, but a checkpoint is only coherent when they agree —
+// and a crash can land between any two of them. The manifest is the single
+// commit point: a small versioned JSON file, rewritten atomically as the
+// LAST step of every Save/SaveSalvage/Remove, recording each entry's state
+// and the digest of the image those states describe. Any crash earlier in
+// the sequence leaves the manifest describing the previous transaction, so
+// the startup recovery scan sees a digest that no longer matches the bytes
+// on disk and quarantines the entry instead of serving it.
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+)
+
+// EntryState is the lifecycle state of a store entry, as recorded in the
+// manifest.
+type EntryState string
+
+const (
+	// EntryComplete is a fully written checkpoint: a coherent image of the
+	// whole guest, eligible for bootstrap, delta bases and generations.
+	EntryComplete EntryState = "complete"
+	// EntryPartial is a salvage checkpoint: pages installed by an
+	// interrupted incoming migration, persisted so the next attempt's hash
+	// announcement resends only what is missing. Served for announce-driven
+	// bootstrap, never as a delta base or generation source.
+	EntryPartial EntryState = "partial"
+	// EntryQuarantined marks an entry whose image failed its digest check
+	// (torn write, bit rot). The files are kept for forensics but the store
+	// refuses to serve them.
+	EntryQuarantined EntryState = "quarantined"
+)
+
+// manifestEntry is one entry's durable record.
+type manifestEntry struct {
+	State  EntryState `json:"state"`
+	Digest string     `json:"digest,omitempty"` // hex SHA-256 of the image
+	Size   int64      `json:"size"`
+	Reason string     `json:"reason,omitempty"` // why quarantined
+}
+
+// manifestFile is the on-disk shape.
+type manifestFile struct {
+	Version int                      `json:"version"`
+	Entries map[string]manifestEntry `json:"entries"`
+}
+
+// EntryInfo describes a store entry: the manifest record joined with the
+// files actually on disk.
+type EntryInfo struct {
+	// Name is the store key — the sanitized VM name, also the image stem.
+	Name string
+	// State is the entry's manifest state. Images found on disk without a
+	// manifest record (stores written before the manifest existed) report
+	// EntryComplete after the recovery scan adopts them.
+	State EntryState
+	// Digest is the recorded hex SHA-256 of the image, empty when unknown.
+	Digest string
+	// Size is the image's current byte size.
+	Size int64
+	// Reason explains a quarantine, empty otherwise.
+	Reason string
+	// HasSidecar reports whether a fingerprint sidecar file sits next to
+	// the image (its validity is only established when it is loaded).
+	HasSidecar bool
+}
+
+func (s *Store) manifestPath() string {
+	return filepath.Join(s.dir, manifestName)
+}
+
+// loadManifestLocked reads the manifest into memory, tolerating absence
+// (pre-manifest store) and rejecting unknown versions.
+func (s *Store) loadManifestLocked() error {
+	s.man = manifestFile{Version: manifestVersion, Entries: map[string]manifestEntry{}}
+	raw, err := os.ReadFile(s.manifestPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	var m manifestFile
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("checkpoint: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("checkpoint: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Entries == nil {
+		m.Entries = map[string]manifestEntry{}
+	}
+	s.man = m
+	return nil
+}
+
+// commitManifestLocked atomically persists the in-memory manifest — the
+// transaction commit point of every mutating store operation.
+func (s *Store) commitManifestLocked() error {
+	raw, err := json.MarshalIndent(s.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal manifest: %w", err)
+	}
+	if err := atomicWriteFile(s.manifestPath(), append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return kill("manifest-committed")
+}
+
+// entryLocked joins the manifest record for vmName with the on-disk image.
+// Images never recorded in the manifest (written by pre-manifest stores,
+// or dropped in by hand) report as complete — the recovery scan adopts
+// them properly on the next open or Scrub.
+func (s *Store) entryLocked(vmName string) (EntryInfo, bool) {
+	key := sanitize(vmName)
+	st, statErr := os.Stat(s.ImagePath(vmName))
+	e, ok := s.man.Entries[key]
+	if !ok {
+		if statErr != nil {
+			return EntryInfo{}, false
+		}
+		return EntryInfo{Name: key, State: EntryComplete, Size: st.Size(), HasSidecar: s.hasSidecar(vmName)}, true
+	}
+	if statErr != nil {
+		// Manifest entry without an image: a raced Remove or a crash after
+		// the image unlink. Report absent; recovery drops the record.
+		return EntryInfo{}, false
+	}
+	return EntryInfo{
+		Name: key, State: e.State, Digest: e.Digest,
+		Size: st.Size(), Reason: e.Reason, HasSidecar: s.hasSidecar(vmName),
+	}, true
+}
+
+func (s *Store) hasSidecar(vmName string) bool {
+	_, err := os.Stat(SidecarPath(s.ImagePath(vmName)))
+	return err == nil
+}
+
+// Entry reports the named VM's store entry, ok=false when none exists.
+func (s *Store) Entry(vmName string) (EntryInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entryLocked(vmName)
+}
+
+// Entries lists every store entry — manifest records joined with on-disk
+// images, plus unrecorded legacy images — sorted by name.
+func (s *Store) Entries() ([]EntryInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := s.listLocked()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []EntryInfo
+	for _, n := range names {
+		if info, ok := s.entryLocked(n); ok && !seen[info.Name] {
+			seen[info.Name] = true
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -17,8 +17,10 @@ import (
 // or negative quota removes the cap. If existing images already exceed the
 // new quota, the least-recently-used ones are evicted immediately.
 func (s *Store) SetQuota(bytes int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.quota = bytes
-	return s.enforceQuota(0)
+	return s.enforceQuotaLocked(0)
 }
 
 // Quota reports the configured cap (0 = uncapped).
@@ -26,7 +28,9 @@ func (s *Store) Quota() int64 { return s.quota }
 
 // Usage reports the total bytes of stored checkpoint images.
 func (s *Store) Usage() (int64, error) {
-	entries, err := s.imageInfos()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := s.imageInfosLocked()
 	if err != nil {
 		return 0, err
 	}
@@ -43,9 +47,9 @@ type imageInfo struct {
 	used   time.Time
 }
 
-// imageInfos lists stored images with size and last-use time.
-func (s *Store) imageInfos() ([]imageInfo, error) {
-	names, err := s.List()
+// imageInfosLocked lists stored images with size and last-use time.
+func (s *Store) imageInfosLocked() ([]imageInfo, error) {
+	names, err := s.listLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -60,13 +64,14 @@ func (s *Store) imageInfos() ([]imageInfo, error) {
 	return infos, nil
 }
 
-// enforceQuota evicts least-recently-used images until usage + incoming
-// fits the quota. incoming reserves room for an image about to be written.
-func (s *Store) enforceQuota(incoming int64) error {
+// enforceQuotaLocked evicts least-recently-used images until usage +
+// incoming fits the quota. incoming reserves room for an image about to be
+// written.
+func (s *Store) enforceQuotaLocked(incoming int64) error {
 	if s.quota <= 0 {
 		return nil
 	}
-	infos, err := s.imageInfos()
+	infos, err := s.imageInfosLocked()
 	if err != nil {
 		return err
 	}
@@ -83,7 +88,7 @@ func (s *Store) enforceQuota(incoming int64) error {
 		if total+incoming <= s.quota {
 			break
 		}
-		if err := s.Remove(e.vmName); err != nil {
+		if err := s.removeLocked(e.vmName); err != nil {
 			return err
 		}
 		total -= e.size

@@ -1,0 +1,141 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Startup recovery. NewStore replays the crash-consistency contract before
+// serving anything: leftover temp files are interrupted transactions and
+// are deleted; manifest records whose image vanished are dropped; images
+// the manifest never heard of are adopted; and every recorded digest is
+// replayed against the bytes actually on disk — a mismatch means the crash
+// landed between the image rename and the manifest commit, and the entry
+// is quarantined rather than served. Torn fingerprint sidecars need no
+// quarantine: Open validates them independently and falls back to the
+// rescan, so a sidecar can at worst cost time, never correctness.
+
+// ScrubReport summarizes one recovery scan.
+type ScrubReport struct {
+	// Checked counts the entries whose recorded digest was replayed.
+	Checked int
+	// Adopted lists legacy images found without a manifest record and
+	// adopted (their digest computed and recorded).
+	Adopted []string
+	// Quarantined lists entries quarantined by this scan.
+	Quarantined []string
+	// Dropped lists manifest records whose image had vanished.
+	Dropped []string
+	// TempFiles lists interrupted-transaction temp files deleted.
+	TempFiles []string
+}
+
+// Scrub runs the recovery scan on demand — the same pass NewStore runs at
+// startup — and reports what it found. Already-quarantined entries are
+// re-checked: one whose image now matches its digest again stays
+// quarantined (the state records that it was once torn; Remove is the way
+// out).
+func (s *Store) Scrub() (ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoverLocked()
+}
+
+func (s *Store) recoverLocked() (ScrubReport, error) {
+	var rep ScrubReport
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep, fmt.Errorf("checkpoint: recovery scan: %w", err)
+	}
+	changed := false
+
+	// 1. Interrupted transactions: any surviving temp file belongs to a
+	// write whose commit never happened.
+	for _, de := range dirents {
+		if strings.HasSuffix(de.Name(), tmpSuffix) {
+			p := filepath.Join(s.dir, de.Name())
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return rep, fmt.Errorf("checkpoint: remove orphan %s: %w", p, err)
+			}
+			rep.TempFiles = append(rep.TempFiles, de.Name())
+		}
+	}
+
+	// 2. Manifest records whose image vanished: drop them, sweeping any
+	// satellite files the interrupted remove left behind.
+	for key := range s.man.Entries {
+		img := filepath.Join(s.dir, key+".img")
+		if _, err := os.Stat(img); err == nil {
+			continue
+		}
+		for _, p := range []string{SidecarPath(img), img + ".gens.json", img + ".sha256"} {
+			_ = os.Remove(p)
+		}
+		delete(s.man.Entries, key)
+		rep.Dropped = append(rep.Dropped, key)
+		changed = true
+	}
+
+	// 3. Images the manifest never recorded (pre-manifest stores): adopt
+	// them as complete, preferring a legacy .sha256 record over a fresh
+	// hash so bit rot predating adoption is still caught below.
+	for _, de := range dirents {
+		key, ok := strings.CutSuffix(de.Name(), ".img")
+		if !ok {
+			continue
+		}
+		if _, known := s.man.Entries[key]; known {
+			continue
+		}
+		digest := s.readDigestLocked(key)
+		if digest == "" {
+			if digest, err = hashFile(filepath.Join(s.dir, de.Name())); err != nil {
+				return rep, err
+			}
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent remove
+		}
+		s.man.Entries[key] = manifestEntry{State: EntryComplete, Digest: digest, Size: info.Size()}
+		rep.Adopted = append(rep.Adopted, key)
+		changed = true
+	}
+
+	// 4. Digest replay: every recorded digest is checked against the image
+	// bytes. A mismatch is a torn transaction (or bit rot) — quarantine,
+	// never serve.
+	keys := make([]string, 0, len(s.man.Entries))
+	for key := range s.man.Entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		e := s.man.Entries[key]
+		if e.Digest == "" || e.State == EntryQuarantined {
+			continue
+		}
+		rep.Checked++
+		got, err := hashFile(filepath.Join(s.dir, key+".img"))
+		if err != nil {
+			return rep, err
+		}
+		if got != e.Digest {
+			e.State = EntryQuarantined
+			e.Reason = fmt.Sprintf("image digest mismatch (recorded %s, computed %s)", e.Digest[:12], got[:12])
+			s.man.Entries[key] = e
+			rep.Quarantined = append(rep.Quarantined, key)
+			changed = true
+		}
+	}
+
+	if changed {
+		if err := s.commitManifestLocked(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

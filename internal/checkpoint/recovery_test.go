@@ -1,0 +1,328 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// filledVM builds a VM with deterministic non-zero content so different
+// seeds yield different image digests.
+func filledVM(t *testing.T, name string, pages int, seed int64) *vm.VM {
+	t.Helper()
+	v, err := vm.New(vm.Config{Name: name, MemBytes: int64(pages) * testPage, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSaveSalvagePartialEntry(t *testing.T) {
+	s := quotaStore(t)
+	v := filledVM(t, "a", 4, 1)
+	if err := s.SaveSalvage(v); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s.Entry("a")
+	if !ok || info.State != EntryPartial {
+		t.Fatalf("Entry after SaveSalvage = %+v, %v; want partial", info, ok)
+	}
+	if !s.Has("a") {
+		t.Error("partial entry should be servable")
+	}
+	if info.Digest == "" || !info.HasSidecar {
+		t.Errorf("salvage entry missing digest or sidecar: %+v", info)
+	}
+	if _, ok, err := s.Generations("a"); err != nil || ok {
+		t.Errorf("partial entry has generations (ok=%v, err=%v)", ok, err)
+	}
+	cp, err := s.Restore("a", checksum.MD5, nil)
+	if err != nil {
+		t.Fatalf("restore partial: %v", err)
+	}
+	if cp.Sidecar() != SidecarHit {
+		t.Errorf("salvage restore sidecar = %v, want hit", cp.Sidecar())
+	}
+	cp.Close()
+
+	// A completed migration supersedes the salvage entry.
+	if err := s.Save(v); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = s.Entry("a")
+	if info.State != EntryComplete {
+		t.Errorf("state after Save = %v, want complete", info.State)
+	}
+	if _, ok, _ := s.Generations("a"); !ok {
+		t.Error("complete entry lost its generations")
+	}
+}
+
+func TestSaveRemovesStaleGenerationsOnSalvage(t *testing.T) {
+	s := quotaStore(t)
+	v := filledVM(t, "a", 4, 1)
+	if err := s.Save(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSalvage(filledVM(t, "a", 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Generations("a"); ok {
+		t.Error("salvage save left the previous checkpoint's generations behind")
+	}
+}
+
+// TestKillPointMatrix crashes a Save at every commit point and asserts the
+// reopened store either serves the old image or quarantines — never serves
+// torn state.
+func TestKillPointMatrix(t *testing.T) {
+	points := []struct {
+		point string
+		// wantOld: the recovered entry serves the pre-crash image.
+		// wantNew: the transaction committed; the new image is served.
+		// Neither: the entry must be quarantined and refuse to serve.
+		wantOld bool
+		wantNew bool
+	}{
+		{point: "image-written", wantOld: true},      // tmp written, not yet durable
+		{point: "image-synced", wantOld: true},       // tmp durable, before rename
+		{point: "image-renamed"},                     // renamed, before dir fsync + manifest
+		{point: "gens-written"},                      // satellite files written, manifest stale
+		{point: "sidecar-written"},                   // all files new, manifest still stale
+		{point: "manifest-committed", wantNew: true}, // transaction committed
+	}
+	for _, tc := range points {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "s")
+			s, err := NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save(filledVM(t, "a", 4, 1)); err != nil {
+				t.Fatal(err)
+			}
+			oldDigest, err := hashFile(s.ImagePath("a"))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			boom := errors.New("simulated crash")
+			testHookKill = func(p string) error {
+				if p == tc.point {
+					return boom
+				}
+				return nil
+			}
+			defer func() { testHookKill = nil }()
+			err = s.Save(filledVM(t, "a", 4, 2))
+			testHookKill = nil
+			if tc.point == "manifest-committed" {
+				// The kill fires after the commit: the error is reported but
+				// the transaction is already durable.
+				if err == nil {
+					t.Fatal("kill hook did not fire")
+				}
+			} else if err == nil || !errors.Is(err, boom) {
+				t.Fatalf("killed Save error = %v, want the simulated crash", err)
+			}
+
+			// "Reboot": a fresh store over the same directory runs recovery.
+			s2, err := NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, ok := s2.Entry("a")
+			if !ok {
+				t.Fatal("entry vanished after recovery")
+			}
+			switch {
+			case tc.wantOld:
+				if info.State != EntryComplete {
+					t.Fatalf("state = %v, want complete (old image)", info.State)
+				}
+				got, err := hashFile(s2.ImagePath("a"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != oldDigest {
+					t.Error("recovered image is not the pre-crash image")
+				}
+				if cp, err := s2.Restore("a", checksum.MD5, nil); err != nil {
+					t.Errorf("old image refused: %v", err)
+				} else {
+					cp.Close()
+				}
+			case tc.wantNew:
+				if info.State != EntryComplete {
+					t.Fatalf("state = %v, want complete (new image)", info.State)
+				}
+				if info.Digest == oldDigest {
+					t.Error("committed transaction still serves the old digest")
+				}
+				if cp, err := s2.Restore("a", checksum.MD5, nil); err != nil {
+					t.Errorf("committed image refused: %v", err)
+				} else {
+					cp.Close()
+				}
+			default:
+				if info.State != EntryQuarantined {
+					t.Fatalf("state = %v, want quarantined", info.State)
+				}
+				if s2.Has("a") {
+					t.Error("Has serves a quarantined entry")
+				}
+				if _, err := s2.Restore("a", checksum.MD5, nil); err == nil {
+					t.Error("Restore served a quarantined entry")
+				}
+			}
+			// No interrupted-transaction temp files survive recovery.
+			dirents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, de := range dirents {
+				if filepath.Ext(de.Name()) == tmpSuffix {
+					t.Errorf("orphan temp file survived recovery: %s", de.Name())
+				}
+			}
+		})
+	}
+}
+
+func TestTornImageQuarantinedTornSidecarNot(t *testing.T) {
+	// A torn image must be quarantined; a torn fingerprint sidecar must
+	// not — Open validates sidecars independently and falls back to the
+	// rescan, so tearing one can cost time, never correctness.
+	dir := filepath.Join(t.TempDir(), "s")
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"img-torn", "idx-torn"} {
+		if err := s.Save(filledVM(t, n, 4, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the image of one entry mid-file, the sidecar of the other.
+	tamper := func(path string, off int64) {
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tamper(s.ImagePath("img-torn"), 2*testPage)
+	// A torn sidecar is a truncation: the write stopped partway.
+	if err := os.Truncate(SidecarPath(s.ImagePath("idx-torn")), sidecarHeaderSize+5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := s2.Entry("img-torn"); info.State != EntryQuarantined {
+		t.Errorf("torn image state = %v, want quarantined", info.State)
+	}
+	if _, err := s2.Restore("img-torn", checksum.MD5, nil); err == nil {
+		t.Error("torn image served")
+	}
+	if info, _ := s2.Entry("idx-torn"); info.State != EntryComplete {
+		t.Errorf("torn sidecar state = %v, want complete", info.State)
+	}
+	cp, err := s2.Restore("idx-torn", checksum.MD5, nil)
+	if err != nil {
+		t.Fatalf("torn sidecar must fall back, got %v", err)
+	}
+	if cp.Sidecar() != SidecarFallback {
+		t.Errorf("sidecar status = %v, want fallback", cp.Sidecar())
+	}
+	cp.Close()
+}
+
+func TestRecoveryAdoptsLegacyImage(t *testing.T) {
+	// An image written by a pre-manifest store (no manifest record, legacy
+	// .sha256 digest file) is adopted as complete, and its legacy digest —
+	// not a fresh hash — anchors the integrity check.
+	dir := filepath.Join(t.TempDir(), "s")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	v := filledVM(t, "legacy", 4, 4)
+	digest, err := writeImage(filepath.Join(dir, "legacy.img"), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "legacy.img.sha256"), []byte(digest+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A second legacy image with bit rot under its recorded digest.
+	if _, err := writeImage(filepath.Join(dir, "rotten.img"), filledVM(t, "rotten", 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "rotten.img.sha256"), []byte(digest+"\n"), 0o644); err != nil {
+		t.Fatal(err) // digest of the other image: guaranteed mismatch
+	}
+
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s.Entry("legacy")
+	if !ok || info.State != EntryComplete || info.Digest != digest {
+		t.Errorf("legacy adoption = %+v, %v", info, ok)
+	}
+	if info, _ := s.Entry("rotten"); info.State != EntryQuarantined {
+		t.Errorf("rotten legacy image state = %v, want quarantined", info.State)
+	}
+}
+
+func TestScrubReportAndManifestDrop(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(filledVM(t, "gone", 4, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(filledVM(t, "kept", 4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one image behind the store's back and drop in an orphan temp.
+	if err := os.Remove(s.ImagePath("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.img.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dropped) != 1 || rep.Dropped[0] != "gone" {
+		t.Errorf("Dropped = %v", rep.Dropped)
+	}
+	if len(rep.TempFiles) != 1 {
+		t.Errorf("TempFiles = %v", rep.TempFiles)
+	}
+	if rep.Checked != 1 {
+		t.Errorf("Checked = %d, want 1", rep.Checked)
+	}
+	if _, ok := s.Entry("gone"); ok {
+		t.Error("dropped entry still reported")
+	}
+	if !s.Has("kept") {
+		t.Error("surviving entry lost")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -101,7 +102,7 @@ func writeSidecar(path string, alg checksum.Algorithm, imageSize int64, digestHe
 		}
 		copy(hdr[28:60], raw)
 	}
-	tmp := path + ".tmp"
+	tmp := path + tmpSuffix
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("checkpoint: sidecar: %w", err)
@@ -125,13 +126,16 @@ func writeSidecar(path string, alg checksum.Algorithm, imageSize int64, digestHe
 	if err = bw.Flush(); err != nil {
 		return fmt.Errorf("checkpoint: sidecar flush: %w", err)
 	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sidecar sync: %w", err)
+	}
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("checkpoint: sidecar close: %w", err)
 	}
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("checkpoint: sidecar rename: %w", err)
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
 }
 
 // loadSidecar streams the sidecar at path and returns the page-ordered sums

@@ -191,7 +191,13 @@ func TestSidecarCorruptionFallsBack(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := store.writeDigestValue("vm0", digest); err != nil {
+				store.mu.Lock()
+				e := store.man.Entries["vm0"]
+				e.Digest = digest
+				store.man.Entries["vm0"] = e
+				err = store.commitManifestLocked()
+				store.mu.Unlock()
+				if err != nil {
 					t.Fatal(err)
 				}
 			},

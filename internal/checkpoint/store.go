@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"vecycle/internal/checksum"
 	"vecycle/internal/dirtytrack"
@@ -20,14 +21,25 @@ import (
 // Alongside each image the store keeps a Miyakodori generation-vector
 // sidecar, so the dirty-tracking baseline can be driven from the same
 // stored state.
+//
+// The store is crash-consistent: every file reaches its name via
+// tmp+fsync+rename, a versioned manifest (committed last, atomically)
+// records each entry's state and image digest, and NewStore replays the
+// recorded digests against the disk, quarantining any entry a crash left
+// torn. Entries are complete (a full checkpoint), partial (a salvage
+// checkpoint persisted by an interrupted incoming migration, served for
+// announce-driven resume only), or quarantined (never served).
 type Store struct {
 	dir             string
+	mu              sync.Mutex
+	man             manifestFile
 	quota           int64
 	verifyOnRestore bool
 	noSidecar       bool
 }
 
-// NewStore opens (creating if needed) a checkpoint store rooted at dir.
+// NewStore opens (creating if needed) a checkpoint store rooted at dir and
+// runs the crash-recovery scan before returning.
 func NewStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("checkpoint: empty store directory")
@@ -35,7 +47,14 @@ func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: create store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	if err := s.loadManifestLocked(); err != nil {
+		return nil, err
+	}
+	if _, err := s.recoverLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Dir reports the store's root directory.
@@ -60,16 +79,37 @@ func sanitize(name string) string {
 	return out
 }
 
-// Has reports whether a checkpoint exists for the named VM.
+// Has reports whether a servable checkpoint — complete or partial, not
+// quarantined — exists for the named VM.
 func (s *Store) Has(vmName string) bool {
-	_, err := os.Stat(s.ImagePath(vmName))
-	return err == nil
+	info, ok := s.Entry(vmName)
+	return ok && info.State != EntryQuarantined
 }
 
 // Save checkpoints the VM's memory (and its generation vector) on this
-// host, replacing any previous checkpoint of the same VM. When a quota is
-// set, least-recently-used checkpoints are evicted first to make room.
+// host, replacing any previous checkpoint of the same VM — including a
+// salvage checkpoint, which a completed migration supersedes. When a quota
+// is set, least-recently-used checkpoints are evicted first to make room.
 func (s *Store) Save(source *vm.VM) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveLocked(source, EntryComplete)
+}
+
+// SaveSalvage persists the VM's memory as a salvage checkpoint: a partial
+// entry holding whatever pages an interrupted incoming migration had
+// installed, with its own digest and fingerprint sidecar. The next
+// incoming attempt announces its page sums like any checkpoint, so the
+// source resends only what is missing. No generation vector is written —
+// a partial image is not a coherent guest state — and any stale one from
+// a previous complete checkpoint is removed.
+func (s *Store) SaveSalvage(source *vm.VM) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveLocked(source, EntryPartial)
+}
+
+func (s *Store) saveLocked(source *vm.VM, state EntryState) error {
 	if s.quota > 0 {
 		// The VM's own previous image (about to be replaced) does not
 		// count against the incoming size.
@@ -80,7 +120,7 @@ func (s *Store) Save(source *vm.VM) error {
 		if incoming < 0 {
 			incoming = 0
 		}
-		if err := s.enforceQuota(incoming); err != nil {
+		if err := s.enforceQuotaLocked(incoming); err != nil {
 			return err
 		}
 	}
@@ -88,13 +128,20 @@ func (s *Store) Save(source *vm.VM) error {
 	if err != nil {
 		return err
 	}
-	gens := source.GenSnapshot()
-	raw, err := json.Marshal(gens)
-	if err != nil {
-		return fmt.Errorf("checkpoint: marshal generations: %w", err)
+	if state == EntryComplete {
+		gens := source.GenSnapshot()
+		raw, err := json.Marshal(gens)
+		if err != nil {
+			return fmt.Errorf("checkpoint: marshal generations: %w", err)
+		}
+		if err := atomicWriteFile(s.genPath(source.Name()), raw, 0o644); err != nil {
+			return err
+		}
+	} else if err := os.Remove(s.genPath(source.Name())); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: remove stale generations: %w", err)
 	}
-	if err := os.WriteFile(s.genPath(source.Name()), raw, 0o644); err != nil {
-		return fmt.Errorf("checkpoint: write generations: %w", err)
+	if err := kill("gens-written"); err != nil {
+		return err
 	}
 	if !s.noSidecar {
 		// Persist the fingerprint sidecar so the next Restore warm-starts
@@ -106,7 +153,21 @@ func (s *Store) Save(source *vm.VM) error {
 			return err
 		}
 	}
-	return s.writeDigestValue(source.Name(), digest)
+	if err := kill("sidecar-written"); err != nil {
+		return err
+	}
+	// A superseded legacy digest record must not outlive the image it
+	// described; the manifest carries the digest from here on.
+	if err := os.Remove(s.digestPath(source.Name())); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: remove legacy digest: %w", err)
+	}
+	// Transaction commit: the manifest is written LAST, so a crash at any
+	// earlier point leaves a recorded digest that no longer matches the
+	// disk — which the recovery scan quarantines instead of serving.
+	s.man.Entries[sanitize(source.Name())] = manifestEntry{
+		State: state, Digest: digest, Size: source.MemBytes(),
+	}
+	return s.commitManifestLocked()
 }
 
 // SidecarAlgorithm is the checksum algorithm Store.Save records in the
@@ -124,17 +185,28 @@ func (s *Store) NoSidecar() bool { return s.noSidecar }
 
 // Restore opens the named VM's checkpoint, installing its blocks into dst
 // (when non-nil) and returning the indexed handle for the merge phase.
+// Quarantined entries are refused: a checkpoint that failed its integrity
+// check is never served.
 func (s *Store) Restore(vmName string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) {
-	if s.verifyOnRestore {
+	s.mu.Lock()
+	if info, ok := s.entryLocked(vmName); ok && info.State == EntryQuarantined {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("checkpoint: %q is quarantined (%s); refusing to serve", vmName, info.Reason)
+	}
+	digest := s.readDigestLocked(vmName)
+	verify := s.verifyOnRestore
+	noSidecar := s.noSidecar
+	s.mu.Unlock()
+	if verify {
 		if err := s.Verify(vmName); err != nil {
 			return nil, err
 		}
 	}
-	cfg := OpenConfig{NoSidecar: s.noSidecar}
-	if !s.noSidecar {
+	cfg := OpenConfig{NoSidecar: noSidecar}
+	if !noSidecar {
 		// Pin the sidecar to the image the integrity record describes: a
 		// string compare at load time replaces a full rehash.
-		cfg.ExpectedDigest = s.readDigest(vmName)
+		cfg.ExpectedDigest = digest
 	}
 	cp, err := OpenWith(s.ImagePath(vmName), alg, dst, cfg)
 	if err == nil {
@@ -160,21 +232,38 @@ func (s *Store) Generations(vmName string) (dirtytrack.GenVector, bool, error) {
 	return gens, true, nil
 }
 
-// Remove deletes the named VM's checkpoint and sidecars, if present. The
-// image goes first: a concurrent Restore that wins the race on the
-// fingerprint sidecar alone only pays a rescan fallback, never reads sums
-// for a different image.
+// Remove deletes the named VM's checkpoint and sidecars, if present — the
+// only way out of quarantine. The image goes first: a concurrent Restore
+// that wins the race on the fingerprint sidecar alone only pays a rescan
+// fallback, never reads sums for a different image.
 func (s *Store) Remove(vmName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removeLocked(vmName)
+}
+
+func (s *Store) removeLocked(vmName string) error {
 	for _, p := range []string{s.ImagePath(vmName), SidecarPath(s.ImagePath(vmName)), s.genPath(vmName), s.digestPath(vmName)} {
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("checkpoint: remove %s: %w", p, err)
 		}
 	}
+	if _, ok := s.man.Entries[sanitize(vmName)]; ok {
+		delete(s.man.Entries, sanitize(vmName))
+		return s.commitManifestLocked()
+	}
 	return nil
 }
 
-// List reports the VM names with stored checkpoints.
+// List reports the VM names with stored checkpoint images, whatever their
+// state. Use Entries for states and Has for serveability.
 func (s *Store) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.listLocked()
+}
+
+func (s *Store) listLocked() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: list store: %w", err)

@@ -37,6 +37,10 @@ type DestOptions struct {
 	// source advertised the compact-announce capability. For interop testing
 	// and as an escape hatch.
 	NoCompactAnnounce bool
+	// NoSalvage disables salvage checkpoints: a failed incoming migration
+	// discards the pages it had installed instead of persisting them as a
+	// partial store entry for the next attempt to resume from.
+	NoSalvage bool
 	// OnEvent, when non-nil, observes each protocol turn (hello, the
 	// announcement, round ends, done) for tracing. Emission never alters
 	// the wire stream.
@@ -61,6 +65,14 @@ type DestResult struct {
 	SeenSums *checksum.Set
 	// UsedCheckpoint reports whether a local checkpoint bootstrapped RAM.
 	UsedCheckpoint bool
+	// ResumedFromPartial reports that the bootstrap checkpoint was a
+	// salvage image left by an interrupted earlier attempt — this
+	// migration resumed instead of restarting from zero.
+	ResumedFromPartial bool
+	// SalvagePages is the number of newly installed pages persisted as a
+	// salvage checkpoint after a failed merge; zero when no salvage was
+	// written.
+	SalvagePages int64
 }
 
 // IncomingSession is a half-open incoming migration: the hello has been
@@ -167,20 +179,36 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	}
 
 	// Bootstrap from the local checkpoint if the source wants recycling and
-	// we have one.
+	// we have one. A salvage (partial) image left by an interrupted earlier
+	// attempt is served only when the announcement will actually describe
+	// it: under skip-announce the source replays the checksum set it
+	// learned from the last *complete* checkpoint, which a partial image
+	// need not hold, so the bootstrap is skipped rather than risk
+	// unresolvable page-sum references.
 	var cp *checkpoint.Checkpoint
-	if h.Recycle && opts.Store != nil && opts.Store.Has(h.VMName) {
-		cp, err = opts.Store.Restore(h.VMName, h.Alg, v)
-		if err != nil {
-			// A corrupt or mismatched checkpoint must not fail the
-			// migration; degrade to a full first round.
-			cp = nil
+	partial := false
+	if h.Recycle && opts.Store != nil {
+		if info, ok := opts.Store.Entry(h.VMName); ok && info.State != checkpoint.EntryQuarantined &&
+			!(info.State == checkpoint.EntryPartial && h.SkipAnnounce) {
+			cp, err = opts.Store.Restore(h.VMName, h.Alg, v)
+			if err != nil {
+				// A corrupt or mismatched checkpoint must not fail the
+				// migration; degrade to a full first round.
+				cp = nil
+			} else {
+				partial = info.State == checkpoint.EntryPartial
+			}
 		}
 	}
 	if cp != nil {
 		defer cp.Close()
 		res.UsedCheckpoint = true
+		res.ResumedFromPartial = partial
 		opts.OnEvent.emit(Event{Kind: EventSidecar, Detail: cp.Sidecar().String()})
+		if partial {
+			opts.OnEvent.emit(Event{Kind: EventSalvage, Detail: "resumed",
+				Pages: int64(cp.Pages())})
+		}
 	}
 
 	if opts.TrackIncoming {
@@ -192,7 +220,8 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	// bit and our own configuration. The ack echoes the decision so the
 	// source knows which announcement encoding to expect.
 	useV2 := h.CompactAnnounce && !opts.NoCompactAnnounce
-	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil, CompactAnnounce: useV2}); err != nil {
+	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil,
+		CompactAnnounce: useV2, PartialCheckpoint: partial}); err != nil {
 		return res, err
 	}
 	opts.OnEvent.emit(Event{Kind: EventHello, Pages: int64(h.PageCount),
@@ -218,9 +247,37 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	}
 
 	if workers := opts.workers(); workers >= 1 {
-		return res, s.mergePipelined(ctx, v, opts, cp, &res, start, workers)
+		err = s.mergePipelined(ctx, v, opts, cp, &res, start, workers)
+	} else {
+		err = s.mergeSequential(ctx, v, opts, cp, &res, start)
 	}
-	return res, s.mergeSequential(ctx, v, opts, cp, &res, start)
+	if err != nil {
+		// Both merge engines have fully drained their workers by the time
+		// they return, so v's RAM is stable: persist the progress as a
+		// salvage checkpoint for the next attempt to resume from.
+		s.salvage(v, opts, &res)
+	}
+	return res, err
+}
+
+// salvage persists the pages a failed merge had already installed as a
+// partial store entry, so the next attempt's hash announcement makes the
+// source resend only what is still missing. Best-effort: the migration's
+// error stands whether or not the salvage write succeeds. Nothing is
+// written when no new page content arrived (checksum-only progress lives
+// in the previous checkpoint already, which salvaging would demote).
+func (s *IncomingSession) salvage(v *vm.VM, opts DestOptions, res *DestResult) {
+	installed := int64(res.Metrics.PagesFull + res.Metrics.PagesDelta)
+	if opts.NoSalvage || opts.Store == nil || !s.h.Recycle || installed == 0 {
+		return
+	}
+	if err := opts.Store.SaveSalvage(v); err != nil {
+		opts.OnEvent.emit(Event{Kind: EventSalvage, Detail: "write-failed"})
+		return
+	}
+	res.SalvagePages = installed
+	opts.OnEvent.emit(Event{Kind: EventSalvage, Detail: "written",
+		Pages: installed, Bytes: v.MemBytes()})
 }
 
 // mergeSequential is the single-goroutine merge loop — Listing 1, extended

@@ -113,6 +113,15 @@ type helloAck struct {
 	// in the compact (v2) frame. Only set when the source advertised the
 	// capability in its hello.
 	CompactAnnounce bool
+	// PartialCheckpoint reports that the checkpoint behind HaveCheckpoint
+	// is a salvage image — pages persisted by an interrupted earlier
+	// attempt, not a complete guest state. Purely informational: resume is
+	// announce-driven (the announcement carries exactly the sums the
+	// salvage image holds), so the wire sequence is unchanged; the source
+	// uses the bit to skip delta encoding (its mirror of the last complete
+	// checkpoint no longer describes the destination's RAM) and to label
+	// traces. Old sources ignore the unknown flag bit.
+	PartialCheckpoint bool
 }
 
 const maxNameLen = 1024
@@ -224,6 +233,9 @@ func writeHelloAck(w io.Writer, a helloAck) error {
 	if a.CompactAnnounce {
 		flags |= 4
 	}
+	if a.PartialCheckpoint {
+		flags |= 8
+	}
 	if len(a.Reason) > maxNameLen {
 		a.Reason = a.Reason[:maxNameLen]
 	}
@@ -249,6 +261,7 @@ func readHelloAck(r io.Reader) (helloAck, error) {
 	a.OK = flags&1 != 0
 	a.HaveCheckpoint = flags&2 != 0
 	a.CompactAnnounce = flags&4 != 0
+	a.PartialCheckpoint = flags&8 != 0
 	var n uint16
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return a, fmt.Errorf("core: read hello-ack reason length: %w", err)

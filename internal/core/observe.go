@@ -40,6 +40,15 @@ const (
 	// EventFetch: the post-copy demand-fetch phase finished. Pages is
 	// the number of pages served over the network after resume.
 	EventFetch = "fetch"
+	// EventSalvage: salvage-checkpoint activity around an interrupted
+	// migration. Detail is "written" (the destination persisted the pages
+	// an aborted incoming migration had installed; Pages = pages newly
+	// installed before the failure, Bytes = salvage image size),
+	// "write-failed" (the persist itself failed; best-effort, the
+	// migration error stands), or "resumed" (an attempt bootstrapped from
+	// a salvage image — emitted on both sides; Pages = image pages on the
+	// destination).
+	EventSalvage = "salvage"
 	// EventDone: the migration completed from this side's perspective.
 	EventDone = "done"
 )

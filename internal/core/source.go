@@ -231,9 +231,15 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	}
 
 	// Delta encoding is only sound when the destination actually
-	// bootstrapped from its checkpoint.
-	if !ack.HaveCheckpoint || !opts.Recycle {
+	// bootstrapped from its checkpoint — and from the checkpoint this
+	// host's mirror describes. A salvage (partial) bootstrap means the
+	// destination's RAM holds an interrupted attempt's pages, not the last
+	// complete checkpoint, so the delta base is stale by construction.
+	if !ack.HaveCheckpoint || !opts.Recycle || ack.PartialCheckpoint {
 		opts.DeltaBase = nil
+	}
+	if ack.PartialCheckpoint {
+		opts.OnEvent.emit(Event{Kind: EventSalvage, Detail: "resumed"})
 	}
 
 	// Encoders are created once per migration — not per round — and their

@@ -100,6 +100,12 @@ type Host struct {
 	// capability (core.DestOptions.NoCompactAnnounce).
 	NoCompactAnnounce bool
 
+	// NoSalvage disables salvage checkpoints: interrupted incoming
+	// migrations discard their partially-installed pages instead of
+	// persisting them for the next attempt to resume from
+	// (core.DestOptions.NoSalvage).
+	NoSalvage bool
+
 	// DialFunc, when non-nil, replaces outbound connection establishment —
 	// the seam the fault-injection tests use to interpose a
 	// core.FaultConn. nil dials TCP with dialTimeout.
@@ -344,10 +350,28 @@ func (h *Host) runIncoming(ctx context.Context, session *core.IncomingSession, r
 		TrackIncoming:     true,
 		Workers:           h.Workers,
 		NoCompactAnnounce: h.NoCompactAnnounce,
+		NoSalvage:         h.NoSalvage,
 		OnEvent:           h.obs.eventFunc(rec, "dest"),
 	})
 	if err != nil {
 		return res, err
+	}
+	if res.ResumedFromPartial {
+		// The resumed pages crossed the wire as page-sums instead of full
+		// pages; attribute the saving to the salvage image.
+		h.obs.salvageAvoided.With(h.name).Add(float64(
+			int64(res.Metrics.PagesReusedInPlace+res.Metrics.PagesReusedFromDisk) * vm.PageSize))
+	}
+	if !h.SaveArrivals {
+		// The arrival succeeded, so any salvage image for this VM is now
+		// stale. SaveArrivals overwrites it with a complete checkpoint below;
+		// without it, drop the partial so later bootstraps don't use it.
+		if info, ok := h.store.Entry(name); ok && info.State == checkpoint.EntryPartial {
+			if rerr := h.store.Remove(name); rerr == nil {
+				h.obs.salvage.With(h.name, "superseded").Inc()
+				rec.Event(obs.Event{Kind: core.EventSalvage, Detail: "superseded"})
+			}
+		}
 	}
 	if h.SaveArrivals {
 		if err := h.store.Save(dst); err != nil {
@@ -620,6 +644,11 @@ type MigrateOptions struct {
 	// Retry re-attempts the migration on transient transport failures with
 	// exponential backoff. The zero value performs a single attempt.
 	Retry RetryPolicy
+	// OnAttempt, when non-nil, observes every engine attempt of this
+	// migration — the first try, the delta fallback, and each retry — with
+	// its 1-based attempt number and outcome. The chaos tests use it to
+	// assert that resumed attempts resend strictly fewer full pages.
+	OnAttempt func(attempt int, m core.Metrics, err error)
 	// Pause and Resume bracket the stop-and-copy phase, as in
 	// core.SourceOptions.
 	Pause  func()
@@ -667,7 +696,10 @@ func (h *Host) MigrateTo(ctx context.Context, addr, vmName string, opts MigrateO
 // through one obs.finish call.
 func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, known *checksum.Set, opts MigrateOptions, rec *obs.Recorder) (core.Metrics, error) {
 	var deltaBase core.PageProvider
-	if opts.UseDelta && h.store.Has(vmName) {
+	// Only a complete checkpoint is a sound delta base: a salvage image left
+	// by an interrupted incoming migration holds another attempt's partial
+	// state, not a mirror of the destination's checkpoint.
+	if info, ok := h.store.Entry(vmName); opts.UseDelta && ok && info.State == checkpoint.EntryComplete {
 		cp, err := h.store.Restore(vmName, checksum.MD5, nil)
 		if err != nil {
 			return core.Metrics{}, fmt.Errorf("sched: open delta base: %w", err)
@@ -731,17 +763,30 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 	deltaFallback := base != nil
 	var m core.Metrics
 	var err error
+	attemptNo := 0
 	for retries := 0; ; {
 		m, err = attempt(base)
+		attemptNo++
+		if opts.OnAttempt != nil {
+			opts.OnAttempt(attemptNo, m, err)
+		}
 		if err == nil {
 			break
 		}
 		if ctx.Err() != nil {
-			return m, err
+			// Cancellation is terminal everywhere — whether it surfaced
+			// mid-stream (as a wrapped transport error) or would have been
+			// caught mid-backoff, the caller sees the ctx error itself.
+			return m, ctx.Err()
 		}
 		if errors.Is(err, core.ErrRejected) {
 			return m, err
 		}
+		// Any failed attempt may have left a salvage image at the
+		// destination, superseding the complete checkpoint the ping-pong
+		// sums describe. Drop them: the next attempt negotiates a fresh
+		// announcement and resumes from whatever the destination salvaged.
+		known = nil
 		if deltaFallback {
 			// Delta encoding is optimistic: if this host's checkpoint mirror
 			// went stale (the VM visited the destination via a third host),
@@ -757,6 +802,11 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 			deltaFallback = false
 			continue
 		}
+		// After the first failure the destination may hold a salvage image,
+		// which is never a sound delta target; stop offering deltas for the
+		// rest of the chain.
+		base = nil
+		deltaFallback = false
 		if !Retryable(err) || retries >= attempts-1 {
 			return m, err
 		}

@@ -46,24 +46,27 @@ type hostObs struct {
 	reg    *obs.Registry
 	traces *obs.TraceLog
 
-	migrations  *obs.CounterVec   // vecycle_migrations_total{host,role,outcome}
-	active      *obs.GaugeVec     // vecycle_migrations_active{host,role}
-	duration    *obs.HistogramVec // vecycle_migration_duration_seconds{host,role}
-	downtime    *obs.HistogramVec // vecycle_migration_downtime_seconds{host}
-	roundBytes  *obs.HistogramVec // vecycle_migration_round_bytes{host,role}
-	bytes       *obs.CounterVec   // vecycle_migration_bytes_total{host,role,direction}
-	pages       *obs.CounterVec   // vecycle_migration_pages_total{host,kind}
-	rounds      *obs.CounterVec   // vecycle_migration_rounds_total{host}
-	announce    *obs.CounterVec   // vecycle_announce_bytes_total{host}
-	announceRaw *obs.CounterVec   // vecycle_announce_raw_bytes_total{host}
-	sidecar     *obs.CounterVec   // vecycle_sidecar_total{host,outcome}
-	retries     *obs.CounterVec   // vecycle_migration_retries_total{host}
-	fallbacks   *obs.CounterVec   // vecycle_delta_fallbacks_total{host}
-	stage       *obs.CounterVec   // vecycle_stage_seconds_total{host,stage,state}
-	vmTotal     *obs.CounterVec   // vecycle_vm_migrations_total{host,vm,role}
-	vmLast      *obs.GaugeVec     // vecycle_vm_last_migration_seconds{host,vm}
-	resume      *obs.HistogramVec // vecycle_postcopy_resume_delay_seconds{host,role}
-	fetched     *obs.CounterVec   // vecycle_postcopy_pages_fetched_total{host}
+	migrations     *obs.CounterVec   // vecycle_migrations_total{host,role,outcome}
+	active         *obs.GaugeVec     // vecycle_migrations_active{host,role}
+	duration       *obs.HistogramVec // vecycle_migration_duration_seconds{host,role}
+	downtime       *obs.HistogramVec // vecycle_migration_downtime_seconds{host}
+	roundBytes     *obs.HistogramVec // vecycle_migration_round_bytes{host,role}
+	bytes          *obs.CounterVec   // vecycle_migration_bytes_total{host,role,direction}
+	pages          *obs.CounterVec   // vecycle_migration_pages_total{host,kind}
+	rounds         *obs.CounterVec   // vecycle_migration_rounds_total{host}
+	announce       *obs.CounterVec   // vecycle_announce_bytes_total{host}
+	announceRaw    *obs.CounterVec   // vecycle_announce_raw_bytes_total{host}
+	sidecar        *obs.CounterVec   // vecycle_sidecar_total{host,outcome}
+	retries        *obs.CounterVec   // vecycle_migration_retries_total{host}
+	fallbacks      *obs.CounterVec   // vecycle_delta_fallbacks_total{host}
+	salvage        *obs.CounterVec   // vecycle_salvage_total{host,outcome}
+	salvagePg      *obs.CounterVec   // vecycle_salvage_pages_total{host}
+	salvageAvoided *obs.CounterVec   // vecycle_salvage_bytes_avoided_total{host}
+	stage          *obs.CounterVec   // vecycle_stage_seconds_total{host,stage,state}
+	vmTotal        *obs.CounterVec   // vecycle_vm_migrations_total{host,vm,role}
+	vmLast         *obs.GaugeVec     // vecycle_vm_last_migration_seconds{host,vm}
+	resume         *obs.HistogramVec // vecycle_postcopy_resume_delay_seconds{host,role}
+	fetched        *obs.CounterVec   // vecycle_postcopy_pages_fetched_total{host}
 }
 
 // newHostObs registers (or re-attaches to) every vecycle metric family in
@@ -111,6 +114,15 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 			"host"),
 		fallbacks: reg.CounterVec("vecycle_delta_fallbacks_total",
 			"Outgoing migrations re-run without deltas after a stale-base abort.",
+			"host"),
+		salvage: reg.CounterVec("vecycle_salvage_total",
+			"Salvage-checkpoint activity around interrupted migrations, by outcome (written, write-failed, resumed, superseded).",
+			"host", "outcome"),
+		salvagePg: reg.CounterVec("vecycle_salvage_pages_total",
+			"Pages persisted into salvage checkpoints by interrupted incoming migrations.",
+			"host"),
+		salvageAvoided: reg.CounterVec("vecycle_salvage_bytes_avoided_total",
+			"Wire bytes avoided by migrations that resumed from a salvage checkpoint (pages reused out of the partial image, at page-size cost each).",
 			"host"),
 		stage: reg.CounterVec("vecycle_stage_seconds_total",
 			"Pipelined-engine stage time by stage (ingest, worker, emit) and state (busy, stall).",
@@ -190,6 +202,11 @@ func (o *hostObs) eventFunc(rec *obs.Recorder, role string) core.EventFunc {
 			o.announceRaw.With(o.host).Add(float64(checksum.EncodedSize(int(e.Pages))))
 		case core.EventSidecar:
 			o.sidecar.With(o.host, e.Detail).Inc()
+		case core.EventSalvage:
+			o.salvage.With(o.host, e.Detail).Inc()
+			if e.Detail == "written" {
+				o.salvagePg.With(o.host).Add(float64(e.Pages))
+			}
 		case core.EventPause:
 			pausedAt = time.Now()
 		case core.EventResume:
