@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-pipeline bench bench-smoke chaos-smoke docs ci
+.PHONY: build test vet race race-pipeline bench benchgate bench-smoke chaos-smoke fuzz-range docs ci
 
 build:
 	$(GO) build ./...
@@ -20,13 +20,20 @@ race-pipeline:
 	$(GO) test -race -run 'Golden|Pipeline|IterativeRoundSum|DestWorkerError' ./internal/core/
 
 # bench records the migration-engine benchmarks (first-round throughput at
-# several pipeline widths, destination merge-loop throughput, per-page
-# checksum rates, warm vs cold checkpoint open, announce-frame sizes) as
-# machine-readable output for regression tracking.
+# pipeline widths {1,2,4,8}, destination merge-loop and install-primitive
+# throughput, per-page checksum rates, warm vs cold checkpoint open,
+# announce-frame sizes) as machine-readable output for regression tracking.
+# BENCH_migration.json is committed: tools/benchgate gates CI on it.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFirstRound|BenchmarkMergeLoop' -benchmem -json ./internal/core/ > BENCH_migration.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFirstRound|BenchmarkMergeLoop|BenchmarkDestInstall' -benchmem -json ./internal/core/ > BENCH_migration.json
 	$(GO) test -run '^$$' -bench 'BenchmarkChecksumPage|BenchmarkAnnounceSize' -benchmem -json ./internal/checksum/ >> BENCH_migration.json
 	$(GO) test -run '^$$' -bench 'BenchmarkOpen' -benchmem -json ./internal/checkpoint/ >> BENCH_migration.json
+
+# benchgate fails when the committed BENCH_migration.json shows any
+# pipeline width running below 0.95x of workers=1 — the negative-scaling
+# regression the coalesced range frames fixed must stay fixed.
+benchgate:
+	$(GO) run ./tools/benchgate -file BENCH_migration.json
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a cheap guard against benchmarks rotting outside the bench target's
@@ -42,6 +49,13 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaos' ./internal/sched/
 	$(GO) test -race -run 'TestSalvage|TestPartialSkipped|TestKillPointMatrix|TestTornImage' ./internal/core/ ./internal/checkpoint/
 
+# fuzz-range runs the range-frame decoder fuzzers briefly beyond their
+# committed seed corpus: the frame parser directly, then the whole
+# destination engine against mutated negotiated streams.
+fuzz-range:
+	$(GO) test -run '^$$' -fuzz FuzzRangeDecode -fuzztime 5s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzRangeMergeStream -fuzztime 5s ./internal/core/
+
 # docs is the documentation gate: every exported identifier in the
 # operator-facing packages must carry a doc comment, and every relative
 # markdown link in README/docs must resolve (tools/lintdocs).
@@ -50,6 +64,7 @@ docs:
 
 # ci is the gate for every change: static analysis, the docs gate, the
 # full suite under the race detector (which includes the pipeline tests),
-# the chaos/resumability gate, and a single-iteration pass over every
-# benchmark.
-ci: vet docs race race-pipeline chaos-smoke bench-smoke
+# the chaos/resumability gate, a single-iteration pass over every
+# benchmark, short range-frame fuzzing, and the worker-scaling gate on the
+# committed benchmark recording.
+ci: vet docs race race-pipeline chaos-smoke bench-smoke fuzz-range benchgate

@@ -24,6 +24,7 @@ func runDest(args []string) error {
 		noSidecar = fs.Bool("no-sidecar", false, "disable checkpoint fingerprint sidecars (always rehash images on restore)")
 		noCompact = fs.Bool("no-compact-announce", false, "keep the v1 announcement encoding even when the peer supports compaction")
 		noSalvage = fs.Bool("no-salvage", false, "discard partially-installed pages on failed incoming migrations instead of persisting a salvage checkpoint")
+		noRanges  = fs.Bool("no-range-frames", false, "keep the per-page v1 page encoding even when the peer supports coalesced page-range frames")
 		opsAddr   = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
 		traceOut  = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
@@ -41,6 +42,7 @@ func runDest(args []string) error {
 	host.SetNoSidecar(*noSidecar)
 	host.NoCompactAnnounce = *noCompact
 	host.NoSalvage = *noSalvage
+	host.NoRangeFrames = *noRanges
 	if err := startOps(host, *opsAddr); err != nil {
 		return err
 	}
@@ -83,6 +85,7 @@ func runSource(args []string) error {
 		retries   = fs.Int("retries", 1, "total migration attempts on transient transport failures")
 		noSidecar = fs.Bool("no-sidecar", false, "disable checkpoint fingerprint sidecars (always rehash images on restore)")
 		noCompact = fs.Bool("no-compact-announce", false, "withhold the compact-announce capability (pin the v1 announcement encoding)")
+		noRanges  = fs.Bool("no-range-frames", false, "withhold the page-range-frame capability (pin the per-page v1 page encoding)")
 		opsAddr   = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
 		traceOut  = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
@@ -133,6 +136,7 @@ func runSource(args []string) error {
 		MaxRounds:         *rounds,
 		StopThreshold:     *stopAt,
 		NoCompactAnnounce: *noCompact,
+		NoRangeFrames:     *noRanges,
 		IdleTimeout:       *idle,
 		Retry:             sched.RetryPolicy{Attempts: *retries},
 	})

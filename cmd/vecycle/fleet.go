@@ -31,6 +31,7 @@ func runFleet(args []string) error {
 		workers   = fs.Int("workers", 0, "pipeline encode/merge workers (<1 = sequential engines)")
 		noSidecar = fs.Bool("no-sidecar", false, "disable checkpoint fingerprint sidecars on every host")
 		noCompact = fs.Bool("no-compact-announce", false, "keep the v1 announcement encoding fleet-wide")
+		noRanges  = fs.Bool("no-range-frames", false, "keep the per-page v1 page encoding fleet-wide")
 		noSalvage = fs.Bool("no-salvage", false, "discard partially-installed pages on failed incoming migrations fleet-wide")
 		opsAddr   = fs.String("ops-addr", "", "serve the whole fleet's /metrics, /debug/migrations and /debug/pprof on this address")
 		traceOut  = fs.String("trace-out", "", "write the fleet's migration traces as JSONL to this file on exit (- for stdout)")
@@ -79,6 +80,7 @@ func runFleet(args []string) error {
 		h.SetNoSidecar(*noSidecar)
 		h.NoCompactAnnounce = *noCompact
 		h.NoSalvage = *noSalvage
+		h.NoRangeFrames = *noRanges
 		h.OnArrival = func(*vm.VM, core.DestResult) { arrived.Done() }
 		addr, err := h.Listen("127.0.0.1:0")
 		if err != nil {
@@ -122,6 +124,7 @@ func runFleet(args []string) error {
 				Compress:          *compress,
 				Workers:           *workers,
 				NoCompactAnnounce: *noCompact,
+				NoRangeFrames:     *noRanges,
 			})
 			if err != nil {
 				return fmt.Errorf("round %d, %s: %w", round, name, err)

@@ -93,3 +93,27 @@ func TestPipelineAllocCeiling(t *testing.T) {
 		t.Errorf("allocation scales with workers: %d B (w=1) -> %d B (w=4)", one, four)
 	}
 }
+
+// TestBatchPoolBound pins putBatch's retention cap: a batch whose frame
+// buffer ballooned past maxPooledBatchBytes returns to the pool with the
+// buffer dropped, while ordinarily sized buffers keep their capacity for
+// reuse.
+func TestBatchPoolBound(t *testing.T) {
+	big := batchPool.Get().(*pageBatch)
+	big.buf.Grow(maxPooledBatchBytes + 1)
+	putBatch(big)
+	if c := big.buf.Cap(); c != 0 {
+		t.Errorf("oversized buffer retained %d B after putBatch, want dropped", c)
+	}
+
+	ok := batchPool.Get().(*pageBatch)
+	ok.buf.Grow(maxPooledBatchBytes / 2)
+	want := ok.buf.Cap()
+	putBatch(ok)
+	if c := ok.buf.Cap(); c != want {
+		t.Errorf("in-bound buffer capacity %d after putBatch, want %d retained", c, want)
+	}
+	if len(ok.pages) != 0 || len(ok.data) != 0 || ok.buf.Len() != 0 {
+		t.Error("putBatch left residual batch state")
+	}
+}

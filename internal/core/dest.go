@@ -37,6 +37,10 @@ type DestOptions struct {
 	// source advertised the compact-announce capability. For interop testing
 	// and as an escape hatch.
 	NoCompactAnnounce bool
+	// NoRangeFrames refuses the page-range-frame capability even when the
+	// source offered it, keeping the per-page v1 page encoding. For interop
+	// testing and as an escape hatch.
+	NoRangeFrames bool
 	// NoSalvage disables salvage checkpoints: a failed incoming migration
 	// discards the pages it had installed instead of persisting them as a
 	// partial store entry for the next attempt to resume from.
@@ -86,6 +90,10 @@ type IncomingSession struct {
 	r    *bufio.Reader
 	cw   *countingWriter
 	cr   *countingReader
+	// rangeOK records the negotiated page-range-frame capability (set in
+	// Run): a range frame from a peer that never negotiated it is a
+	// protocol violation.
+	rangeOK bool
 }
 
 // Accept reads the source's hello from conn and returns the session.
@@ -220,8 +228,10 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	// bit and our own configuration. The ack echoes the decision so the
 	// source knows which announcement encoding to expect.
 	useV2 := h.CompactAnnounce && !opts.NoCompactAnnounce
+	s.rangeOK = h.RangeFrames && !opts.NoRangeFrames
 	if err := writeHelloAck(w, helloAck{OK: true, HaveCheckpoint: cp != nil,
-		CompactAnnounce: useV2, PartialCheckpoint: partial}); err != nil {
+		CompactAnnounce: useV2, PartialCheckpoint: partial,
+		RangeFrames: s.rangeOK}); err != nil {
 		return res, err
 	}
 	opts.OnEvent.emit(Event{Kind: EventHello, Pages: int64(h.PageCount),
@@ -288,8 +298,15 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 	w, r := s.w, s.r
 	pageBuf := make([]byte, vm.PageSize)
 	var deltaBuf []byte
-	var decomp *pageDecompressor
+	var st destScratch
+	var rng rangeFrame
+	// rangeFloor is where the next range frame may start: the source emits
+	// each round's pages in ascending order, so a range below the previous
+	// range's end is overlapping or descending — malformed. Reset each
+	// round (later rounds legitimately revisit pages).
+	var rangeFloor uint64
 	roundStart := s.cr.n
+	frameStart := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -299,6 +316,23 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			return err
 		}
 		switch t {
+		case msgRangeSum, msgRangeFull, msgRangeFullZ, msgRangeDelta:
+			if !s.rangeOK {
+				return fmt.Errorf("%w: %v received without range-frame negotiation", ErrProtocol, t)
+			}
+			if cp == nil && (t == msgRangeSum || t == msgRangeDelta) {
+				return fmt.Errorf("%w: %v received without a checkpoint", ErrProtocol, t)
+			}
+			if err := readRangeFrame(r, t, v.NumPages(), rangeFloor, &rng); err != nil {
+				return err
+			}
+			rangeFloor = rng.start + uint64(rng.count)
+			if err := applyRange(v, cp, h.Alg, opts.VerifyPayloads, &rng, &st, &res.Metrics); err != nil {
+				return err
+			}
+			res.Metrics.PageFrames++
+			res.Metrics.RangeFrames++
+
 		case msgPageFull, msgPageFullZ:
 			page, sum, err := readPageHeader(r)
 			if err != nil {
@@ -307,11 +341,12 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			if page >= uint64(v.NumPages()) {
 				return fmt.Errorf("%w: page %d out of range", ErrProtocol, page)
 			}
+			res.Metrics.PageFrames++
 			if t == msgPageFullZ {
-				if decomp == nil {
-					decomp = newPageDecompressor()
+				if st.decomp == nil {
+					st.decomp = newPageDecompressor()
 				}
-				if err := decomp.readInto(r, pageBuf); err != nil {
+				if err := st.decomp.readInto(r, pageBuf); err != nil {
 					return err
 				}
 				res.Metrics.PagesCompressed++
@@ -337,6 +372,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			if cp == nil {
 				return fmt.Errorf("%w: page-sum received without a checkpoint", ErrProtocol)
 			}
+			res.Metrics.PageFrames++
 			res.Metrics.PagesSum++
 			// Fast path: the frame content inherited from the checkpoint
 			// bootstrap already matches.
@@ -368,6 +404,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			if cp == nil {
 				return fmt.Errorf("%w: page-delta received without a checkpoint", ErrProtocol)
 			}
+			res.Metrics.PageFrames++
 			var lenBuf [4]byte
 			if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 				return fmt.Errorf("core: read delta length: %w", err)
@@ -404,8 +441,11 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			}
 			res.Metrics.Rounds++
 			opts.OnEvent.emit(Event{Kind: EventRound, Round: int(round),
-				Pages: int64(dirty), Bytes: s.cr.n - roundStart})
+				Pages: int64(dirty), Bytes: s.cr.n - roundStart,
+				Frames: int64(res.Metrics.PageFrames - frameStart)})
 			roundStart = s.cr.n
+			frameStart = res.Metrics.PageFrames
+			rangeFloor = 0
 
 		case msgDone:
 			if err := writeMsgType(w, msgAck); err != nil {

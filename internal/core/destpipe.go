@@ -23,12 +23,17 @@ import (
 // preserves the cross-round last-write-wins semantics of the sequential
 // merge loop.
 
-// destJob carries one parsed page message from the decoder to the workers.
+// destJob carries one parsed page message — a single-page frame or a
+// coalesced page-range frame — from the decoder to the workers.
 type destJob struct {
 	t       msgType
 	page    uint64
 	sum     checksum.Sum
 	payload []byte // raw page, deflate stream, or delta encoding; empty for msgPageSum
+	// rng holds the decoded range frame when t is a range tag; its scratch
+	// slices are pooled with the job. Payload retention is structurally
+	// bounded at MaxRangePages*vm.PageSize by the decoder's validation.
+	rng rangeFrame
 }
 
 var destJobPool = sync.Pool{New: func() interface{} {
@@ -37,19 +42,19 @@ var destJobPool = sync.Pool{New: func() interface{} {
 
 func putDestJob(j *destJob) {
 	j.payload = j.payload[:0]
+	j.rng.reset()
 	destJobPool.Put(j)
 }
 
-// destWorker is the per-goroutine state of the install pool: a scratch page
-// buffer, a lazily created inflater, and private metrics merged after the
-// pool drains.
+// destWorker is the per-goroutine state of the install pool: a scratch span
+// buffer, a lazily created inflater (both in st), and private metrics
+// merged after the pool drains.
 type destWorker struct {
 	v      *vm.VM
 	alg    checksum.Algorithm
 	verify bool
 	cp     *checkpoint.Checkpoint
-	decomp *pageDecompressor
-	buf    []byte
+	st     destScratch
 	m      Metrics
 }
 
@@ -59,6 +64,9 @@ type destWorker struct {
 func (ws *destWorker) process(j *destJob) error {
 	page := int(j.page)
 	switch j.t {
+	case msgRangeSum, msgRangeFull, msgRangeFullZ, msgRangeDelta:
+		return applyRange(ws.v, ws.cp, ws.alg, ws.verify, &j.rng, &ws.st, &ws.m)
+
 	case msgPageFull:
 		if ws.verify {
 			if got := ws.alg.Page(j.payload); got != j.sum {
@@ -69,18 +77,19 @@ func (ws *destWorker) process(j *destJob) error {
 		ws.m.PagesFull++
 
 	case msgPageFullZ:
-		if ws.decomp == nil {
-			ws.decomp = newPageDecompressor()
+		if ws.st.decomp == nil {
+			ws.st.decomp = newPageDecompressor()
 		}
-		if err := ws.decomp.inflate(j.payload, ws.buf); err != nil {
+		buf := ws.st.span(1)
+		if err := ws.st.decomp.inflate(j.payload, buf); err != nil {
 			return err
 		}
 		if ws.verify {
-			if got := ws.alg.Page(ws.buf); got != j.sum {
+			if got := ws.alg.Page(buf); got != j.sum {
 				return fmt.Errorf("%w: page %d payload checksum mismatch", ErrProtocol, page)
 			}
 		}
-		ws.v.InstallPage(page, ws.buf)
+		ws.v.InstallPage(page, buf)
 		ws.m.PagesFull++
 		ws.m.PagesCompressed++
 
@@ -108,16 +117,17 @@ func (ws *destWorker) process(j *destJob) error {
 	case msgPageDelta:
 		// The frame still holds bootstrap (checkpoint) content: deltas are
 		// first-round only and each round-one frame appears exactly once.
-		ws.v.ReadPage(page, ws.buf)
-		if err := delta.Decode(ws.buf, j.payload, ws.buf); err != nil {
+		buf := ws.st.span(1)
+		ws.v.ReadPage(page, buf)
+		if err := delta.Decode(buf, j.payload, buf); err != nil {
 			return fmt.Errorf("%w: %v", ErrProtocol, err)
 		}
 		// Deltas are always verified: a base mismatch (stale mirror at the
 		// source) silently corrupts otherwise.
-		if got := ws.alg.Page(ws.buf); got != j.sum {
+		if got := ws.alg.Page(buf); got != j.sum {
 			return fmt.Errorf("%w: page %d delta produced checksum mismatch (stale delta base?)", ErrProtocol, page)
 		}
-		ws.v.InstallPage(page, ws.buf)
+		ws.v.InstallPage(page, buf)
 		ws.m.PagesDelta++
 	}
 	return nil
@@ -164,7 +174,7 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 	var wg sync.WaitGroup
 	wks := make([]*destWorker, workers)
 	for k := range wks {
-		wks[k] = &destWorker{v: v, alg: h.Alg, verify: opts.VerifyPayloads, cp: cp, buf: make([]byte, vm.PageSize)}
+		wks[k] = &destWorker{v: v, alg: h.Alg, verify: opts.VerifyPayloads, cp: cp}
 		wg.Add(1)
 		go func(ws *destWorker) {
 			defer wg.Done()
@@ -203,6 +213,10 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 	}
 
 	roundStart := s.cr.n
+	frameStart := 0
+	// rangeFloor is where the next range frame may start (ranges are
+	// ascending and disjoint within a round); reset at each round boundary.
+	var rangeFloor uint64
 	for {
 		if err := pctx.Err(); err != nil {
 			return retErr(err)
@@ -213,6 +227,35 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 			return retErr(err)
 		}
 		switch t {
+		case msgRangeSum, msgRangeFull, msgRangeFullZ, msgRangeDelta:
+			if !s.rangeOK {
+				return retErr(fmt.Errorf("%w: %v received without range-frame negotiation", ErrProtocol, t))
+			}
+			if cp == nil && (t == msgRangeSum || t == msgRangeDelta) {
+				return retErr(fmt.Errorf("%w: %v received without a checkpoint", ErrProtocol, t))
+			}
+			j := destJobPool.Get().(*destJob)
+			j.t = t
+			if err := readRangeFrame(r, t, v.NumPages(), rangeFloor, &j.rng); err != nil {
+				putDestJob(j)
+				return retErr(err)
+			}
+			rangeFloor = j.rng.start + uint64(j.rng.count)
+			res.Metrics.PageFrames++
+			res.Metrics.RangeFrames++
+			stats.ingestBusy.Add(int64(time.Since(t0)))
+			stats.batches.Add(1)
+			t1 := time.Now()
+			inflight.Add(1)
+			select {
+			case jobs <- j:
+			case <-pctx.Done():
+				inflight.Done()
+				putDestJob(j)
+				return retErr(pctx.Err())
+			}
+			stats.ingestStall.Add(int64(time.Since(t1)))
+
 		case msgPageFull, msgPageFullZ, msgPageSum, msgPageDelta:
 			page, sum, err := readPageHeader(r)
 			if err != nil {
@@ -224,6 +267,7 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 			if cp == nil && (t == msgPageSum || t == msgPageDelta) {
 				return fmt.Errorf("%w: %v received without a checkpoint", ErrProtocol, t)
 			}
+			res.Metrics.PageFrames++
 			j := destJobPool.Get().(*destJob)
 			j.t, j.page, j.sum = t, page, sum
 			switch t {
@@ -271,8 +315,11 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 			}
 			res.Metrics.Rounds++
 			opts.OnEvent.emit(Event{Kind: EventRound, Round: int(round),
-				Pages: int64(dirty), Bytes: s.cr.n - roundStart})
+				Pages: int64(dirty), Bytes: s.cr.n - roundStart,
+				Frames: int64(res.Metrics.PageFrames - frameStart)})
 			roundStart = s.cr.n
+			frameStart = res.Metrics.PageFrames
+			rangeFloor = 0
 
 		case msgDone:
 			inflight.Wait()

@@ -35,6 +35,15 @@ type Metrics struct {
 	// PagesDelta counts changed pages sent as XBZRLE deltas against the
 	// checkpoint frame (only with SourceOptions.DeltaBase).
 	PagesDelta int
+	// PageFrames counts page-carrying wire frames in either encoding: one
+	// per page under the v1 per-page protocol, one per coalesced run when
+	// page-range frames were negotiated. Pages/PageFrames is the realized
+	// coalescing factor.
+	PageFrames int
+	// RangeFrames counts the subset of PageFrames that crossed the wire as
+	// coalesced page-range frames (tags 12-15). Zero for unnegotiated
+	// peers.
+	RangeFrames int
 	// DeltaSavedBytes is the payload volume delta encoding avoided.
 	DeltaSavedBytes int64
 	// AnnounceBytes is the size of the bulk hash announcement (§3.2's
@@ -74,8 +83,16 @@ type StageMetrics struct {
 	// source, page messages on the destination.
 	Batches int64
 	// IngestBusy/IngestStall: the reader (source) or decoder (dest) stage.
+	// On the source, IngestStall is time the sequencer spent blocked on the
+	// in-order emit queue (emitter backpressure); on the destination, time
+	// the decoder spent blocked handing jobs to the install pool.
 	IngestBusy  time.Duration
 	IngestStall time.Duration
+	// DispatchStall is time the source's sequencer spent blocked handing
+	// batches to the encode workers (worker backpressure). Separate from
+	// IngestStall so reader-bound, emitter-bound, and worker-bound rounds
+	// are distinguishable; zero on the destination.
+	DispatchStall time.Duration
 	// WorkerBusy is the summed busy time across the worker pool.
 	WorkerBusy time.Duration
 	// EmitBusy/EmitStall: the source's in-order emitter. Zero on the
@@ -89,6 +106,7 @@ func (s *StageMetrics) add(o StageMetrics) {
 	s.Batches += o.Batches
 	s.IngestBusy += o.IngestBusy
 	s.IngestStall += o.IngestStall
+	s.DispatchStall += o.DispatchStall
 	s.WorkerBusy += o.WorkerBusy
 	s.EmitBusy += o.EmitBusy
 	s.EmitStall += o.EmitStall
@@ -101,6 +119,8 @@ func (m *Metrics) addPageCounters(d Metrics) {
 	m.PagesFull += d.PagesFull
 	m.PagesSum += d.PagesSum
 	m.PagesDelta += d.PagesDelta
+	m.PageFrames += d.PageFrames
+	m.RangeFrames += d.RangeFrames
 	m.PagesCompressed += d.PagesCompressed
 	m.CompressionSavedBytes += d.CompressionSavedBytes
 	m.DeltaSavedBytes += d.DeltaSavedBytes

@@ -48,6 +48,15 @@ const (
 	// the compact-announce capability in the hello exchange: same checksum
 	// set, delta-encoded and deflated (checksum.EncodeSetCompact).
 	msgHashAnnounceV2 // destination → source: compact checksum announcement
+	// Coalesced page-range frames (tags 12-15): one frame carries a
+	// contiguous run of 2..MaxRangePages pages that all received the same
+	// treatment (checksum-only, full, compressed, delta). Only sent after
+	// the range-frame capability was negotiated in the hello exchange;
+	// unnegotiated peers keep the byte-exact per-page stream above.
+	msgRangeSum   // source → destination: run of checkpoint-reusable pages
+	msgRangeFull  // source → destination: run of raw page payloads
+	msgRangeFullZ // source → destination: run of deflate-compressed payloads
+	msgRangeDelta // source → destination: run of XBZRLE deltas
 )
 
 func (m msgType) String() string {
@@ -74,6 +83,14 @@ func (m msgType) String() string {
 		return "page-delta"
 	case msgHashAnnounceV2:
 		return "hash-announce-v2"
+	case msgRangeSum:
+		return "range-sum"
+	case msgRangeFull:
+		return "range-full"
+	case msgRangeFullZ:
+		return "range-full-z"
+	case msgRangeDelta:
+		return "range-delta"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(m))
 	}
@@ -99,6 +116,12 @@ type hello struct {
 	// (v2) hash announcement. Old peers ignore unknown flag bits, so the
 	// capability degrades silently to the v1 byte stream.
 	CompactAnnounce bool
+	// RangeFrames advertises that the source wants to coalesce contiguous
+	// same-treatment pages into page-range frames (tags 12-15). The
+	// destination must echo acceptance in its hello-ack before any range
+	// frame goes on the wire; old peers ignore the bit and keep the
+	// byte-exact per-page stream.
+	RangeFrames bool
 }
 
 // helloAck is the destination's response.
@@ -122,6 +145,11 @@ type helloAck struct {
 	// checkpoint no longer describes the destination's RAM) and to label
 	// traces. Old sources ignore the unknown flag bit.
 	PartialCheckpoint bool
+	// RangeFrames confirms the destination will decode coalesced
+	// page-range frames (tags 12-15). Only set when the source advertised
+	// the capability in its hello; without it the source keeps the
+	// per-page v1 stream.
+	RangeFrames bool
 }
 
 const maxNameLen = 1024
@@ -164,6 +192,9 @@ func writeHello(w io.Writer, h hello) error {
 	}
 	if h.CompactAnnounce {
 		flags |= 8
+	}
+	if h.RangeFrames {
+		flags |= 16
 	}
 	fields := []interface{}{
 		h.Version,
@@ -216,6 +247,7 @@ func readHello(r io.Reader) (hello, error) {
 	h.SkipAnnounce = flags&2 != 0
 	h.PostCopy = flags&4 != 0
 	h.CompactAnnounce = flags&8 != 0
+	h.RangeFrames = flags&16 != 0
 	return h, nil
 }
 
@@ -235,6 +267,9 @@ func writeHelloAck(w io.Writer, a helloAck) error {
 	}
 	if a.PartialCheckpoint {
 		flags |= 8
+	}
+	if a.RangeFrames {
+		flags |= 16
 	}
 	if len(a.Reason) > maxNameLen {
 		a.Reason = a.Reason[:maxNameLen]
@@ -262,6 +297,7 @@ func readHelloAck(r io.Reader) (helloAck, error) {
 	a.HaveCheckpoint = flags&2 != 0
 	a.CompactAnnounce = flags&4 != 0
 	a.PartialCheckpoint = flags&8 != 0
+	a.RangeFrames = flags&16 != 0
 	var n uint16
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return a, fmt.Errorf("core: read hello-ack reason length: %w", err)

@@ -63,6 +63,10 @@ type Event struct {
 	Pages int64
 	// Bytes is the wire volume attributed to the turn.
 	Bytes int64
+	// Frames is the number of page-carrying wire frames the turn covered
+	// (EventRound only). With coalesced page-range frames negotiated this
+	// is well below Pages; under the v1 per-page protocol the two match.
+	Frames int64
 	// Detail carries free-form context.
 	Detail string
 }

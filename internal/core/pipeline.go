@@ -3,9 +3,6 @@ package core
 import (
 	"bytes"
 	"context"
-	"encoding/binary"
-	"errors"
-	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -13,16 +10,18 @@ import (
 	"time"
 
 	"vecycle/internal/checksum"
-	"vecycle/internal/delta"
 	"vecycle/internal/vm"
 )
 
-// The source half of the pipelined migration engine (§3.4): page reads,
-// checksum + compression + delta encoding, and wire emission run as three
-// concurrent stages connected by bounded queues, so batch N+1 is being
-// hashed and compressed while batch N is on the wire. The checksum rate —
-// not the network — bounds fast-link migrations (MD5 at ~350 MiB/s vs
-// 10/40 GbE), which is why the encode stage is the one that fans out.
+// The source half of the pipelined migration engine (§3.4): page
+// sequencing, page reads + checksum + compression + delta encoding, and
+// wire emission run as concurrent stages connected by bounded queues, so
+// batch N+1 is being hashed and compressed while batch N is on the wire.
+// The checksum rate — not the network — bounds fast-link migrations (MD5
+// at ~350 MiB/s vs 10/40 GbE), which is why the encode stage is the one
+// that fans out. Page reads happen inside the encode workers too (batched
+// vm.ReadRange over contiguous spans), so memory-copy bandwidth scales
+// with the worker count instead of serializing on the sequencer.
 //
 // Ordering guarantee: the emitter writes batches strictly in read order, so
 // the wire stream is byte-for-byte identical to the sequential engine's for
@@ -79,10 +78,21 @@ var batchPool = sync.Pool{New: func() interface{} {
 	}
 }}
 
+// maxPooledBatchBytes bounds the frame buffer a pooled batch may retain. A
+// batch's encoded frames normally fit its pages' raw size plus framing; a
+// pathological round (incompressible deltas, say) can grow the buffer well
+// beyond that, and sync.Pool would then keep the spike alive indefinitely.
+// Oversized buffers are dropped so steady-state memory stays capped at any
+// worker count.
+const maxPooledBatchBytes = 2 * batchPages * vm.PageSize
+
 func putBatch(b *pageBatch) {
 	b.pages = b.pages[:0]
 	b.data = b.data[:0]
 	b.buf.Reset()
+	if b.buf.Cap() > maxPooledBatchBytes {
+		b.buf = bytes.Buffer{}
+	}
 	b.m = Metrics{}
 	b.err = nil
 	b.done = nil
@@ -91,22 +101,24 @@ func putBatch(b *pageBatch) {
 
 // pipelineStats accumulates stage timings from concurrently running stages.
 type pipelineStats struct {
-	batches     atomic.Int64
-	ingestBusy  atomic.Int64
-	ingestStall atomic.Int64
-	workerBusy  atomic.Int64
-	emitBusy    atomic.Int64
-	emitStall   atomic.Int64
+	batches       atomic.Int64
+	ingestBusy    atomic.Int64
+	ingestStall   atomic.Int64
+	dispatchStall atomic.Int64
+	workerBusy    atomic.Int64
+	emitBusy      atomic.Int64
+	emitStall     atomic.Int64
 }
 
 func (s *pipelineStats) stageMetrics() StageMetrics {
 	return StageMetrics{
-		Batches:     s.batches.Load(),
-		IngestBusy:  time.Duration(s.ingestBusy.Load()),
-		IngestStall: time.Duration(s.ingestStall.Load()),
-		WorkerBusy:  time.Duration(s.workerBusy.Load()),
-		EmitBusy:    time.Duration(s.emitBusy.Load()),
-		EmitStall:   time.Duration(s.emitStall.Load()),
+		Batches:       s.batches.Load(),
+		IngestBusy:    time.Duration(s.ingestBusy.Load()),
+		IngestStall:   time.Duration(s.ingestStall.Load()),
+		DispatchStall: time.Duration(s.dispatchStall.Load()),
+		WorkerBusy:    time.Duration(s.workerBusy.Load()),
+		EmitBusy:      time.Duration(s.emitBusy.Load()),
+		EmitStall:     time.Duration(s.emitStall.Load()),
 	}
 }
 
@@ -116,20 +128,26 @@ type encoderConfig struct {
 	alg      checksum.Algorithm
 	destSums *checksum.Set // nil: no redundancy elimination
 	compress bool
+	// ranges selects the coalesced page-range encoding (negotiated in the
+	// hello exchange); false keeps the byte-exact per-page v1 stream.
+	ranges bool
 }
 
 // sourceEncoder is the per-goroutine encoding state: a reusable deflate
-// encoder and a delta scratch buffer. Encoding is pure per page, so any
-// number of encoders produce identical bytes for identical input.
+// encoder, a delta scratch buffer, and (in range mode) the current
+// coalescing run. Encoding is pure per page and runs never span a batch,
+// so any number of encoders produce identical bytes for identical input.
 type sourceEncoder struct {
 	alg      checksum.Algorithm
 	destSums *checksum.Set
 	comp     *pageCompressor
 	deltaBuf []byte
+	ranges   bool
+	run      rangeRun
 }
 
 func newSourceEncoder(cfg encoderConfig) (*sourceEncoder, error) {
-	e := &sourceEncoder{alg: cfg.alg, destSums: cfg.destSums}
+	e := &sourceEncoder{alg: cfg.alg, destSums: cfg.destSums, ranges: cfg.ranges}
 	if cfg.compress {
 		c, err := getPageCompressor()
 		if err != nil {
@@ -155,6 +173,7 @@ func (e *sourceEncoder) release() {
 // fits, else the full (possibly deflated) payload. base is non-nil in the
 // first round of a recycled migration only.
 func (e *sourceEncoder) encodePage(w io.Writer, base PageProvider, page uint64, data []byte, m *Metrics) error {
+	m.PageFrames++
 	sum := e.alg.Page(data)
 	if e.destSums != nil && e.destSums.Contains(sum) {
 		m.PagesSum++
@@ -176,31 +195,12 @@ func (e *sourceEncoder) encodePage(w io.Writer, base PageProvider, page uint64, 
 // tryDelta attempts an XBZRLE delta of data against the provider's content
 // for the frame. sent reports whether a message was written.
 func (e *sourceEncoder) tryDelta(w io.Writer, base PageProvider, page uint64, sum checksum.Sum, data []byte, m *Metrics) (sent bool, err error) {
-	old, ok, err := base.PageAt(int(page))
-	if err != nil {
+	enc, err := e.deltaPayload(base, int(page), data)
+	if err != nil || enc == nil {
 		return false, err
 	}
-	if !ok {
-		return false, nil
-	}
-	enc, err := delta.Encode(e.deltaBuf[:0], old, data, deltaLimit)
-	if errors.Is(err, delta.ErrTooLarge) {
-		return false, nil
-	}
-	if err != nil {
+	if err := writePageDelta(w, page, sum, enc); err != nil {
 		return false, err
-	}
-	e.deltaBuf = enc[:0] // keep the (possibly grown) scratch for reuse
-	if err := writePageHeader(w, msgPageDelta, page, sum); err != nil {
-		return false, err
-	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(enc)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return false, fmt.Errorf("core: write delta length: %w", err)
-	}
-	if _, err := w.Write(enc); err != nil {
-		return false, fmt.Errorf("core: write delta payload: %w", err)
 	}
 	m.PagesDelta++
 	m.DeltaSavedBytes += int64(vm.PageSize - len(enc) - 4)
@@ -235,7 +235,9 @@ func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq
 	// more than workers+2 batches ahead of the emitter.
 	ordered := make(chan *pageBatch, workers+2)
 
-	// Stage 1: reader.
+	// Stage 1: sequencer. It only assigns page numbers to batches — the
+	// actual guest-memory copies happen in the workers (fillBatch), so the
+	// read bandwidth shards across the pool instead of bottlenecking here.
 	go func() {
 		defer close(jobs)
 		defer close(ordered)
@@ -248,11 +250,8 @@ func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq
 			b := batchPool.Get().(*pageBatch)
 			b.done = make(chan struct{})
 			b.pages = b.pages[:cnt]
-			b.data = b.data[:cnt*vm.PageSize]
 			for i := 0; i < cnt; i++ {
-				p := pages.at(off + i)
-				b.pages[i] = p
-				v.ReadPage(p, b.data[i*vm.PageSize:(i+1)*vm.PageSize])
+				b.pages[i] = pages.at(off + i)
 			}
 			stats.ingestBusy.Add(int64(time.Since(t0)))
 			t1 := time.Now()
@@ -262,6 +261,8 @@ func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq
 				putBatch(b)
 				return
 			}
+			stats.ingestStall.Add(int64(time.Since(t1)))
+			t2 := time.Now()
 			select {
 			case jobs <- b:
 			case <-pctx.Done():
@@ -270,12 +271,12 @@ func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq
 				b.fail(pctx.Err())
 				return
 			}
-			stats.ingestStall.Add(int64(time.Since(t1)))
+			stats.dispatchStall.Add(int64(time.Since(t2)))
 			stats.batches.Add(1)
 		}
 	}()
 
-	// Stage 2: encode workers.
+	// Stage 2: encode workers (page reads + encoding).
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
@@ -287,6 +288,7 @@ func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq
 					continue
 				}
 				t0 := time.Now()
+				fillBatch(v, b)
 				err := encodeBatch(enc, base, b)
 				stats.workerBusy.Add(int64(time.Since(t0)))
 				if err != nil {
@@ -328,8 +330,28 @@ func runSourcePipeline(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq
 	return firstErr
 }
 
-// encodeBatch serializes every page of the batch into its buffer.
+// fillBatch copies the batch's pages out of the guest, coalescing
+// contiguous page numbers into single ReadRange calls (one lock
+// acquisition and one copy per contiguous span instead of per page).
+func fillBatch(v *vm.VM, b *pageBatch) {
+	cnt := len(b.pages)
+	b.data = b.data[:cnt*vm.PageSize]
+	for i := 0; i < cnt; {
+		j := i + 1
+		for j < cnt && b.pages[j] == b.pages[j-1]+1 {
+			j++
+		}
+		v.ReadRange(b.pages[i], j-i, b.data[i*vm.PageSize:j*vm.PageSize])
+		i = j
+	}
+}
+
+// encodeBatch serializes every page of the batch into its buffer — in
+// coalesced range frames when negotiated, per-page v1 frames otherwise.
 func encodeBatch(enc *sourceEncoder, base PageProvider, b *pageBatch) error {
+	if enc.ranges {
+		return encodeBatchRanges(enc, base, b)
+	}
 	for i, p := range b.pages {
 		data := b.data[i*vm.PageSize : (i+1)*vm.PageSize]
 		if err := enc.encodePage(&b.buf, base, uint64(p), data, &b.m); err != nil {

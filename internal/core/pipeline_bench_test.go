@@ -33,17 +33,14 @@ func benchVM(b *testing.B, seed int64) *vm.VM {
 
 // BenchmarkFirstRound measures a cold first-round migration (no checkpoint
 // at the destination, every page crosses the wire, compression on) at
-// several pipeline widths. On a multi-core host workers=NumCPU should beat
-// workers=1 by ~NumCPU/2 or better; on a single-core runner the widths
-// converge.
+// fixed pipeline widths {1, 2, 4, 8} — tools/benchgate reads exactly these
+// series out of BENCH_migration.json and fails CI on negative scaling. On a
+// multi-core host workers=8 should beat workers=1 by ~NumCPU/2 or better;
+// on a single-core runner the widths converge but must not regress.
 func BenchmarkFirstRound(b *testing.B) {
 	src := benchVM(b, 7)
 	dst := benchVM(b, 8)
-	widths := []int{1, 2, 4}
-	if n := runtime.NumCPU(); n > 4 {
-		widths = append(widths, n)
-	}
-	for _, workers := range widths {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(benchPages * vm.PageSize)
 			for i := 0; i < b.N; i++ {
@@ -91,6 +88,32 @@ func BenchmarkMergeLoop(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDestInstall isolates the destination's memory-install primitive:
+// the per-page InstallPage loop the merge path used for every frame versus
+// one vectorized InstallRange call per 256-page span — the copy a decoded
+// range-full frame lands with.
+func BenchmarkDestInstall(b *testing.B) {
+	v := benchVM(b, 12)
+	data := make([]byte, batchPages*vm.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.Run("per-page", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < batchPages; p++ {
+				v.InstallPage(p, data[p*vm.PageSize:(p+1)*vm.PageSize])
+			}
+		}
+	})
+	b.Run("range", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			v.InstallRange(0, data)
+		}
+	})
 }
 
 // recordStream runs one real migration and captures every byte the

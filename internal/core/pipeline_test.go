@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"math/rand"
 	"net"
 	"runtime"
@@ -54,6 +55,12 @@ func mutateGolden(src *vm.VM) {
 		rng.Read(buf)
 		src.WritePage(i, buf)
 	}
+	for i := 360; i < 420; i++ { // compressible rewrites: range-full-z runs
+		for j := range buf {
+			buf[j] = byte((j % 16) * (i + 3))
+		}
+		src.WritePage(i, buf)
+	}
 }
 
 // goldenPause generates the round-2 (stop-and-copy) traffic: one page whose
@@ -87,8 +94,9 @@ func (c *recordConn) Write(p []byte) (int, error) {
 // goldenRun migrates a freshly reconstructed golden guest with the given
 // worker count and returns the exact byte stream the source emitted.
 // onEvent, when non-nil, is installed on both endpoints — the golden
-// comparison then proves observability never reaches the wire.
-func goldenRun(t *testing.T, workers int, onEvent EventFunc) ([]byte, Metrics, *vm.VM) {
+// comparison then proves observability never reaches the wire. legacy pins
+// both endpoints to the per-page v1 stream (no range frames).
+func goldenRun(t *testing.T, workers int, onEvent EventFunc, legacy bool) ([]byte, Metrics, *vm.VM) {
 	t.Helper()
 	src, err := vm.New(vm.Config{Name: "vm0", MemBytes: goldenPages * vm.PageSize, Seed: 7})
 	if err != nil {
@@ -122,12 +130,13 @@ func goldenRun(t *testing.T, workers int, onEvent EventFunc) ([]byte, Metrics, *
 	go func() {
 		defer wg.Done()
 		sm, serr = MigrateSource(context.Background(), rc, src, SourceOptions{
-			Recycle:   true,
-			Compress:  true,
-			DeltaBase: base,
-			Workers:   workers,
-			Pause:     func() { goldenPause(src) },
-			OnEvent:   onEvent,
+			Recycle:       true,
+			Compress:      true,
+			DeltaBase:     base,
+			Workers:       workers,
+			NoRangeFrames: legacy,
+			Pause:         func() { goldenPause(src) },
+			OnEvent:       onEvent,
 		})
 	}()
 	go func() {
@@ -138,6 +147,7 @@ func goldenRun(t *testing.T, workers int, onEvent EventFunc) ([]byte, Metrics, *
 			Store:          store,
 			VerifyPayloads: true,
 			Workers:        workers / 2,
+			NoRangeFrames:  legacy,
 			OnEvent:        onEvent,
 		})
 	}()
@@ -161,7 +171,7 @@ func goldenRun(t *testing.T, workers int, onEvent EventFunc) ([]byte, Metrics, *
 // variant with one, so equality also proves observability is about the
 // stream, never in it.
 func TestGoldenStreamEquivalence(t *testing.T) {
-	golden, gm, _ := goldenRun(t, 0, nil)
+	golden, gm, _ := goldenRun(t, 0, nil, false)
 	// The scenario must actually exercise every encoding.
 	if gm.PagesSum == 0 || gm.PagesFull == 0 || gm.PagesDelta == 0 || gm.PagesCompressed == 0 {
 		t.Fatalf("golden scenario too narrow: %+v", gm)
@@ -169,9 +179,19 @@ func TestGoldenStreamEquivalence(t *testing.T) {
 	if gm.Rounds < 2 {
 		t.Fatalf("golden scenario ran %d round(s), want >= 2", gm.Rounds)
 	}
+	// Range frames are on by default, and the scenario's same-treatment runs
+	// must actually coalesce — otherwise the variants below only re-prove the
+	// per-page path.
+	if gm.RangeFrames == 0 {
+		t.Fatal("golden scenario emitted no range frames")
+	}
+	if gm.PageFrames >= gm.PagesSum+gm.PagesFull+gm.PagesDelta {
+		t.Fatalf("PageFrames = %d not below page count %d; nothing coalesced",
+			gm.PageFrames, gm.PagesSum+gm.PagesFull+gm.PagesDelta)
+	}
 	for _, workers := range []int{0, 1, 2, 8} {
 		var events atomic.Int64
-		stream, sm, _ := goldenRun(t, workers, func(Event) { events.Add(1) })
+		stream, sm, _ := goldenRun(t, workers, func(Event) { events.Add(1) }, false)
 		if events.Load() == 0 {
 			t.Fatalf("workers=%d: no events observed", workers)
 		}
@@ -185,20 +205,61 @@ func TestGoldenStreamEquivalence(t *testing.T) {
 		}
 		if sm.PagesFull != gm.PagesFull || sm.PagesSum != gm.PagesSum ||
 			sm.PagesDelta != gm.PagesDelta || sm.PagesCompressed != gm.PagesCompressed ||
+			sm.PageFrames != gm.PageFrames || sm.RangeFrames != gm.RangeFrames ||
 			sm.BytesSent != gm.BytesSent {
 			t.Errorf("workers=%d: metrics diverge: got %+v want %+v", workers, sm, gm)
 		}
 	}
 }
 
+// TestGoldenStreamLegacyV1 pins the unnegotiated fallback: with range
+// frames disabled on either side the wire stream is the per-page v1
+// encoding, byte-identical at every pipeline width, identical no matter
+// which side (or both) is old — and genuinely different bytes from the
+// negotiated range-frame stream.
+func TestGoldenStreamLegacyV1(t *testing.T) {
+	legacy, lm, _ := goldenRun(t, 0, nil, true)
+	if lm.RangeFrames != 0 {
+		t.Fatalf("legacy run emitted %d range frames", lm.RangeFrames)
+	}
+	// v1 is strictly one frame per page.
+	if pages := lm.PagesSum + lm.PagesFull + lm.PagesDelta; lm.PageFrames != pages {
+		t.Fatalf("legacy PageFrames = %d, want one per page (%d)", lm.PageFrames, pages)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		stream, sm, _ := goldenRun(t, workers, nil, true)
+		if !bytes.Equal(stream, legacy) {
+			t.Fatalf("workers=%d: legacy stream diverges from sequential (lens %d vs %d)",
+				workers, len(stream), len(legacy))
+		}
+		if sm.RangeFrames != 0 {
+			t.Errorf("workers=%d: legacy run emitted %d range frames", workers, sm.RangeFrames)
+		}
+	}
+	// The negotiated stream must actually differ — coalescing reaches the
+	// wire — while the page-level metrics stay identical (classification is
+	// unchanged, only the framing is).
+	ranged, rm, _ := goldenRun(t, 0, nil, false)
+	if bytes.Equal(ranged, legacy) {
+		t.Error("negotiated and legacy streams are identical; range frames never hit the wire")
+	}
+	if len(ranged) >= len(legacy) {
+		t.Errorf("range-frame stream is %d bytes, not smaller than v1's %d", len(ranged), len(legacy))
+	}
+	if rm.PagesSum != lm.PagesSum || rm.PagesFull != lm.PagesFull ||
+		rm.PagesDelta != lm.PagesDelta || rm.PagesCompressed != lm.PagesCompressed {
+		t.Errorf("page classification changed with framing: ranged %+v legacy %+v", rm, lm)
+	}
+}
+
 // TestPipelineStageMetrics checks the per-stage counters are populated by a
 // pipelined run and absent from a sequential one.
 func TestPipelineStageMetrics(t *testing.T) {
-	_, seq, _ := goldenRun(t, 0, nil)
+	_, seq, _ := goldenRun(t, 0, nil, false)
 	if seq.Stages.Batches != 0 {
 		t.Errorf("sequential run recorded %d pipeline batches", seq.Stages.Batches)
 	}
-	_, par, _ := goldenRun(t, 2, nil)
+	_, par, _ := goldenRun(t, 2, nil, false)
 	if par.Stages.Batches == 0 {
 		t.Error("pipelined run recorded no batches")
 	}
@@ -249,6 +310,78 @@ func TestIterativeRoundSumElimination(t *testing.T) {
 	// from the checkpoint file.
 	if dres.Metrics.PagesReusedFromDisk == 0 {
 		t.Error("destination never re-read a checkpoint block")
+	}
+}
+
+// slowWriter models a link slower than the encoders: every write sleeps,
+// then succeeds.
+type slowWriter struct{ d time.Duration }
+
+func (s slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.d)
+	return len(p), nil
+}
+
+// TestStageStallSplit pins the sequencer's two distinct stall accounts: a
+// slow wire backs up the in-order emit queue (ingest stall), a saturated
+// worker pool backs up the jobs handoff (dispatch stall). The old single
+// counter conflated the two bottlenecks.
+func TestStageStallSplit(t *testing.T) {
+	const pages = 4096 // 16 batches: enough handoffs for the stalls to separate
+	v, err := vm.New(vm.Config{Name: "stall-vm", MemBytes: pages * vm.PageSize, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Emitter backpressure: checksum-only encoding is far faster than a
+	// 30ms-per-write wire, so the sequencer's waits land on the ordered
+	// send, not on worker dispatch.
+	conn := readWriter{bytes.NewReader(scriptedPeer(t)), slowWriter{30 * time.Millisecond}}
+	sm, err := MigrateSource(context.Background(), conn, v, SourceOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Stages.IngestStall == 0 {
+		t.Error("slow wire produced no ingest stall")
+	}
+	if sm.Stages.IngestStall <= sm.Stages.DispatchStall {
+		t.Errorf("slow wire: ingest stall %v not above dispatch stall %v",
+			sm.Stages.IngestStall, sm.Stages.DispatchStall)
+	}
+
+	// Worker backpressure: an instant wire and a single worker grinding
+	// through deflate of random pages moves the sequencer's waits to the
+	// jobs handoff.
+	conn = readWriter{bytes.NewReader(scriptedPeer(t)), io.Discard}
+	sm, err = MigrateSource(context.Background(), conn, v, SourceOptions{Workers: 1, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Stages.DispatchStall == 0 {
+		t.Error("saturated pool produced no dispatch stall")
+	}
+	if sm.Stages.DispatchStall <= sm.Stages.IngestStall {
+		t.Errorf("saturated pool: dispatch stall %v not above ingest stall %v",
+			sm.Stages.DispatchStall, sm.Stages.IngestStall)
+	}
+
+	// The destination has no dispatch split — its decoder's only handoff is
+	// the jobs send, accounted as ingest — so its DispatchStall stays zero
+	// at any width.
+	src := newVM(t, "vm0", 256, 1)
+	if err := src.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 256, 2)
+	_, dres := migrate(t, src, dst, SourceOptions{Workers: 2}, DestOptions{Workers: 4})
+	if dres.Metrics.Stages.DispatchStall != 0 {
+		t.Errorf("destination recorded dispatch stall %v, want 0", dres.Metrics.Stages.DispatchStall)
+	}
+	if dres.Metrics.Stages.Batches == 0 {
+		t.Error("destination pipeline recorded no batches")
 	}
 }
 

@@ -54,9 +54,12 @@ func TestSalvageThenResume(t *testing.T) {
 			store := newStore(t)
 
 			// Attempt 1: the wire dies mid round 1. No checkpoint exists yet,
-			// so every streamed page is a full page.
+			// so every streamed page is a full page — coalesced into
+			// MaxRangePages-sized range frames (~1 MiB each), so the cut
+			// must fall beyond the first complete frame for any progress to
+			// have landed.
 			dst1 := newVM(t, "vm0", pages, 2)
-			dres, serr, derr := cutMigration(t, src, dst1, 400_000,
+			dres, serr, derr := cutMigration(t, src, dst1, 1_200_000,
 				SourceOptions{Recycle: true, Workers: workers},
 				DestOptions{Store: store, Workers: workers, VerifyPayloads: true})
 			if serr == nil || derr == nil {

@@ -49,6 +49,11 @@ type SourceOptions struct {
 	// hello, forcing the destination to use the v1 announcement encoding.
 	// For interop testing and as an escape hatch.
 	NoCompactAnnounce bool
+	// NoRangeFrames withholds the page-range-frame capability from the
+	// hello, keeping the per-page v1 page encoding even against a
+	// range-capable destination. For interop testing and as an escape
+	// hatch.
+	NoRangeFrames bool
 	// Workers sizes the source pipeline: page reads, per-page encoding
 	// (checksum + compression + delta), and wire emission run as concurrent
 	// stages, with Workers goroutines in the encode stage — §3.4's remedy
@@ -171,6 +176,9 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		// compact-announce bit and only then may use the v2 encoding. Old
 		// destinations ignore the flag bit entirely.
 		CompactAnnounce: !opts.NoCompactAnnounce,
+		// Same negotiation shape for coalesced page-range frames: offered
+		// here, used only when the ack echoes acceptance.
+		RangeFrames: !opts.NoRangeFrames,
 	}
 	if err := writeHello(w, h); err != nil {
 		return m, err
@@ -245,7 +253,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	// Encoders are created once per migration — not per round — and their
 	// deflate state comes from a process-wide pool, so an N-worker migration
 	// no longer allocates N fresh compressor windows every round.
-	cfg := encoderConfig{alg: opts.Alg, destSums: destSums, compress: opts.Compress}
+	cfg := encoderConfig{alg: opts.Alg, destSums: destSums, compress: opts.Compress,
+		ranges: h.RangeFrames && ack.RangeFrames}
 	workers := opts.workers()
 	var seqEnc *sourceEncoder
 	var encs []*sourceEncoder
@@ -288,6 +297,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	// pool; messages are still emitted in page order.
 	m.Rounds = 1
 	roundStart := cw.n
+	frameStart := m.PageFrames
 	if err := stream(seqAll(v.NumPages()), opts.DeltaBase); err != nil {
 		return m, err
 	}
@@ -298,7 +308,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		return m, err
 	}
 	opts.OnEvent.emit(Event{Kind: EventRound, Round: 1,
-		Pages: int64(v.NumPages()), Bytes: cw.n - roundStart})
+		Pages: int64(v.NumPages()), Bytes: cw.n - roundStart,
+		Frames: int64(m.PageFrames - frameStart)})
 
 	// Iterative rounds: resend pages dirtied while the previous round
 	// streamed. A dirty page whose new content is already in the
@@ -332,6 +343,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 			dirtyList = append(dirtyList, page)
 		})
 		roundStart = cw.n
+		frameStart = m.PageFrames
 		if err := stream(seqList(dirtyList), nil); err != nil {
 			return m, err
 		}
@@ -342,7 +354,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 			return m, err
 		}
 		opts.OnEvent.emit(Event{Kind: EventRound, Round: round,
-			Pages: int64(len(dirtyList)), Bytes: cw.n - roundStart})
+			Pages: int64(len(dirtyList)), Bytes: cw.n - roundStart,
+			Frames: int64(m.PageFrames - frameStart)})
 		if final {
 			break
 		}
@@ -386,28 +399,37 @@ func sendFullPage(w io.Writer, page uint64, sum checksum.Sum, data []byte, comp 
 	return writePageFull(w, page, sum, data)
 }
 
-// sendSequential is the single-goroutine engine: it reads pages in
-// batchPages chunks and encodes them in order on the calling goroutine.
-// The reference implementation the pipeline is tested against.
-// Cancellation is checked once per batch.
+// sendSequential is the single-goroutine engine: it runs the same
+// batchPages-sized units as the pipeline (fill, encode, one buffered write
+// per batch) in order on the calling goroutine — the reference
+// implementation the pipeline is tested against, sharing its batch path so
+// the two cannot drift. Cancellation is checked once per batch.
 func sendSequential(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq, enc *sourceEncoder, base PageProvider, m *Metrics) error {
 	n := pages.len()
-	buf := make([]byte, vm.PageSize)
+	b := batchPool.Get().(*pageBatch)
+	defer putBatch(b)
 	for off := 0; off < n; off += batchPages {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		end := off + batchPages
-		if end > n {
-			end = n
+		cnt := batchPages
+		if off+cnt > n {
+			cnt = n - off
 		}
-		for i := off; i < end; i++ {
-			page := pages.at(i)
-			v.ReadPage(page, buf)
-			if err := enc.encodePage(w, base, uint64(page), buf, m); err != nil {
-				return err
-			}
+		b.pages = b.pages[:cnt]
+		for i := 0; i < cnt; i++ {
+			b.pages[i] = pages.at(off + i)
 		}
+		fillBatch(v, b)
+		if err := encodeBatch(enc, base, b); err != nil {
+			return err
+		}
+		if _, err := w.Write(b.buf.Bytes()); err != nil {
+			return err
+		}
+		m.addPageCounters(b.m)
+		b.buf.Reset()
+		b.m = Metrics{}
 	}
 	return nil
 }

@@ -35,3 +35,26 @@ func HelloMsgBytes(nameLen int) int {
 func AnnounceMsgBytes(n int) int {
 	return 1 + checksum.EncodedSize(n)
 }
+
+// RangeHeaderBytes is the fixed header of a coalesced page-range frame:
+// tag, start page, page count.
+const RangeHeaderBytes = 1 + 8 + 4
+
+// RangeSumMsgBytes reports the size of a range-sum frame carrying n pages:
+// header plus one checksum per page.
+func RangeSumMsgBytes(n int) int {
+	return RangeHeaderBytes + n*checksum.Size
+}
+
+// RangeFullMsgBytes reports the size of a range-full frame carrying n
+// pages: header, one checksum per page, and the concatenated raw payloads.
+func RangeFullMsgBytes(n int) int {
+	return RangeSumMsgBytes(n) + n*vm.PageSize
+}
+
+// RangeVarMsgBytes reports the size of a range-full-z or range-delta frame
+// carrying n pages whose encoded payloads total payloadBytes: header, one
+// (checksum, length) pair per page, and the concatenated payloads.
+func RangeVarMsgBytes(n, payloadBytes int) int {
+	return RangeHeaderBytes + n*(checksum.Size+4) + payloadBytes
+}

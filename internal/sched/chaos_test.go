@@ -57,7 +57,11 @@ func (c *chaosDialer) dial(ctx context.Context, addr string) (io.ReadWriteCloser
 // the final attempt resending strictly fewer full pages than a from-zero
 // migration would.
 func TestChaosKillEveryTurn(t *testing.T) {
-	const pages = 256
+	// Page-range frames coalesce up to 256 full pages (~1 MiB) per frame,
+	// and a cut mid-frame installs nothing — so the guest spans several
+	// frames and the round-one cuts fall at 1/2/4 complete frames to
+	// exercise increasing salvage.
+	const pages = 2048
 	dst := newHost(t, "beta")
 	var handled atomic.Int64
 	dst.OnError = func(error) { handled.Add(1) }
@@ -73,7 +77,7 @@ func TestChaosKillEveryTurn(t *testing.T) {
 
 	cd := &chaosDialer{
 		t:        t,
-		schedule: []int64{10, 30, 5_000, 120_000, 240_000, 360_000},
+		schedule: []int64{10, 30, 5_000, 1_200_000, 2_400_000, 4_800_000},
 		handled:  &handled,
 	}
 	src.DialFunc = cd.dial

@@ -106,6 +106,11 @@ type Host struct {
 	// (core.DestOptions.NoSalvage).
 	NoSalvage bool
 
+	// NoRangeFrames refuses the coalesced page-range-frame capability on
+	// incoming migrations, keeping the per-page v1 page encoding
+	// (core.DestOptions.NoRangeFrames).
+	NoRangeFrames bool
+
 	// DialFunc, when non-nil, replaces outbound connection establishment —
 	// the seam the fault-injection tests use to interpose a
 	// core.FaultConn. nil dials TCP with dialTimeout.
@@ -350,6 +355,7 @@ func (h *Host) runIncoming(ctx context.Context, session *core.IncomingSession, r
 		TrackIncoming:     true,
 		Workers:           h.Workers,
 		NoCompactAnnounce: h.NoCompactAnnounce,
+		NoRangeFrames:     h.NoRangeFrames,
 		NoSalvage:         h.NoSalvage,
 		OnEvent:           h.obs.eventFunc(rec, "dest"),
 	})
@@ -629,6 +635,10 @@ type MigrateOptions struct {
 	// hello (core.SourceOptions.NoCompactAnnounce), pinning the v1
 	// announcement encoding.
 	NoCompactAnnounce bool
+	// NoRangeFrames withholds the page-range-frame capability from the
+	// hello (core.SourceOptions.NoRangeFrames), pinning the per-page v1
+	// page encoding.
+	NoRangeFrames bool
 	// ChecksumWorkers is the deprecated name for Workers
 	// (core.SourceOptions.ChecksumWorkers); consulted only when Workers is 0.
 	ChecksumWorkers int
@@ -752,6 +762,7 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 			MaxRounds:         opts.MaxRounds,
 			StopThreshold:     opts.StopThreshold,
 			NoCompactAnnounce: opts.NoCompactAnnounce,
+			NoRangeFrames:     opts.NoRangeFrames,
 			Pause:             opts.Pause,
 			Resume:            opts.Resume,
 			OnEvent:           h.obs.eventFunc(rec, "source"),

@@ -30,6 +30,10 @@ var (
 	// roundBytesBuckets spans 4 KiB (one page) to 1 GiB per pre-copy
 	// round in powers of four.
 	roundBytesBuckets = []float64{4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864, 268435456, 1073741824}
+	// roundFramesBuckets spans 1 to ~1M page-carrying frames per round in
+	// powers of four; with page-range frames negotiated a round's frame
+	// count collapses well below its page count.
+	roundFramesBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
 )
 
 // Outcome label values for vecycle_migrations_total.
@@ -51,6 +55,8 @@ type hostObs struct {
 	duration       *obs.HistogramVec // vecycle_migration_duration_seconds{host,role}
 	downtime       *obs.HistogramVec // vecycle_migration_downtime_seconds{host}
 	roundBytes     *obs.HistogramVec // vecycle_migration_round_bytes{host,role}
+	roundFrames    *obs.HistogramVec // vecycle_round_frames{host,role}
+	rangeFrames    *obs.CounterVec   // vecycle_range_frames_total{host}
 	bytes          *obs.CounterVec   // vecycle_migration_bytes_total{host,role,direction}
 	pages          *obs.CounterVec   // vecycle_migration_pages_total{host,kind}
 	rounds         *obs.CounterVec   // vecycle_migration_rounds_total{host}
@@ -91,6 +97,12 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		roundBytes: reg.HistogramVec("vecycle_migration_round_bytes",
 			"Wire bytes per pre-copy round.",
 			roundBytesBuckets, "host", "role"),
+		roundFrames: reg.HistogramVec("vecycle_round_frames",
+			"Page-carrying wire frames per pre-copy round; pages-per-round over this is the realized range-frame coalescing factor.",
+			roundFramesBuckets, "host", "role"),
+		rangeFrames: reg.CounterVec("vecycle_range_frames_total",
+			"Coalesced page-range frames handled (sent or received); zero when the capability was not negotiated.",
+			"host"),
 		bytes: reg.CounterVec("vecycle_migration_bytes_total",
 			"Transport bytes moved by migrations, by direction (sent/received).",
 			"host", "role", "direction"),
@@ -196,6 +208,7 @@ func (o *hostObs) eventFunc(rec *obs.Recorder, role string) core.EventFunc {
 		switch e.Kind {
 		case core.EventRound:
 			o.roundBytes.With(o.host, role).Observe(float64(e.Bytes))
+			o.roundFrames.With(o.host, role).Observe(float64(e.Frames))
 			o.rounds.With(o.host).Inc()
 		case core.EventAnnounce:
 			o.announce.With(o.host).Add(float64(e.Bytes))
@@ -248,6 +261,7 @@ func (o *hostObs) finish(rec *obs.Recorder, role, vmName string, m core.Metrics,
 	o.pages.With(o.host, "compressed").Add(float64(m.PagesCompressed))
 	o.pages.With(o.host, "reused_in_place").Add(float64(m.PagesReusedInPlace))
 	o.pages.With(o.host, "reused_from_disk").Add(float64(m.PagesReusedFromDisk))
+	o.rangeFrames.With(o.host).Add(float64(m.RangeFrames))
 	o.observeStages(m.Stages)
 	if err == nil {
 		o.duration.With(o.host, role).Observe(m.Duration.Seconds())
@@ -273,6 +287,7 @@ func (o *hostObs) observeStages(s core.StageMetrics) {
 	}
 	add("ingest", "busy", s.IngestBusy)
 	add("ingest", "stall", s.IngestStall)
+	add("dispatch", "stall", s.DispatchStall)
 	add("worker", "busy", s.WorkerBusy)
 	add("emit", "busy", s.EmitBusy)
 	add("emit", "stall", s.EmitStall)

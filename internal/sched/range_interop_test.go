@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vecycle/internal/core"
+	"vecycle/internal/vm"
+)
+
+// TestMixedVersionRangeFramesOverTCP drives the host-level range-frame
+// negotiation across real TCP in all four support pairings: coalesced
+// frames are on the wire only when both ends are new, any old peer silently
+// degrades the pair to the per-page v1 stream, and the guest's memory
+// survives every pairing byte-for-byte.
+func TestMixedVersionRangeFramesOverTCP(t *testing.T) {
+	cases := []struct {
+		name           string
+		srcOld, dstOld bool
+		wantRanges     bool
+	}{
+		{"both-new", false, false, true},
+		{"old-source", true, false, false},
+		{"old-dest", false, true, false},
+		{"both-old", true, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alpha := newHost(t, "alpha")
+			beta := newHost(t, "beta")
+			beta.NoRangeFrames = tc.dstOld
+			addrB := listen(t, beta)
+
+			// 600 pages of mixed content: long full-page runs for the cold
+			// round, so a negotiated pair has something to coalesce.
+			v := newGuest(t, "vm0", 600)
+			if err := v.FillRandom(0.9); err != nil {
+				t.Fatal(err)
+			}
+			alpha.AddVM(v)
+			want := v.Fingerprint64()
+
+			arrived := make(chan core.DestResult, 1)
+			beta.OnArrival = func(_ *vm.VM, res core.DestResult) { arrived <- res }
+
+			m, err := alpha.MigrateTo(context.Background(), addrB, "vm0", MigrateOptions{
+				NoRangeFrames: tc.srcOld,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res core.DestResult
+			select {
+			case res = <-arrived:
+			case <-time.After(5 * time.Second):
+				t.Fatal("destination never reported the arrival")
+			}
+
+			if tc.wantRanges {
+				if m.RangeFrames == 0 {
+					t.Error("negotiated pair sent no range frames")
+				}
+			} else if m.RangeFrames != 0 {
+				t.Errorf("unnegotiated pair sent %d range frames", m.RangeFrames)
+			}
+			if res.Metrics.RangeFrames != m.RangeFrames {
+				t.Errorf("dest decoded %d range frames, source sent %d",
+					res.Metrics.RangeFrames, m.RangeFrames)
+			}
+
+			landed, ok := beta.VM("vm0")
+			if !ok {
+				t.Fatal("VM never landed")
+			}
+			got := landed.Fingerprint64()
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("page %d differs after %s migration", i, tc.name)
+				}
+			}
+		})
+	}
+}

@@ -122,6 +122,44 @@ func (v *VM) InstallPage(i int, data []byte) {
 	copy(v.pageLocked(i), data)
 }
 
+// InstallRange installs len(data)/PageSize contiguous pages starting at
+// frame start with one lock acquisition and one copy — the vectorized
+// install the destination pipeline uses for coalesced page-range frames.
+// len(data) must be a positive multiple of PageSize and the span must fit
+// the guest.
+func (v *VM) InstallRange(start int, data []byte) {
+	if len(data) == 0 || len(data)%PageSize != 0 {
+		panic(fmt.Sprintf("vm: InstallRange with %d bytes, want a positive multiple of %d", len(data), PageSize))
+	}
+	count := len(data) / PageSize
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	copy(v.mem[start*PageSize:(start+count)*PageSize], data)
+}
+
+// ReadRange copies count contiguous pages starting at frame start into dst
+// (at least count*PageSize bytes) under one lock acquisition — the batched
+// counterpart of ReadPage used by the pipeline's sharded readers.
+func (v *VM) ReadRange(start, count int, dst []byte) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	copy(dst[:count*PageSize], v.mem[start*PageSize:(start+count)*PageSize])
+}
+
+// RangeSums computes the checksum of count contiguous pages starting at
+// frame start under one lock acquisition, appending to out (reusing its
+// capacity). The destination uses it to probe a whole range-sum frame
+// against resident content without per-page lock traffic.
+func (v *VM) RangeSums(start, count int, alg checksum.Algorithm, out []checksum.Sum) []checksum.Sum {
+	out = out[:0]
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for i := start; i < start+count; i++ {
+		out = append(out, alg.Page(v.pageLocked(i)))
+	}
+	return out
+}
+
 func (v *VM) pageLocked(i int) []byte {
 	return v.mem[i*PageSize : (i+1)*PageSize]
 }

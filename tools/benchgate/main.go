@@ -1,0 +1,123 @@
+// Command benchgate fails CI when the pipelined migration engine scales
+// negatively with workers. It reads the committed BENCH_migration.json
+// (the `go test -json` stream `make bench` records), extracts the MB/s
+// figure of every BenchmarkFirstRound/workers=N series, and requires each
+// width to stay within -min-ratio of the workers=1 baseline.
+//
+// The gate is deliberately a floor, not a speedup target: CI runners are
+// often single-core, where all widths converge — the regression this guards
+// against is the one the range-frame work fixed, where adding workers made
+// migrations *slower* than the sequential engine. On multi-core hardware
+// the recorded ratios document the realized speedup.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of a `go test -json` event benchgate consumes.
+type testEvent struct {
+	Action string
+	Output string
+}
+
+var resultLine = regexp.MustCompile(`^BenchmarkFirstRound/workers=(\d+)\S*\s+.*?(\d+(?:\.\d+)?) MB/s`)
+
+func main() {
+	file := flag.String("file", "BENCH_migration.json", "go test -json benchmark recording to gate on")
+	minRatio := flag.Float64("min-ratio", 0.95, "minimum throughput of every width relative to workers=1")
+	flag.Parse()
+
+	speeds, err := parseFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if err := gate(speeds, *minRatio); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseFile extracts the MB/s per worker count from a go test -json stream.
+// A single benchmark result line is split across several output events
+// (the name flushes before the timing columns), so the events are
+// reassembled into plain text before matching; when a series was recorded
+// more than once the last run wins.
+func parseFile(path string) (map[int]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate stray non-JSON lines
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	speeds := make(map[int]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		w, _ := strconv.Atoi(m[1])
+		s, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		speeds[w] = s
+	}
+	return speeds, nil
+}
+
+// gate enforces the scaling floor and prints the realized ratios.
+func gate(speeds map[int]float64, minRatio float64) error {
+	base, ok := speeds[1]
+	if !ok || base <= 0 {
+		return fmt.Errorf("no BenchmarkFirstRound/workers=1 series in the recording; run `make bench`")
+	}
+	if _, ok := speeds[8]; !ok {
+		return fmt.Errorf("no BenchmarkFirstRound/workers=8 series in the recording; run `make bench`")
+	}
+
+	widths := make([]int, 0, len(speeds))
+	for w := range speeds {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+
+	var failures []string
+	for _, w := range widths {
+		ratio := speeds[w] / base
+		fmt.Printf("benchgate: workers=%-2d %8.2f MB/s  %.2fx of workers=1\n", w, speeds[w], ratio)
+		if ratio < minRatio {
+			failures = append(failures,
+				fmt.Sprintf("workers=%d runs at %.2fx of workers=1 (floor %.2fx)", w, ratio, minRatio))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("negative worker scaling:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
