@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-pipeline bench benchgate bench-smoke chaos-smoke fuzz-range docs ci
+.PHONY: build test vet race race-pipeline bench benchgate bench-smoke chaos-smoke fuzz-range docs profile ci
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,22 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkOpen' -benchmem -json ./internal/checkpoint/ >> BENCH_migration.json
 
 # benchgate fails when the committed BENCH_migration.json shows any
-# pipeline width running below 0.95x of workers=1 — the negative-scaling
-# regression the coalesced range frames fixed must stay fixed.
+# pipeline width running below 0.95x of workers=1, when workers=8
+# allocates more than 1.5x the workers=1 B/op, or when any width regresses
+# against the recording committed at HEAD (skipped when HEAD has none —
+# e.g. the recording itself is being re-recorded in this change).
 benchgate:
-	$(GO) run ./tools/benchgate -file BENCH_migration.json
+	@git show HEAD:BENCH_migration.json > /tmp/benchgate-baseline.json 2>/dev/null \
+		|| rm -f /tmp/benchgate-baseline.json
+	$(GO) run ./tools/benchgate -file BENCH_migration.json \
+		-baseline /tmp/benchgate-baseline.json
+
+# profile records a CPU profile of the first-round hot path (the net.Pipe
+# variant, workers=1) for `go tool pprof`. Artifacts are gitignored.
+profile:
+	$(GO) test -run '^$$' -bench '^BenchmarkFirstRound$$/^workers=1$$' \
+		-benchtime 10x -cpuprofile cpu.pprof -o core.test ./internal/core/
+	@echo "view with: go tool pprof core.test cpu.pprof"
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a cheap guard against benchmarks rotting outside the bench target's

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"vecycle/internal/checksum"
 	"vecycle/internal/core"
 	"vecycle/internal/sched"
 	"vecycle/internal/vm"
@@ -25,6 +26,9 @@ func runDest(args []string) error {
 		noCompact = fs.Bool("no-compact-announce", false, "keep the v1 announcement encoding even when the peer supports compaction")
 		noSalvage = fs.Bool("no-salvage", false, "discard partially-installed pages on failed incoming migrations instead of persisting a salvage checkpoint")
 		noRanges  = fs.Bool("no-range-frames", false, "keep the per-page v1 page encoding even when the peer supports coalesced page-range frames")
+		tcpDelay  = fs.Bool("tcp-delay", false, "re-enable Nagle's algorithm on migration sockets (default: TCP_NODELAY)")
+		tcpRead   = fs.Int("tcp-read-buffer", 0, "SO_RCVBUF for migration sockets in bytes (0 = OS default)")
+		tcpWrite  = fs.Int("tcp-write-buffer", 0, "SO_SNDBUF for migration sockets in bytes (0 = OS default)")
 		opsAddr   = fs.String("ops-addr", "", "serve /metrics, /debug/migrations and /debug/pprof on this address (e.g. :9090)")
 		traceOut  = fs.String("trace-out", "", "write migration traces as JSONL to this file on exit (- for stdout)")
 	)
@@ -43,6 +47,9 @@ func runDest(args []string) error {
 	host.NoCompactAnnounce = *noCompact
 	host.NoSalvage = *noSalvage
 	host.NoRangeFrames = *noRanges
+	host.TCPDelay = *tcpDelay
+	host.TCPReadBuffer = *tcpRead
+	host.TCPWriteBuffer = *tcpWrite
 	if err := startOps(host, *opsAddr); err != nil {
 		return err
 	}
@@ -76,7 +83,11 @@ func runSource(args []string) error {
 		store     = fs.String("store", "", "checkpoint store directory (required)")
 		recycle   = fs.Bool("recycle", true, "enable checkpoint-assisted migration")
 		postcopy  = fs.Bool("postcopy", false, "use the post-copy protocol (manifest + demand fetch)")
-		compress  = fs.Bool("compress", false, "deflate-compress full-page payloads")
+		compress  = fs.Bool("compress", false, "deflate-compress full-page payloads (entropy-gated per page)")
+		csum      = fs.String("checksum", "", "page checksum algorithm: md5, sha256, fnv, fast64 (empty = engine default md5; weak algorithms only for baseline, non-recycled migrations)")
+		tcpDelay  = fs.Bool("tcp-delay", false, "re-enable Nagle's algorithm on migration sockets (default: TCP_NODELAY)")
+		tcpRead   = fs.Int("tcp-read-buffer", 0, "SO_RCVBUF for migration sockets in bytes (0 = OS default)")
+		tcpWrite  = fs.Int("tcp-write-buffer", 0, "SO_SNDBUF for migration sockets in bytes (0 = OS default)")
 		workers   = fs.Int("workers", 0, "pipeline encode workers (<1 = sequential engine)")
 		ckworker  = fs.Int("checksum-workers", 0, "deprecated alias for -workers (used when -workers is 0)")
 		rounds    = fs.Int("max-rounds", 0, "pre-copy round cap (0 = engine default)")
@@ -110,8 +121,17 @@ func runSource(args []string) error {
 	if err := guest.FillRandom(*fill); err != nil {
 		return err
 	}
+	var alg checksum.Algorithm
+	if *csum != "" {
+		if alg, err = checksum.ParseAlgorithm(*csum); err != nil {
+			return err
+		}
+	}
 	host.AddVM(guest)
 	host.SetNoSidecar(*noSidecar)
+	host.TCPDelay = *tcpDelay
+	host.TCPReadBuffer = *tcpRead
+	host.TCPWriteBuffer = *tcpWrite
 	if *idle != 0 {
 		host.IdleTimeout = *idle
 	}
@@ -131,6 +151,7 @@ func runSource(args []string) error {
 		Recycle:           *recycle,
 		KeepCheckpoint:    true,
 		Compress:          *compress,
+		Alg:               alg,
 		Workers:           *workers,
 		ChecksumWorkers:   *ckworker,
 		MaxRounds:         *rounds,

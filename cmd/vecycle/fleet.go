@@ -33,6 +33,9 @@ func runFleet(args []string) error {
 		noCompact = fs.Bool("no-compact-announce", false, "keep the v1 announcement encoding fleet-wide")
 		noRanges  = fs.Bool("no-range-frames", false, "keep the per-page v1 page encoding fleet-wide")
 		noSalvage = fs.Bool("no-salvage", false, "discard partially-installed pages on failed incoming migrations fleet-wide")
+		tcpDelay  = fs.Bool("tcp-delay", false, "re-enable Nagle's algorithm on migration sockets fleet-wide (default: TCP_NODELAY)")
+		tcpRead   = fs.Int("tcp-read-buffer", 0, "SO_RCVBUF for migration sockets in bytes (0 = OS default)")
+		tcpWrite  = fs.Int("tcp-write-buffer", 0, "SO_SNDBUF for migration sockets in bytes (0 = OS default)")
 		opsAddr   = fs.String("ops-addr", "", "serve the whole fleet's /metrics, /debug/migrations and /debug/pprof on this address")
 		traceOut  = fs.String("trace-out", "", "write the fleet's migration traces as JSONL to this file on exit (- for stdout)")
 	)
@@ -81,6 +84,9 @@ func runFleet(args []string) error {
 		h.NoCompactAnnounce = *noCompact
 		h.NoSalvage = *noSalvage
 		h.NoRangeFrames = *noRanges
+		h.TCPDelay = *tcpDelay
+		h.TCPReadBuffer = *tcpRead
+		h.TCPWriteBuffer = *tcpWrite
 		h.OnArrival = func(*vm.VM, core.DestResult) { arrived.Done() }
 		addr, err := h.Listen("127.0.0.1:0")
 		if err != nil {

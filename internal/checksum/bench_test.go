@@ -16,7 +16,7 @@ func BenchmarkChecksumPage(b *testing.B) {
 	for i := range page {
 		page[i] = byte(i * 31)
 	}
-	for _, alg := range []Algorithm{MD5, SHA256, FNV} {
+	for _, alg := range []Algorithm{MD5, SHA256, FNV, FAST64} {
 		b.Run(alg.String(), func(b *testing.B) {
 			b.SetBytes(int64(len(page)))
 			for i := 0; i < b.N; i++ {

@@ -12,13 +12,11 @@
 package checksum
 
 import (
-	"bytes"
 	"crypto/md5"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"hash/fnv"
 	"sync"
 )
 
@@ -37,11 +35,14 @@ func (s Sum) String() string { return hex.EncodeToString(s[:]) }
 // Algorithm identifies a page-checksum algorithm.
 type Algorithm uint8
 
-// Supported algorithms. MD5 is the paper's default.
+// Supported algorithms. MD5 is the paper's default. FAST64 is the
+// word-mixing multi-GB/s hash for baseline (non-recycled) migrations where
+// the checksum is an integrity tag rather than a cross-host dedup key.
 const (
 	MD5 Algorithm = iota + 1
 	SHA256
 	FNV
+	FAST64
 )
 
 // String returns the conventional lower-case name of the algorithm.
@@ -53,6 +54,8 @@ func (a Algorithm) String() string {
 		return "sha256"
 	case FNV:
 		return "fnv"
+	case FAST64:
+		return "fast64"
 	default:
 		return fmt.Sprintf("algorithm(%d)", uint8(a))
 	}
@@ -60,11 +63,13 @@ func (a Algorithm) String() string {
 
 // Strong reports whether the algorithm is collision-resistant enough to
 // declare two pages on *different* hosts identical without comparing bytes.
-// FNV is not: it may only be used as a probe filter whose hits are verified
-// locally.
+// FNV and FAST64 are not: they may only be used as probe filters whose hits
+// are verified locally, or as payload integrity tags in baseline
+// (non-recycled) migrations.
 func (a Algorithm) Strong() bool { return a == MD5 || a == SHA256 }
 
-// ParseAlgorithm converts a name ("md5", "sha256", "fnv") to an Algorithm.
+// ParseAlgorithm converts a name ("md5", "sha256", "fnv", "fast64") to an
+// Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	switch name {
 	case "md5":
@@ -73,6 +78,8 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 		return SHA256, nil
 	case "fnv":
 		return FNV, nil
+	case "fast64":
+		return FAST64, nil
 	default:
 		return 0, fmt.Errorf("checksum: unknown algorithm %q", name)
 	}
@@ -88,18 +95,19 @@ var zeroPage [zeroPageLen]byte
 // zeroSums memoizes the all-zero-page digest per algorithm: zero pages
 // dominate real guest images (Figure 4), and hashing 4 KiB of zeros over
 // and over is the single most repeated computation of a migration.
-var zeroSums [FNV + 1]struct {
+var zeroSums [FAST64 + 1]struct {
 	once sync.Once
 	sum  Sum
 }
 
 // Page computes the checksum of a page under the given algorithm.
-// SHA-256 digests are truncated to 128 bits; FNV-1a 64-bit digests occupy
-// the first 8 bytes (big-endian) with the remainder zero.
+// SHA-256 digests are truncated to 128 bits; FNV-1a and FAST64 64-bit
+// digests occupy the first 8 bytes (big-endian) with the remainder zero.
 func (a Algorithm) Page(page []byte) Sum {
-	// The zero probe costs a few ns on non-zero pages (bytes.Equal bails at
-	// the first difference) and skips the whole hash on zero ones.
-	if len(page) == zeroPageLen && a.Valid() && bytes.Equal(page, zeroPage[:]) {
+	// The zero pre-scan reads the page as 64-bit words (bailing at the first
+	// non-zero one), costing a few ns on non-zero pages and skipping the
+	// whole digest on zero ones.
+	if len(page) == zeroPageLen && a.Valid() && isZeroWords(page) {
 		zs := &zeroSums[a]
 		zs.once.Do(func() { zs.sum = a.hashPage(zeroPage[:]) })
 		return zs.sum
@@ -116,9 +124,9 @@ func (a Algorithm) hashPage(page []byte) Sum {
 		full := sha256.Sum256(page)
 		copy(out[:], full[:Size])
 	case FNV:
-		h := fnv.New64a()
-		h.Write(page) //nolint:errcheck // hash.Hash.Write never fails
-		binary.BigEndian.PutUint64(out[:8], h.Sum64())
+		binary.BigEndian.PutUint64(out[:8], fnv1a64(page))
+	case FAST64:
+		binary.BigEndian.PutUint64(out[:8], fast64(page))
 	default:
 		panic(fmt.Sprintf("checksum: Page called with invalid %v", a))
 	}
@@ -126,4 +134,6 @@ func (a Algorithm) hashPage(page []byte) Sum {
 }
 
 // Valid reports whether a is one of the supported algorithms.
-func (a Algorithm) Valid() bool { return a == MD5 || a == SHA256 || a == FNV }
+func (a Algorithm) Valid() bool {
+	return a == MD5 || a == SHA256 || a == FNV || a == FAST64
+}

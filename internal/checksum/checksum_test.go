@@ -17,6 +17,7 @@ func TestAlgorithmString(t *testing.T) {
 		{MD5, "md5"},
 		{SHA256, "sha256"},
 		{FNV, "fnv"},
+		{FAST64, "fast64"},
 		{Algorithm(99), "algorithm(99)"},
 	}
 	for _, tc := range cases {
@@ -27,7 +28,7 @@ func TestAlgorithmString(t *testing.T) {
 }
 
 func TestParseAlgorithmRoundTrip(t *testing.T) {
-	for _, a := range []Algorithm{MD5, SHA256, FNV} {
+	for _, a := range []Algorithm{MD5, SHA256, FNV, FAST64} {
 		got, err := ParseAlgorithm(a.String())
 		if err != nil {
 			t.Fatalf("ParseAlgorithm(%q): %v", a.String(), err)
@@ -48,6 +49,9 @@ func TestStrong(t *testing.T) {
 	if FNV.Strong() {
 		t.Error("FNV must not be strong: probe-only")
 	}
+	if FAST64.Strong() {
+		t.Error("FAST64 must not be strong: integrity-tag only")
+	}
 }
 
 func TestPageMD5MatchesStdlib(t *testing.T) {
@@ -62,7 +66,7 @@ func TestPageMD5MatchesStdlib(t *testing.T) {
 func TestPageDeterministicAndDistinct(t *testing.T) {
 	a := []byte("page contents one")
 	b := []byte("page contents two")
-	for _, alg := range []Algorithm{MD5, SHA256, FNV} {
+	for _, alg := range []Algorithm{MD5, SHA256, FNV, FAST64} {
 		if alg.Page(a) != alg.Page(a) {
 			t.Errorf("%v not deterministic", alg)
 		}

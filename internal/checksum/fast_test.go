@@ -1,0 +1,157 @@
+package checksum
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// refFast64 is a byte-at-a-time reference implementation of fast64: each
+// 64-bit word is assembled explicitly from its little-endian bytes before
+// the lane math runs. The optimized implementation's word loads and
+// unrolling are cross-checked against it.
+func refFast64(p []byte) uint64 {
+	word := func(b []byte) uint64 {
+		var w uint64
+		for i := 0; i < 8; i++ {
+			w |= uint64(b[i]) << (8 * i)
+		}
+		return w
+	}
+	n := len(p)
+	v1 := uint64(fastSeed1) ^ uint64(n)*fastMult
+	v2 := uint64(fastSeed2)
+	v3 := uint64(fastSeed3)
+	v4 := uint64(fastSeed4)
+	for len(p) >= 32 {
+		v1 = (v1 ^ word(p[0:8])) * fastMult
+		v2 = (v2 ^ word(p[8:16])) * fastMult
+		v3 = (v3 ^ word(p[16:24])) * fastMult
+		v4 = (v4 ^ word(p[24:32])) * fastMult
+		p = p[32:]
+	}
+	h := bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+		bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+	for len(p) >= 8 {
+		h = bits.RotateLeft64((h^word(p[:8]))*fastMult, 27)
+		p = p[8:]
+	}
+	for _, c := range p {
+		h = bits.RotateLeft64((h^uint64(c))*fastMult, 11)
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 32
+	return h
+}
+
+// TestFast64GoldenVectors pins the fast64 digest for fixed inputs: the
+// algorithm is negotiated across hosts, so its output may never drift
+// between versions.
+func TestFast64GoldenVectors(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xec3b12cab41284ef},
+		{"a", 0x9ac817b9446e4c42},
+		{"abc", 0xa062d2dcb211839a},
+		{"12345678", 0xbcac227b90703d8b},
+		{"the quick brown fox jumps over the lazy dog", 0xbe65369b0d4b084a},
+	}
+	for _, v := range vectors {
+		if got := fast64([]byte(v.in)); got != v.want {
+			t.Errorf("fast64(%q) = %#016x, want %#016x", v.in, got, v.want)
+		}
+	}
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i * 31)
+	}
+	if got, want := fast64(page), uint64(0x5205b3cb442fe1e9); got != want {
+		t.Errorf("fast64(page31) = %#016x, want %#016x", got, want)
+	}
+	if got, want := fast64(make([]byte, 4096)), uint64(0xfa97333932167476); got != want {
+		t.Errorf("fast64(zero page) = %#016x, want %#016x", got, want)
+	}
+}
+
+// TestFast64MatchesReference cross-checks the word-loading implementation
+// against the byte-at-a-time reference on random inputs of every length
+// class (stripe loop, word tail, byte tail).
+func TestFast64MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 32, 33, 63, 100, 4095, 4096} {
+		for trial := 0; trial < 8; trial++ {
+			p := make([]byte, n)
+			rng.Read(p)
+			if got, want := fast64(p), refFast64(p); got != want {
+				t.Fatalf("len=%d trial=%d: fast64 = %#016x, reference = %#016x", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestFNVUnrolledMatchesStdlib pins the unrolled FNV-1a loop byte-identical
+// to hash/fnv's New64a: vm.Fingerprint64 and recorded announce encodings
+// consume FNV digests, so the rewrite must not change a single bit.
+func TestFNVUnrolledMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for _, n := range []int{0, 1, 7, 8, 9, 100, 4095, 4096} {
+		p := make([]byte, n)
+		rng.Read(p)
+		h := fnv.New64a()
+		h.Write(p)
+		if got, want := fnv1a64(p), h.Sum64(); got != want {
+			t.Fatalf("len=%d: fnv1a64 = %#016x, stdlib = %#016x", n, got, want)
+		}
+	}
+}
+
+// TestFast64Sensitivity flips every byte position of a page once and
+// requires a digest change — the minimum bar for an integrity tag.
+func TestFast64Sensitivity(t *testing.T) {
+	page := make([]byte, 4096)
+	rand.New(rand.NewSource(66)).Read(page)
+	base := fast64(page)
+	for i := 0; i < len(page); i += 37 { // sampled positions keep the test fast
+		page[i] ^= 0xFF
+		if fast64(page) == base {
+			t.Fatalf("flipping byte %d left the digest unchanged", i)
+		}
+		page[i] ^= 0xFF
+	}
+	if fast64(page) != base {
+		t.Fatal("restoring the page did not restore the digest")
+	}
+}
+
+// TestZeroPrescanEquivalence checks the word-wise zero pre-scan agrees with
+// a byte comparison for zero, near-zero (one bit set at every word
+// boundary), and random pages — and that Page's memoized zero sum equals
+// the directly hashed zero page for every algorithm, including FAST64.
+func TestZeroPrescanEquivalence(t *testing.T) {
+	zero := make([]byte, 4096)
+	if !isZeroWords(zero) {
+		t.Fatal("isZeroWords(zero page) = false")
+	}
+	for _, pos := range []int{0, 7, 8, 63, 64, 2048, 4088, 4095} {
+		p := make([]byte, 4096)
+		p[pos] = 1
+		if isZeroWords(p) {
+			t.Errorf("isZeroWords missed non-zero byte at %d", pos)
+		}
+		if got, want := isZeroWords(p), bytes.Equal(p, zero); got != want {
+			t.Errorf("pos %d: isZeroWords = %v, bytes.Equal = %v", pos, got, want)
+		}
+	}
+	for _, alg := range []Algorithm{MD5, SHA256, FNV, FAST64} {
+		if got, want := alg.Page(zero), alg.hashPage(zero); got != want {
+			t.Errorf("%v: memoized zero sum %v != direct hash %v", alg, got, want)
+		}
+	}
+}

@@ -113,8 +113,11 @@ func Accept(ctx context.Context, conn io.ReadWriter) (s *IncomingSession, err er
 		cw:   &countingWriter{w: conn},
 		cr:   &countingReader{r: conn},
 	}
-	s.w = bufio.NewWriterSize(s.cw, 1<<16)
-	s.r = bufio.NewReaderSize(s.cr, 1<<16)
+	// Data direction (frames in) gets a pooled batch-sized buffer; the
+	// control direction (acks out) a pooled 64 KiB one. Run and RunPostCopy
+	// return them via release().
+	s.w = getCtlWriter(s.cw)
+	s.r = getDataReader(s.cr)
 
 	t, err := readMsgType(s.r)
 	if err != nil {
@@ -146,6 +149,19 @@ func (s *IncomingSession) Reject(reason string) error {
 	return flush(s.w)
 }
 
+// release returns the session's pooled wire buffers. The session must not
+// perform I/O afterwards; safe to call more than once.
+func (s *IncomingSession) release() {
+	if s.w != nil {
+		putCtlWriter(s.w)
+		s.w = nil
+	}
+	if s.r != nil {
+		putDataReader(s.r)
+		s.r = nil
+	}
+}
+
 // MigrateDest drives the destination side of a live migration into v over
 // conn. The VM must be created (all-zero memory) and sized before the call;
 // its name and page count are validated against the source's hello.
@@ -175,6 +191,7 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	}()
 	h := s.h
 	w := s.w
+	defer s.release()
 	defer func() {
 		res.Metrics.BytesSent = s.cw.n
 		res.Metrics.BytesReceived = s.cr.n
@@ -298,7 +315,8 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 	w, r := s.w, s.r
 	pageBuf := make([]byte, vm.PageSize)
 	var deltaBuf []byte
-	var st destScratch
+	st := getDestScratch()
+	defer putDestScratch(st)
 	var rng rangeFrame
 	// rangeFloor is where the next range frame may start: the source emits
 	// each round's pages in ascending order, so a range below the previous
@@ -327,7 +345,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 				return err
 			}
 			rangeFloor = rng.start + uint64(rng.count)
-			if err := applyRange(v, cp, h.Alg, opts.VerifyPayloads, &rng, &st, &res.Metrics); err != nil {
+			if err := applyRange(v, cp, h.Alg, opts.VerifyPayloads, &rng, st, &res.Metrics); err != nil {
 				return err
 			}
 			res.Metrics.PageFrames++
@@ -484,7 +502,10 @@ func validateHello(h hello, v *vm.VM) string {
 		return fmt.Sprintf("page size %d unsupported (want %d)", h.PageSize, vm.PageSize)
 	case h.PageCount != uint64(v.NumPages()):
 		return fmt.Sprintf("page count %d does not match prepared VM (%d)", h.PageCount, v.NumPages())
-	case !h.Alg.Valid() || !h.Alg.Strong():
+	// Weak (non-collision-resistant) algorithms are acceptable for baseline
+	// migrations, where checksums only tag payload integrity; recycling
+	// declares cross-host identity from them and demands a strong one.
+	case !h.Alg.Valid() || (h.Recycle && !h.Alg.Strong()):
 		return fmt.Sprintf("checksum algorithm %v unacceptable", h.Alg)
 	default:
 		return ""

@@ -54,7 +54,7 @@ type destWorker struct {
 	alg    checksum.Algorithm
 	verify bool
 	cp     *checkpoint.Checkpoint
-	st     destScratch
+	st     *destScratch // pooled; acquired at pool start, released after drain
 	m      Metrics
 }
 
@@ -65,7 +65,7 @@ func (ws *destWorker) process(j *destJob) error {
 	page := int(j.page)
 	switch j.t {
 	case msgRangeSum, msgRangeFull, msgRangeFullZ, msgRangeDelta:
-		return applyRange(ws.v, ws.cp, ws.alg, ws.verify, &j.rng, &ws.st, &ws.m)
+		return applyRange(ws.v, ws.cp, ws.alg, ws.verify, &j.rng, ws.st, &ws.m)
 
 	case msgPageFull:
 		if ws.verify {
@@ -174,7 +174,8 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 	var wg sync.WaitGroup
 	wks := make([]*destWorker, workers)
 	for k := range wks {
-		wks[k] = &destWorker{v: v, alg: h.Alg, verify: opts.VerifyPayloads, cp: cp}
+		wks[k] = &destWorker{v: v, alg: h.Alg, verify: opts.VerifyPayloads, cp: cp,
+			st: getDestScratch()}
 		wg.Add(1)
 		go func(ws *destWorker) {
 			defer wg.Done()
@@ -198,6 +199,7 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 		wg.Wait()
 		for _, ws := range wks {
 			res.Metrics.addPageCounters(ws.m)
+			putDestScratch(ws.st)
 		}
 		res.Metrics.Stages.add(stats.stageMetrics())
 	}()

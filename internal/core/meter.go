@@ -32,6 +32,14 @@ type Metrics struct {
 	PagesCompressed int
 	// CompressionSavedBytes is the payload volume compression avoided.
 	CompressionSavedBytes int64
+	// CompressAttempted counts full pages the entropy gate admitted to the
+	// deflate pass (source side, only with SourceOptions.Compress). A page
+	// that deflated but did not shrink still counts here.
+	CompressAttempted int
+	// CompressSkipped counts full pages the entropy gate judged
+	// incompressible and sent raw without running deflate at all.
+	// CompressAttempted+CompressSkipped is the number of gate decisions.
+	CompressSkipped int
 	// PagesDelta counts changed pages sent as XBZRLE deltas against the
 	// checkpoint frame (only with SourceOptions.DeltaBase).
 	PagesDelta int
@@ -123,6 +131,8 @@ func (m *Metrics) addPageCounters(d Metrics) {
 	m.RangeFrames += d.RangeFrames
 	m.PagesCompressed += d.PagesCompressed
 	m.CompressionSavedBytes += d.CompressionSavedBytes
+	m.CompressAttempted += d.CompressAttempted
+	m.CompressSkipped += d.CompressSkipped
 	m.DeltaSavedBytes += d.DeltaSavedBytes
 	m.PagesReusedInPlace += d.PagesReusedInPlace
 	m.PagesReusedFromDisk += d.PagesReusedFromDisk

@@ -336,11 +336,33 @@ func TestHelloRejectionWrongSize(t *testing.T) {
 }
 
 func TestSourceRejectsWeakAlgorithm(t *testing.T) {
+	// Weak algorithms are integrity tags only: fine for baseline
+	// migrations, rejected before any I/O the moment checksum equality
+	// stands in for page content (recycling or a known-sums set).
 	src := newVM(t, "vm0", 8, 1)
-	a, _ := net.Pipe()
-	defer a.Close()
-	if _, err := MigrateSource(context.Background(), a, src, SourceOptions{Alg: checksum.FNV}); err == nil {
-		t.Error("FNV accepted for cross-host matching")
+	for _, alg := range []checksum.Algorithm{checksum.FNV, checksum.FAST64} {
+		a, _ := net.Pipe()
+		if _, err := MigrateSource(context.Background(), a, src, SourceOptions{Alg: alg, Recycle: true}); err == nil {
+			t.Errorf("%v accepted for recycling", alg)
+		}
+		a.Close()
+		a, _ = net.Pipe()
+		if _, err := MigrateSource(context.Background(), a, src, SourceOptions{Alg: alg, KnownDestSums: checksum.NewSet(0)}); err == nil {
+			t.Errorf("%v accepted for ping-pong matching", alg)
+		}
+		a.Close()
+	}
+}
+
+func TestBaselineMigrationAcceptsWeakAlgorithm(t *testing.T) {
+	src := newVM(t, "vm0", 16, 1)
+	if err := src.FillRandom(0.5); err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM(t, "vm0", 16, 2)
+	migrate(t, src, dst, SourceOptions{Alg: checksum.FAST64}, DestOptions{VerifyPayloads: true})
+	if !src.MemEqual(dst) {
+		t.Error("memory mismatch after fast64 baseline migration")
 	}
 }
 

@@ -67,6 +67,57 @@ func BenchmarkFirstRound(b *testing.B) {
 	}
 }
 
+// BenchmarkFirstRoundTCP is BenchmarkFirstRound over a real 127.0.0.1 TCP
+// connection instead of net.Pipe: syscalls, kernel socket buffers, and
+// segmentation are in the measured path, so the batch-sized wire buffers
+// show up here as fewer write(2) calls per round. Not gated by
+// tools/benchgate (loopback throughput varies more across kernels than the
+// in-process pipe), but recorded alongside it for comparison.
+func BenchmarkFirstRoundTCP(b *testing.B) {
+	src := benchVM(b, 7)
+	dst := benchVM(b, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(benchPages * vm.PageSize)
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				var derr error
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c, err := ln.Accept()
+					if err != nil {
+						derr = err
+						return
+					}
+					defer c.Close()
+					c.(*net.TCPConn).SetNoDelay(true)
+					_, derr = MigrateDest(context.Background(), c, dst, DestOptions{Workers: workers})
+				}()
+				a, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.(*net.TCPConn).SetNoDelay(true)
+				_, serr := MigrateSource(context.Background(), a, src, SourceOptions{
+					Compress: true,
+					Workers:  workers,
+				})
+				wg.Wait()
+				a.Close()
+				if serr != nil || derr != nil {
+					b.Fatalf("source: %v, dest: %v", serr, derr)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMergeLoop isolates the destination: one migration's inbound
 // byte stream is recorded once, then replayed from memory, so the numbers
 // reflect decode + verify + install throughput alone.

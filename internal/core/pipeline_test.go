@@ -61,6 +61,15 @@ func mutateGolden(src *vm.VM) {
 		}
 		src.WritePage(i, buf)
 	}
+	for i := 420; i < 440; i++ { // mid-entropy rewrites: half random, half
+		// zero — between the gate's clear-cut classes, lands on the
+		// compressible side and must classify identically at every width
+		rng.Read(buf[:vm.PageSize/2])
+		for j := vm.PageSize / 2; j < vm.PageSize; j++ {
+			buf[j] = 0
+		}
+		src.WritePage(i, buf)
+	}
 }
 
 // goldenPause generates the round-2 (stop-and-copy) traffic: one page whose
@@ -176,6 +185,12 @@ func TestGoldenStreamEquivalence(t *testing.T) {
 	if gm.PagesSum == 0 || gm.PagesFull == 0 || gm.PagesDelta == 0 || gm.PagesCompressed == 0 {
 		t.Fatalf("golden scenario too narrow: %+v", gm)
 	}
+	// And both entropy-gate outcomes: random rewrites must skip deflate,
+	// compressible ones must attempt it.
+	if gm.CompressAttempted == 0 || gm.CompressSkipped == 0 {
+		t.Fatalf("entropy gate unexercised: attempted=%d skipped=%d",
+			gm.CompressAttempted, gm.CompressSkipped)
+	}
 	if gm.Rounds < 2 {
 		t.Fatalf("golden scenario ran %d round(s), want >= 2", gm.Rounds)
 	}
@@ -205,6 +220,8 @@ func TestGoldenStreamEquivalence(t *testing.T) {
 		}
 		if sm.PagesFull != gm.PagesFull || sm.PagesSum != gm.PagesSum ||
 			sm.PagesDelta != gm.PagesDelta || sm.PagesCompressed != gm.PagesCompressed ||
+			sm.CompressAttempted != gm.CompressAttempted ||
+			sm.CompressSkipped != gm.CompressSkipped ||
 			sm.PageFrames != gm.PageFrames || sm.RangeFrames != gm.RangeFrames ||
 			sm.BytesSent != gm.BytesSent {
 			t.Errorf("workers=%d: metrics diverge: got %+v want %+v", workers, sm, gm)
@@ -247,7 +264,9 @@ func TestGoldenStreamLegacyV1(t *testing.T) {
 		t.Errorf("range-frame stream is %d bytes, not smaller than v1's %d", len(ranged), len(legacy))
 	}
 	if rm.PagesSum != lm.PagesSum || rm.PagesFull != lm.PagesFull ||
-		rm.PagesDelta != lm.PagesDelta || rm.PagesCompressed != lm.PagesCompressed {
+		rm.PagesDelta != lm.PagesDelta || rm.PagesCompressed != lm.PagesCompressed ||
+		rm.CompressAttempted != lm.CompressAttempted ||
+		rm.CompressSkipped != lm.CompressSkipped {
 		t.Errorf("page classification changed with framing: ranged %+v legacy %+v", rm, lm)
 	}
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bufio"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -98,8 +97,10 @@ func PostCopySource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Post
 	start := time.Now()
 	cw := &countingWriter{w: conn}
 	cr := &countingReader{r: conn}
-	w := bufio.NewWriterSize(cw, 1<<16)
-	r := bufio.NewReaderSize(cr, 1<<16)
+	w := getDataWriter(cw)
+	r := getCtlReader(cr)
+	defer putDataWriter(w)
+	defer putCtlReader(r)
 	defer func() {
 		m.BytesSent = cw.n
 		m.BytesReceived = cr.n
@@ -265,6 +266,7 @@ func (s *IncomingSession) RunPostCopy(ctx context.Context, v *vm.VM, opts PostCo
 	}()
 	h := s.h
 	w, r := s.w, s.r
+	defer s.release()
 	defer func() {
 		res.Metrics.BytesSent = s.cw.n
 		res.Metrics.BytesReceived = s.cr.n

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"vecycle/internal/checkpoint"
 	"vecycle/internal/checksum"
@@ -177,12 +178,17 @@ func encodeBatchRanges(e *sourceEncoder, base PageProvider, b *pageBatch) error 
 				}
 			}
 			if treat == treatFull && e.comp != nil {
-				z, ok, err := e.comp.compress(data)
-				if err != nil {
-					return err
-				}
-				if ok {
-					treat, payload = treatFullZ, z
+				if !compressible(data) {
+					b.m.CompressSkipped++
+				} else {
+					b.m.CompressAttempted++
+					z, ok, err := e.comp.compress(data)
+					if err != nil {
+						return err
+					}
+					if ok {
+						treat, payload = treatFullZ, z
+					}
 				}
 			}
 		}
@@ -408,6 +414,22 @@ func (st *destScratch) span(n int) []byte {
 		st.buf = make([]byte, n*vm.PageSize)
 	}
 	return st.buf[:n*vm.PageSize]
+}
+
+// destScratchPool recycles install scratch across migrations and workers.
+// A scratch grows to one full range span (MaxRangePages*vm.PageSize = 1 MiB)
+// plus an inflater; allocating that per worker per migration is what made
+// B/op scale linearly with pipeline width before pooling.
+var destScratchPool = sync.Pool{New: func() interface{} {
+	return new(destScratch)
+}}
+
+func getDestScratch() *destScratch {
+	return destScratchPool.Get().(*destScratch)
+}
+
+func putDestScratch(st *destScratch) {
+	destScratchPool.Put(st)
 }
 
 // applyRange installs one decoded range frame into v: per-page verification

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -22,9 +21,11 @@ var (
 
 // SourceOptions configures an outgoing migration.
 type SourceOptions struct {
-	// Alg is the page-checksum algorithm; it must be strong (MD5, SHA-256)
-	// because matches are declared across hosts without byte comparison
-	// (§3.4). Defaults to MD5.
+	// Alg is the page-checksum algorithm. Recycled migrations must use a
+	// strong one (MD5, SHA-256) because matches are declared across hosts
+	// without byte comparison (§3.4); baseline migrations may select the
+	// fast non-cryptographic hashes (fnv, fast64), whose sums serve only as
+	// payload integrity tags. Defaults to MD5.
 	Alg checksum.Algorithm
 	// Recycle enables checkpoint-assisted mode. When false the engine
 	// behaves like stock QEMU pre-copy: every first-round page is sent in
@@ -99,7 +100,11 @@ func (o *SourceOptions) validate() error {
 	if !o.Alg.Valid() {
 		return fmt.Errorf("core: invalid checksum algorithm")
 	}
-	if !o.Alg.Strong() {
+	// Recycling declares cross-host page identity from checksums alone, so
+	// it demands a collision-resistant algorithm. A baseline migration only
+	// uses checksums as payload integrity tags verified on the receiving
+	// host, where the fast non-cryptographic hashes (fnv, fast64) suffice.
+	if (o.Recycle || o.KnownDestSums != nil) && !o.Alg.Strong() {
 		return fmt.Errorf("core: %v is not collision-resistant enough for cross-host matching", o.Alg)
 	}
 	return nil
@@ -157,8 +162,12 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	start := time.Now()
 	cw := &countingWriter{w: conn}
 	cr := &countingReader{r: conn}
-	w := bufio.NewWriterSize(cw, 1<<16)
-	r := bufio.NewReaderSize(cr, 1<<16)
+	// Data direction (frames out) gets a pooled batch-sized buffer; the
+	// control direction (acks in) a pooled 64 KiB one.
+	w := getDataWriter(cw)
+	r := getCtlReader(cr)
+	defer putDataWriter(w)
+	defer putCtlReader(r)
 	defer func() {
 		m.BytesSent = cw.n
 		m.BytesReceived = cr.n
@@ -292,12 +301,23 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	// re-sent in a later round.
 	v.HarvestDirty()
 
+	// gateDetail renders the entropy gate's per-round hit rate for round
+	// traces (attempted/skipped deltas since the given snapshot).
+	gateDetail := func(att, skip int) string {
+		if !opts.Compress {
+			return ""
+		}
+		return fmt.Sprintf("gate_attempted=%d gate_skipped=%d",
+			m.CompressAttempted-att, m.CompressSkipped-skip)
+	}
+
 	// Round 1: walk every page. With a destination checksum set, redundant
 	// pages shrink to (page number, checksum). Encoding runs on the worker
 	// pool; messages are still emitted in page order.
 	m.Rounds = 1
 	roundStart := cw.n
 	frameStart := m.PageFrames
+	attStart, skipStart := m.CompressAttempted, m.CompressSkipped
 	if err := stream(seqAll(v.NumPages()), opts.DeltaBase); err != nil {
 		return m, err
 	}
@@ -309,7 +329,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	}
 	opts.OnEvent.emit(Event{Kind: EventRound, Round: 1,
 		Pages: int64(v.NumPages()), Bytes: cw.n - roundStart,
-		Frames: int64(m.PageFrames - frameStart)})
+		Frames: int64(m.PageFrames - frameStart),
+		Detail: gateDetail(attStart, skipStart)})
 
 	// Iterative rounds: resend pages dirtied while the previous round
 	// streamed. A dirty page whose new content is already in the
@@ -344,6 +365,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		})
 		roundStart = cw.n
 		frameStart = m.PageFrames
+		attStart, skipStart = m.CompressAttempted, m.CompressSkipped
 		if err := stream(seqList(dirtyList), nil); err != nil {
 			return m, err
 		}
@@ -355,7 +377,8 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 		}
 		opts.OnEvent.emit(Event{Kind: EventRound, Round: round,
 			Pages: int64(len(dirtyList)), Bytes: cw.n - roundStart,
-			Frames: int64(m.PageFrames - frameStart)})
+			Frames: int64(m.PageFrames - frameStart),
+			Detail: gateDetail(attStart, skipStart)})
 		if final {
 			break
 		}
@@ -383,9 +406,14 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 }
 
 // sendFullPage writes a full-page message, deflated when a compressor is
-// configured and the page actually shrinks.
+// configured, the entropy gate admits the page, and it actually shrinks.
 func sendFullPage(w io.Writer, page uint64, sum checksum.Sum, data []byte, comp *pageCompressor, m *Metrics) error {
 	if comp != nil {
+		if !compressible(data) {
+			m.CompressSkipped++
+			return writePageFull(w, page, sum, data)
+		}
+		m.CompressAttempted++
 		z, ok, err := comp.compress(data)
 		if err != nil {
 			return err

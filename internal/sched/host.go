@@ -115,6 +115,36 @@ type Host struct {
 	// the seam the fault-injection tests use to interpose a
 	// core.FaultConn. nil dials TCP with dialTimeout.
 	DialFunc func(ctx context.Context, addr string) (io.ReadWriteCloser, error)
+
+	// TCPDelay re-enables Nagle's algorithm on migration sockets. By default
+	// the host calls SetNoDelay(true): the engine already batches frames into
+	// megabyte writes, so coalescing in the kernel only adds latency to the
+	// small control turns (hello, round acks) the protocol blocks on.
+	TCPDelay bool
+
+	// TCPReadBuffer / TCPWriteBuffer, when positive, set SO_RCVBUF /
+	// SO_SNDBUF on migration sockets (both accept- and dial-side). Zero
+	// keeps the OS defaults (with auto-tuning, usually right on a LAN);
+	// sizing them to the bandwidth-delay product helps on high-RTT paths.
+	TCPReadBuffer  int
+	TCPWriteBuffer int
+}
+
+// tuneConn applies the host's socket knobs to a migration connection. It is
+// a no-op on anything but a *net.TCPConn (tests dial net.Pipe and fault
+// wrappers through DialFunc).
+func (h *Host) tuneConn(conn interface{}) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	_ = tc.SetNoDelay(!h.TCPDelay)
+	if h.TCPReadBuffer > 0 {
+		_ = tc.SetReadBuffer(h.TCPReadBuffer)
+	}
+	if h.TCPWriteBuffer > 0 {
+		_ = tc.SetWriteBuffer(h.TCPWriteBuffer)
+	}
 }
 
 // NewHost creates a host whose checkpoint store lives at storeDir.
@@ -221,6 +251,7 @@ func (h *Host) dial(ctx context.Context, addr string) (io.ReadWriteCloser, error
 	if err != nil {
 		return nil, fmt.Errorf("sched: dial %s: %w", addr, err)
 	}
+	h.tuneConn(conn)
 	return conn, nil
 }
 
@@ -273,6 +304,7 @@ func (h *Host) acceptLoop(ln net.Listener) {
 		go func() {
 			defer h.wg.Done()
 			defer conn.Close()
+			h.tuneConn(conn)
 			// Per-I/O deadlines so a hung peer cannot wedge the handler;
 			// the host context aborts the connection on Close.
 			dc := core.NewDeadlineConn(conn, h.idle())
@@ -627,6 +659,11 @@ type MigrateOptions struct {
 	UseDelta bool
 	// Compress deflates full-page payloads (core.SourceOptions.Compress).
 	Compress bool
+	// Alg selects the page-checksum algorithm (core.SourceOptions.Alg);
+	// zero keeps the engine default (MD5). Weak algorithms (fnv, fast64)
+	// are only valid for baseline migrations — recycling needs a
+	// collision-resistant digest to stand in for page content.
+	Alg checksum.Algorithm
 	// Workers sizes the source pipeline (core.SourceOptions.Workers): page
 	// reads, per-page encoding, and wire emission overlap, with this many
 	// encode workers. Values below 1 keep the sequential engine.
@@ -754,6 +791,7 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 		defer conn.Close()
 		return core.MigrateSource(ctx, core.NewDeadlineConn(conn, idle), v, core.SourceOptions{
 			Recycle:           opts.Recycle,
+			Alg:               opts.Alg,
 			KnownDestSums:     known,
 			DeltaBase:         base,
 			Compress:          opts.Compress,
@@ -862,6 +900,7 @@ func (h *Host) migrateDisk(ctx context.Context, addr string, d *disk.Disk, idle 
 	defer diskConn.Close()
 	return core.MigrateSource(ctx, core.NewDeadlineConn(diskConn, idle), d.Backing(), core.SourceOptions{
 		Recycle: opts.Recycle,
+		Alg:     opts.Alg,
 		OnEvent: h.obs.eventFunc(rec, "source"),
 	})
 }

@@ -68,6 +68,8 @@ type hostObs struct {
 	salvage        *obs.CounterVec   // vecycle_salvage_total{host,outcome}
 	salvagePg      *obs.CounterVec   // vecycle_salvage_pages_total{host}
 	salvageAvoided *obs.CounterVec   // vecycle_salvage_bytes_avoided_total{host}
+	compressAtt    *obs.CounterVec   // vecycle_compress_attempted_total{host}
+	compressSkip   *obs.CounterVec   // vecycle_compress_skipped_total{host}
 	stage          *obs.CounterVec   // vecycle_stage_seconds_total{host,stage,state}
 	vmTotal        *obs.CounterVec   // vecycle_vm_migrations_total{host,vm,role}
 	vmLast         *obs.GaugeVec     // vecycle_vm_last_migration_seconds{host,vm}
@@ -135,6 +137,12 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 			"host"),
 		salvageAvoided: reg.CounterVec("vecycle_salvage_bytes_avoided_total",
 			"Wire bytes avoided by migrations that resumed from a salvage checkpoint (pages reused out of the partial image, at page-size cost each).",
+			"host"),
+		compressAtt: reg.CounterVec("vecycle_compress_attempted_total",
+			"Full pages the entropy gate passed to deflate on outgoing migrations.",
+			"host"),
+		compressSkip: reg.CounterVec("vecycle_compress_skipped_total",
+			"Full pages the entropy gate sent raw (sampled as incompressible) on outgoing migrations.",
 			"host"),
 		stage: reg.CounterVec("vecycle_stage_seconds_total",
 			"Pipelined-engine stage time by stage (ingest, worker, emit) and state (busy, stall).",
@@ -262,6 +270,8 @@ func (o *hostObs) finish(rec *obs.Recorder, role, vmName string, m core.Metrics,
 	o.pages.With(o.host, "reused_in_place").Add(float64(m.PagesReusedInPlace))
 	o.pages.With(o.host, "reused_from_disk").Add(float64(m.PagesReusedFromDisk))
 	o.rangeFrames.With(o.host).Add(float64(m.RangeFrames))
+	o.compressAtt.With(o.host).Add(float64(m.CompressAttempted))
+	o.compressSkip.With(o.host).Add(float64(m.CompressSkipped))
 	o.observeStages(m.Stages)
 	if err == nil {
 		o.duration.With(o.host, role).Observe(m.Duration.Seconds())

@@ -1,14 +1,30 @@
 // Command benchgate fails CI when the pipelined migration engine scales
-// negatively with workers. It reads the committed BENCH_migration.json
-// (the `go test -json` stream `make bench` records), extracts the MB/s
-// figure of every BenchmarkFirstRound/workers=N series, and requires each
-// width to stay within -min-ratio of the workers=1 baseline.
+// negatively with workers, or regresses against a previously committed
+// recording. It reads BENCH_migration.json (the `go test -json` stream
+// `make bench` records), extracts the MB/s and B/op figures of every
+// BenchmarkFirstRound/workers=N series, and enforces:
 //
-// The gate is deliberately a floor, not a speedup target: CI runners are
-// often single-core, where all widths converge — the regression this guards
-// against is the one the range-frame work fixed, where adding workers made
-// migrations *slower* than the sequential engine. On multi-core hardware
-// the recorded ratios document the realized speedup.
+//   - scaling floor: every width stays within -min-ratio of the workers=1
+//     throughput (the regression the range-frame work fixed: adding
+//     workers must never make migrations meaningfully slower than the
+//     sequential engine);
+//   - allocation flatness: workers=8 allocates at most -alloc-slack bytes
+//     per migration more than workers=1 (the regression the pooled wire
+//     buffers and install scratch fixed: before pooling, workers=8 sat
+//     ~8 MB/op above workers=1);
+//   - with -baseline (typically the recording at HEAD): every width's
+//     throughput stays within -min-ratio of its own previous figure, and
+//     its B/op does not grow more than -alloc-slack beyond it.
+//
+// The gates are deliberately floors, not speedup targets: CI runners are
+// often single-core, where all widths converge, and sync.Pool refills
+// after a mid-loop GC move B/op by a few hundred KB between runs. The
+// default tolerances (-min-ratio 0.85, -alloc-slack 1 MiB ≈ one pooled
+// buffer refill) ride out that noise while still catching the real
+// regressions above, which were 3x slowdowns and multi-MB/op growth.
+// On multi-core hardware the recorded ratios document the realized
+// speedup; the deterministic per-migration allocation ceiling lives in
+// internal/core's alloc tests, which force GC and are noise-free.
 package main
 
 import (
@@ -29,11 +45,20 @@ type testEvent struct {
 	Output string
 }
 
-var resultLine = regexp.MustCompile(`^BenchmarkFirstRound/workers=(\d+)\S*\s+.*?(\d+(?:\.\d+)?) MB/s`)
+// series holds one width's recorded figures. bop is 0 when the recording
+// lacks -benchmem columns.
+type series struct {
+	mbps float64
+	bop  float64
+}
+
+var resultLine = regexp.MustCompile(`^BenchmarkFirstRound/workers=(\d+)\S*\s+.*?(\d+(?:\.\d+)?) MB/s(?:\s+(\d+) B/op)?`)
 
 func main() {
 	file := flag.String("file", "BENCH_migration.json", "go test -json benchmark recording to gate on")
-	minRatio := flag.Float64("min-ratio", 0.95, "minimum throughput of every width relative to workers=1")
+	baseline := flag.String("baseline", "", "previous recording to gate against (empty or missing file = skip)")
+	minRatio := flag.Float64("min-ratio", 0.85, "minimum throughput of every width relative to workers=1 (and to the baseline)")
+	allocSlack := flag.Float64("alloc-slack", 1<<20, "maximum workers=8 B/op growth over workers=1 (and over the baseline), in bytes")
 	flag.Parse()
 
 	speeds, err := parseFile(*file)
@@ -41,18 +66,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
-	if err := gate(speeds, *minRatio); err != nil {
+	if err := gate(speeds, *minRatio, *allocSlack); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if _, err := os.Stat(*baseline); err != nil {
+			fmt.Printf("benchgate: no baseline at %s, skipping regression gate\n", *baseline)
+			return
+		}
+		prev, err := parseFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := gateBaseline(speeds, prev, *minRatio, *allocSlack); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-// parseFile extracts the MB/s per worker count from a go test -json stream.
-// A single benchmark result line is split across several output events
-// (the name flushes before the timing columns), so the events are
-// reassembled into plain text before matching; when a series was recorded
-// more than once the last run wins.
-func parseFile(path string) (map[int]float64, error) {
+// parseFile extracts the MB/s and B/op per worker count from a go test
+// -json stream. A single benchmark result line is split across several
+// output events (the name flushes before the timing columns), so the
+// events are reassembled into plain text before matching; when a series
+// was recorded more than once the last run wins.
+func parseFile(path string) (map[int]series, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -75,7 +115,7 @@ func parseFile(path string) (map[int]float64, error) {
 		return nil, err
 	}
 
-	speeds := make(map[int]float64)
+	speeds := make(map[int]series)
 	for _, line := range strings.Split(text.String(), "\n") {
 		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -86,15 +126,20 @@ func parseFile(path string) (map[int]float64, error) {
 		if err != nil {
 			continue
 		}
-		speeds[w] = s
+		var bop float64
+		if m[3] != "" {
+			bop, _ = strconv.ParseFloat(m[3], 64)
+		}
+		speeds[w] = series{mbps: s, bop: bop}
 	}
 	return speeds, nil
 }
 
-// gate enforces the scaling floor and prints the realized ratios.
-func gate(speeds map[int]float64, minRatio float64) error {
+// gate enforces the scaling floor and the allocation-flatness ceiling, and
+// prints the realized ratios.
+func gate(speeds map[int]series, minRatio, allocSlack float64) error {
 	base, ok := speeds[1]
-	if !ok || base <= 0 {
+	if !ok || base.mbps <= 0 {
 		return fmt.Errorf("no BenchmarkFirstRound/workers=1 series in the recording; run `make bench`")
 	}
 	if _, ok := speeds[8]; !ok {
@@ -109,15 +154,68 @@ func gate(speeds map[int]float64, minRatio float64) error {
 
 	var failures []string
 	for _, w := range widths {
-		ratio := speeds[w] / base
-		fmt.Printf("benchgate: workers=%-2d %8.2f MB/s  %.2fx of workers=1\n", w, speeds[w], ratio)
+		ratio := speeds[w].mbps / base.mbps
+		fmt.Printf("benchgate: workers=%-2d %8.2f MB/s  %.2fx of workers=1", w, speeds[w].mbps, ratio)
+		if speeds[w].bop > 0 {
+			fmt.Printf("  %9.0f B/op", speeds[w].bop)
+		}
+		fmt.Println()
 		if ratio < minRatio {
 			failures = append(failures,
 				fmt.Sprintf("workers=%d runs at %.2fx of workers=1 (floor %.2fx)", w, ratio, minRatio))
 		}
 	}
+	if base.bop > 0 && speeds[8].bop > 0 {
+		growth := speeds[8].bop - base.bop
+		fmt.Printf("benchgate: alloc curve  workers=8 at %+.0f B/op over workers=1 (slack %.0f)\n",
+			growth, allocSlack)
+		if growth > allocSlack {
+			failures = append(failures,
+				fmt.Sprintf("workers=8 allocates %.0f B/op over workers=1 (slack %.0f)", growth, allocSlack))
+		}
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("negative worker scaling:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// gateBaseline compares each width against its own figure in a previous
+// recording: throughput must stay within minRatio of the old number, and
+// B/op must not grow more than allocSlack beyond it. Widths absent from
+// either recording are skipped (the benchmark matrix may legitimately
+// change).
+func gateBaseline(speeds, prev map[int]series, minRatio, allocSlack float64) error {
+	widths := make([]int, 0, len(speeds))
+	for w := range speeds {
+		if _, ok := prev[w]; ok {
+			widths = append(widths, w)
+		}
+	}
+	sort.Ints(widths)
+
+	var failures []string
+	for _, w := range widths {
+		cur, old := speeds[w], prev[w]
+		if old.mbps > 0 {
+			ratio := cur.mbps / old.mbps
+			fmt.Printf("benchgate: baseline workers=%-2d %8.2f -> %8.2f MB/s  %.2fx\n",
+				w, old.mbps, cur.mbps, ratio)
+			if ratio < minRatio {
+				failures = append(failures,
+					fmt.Sprintf("workers=%d throughput fell to %.2fx of the baseline (floor %.2fx)", w, ratio, minRatio))
+			}
+		}
+		if old.bop > 0 && cur.bop > 0 {
+			growth := cur.bop - old.bop
+			if growth > allocSlack {
+				failures = append(failures,
+					fmt.Sprintf("workers=%d B/op grew %.0f beyond the baseline (slack %.0f)", w, growth, allocSlack))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression against the baseline recording:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }
