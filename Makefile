@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-pipeline bench benchgate bench-smoke chaos-smoke fuzz-range docs profile ci
+.PHONY: build test vet race race-pipeline bench benchgate bench-smoke chaos-smoke dedup-smoke fuzz-range docs profile ci
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,15 @@ bench-smoke:
 # salvage/resume contract tests), under the race detector.
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos' ./internal/sched/
-	$(GO) test -race -run 'TestSalvage|TestPartialSkipped|TestKillPointMatrix|TestTornImage' ./internal/core/ ./internal/checkpoint/
+	$(GO) test -race -run 'TestSalvage|TestPartialSkipped|TestKillPointMatrix|TestTornSegment|TestGCCrashMidCompact' ./internal/core/ ./internal/checkpoint/
+
+# dedup-smoke is the content-addressed-store gate: two checkpoints sharing
+# half their pages must stat a host dedup ratio strictly above 1.0, gc must
+# reclaim removed entries' unshared content, and the concurrent
+# Save/GC/Restore/OpenUnion interleavings must hold under the race detector.
+dedup-smoke:
+	$(GO) test -race -run 'TestStoreStatDedupRatio|TestStoreGCReclaimsRemovedEntries' ./cmd/vecycle/
+	$(GO) test -race -run 'TestDedupAcross|TestConcurrentSaveGCRestore|TestOpenUnion' ./internal/checkpoint/
 
 # fuzz-range runs the range-frame decoder fuzzers briefly beyond their
 # committed seed corpus: the frame parser directly, then the whole
@@ -76,7 +84,7 @@ docs:
 
 # ci is the gate for every change: static analysis, the docs gate, the
 # full suite under the race detector (which includes the pipeline tests),
-# the chaos/resumability gate, a single-iteration pass over every
-# benchmark, short range-frame fuzzing, and the worker-scaling gate on the
-# committed benchmark recording.
-ci: vet docs race race-pipeline chaos-smoke bench-smoke fuzz-range benchgate
+# the chaos/resumability gate, the dedup-store gate, a single-iteration
+# pass over every benchmark, short range-frame fuzzing, and the
+# worker-scaling gate on the committed benchmark recording.
+ci: vet docs race race-pipeline chaos-smoke dedup-smoke bench-smoke fuzz-range benchgate

@@ -18,9 +18,14 @@
 //
 //	vecycle store ls -store /var/lib/vecycle
 //	vecycle store scrub -store /var/lib/vecycle
+//	vecycle store gc -store /var/lib/vecycle
+//	vecycle store stat -store /var/lib/vecycle
 //	    Inspect a checkpoint store (entry state — complete, partial salvage,
-//	    quarantined — plus sidecar status) or run the crash-recovery scan on
-//	    demand; scrub exits non-zero while quarantined entries remain.
+//	    quarantined — plus per-entry logical vs unique bytes and sidecar
+//	    status), run the crash-recovery scan on demand (scrub exits non-zero
+//	    while quarantined entries remain), collect unreferenced page content
+//	    (gc), or print the host-wide dedup accounting (stat); see
+//	    docs/STORE.md.
 //
 // The source, dest and fleet subcommands take -ops-addr to serve live
 // metrics and migration traces over HTTP (/metrics in Prometheus text

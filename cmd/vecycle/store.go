@@ -14,13 +14,15 @@ import (
 //
 //	vecycle store ls    -store DIR   list entries with state and sidecar status
 //	vecycle store scrub -store DIR   run the recovery scan and report findings
+//	vecycle store gc    -store DIR   collect unreferenced page content
+//	vecycle store stat  -store DIR   pool-wide dedup accounting
 //
 // Opening the store already runs the startup recovery scan (orphaned temp
-// files deleted, legacy images adopted, torn images quarantined); ls shows
+// files deleted, legacy images adopted, torn segments quarantined); ls shows
 // its outcome, scrub reports it explicitly.
 func runStore(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: vecycle store <ls|scrub> -store DIR")
+		return fmt.Errorf("usage: vecycle store <ls|scrub|gc|stat> -store DIR")
 	}
 	sub := args[0]
 	fs := flag.NewFlagSet("vecycle store "+sub, flag.ContinueOnError)
@@ -40,13 +42,20 @@ func runStore(args []string) error {
 		return storeLs(st)
 	case "scrub":
 		return storeScrub(st)
+	case "gc":
+		return storeGC(st)
+	case "stat":
+		return storeStat(st)
 	default:
-		return fmt.Errorf("unknown store subcommand %q (want ls or scrub)", sub)
+		return fmt.Errorf("unknown store subcommand %q (want ls, scrub, gc or stat)", sub)
 	}
 }
 
 // storeLs prints one line per entry: partial (salvage) and quarantined
-// entries are first-class states, not hidden files.
+// entries are first-class states, not hidden files. SIZE is the entry's
+// logical footprint (pages × page size); UNIQUE is the physical content
+// only this entry pins in the pool — the difference is shared with other
+// entries.
 func storeLs(st *checkpoint.Store) error {
 	entries, err := st.Entries()
 	if err != nil {
@@ -57,7 +66,7 @@ func storeLs(st *checkpoint.Store) error {
 		return nil
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(w, "NAME\tSTATE\tSIZE\tSIDECAR\tDIGEST\tREASON")
+	fmt.Fprintln(w, "NAME\tSTATE\tSIZE\tUNIQUE\tSIDECAR\tDIGEST\tREASON")
 	for _, e := range entries {
 		sidecar := "no"
 		if e.HasSidecar {
@@ -67,10 +76,39 @@ func storeLs(st *checkpoint.Store) error {
 		if len(digest) > 12 {
 			digest = digest[:12]
 		}
-		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\n",
-			e.Name, e.State, e.Size, sidecar, digest, e.Reason)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%s\t%s\n",
+			e.Name, e.State, e.Size, e.UniqueBytes, sidecar, digest, e.Reason)
 	}
 	return w.Flush()
+}
+
+// storeGC runs a garbage-collection pass over the content pool and reports
+// what it reclaimed.
+func storeGC(st *checkpoint.Store) error {
+	rep, err := st.GC()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: %d segments deleted, %d compacted, %d pages (%d bytes) reclaimed\n",
+		rep.SegmentsDeleted, rep.SegmentsCompacted, rep.PagesReclaimed, rep.BytesReclaimed)
+	if rep.OrphanFiles > 0 {
+		fmt.Printf("  orphan files removed: %d\n", rep.OrphanFiles)
+	}
+	return nil
+}
+
+// storeStat prints the pool-wide dedup accounting: what the resident
+// checkpoints claim to hold (logical) against what the pool actually
+// stores (physical).
+func storeStat(st *checkpoint.Store) error {
+	s := st.Stats()
+	fmt.Printf("entries:        %d\n", s.Entries)
+	fmt.Printf("segments:       %d\n", s.Segments)
+	fmt.Printf("objects:        %d\n", s.Objects)
+	fmt.Printf("logical bytes:  %d\n", s.LogicalBytes)
+	fmt.Printf("physical bytes: %d\n", s.PhysicalBytes)
+	fmt.Printf("dedup ratio:    %.2f\n", s.DedupRatio())
+	return nil
 }
 
 // storeScrub re-runs the recovery scan and reports what it found.

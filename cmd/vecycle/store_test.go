@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -58,13 +61,18 @@ func seedStore(t *testing.T) string {
 	if err := st.Save(mk("rot", 3)); err != nil {
 		t.Fatal(err)
 	}
-	// Tear rot's image behind the store's back; the next open quarantines it.
-	img := st.ImagePath("rot")
-	f, err := os.OpenFile(img, os.O_WRONLY, 0)
+	// Tear the newest pool segment — the one rot's save just wrote — behind
+	// the store's back; the next open quarantines the entry.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no pool segments on disk (err=%v)", err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, 4096); err != nil {
+	if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, 5000); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -118,6 +126,134 @@ func TestStoreScrub(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("scrub of a healthy store failed: %v\n%s", err, out)
+	}
+}
+
+// dedupStore builds a store where two VMs share half their pages, so the
+// pool holds measurably less than the sum of the entries.
+func dedupStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 16
+	v1, err := vm.New(vm.Config{Name: "vm1", MemBytes: pages * vm.PageSize, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := vm.New(vm.Config{Name: "vm2", MemBytes: pages * vm.PageSize, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.FillRandom(1.0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < pages/2; i++ {
+		v1.ReadPage(i, buf)
+		v2.InstallPage(i, buf)
+	}
+	if err := st.Save(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(v2); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// statRatio extracts the "dedup ratio" line from store stat output.
+func statRatio(t *testing.T, out string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "dedup ratio:") {
+			var r float64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, "dedup ratio:"), "%f", &r); err != nil {
+				t.Fatalf("unparsable ratio line %q: %v", line, err)
+			}
+			return r
+		}
+	}
+	t.Fatalf("no dedup ratio line in:\n%s", out)
+	return 0
+}
+
+// TestStoreStatDedupRatio is the CI dedup smoke: two checkpoints sharing
+// half their content must yield a stat ratio strictly above 1.0.
+func TestStoreStatDedupRatio(t *testing.T) {
+	dir := dedupStore(t)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"store", "stat", "-store", dir})
+	})
+	if err != nil {
+		t.Fatalf("store stat: %v\n%s", err, out)
+	}
+	for _, want := range []string{"entries:", "segments:", "objects:", "logical bytes:", "physical bytes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stat output missing %q:\n%s", want, out)
+		}
+	}
+	if r := statRatio(t, out); r <= 1.0 {
+		t.Errorf("dedup ratio = %v, want > 1.0\n%s", r, out)
+	}
+}
+
+func TestStoreGCReclaimsRemovedEntries(t *testing.T) {
+	dir := dedupStore(t)
+	st, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("vm2"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"store", "gc", "-store", dir})
+	})
+	if err != nil {
+		t.Fatalf("store gc: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "reclaimed") {
+		t.Errorf("gc output missing reclaim summary:\n%s", out)
+	}
+	// With vm2 gone and its unshared half collected, the pool holds exactly
+	// vm1's content again: ratio back to 1.0.
+	out, err = captureStdout(t, func() error {
+		return run([]string{"store", "stat", "-store", dir})
+	})
+	if err != nil {
+		t.Fatalf("store stat: %v\n%s", err, out)
+	}
+	if r := statRatio(t, out); r != 1.0 {
+		t.Errorf("post-gc dedup ratio = %v, want 1.0\n%s", r, out)
+	}
+}
+
+func TestStoreLsReportsUniqueBytes(t *testing.T) {
+	dir := dedupStore(t)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"store", "ls", "-store", dir})
+	})
+	if err != nil {
+		t.Fatalf("store ls: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "UNIQUE") {
+		t.Errorf("ls output missing UNIQUE column:\n%s", out)
+	}
+	// Each entry is 16 pages logical but pins only its unshared 8 pages.
+	logical := fmt.Sprintf("%d", 16*vm.PageSize)
+	unique := fmt.Sprintf("%d", 8*vm.PageSize)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "vm1") || strings.HasPrefix(line, "vm2") {
+			if !strings.Contains(line, logical) || !strings.Contains(line, unique) {
+				t.Errorf("entry line lacks logical=%s unique=%s: %q", logical, unique, line)
+			}
+		}
 	}
 }
 

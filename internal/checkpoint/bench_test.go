@@ -8,10 +8,11 @@ import (
 	"vecycle/internal/vm"
 )
 
-// BenchmarkOpen measures the §3.3 index build on a 64 MiB image, cold
-// (full read + rehash, the pre-sidecar behavior) versus warm (fingerprint
-// sidecar load). The warm path reads ~0.4 % of the bytes and hashes
-// nothing; the acceptance bar for the warm-start layer is ≥ 5× over cold.
+// BenchmarkOpen measures the §3.3 index build on a 64 MiB checkpoint, cold
+// (full pool read + rehash, the pre-sidecar behavior) versus warm
+// (fingerprint sidecar load). The warm path reads ~0.4 % of the bytes and
+// hashes nothing; the acceptance bar for the warm-start layer is ≥ 5× over
+// cold.
 func BenchmarkOpen(b *testing.B) {
 	const pages = 16384 // 64 MiB at 4 KiB pages
 	store, err := NewStore(filepath.Join(b.TempDir(), "ckpts"))
@@ -28,17 +29,18 @@ func BenchmarkOpen(b *testing.B) {
 	if err := store.Save(src); err != nil {
 		b.Fatal(err)
 	}
-	path := store.ImagePath("bench")
-	store.mu.Lock()
-	digest := store.readDigestLocked("bench")
-	store.mu.Unlock()
 
 	b.Run("cold", func(b *testing.B) {
+		store.SetNoSidecar(true)
+		defer store.SetNoSidecar(false)
 		b.SetBytes(pages * vm.PageSize)
 		for i := 0; i < b.N; i++ {
-			cp, err := OpenWith(path, checksum.MD5, nil, OpenConfig{NoSidecar: true})
+			cp, err := store.Restore("bench", checksum.MD5, nil)
 			if err != nil {
 				b.Fatal(err)
+			}
+			if cp.Sidecar() != SidecarDisabled {
+				b.Fatalf("cold restore got %v, want disabled", cp.Sidecar())
 			}
 			cp.Close()
 		}
@@ -46,7 +48,7 @@ func BenchmarkOpen(b *testing.B) {
 	b.Run("warm", func(b *testing.B) {
 		b.SetBytes(pages * vm.PageSize)
 		for i := 0; i < b.N; i++ {
-			cp, err := OpenWith(path, checksum.MD5, nil, OpenConfig{ExpectedDigest: digest})
+			cp, err := store.Restore("bench", checksum.MD5, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,13 +1,36 @@
-// Package checkpoint implements VeCycle's on-disk VM checkpoints (§3.3): a
-// raw page-ordered memory image written by the migration source after an
-// outgoing migration, and re-read by a later incoming migration to
-// bootstrap the destination VM.
+// Package checkpoint implements VeCycle's recycled VM checkpoints (§3.3),
+// stored content addressed and host wide.
 //
-// While sequentially reading the image — sequential access "ensures optimal
-// use of the disk's available I/O bandwidth" — the destination computes one
-// checksum per 4 KiB block and records it with the block's file offset in a
-// sorted list, so that a checksum received from the source can be resolved
-// to a disk offset by binary search, exactly as described in the paper.
+// The paper's mechanism: after an outgoing migration the source dumps the
+// guest's memory to local disk; a later incoming migration re-reads it,
+// computes one checksum per 4 KiB block, records each with its location in
+// a sorted list, and answers checksums from the wire by binary search —
+// reusing local bytes instead of network ones. This package keeps that
+// merge-loop contract (Index, Checkpoint.ReadBlock) and adds the layers the
+// paper's evaluation assumes but does not spell out:
+//
+//   - object pool (object.go): every distinct page is persisted once per
+//     host in append-only segment files, keyed by a collision-resistant
+//     checksum — the paper's §3.1 content redundancy, pooled across VMs,
+//     generations, and salvage partials instead of duplicated per image;
+//   - page manifests (pmf.go): a checkpoint entry is a page-ordered list of
+//     object keys, so N near-identical guests cost the disk one copy of
+//     their shared pages;
+//   - store manifest (manifest.go) + recovery (recovery.go): the
+//     crash-consistency layer — every mutation commits atomically via the
+//     manifest, and startup replays recorded digests, quarantining torn
+//     entries and rolling back uncommitted files;
+//   - refcounts + GC (store.go, gc.go): dead objects become reclaimed bytes
+//     by deleting and compacting segments, never by rewriting manifests;
+//   - fingerprint sidecars (sidecar.go): persisted per-entry page sums that
+//     let a warm Restore skip the O(RAM) rescan of §3.3;
+//   - union bootstrap (Store.OpenUnion): a destination with no checkpoint
+//     for the incoming VM announces the union of everything resident, so
+//     even a first visit reuses any page some other guest already brought.
+//
+// The flat Write/Open pair still operates on single raw image files; the
+// Store is the content-addressed layer above, and adopts such legacy images
+// into the pool on first open.
 package checkpoint
 
 import (
@@ -27,21 +50,28 @@ import (
 	"vecycle/internal/vm"
 )
 
-// indexEntry pairs a block checksum with its byte offset in the image.
-type indexEntry struct {
-	sum    checksum.Sum
-	offset int64
+// pageRef locates one page's payload: a byte offset in an open backing file
+// (a flat image or a pool segment).
+type pageRef struct {
+	f   *os.File
+	off int64
 }
 
-// Index maps block checksums to file offsets. It is the sorted list of
+// indexEntry pairs a block checksum with the location of its payload.
+type indexEntry struct {
+	sum checksum.Sum
+	ref pageRef
+}
+
+// Index maps block checksums to payload locations. It is the sorted list of
 // §3.3, queried by binary search during the destination's merge loop.
 type Index struct {
 	entries []indexEntry
 }
 
-// add records a block. Called in file order during the sequential scan.
-func (ix *Index) add(sum checksum.Sum, offset int64) {
-	ix.entries = append(ix.entries, indexEntry{sum: sum, offset: offset})
+// add records a block. Called in page order during the sequential scan.
+func (ix *Index) add(sum checksum.Sum, ref pageRef) {
+	ix.entries = append(ix.entries, indexEntry{sum: sum, ref: ref})
 }
 
 // sort orders the entries for binary search, keeping the lowest offset for
@@ -52,37 +82,36 @@ func (ix *Index) sort() {
 		if c != 0 {
 			return c < 0
 		}
-		return ix.entries[i].offset < ix.entries[j].offset
+		return ix.entries[i].ref.off < ix.entries[j].ref.off
 	})
 }
 
-// Lookup reports the file offset of a block with the given checksum.
-func (ix *Index) Lookup(sum checksum.Sum) (offset int64, ok bool) {
+// Lookup reports the payload location of a block with the given checksum.
+func (ix *Index) Lookup(sum checksum.Sum) (ref pageRef, ok bool) {
 	i := sort.Search(len(ix.entries), func(i int) bool {
 		return bytes.Compare(ix.entries[i].sum[:], sum[:]) >= 0
 	})
 	if i < len(ix.entries) && ix.entries[i].sum == sum {
-		return ix.entries[i].offset, true
+		return ix.entries[i].ref, true
 	}
-	return 0, false
+	return pageRef{}, false
 }
 
 // Len reports the number of indexed blocks.
 func (ix *Index) Len() int { return len(ix.entries) }
 
 // Write dumps the VM's memory to path as a raw page-ordered image,
-// streaming pages sequentially. This is what the migration source does
-// right after an outgoing migration completes.
+// streaming pages sequentially — the paper's checkpoint format, used
+// directly by tooling and tests; the Store's save path pools pages instead.
 func Write(path string, source *vm.VM) error {
 	_, err := writeImage(path, source)
 	return err
 }
 
 // writeImage streams the VM's memory to path and returns the hex SHA-256 of
-// the written bytes, computed in the same pass — the store's integrity
-// record and sidecar digest come for free instead of re-reading the image.
-// The image lands via tmp+fsync+rename+dir-fsync, so a crash mid-write
-// leaves the previous image intact, never a torn one under the final name.
+// the written bytes, computed in the same pass. The image lands via
+// tmp+fsync+rename+dir-fsync, so a crash mid-write leaves the previous
+// image intact, never a torn one under the final name.
 func writeImage(path string, source *vm.VM) (digest string, err error) {
 	tmp := path + tmpSuffix
 	f, err := os.Create(tmp)
@@ -133,16 +162,39 @@ func writeImage(path string, source *vm.VM) (digest string, err error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// Checkpoint is an opened checkpoint image: the file handle, the
-// checksum→offset index, and the set of block checksums for the hash
-// announcement. Close it when the migration completes.
+// Checkpoint is an opened checkpoint: the checksum→location index for the
+// merge loop, the announcement sum set, and the page-frame geometry (for
+// entries that have one — the union of a whole store does not). The backing
+// files may be a single flat image or several shared pool segments; Close
+// releases them all.
 type Checkpoint struct {
-	f       *os.File
+	files   []*os.File
 	alg     checksum.Algorithm
 	index   Index
 	sums    *checksum.Set
+	frames  []pageRef // per-page-frame payloads; nil when the checkpoint has no frame geometry
 	pages   int
 	sidecar SidecarStatus
+}
+
+// newCheckpoint assembles a Checkpoint whose page i lives at refs[i] and
+// hashes to sums[i]. The files are adopted (closed by Close).
+func newCheckpoint(alg checksum.Algorithm, sums []checksum.Sum, refs []pageRef, files []*os.File, status SidecarStatus) *Checkpoint {
+	cp := &Checkpoint{
+		files:   files,
+		alg:     alg,
+		sums:    checksum.NewSet(len(sums)),
+		frames:  refs,
+		pages:   len(refs),
+		sidecar: status,
+	}
+	cp.index.entries = make([]indexEntry, len(sums))
+	for i, s := range sums {
+		cp.index.entries[i] = indexEntry{sum: s, ref: refs[i]}
+		cp.sums.Add(s)
+	}
+	cp.index.sort()
+	return cp
 }
 
 // OpenConfig tunes how Open builds the checksum index.
@@ -150,17 +202,18 @@ type OpenConfig struct {
 	// NoSidecar bypasses the fingerprint sidecar entirely: the index is
 	// rebuilt by the full rescan and no sidecar is read or written.
 	NoSidecar bool
-	// ExpectedDigest, when non-empty, is the hex SHA-256 the image is
-	// supposed to have (the store's integrity record). A sidecar recording
-	// a different digest is stale and ignored, and the digest is embedded
-	// in any sidecar rewrite.
+	// ExpectedDigest, when non-empty, is the hex digest the sidecar must
+	// record to be trusted (for flat images, the image's SHA-256). A sidecar
+	// recording a different digest is stale and ignored, and the digest is
+	// embedded in any sidecar rewrite.
 	ExpectedDigest string
 }
 
-// Open scans the image at path sequentially, building the checksum index
-// and the announcement set. If dst is non-nil each block is also installed
-// into the corresponding page of dst — the destination's RAM bootstrap —
-// in which case the image size must match the VM's memory exactly.
+// Open scans the flat image at path sequentially, building the checksum
+// index and the announcement set. If dst is non-nil each block is also
+// installed into the corresponding page of dst — the destination's RAM
+// bootstrap — in which case the image size must match the VM's memory
+// exactly.
 //
 // When a valid fingerprint sidecar sits next to the image the scan is
 // skipped: the index loads from the sidecar and the image is only read (a
@@ -193,7 +246,7 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 		return nil, fmt.Errorf("checkpoint: image has %d pages, VM has %d", pages, dst.NumPages())
 	}
 	cp := &Checkpoint{
-		f:       f,
+		files:   []*os.File{f},
 		alg:     alg,
 		sums:    checksum.NewSet(pages),
 		pages:   pages,
@@ -203,7 +256,7 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 		sums, serr := loadSidecar(SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest)
 		switch {
 		case serr == nil:
-			if err := cp.fromSums(sums, dst); err != nil {
+			if err := cp.fromSums(f, sums, dst); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -231,13 +284,13 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 				return nil, fmt.Errorf("checkpoint: read block %d: %w", i, err)
 			}
 			sum := alg.Page(buf)
-			cp.index.add(sum, int64(i)*vm.PageSize)
+			cp.index.add(sum, pageRef{f: f, off: int64(i) * vm.PageSize})
 			cp.sums.Add(sum)
 			if dst != nil {
 				dst.InstallPage(i, buf)
 			}
 		}
-	} else if err := openParallel(br, alg, dst, cp, pages, workers); err != nil {
+	} else if err := openParallel(br, f, alg, dst, cp, pages, workers); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -250,25 +303,37 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 		_ = writeSidecar(SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest,
 			len(entries), func(i int) checksum.Sum { return entries[i].sum })
 	}
+	cp.frames = cp.frameRefs(f, pages)
 	cp.index.sort()
 	return cp, nil
+}
+
+// frameRefs builds the page-frame geometry of a flat image: frame i at byte
+// offset i*PageSize of f.
+func (c *Checkpoint) frameRefs(f *os.File, pages int) []pageRef {
+	refs := make([]pageRef, pages)
+	for i := range refs {
+		refs[i] = pageRef{f: f, off: int64(i) * vm.PageSize}
+	}
+	return refs
 }
 
 // fromSums builds the index and announcement set from sidecar-loaded
 // page-ordered sums, installing the image into dst when non-nil. The
 // install is a plain sequential read — no hashing, the sums are already
 // known.
-func (c *Checkpoint) fromSums(sums []checksum.Sum, dst *vm.VM) error {
+func (c *Checkpoint) fromSums(f *os.File, sums []checksum.Sum, dst *vm.VM) error {
 	entries := make([]indexEntry, len(sums))
 	for i, s := range sums {
-		entries[i] = indexEntry{sum: s, offset: int64(i) * vm.PageSize}
+		entries[i] = indexEntry{sum: s, ref: pageRef{f: f, off: int64(i) * vm.PageSize}}
 		c.sums.Add(s)
 	}
 	c.index.entries = entries
+	c.frames = c.frameRefs(f, c.pages)
 	if dst == nil {
 		return nil
 	}
-	br := bufio.NewReaderSize(c.f, 1<<20)
+	br := bufio.NewReaderSize(f, 1<<20)
 	buf := make([]byte, vm.PageSize)
 	for i := 0; i < c.pages; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
@@ -289,7 +354,7 @@ const openChunkPages = 512
 // available I/O bandwidth" while removing the hash from the critical path.
 // Index entries are written positionally, so the result is identical to the
 // sequential scan's.
-func openParallel(br io.Reader, alg checksum.Algorithm, dst *vm.VM, cp *Checkpoint, pages, workers int) error {
+func openParallel(br io.Reader, f *os.File, alg checksum.Algorithm, dst *vm.VM, cp *Checkpoint, pages, workers int) error {
 	entries := make([]indexEntry, pages)
 	type chunk struct {
 		start int
@@ -310,7 +375,7 @@ func openParallel(br io.Reader, alg checksum.Algorithm, dst *vm.VM, cp *Checkpoi
 				for i := 0; i < n; i++ {
 					page := c.start + i
 					block := c.buf[i*vm.PageSize : (i+1)*vm.PageSize]
-					entries[page] = indexEntry{sum: alg.Page(block), offset: int64(page) * vm.PageSize}
+					entries[page] = indexEntry{sum: alg.Page(block), ref: pageRef{f: f, off: int64(page) * vm.PageSize}}
 					if dst != nil {
 						dst.InstallPage(page, block)
 					}
@@ -344,10 +409,11 @@ func openParallel(br io.Reader, alg checksum.Algorithm, dst *vm.VM, cp *Checkpoi
 	return nil
 }
 
-// Pages reports the number of blocks in the image.
+// Pages reports the number of page frames the checkpoint describes — zero
+// for a union checkpoint, which has content but no frame geometry.
 func (c *Checkpoint) Pages() int { return c.pages }
 
-// Sidecar reports how this Open interacted with the fingerprint sidecar:
+// Sidecar reports how this open interacted with the fingerprint sidecar:
 // loaded from it (hit), rebuilt because none existed (miss), rebuilt because
 // it failed validation (fallback), or bypassed (disabled).
 func (c *Checkpoint) Sidecar() SidecarStatus { return c.sidecar }
@@ -355,7 +421,7 @@ func (c *Checkpoint) Sidecar() SidecarStatus { return c.sidecar }
 // Algorithm reports the checksum algorithm the index was built with.
 func (c *Checkpoint) Algorithm() checksum.Algorithm { return c.alg }
 
-// SumSet returns the set of block checksums present in the image — the
+// SumSet returns the set of block checksums present in the checkpoint — the
 // content of the destination's hash announcement. The caller must not
 // mutate it.
 func (c *Checkpoint) SumSet() *checksum.Set { return c.sums }
@@ -374,14 +440,14 @@ var blockPool = sync.Pool{New: func() interface{} {
 // ReadAt). The returned buffer may be recycled by passing it to Release
 // once its content has been consumed.
 func (c *Checkpoint) ReadBlock(sum checksum.Sum) (data []byte, ok bool, err error) {
-	offset, ok := c.index.Lookup(sum)
+	ref, ok := c.index.Lookup(sum)
 	if !ok {
 		return nil, false, nil
 	}
 	buf := blockPool.Get().([]byte)
-	if _, err := c.f.ReadAt(buf, offset); err != nil {
+	if _, err := ref.f.ReadAt(buf, ref.off); err != nil {
 		blockPool.Put(buf) //nolint:staticcheck // SA6002: 4 KiB slice, header alloc is fine
-		return nil, true, fmt.Errorf("checkpoint: read block at %d: %w", offset, err)
+		return nil, true, fmt.Errorf("checkpoint: read block at %d: %w", ref.off, err)
 	}
 	return buf, true, nil
 }
@@ -396,26 +462,31 @@ func (c *Checkpoint) Release(data []byte) {
 	blockPool.Put(data[:vm.PageSize]) //nolint:staticcheck // SA6002
 }
 
-// PageAt returns the image's content for page frame i — the content the
-// destination's RAM holds right after its checkpoint bootstrap. The source
-// of a delta-encoded migration reads its own mirror of the destination's
-// checkpoint through this method. ok is false when the frame is outside
-// the image.
+// PageAt returns the checkpoint's content for page frame i — the content
+// the destination's RAM holds right after its checkpoint bootstrap. The
+// source of a delta-encoded migration reads its own mirror of the
+// destination's checkpoint through this method. ok is false when the frame
+// is outside the image, or when the checkpoint has no frame geometry at all
+// (a union bootstrap — which is exactly why a union is never a delta base).
 func (c *Checkpoint) PageAt(frame int) (data []byte, ok bool, err error) {
-	if frame < 0 || frame >= c.pages {
+	if frame < 0 || frame >= len(c.frames) {
 		return nil, false, nil
 	}
+	ref := c.frames[frame]
 	buf := make([]byte, vm.PageSize)
-	if _, err := c.f.ReadAt(buf, int64(frame)*vm.PageSize); err != nil {
+	if _, err := ref.f.ReadAt(buf, ref.off); err != nil {
 		return nil, true, fmt.Errorf("checkpoint: read frame %d: %w", frame, err)
 	}
 	return buf, true, nil
 }
 
-// Close releases the underlying file.
+// Close releases the underlying files.
 func (c *Checkpoint) Close() error {
-	if err := c.f.Close(); err != nil {
-		return fmt.Errorf("checkpoint: close: %w", err)
+	var first error
+	for _, f := range c.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("checkpoint: close: %w", err)
+		}
 	}
-	return nil
+	return first
 }

@@ -190,7 +190,7 @@ func TestIndexLookupProperty(t *testing.T) {
 		want := map[checksum.Sum]bool{}
 		for i, b := range blocks {
 			sum := checksum.MD5.Page([]byte{b})
-			ix.add(sum, int64(i)*vm.PageSize)
+			ix.add(sum, pageRef{off: int64(i) * vm.PageSize})
 			want[sum] = true
 		}
 		ix.sort()
@@ -297,10 +297,10 @@ func TestStoreSanitizesNames(t *testing.T) {
 	if err := store.Save(evil); err != nil {
 		t.Fatal(err)
 	}
-	path := store.ImagePath("../../etc/passwd")
+	path := store.pmfPath("../../etc/passwd")
 	rel, err := filepath.Rel(store.Dir(), path)
 	if err != nil || len(rel) == 0 || rel[0] == '.' {
-		t.Errorf("image path %q escapes store dir", path)
+		t.Errorf("page-manifest path %q escapes store dir", path)
 	}
 }
 

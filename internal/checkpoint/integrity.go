@@ -7,65 +7,70 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
+
+	"vecycle/internal/vm"
 )
 
-// Image integrity. A checkpoint may sit on disk for days between
-// migrations (the paper's inter-migration times reach a week); silent
-// media corruption would otherwise surface only as a hard protocol error
-// mid-migration, or — with an unlucky flip in a reused block — not at all
-// on the unverified fast path. Save therefore records a whole-image
-// SHA-256 in the store manifest (hashed in the same pass as the write),
-// the startup recovery scan replays it against the disk, and Verify (or
-// Restore, via the store's VerifyOnRestore knob) re-checks it on demand.
-// Pre-manifest stores recorded the digest in a <image>.sha256 file, read
-// here as a fallback until the recovery scan adopts the entry.
+// Pool integrity. A checkpoint may sit on disk for days between migrations
+// (the paper's inter-migration times reach a week); silent media corruption
+// would otherwise surface only as a hard protocol error mid-migration, or —
+// with an unlucky flip in a reused block — not at all on the unverified
+// fast path. The content-addressed layout makes every page self-verifying:
+// an object's key IS its collision-resistant checksum, so Verify re-reads
+// an entry's pages out of the pool and re-derives each key, catching bit
+// rot in any segment the entry touches. The startup recovery scan covers
+// the complementary whole-file layer (segment and page-manifest digests
+// recorded in the manifest), and Restore can be made to verify first via
+// the store's VerifyOnRestore knob.
 
+// digestPath is where a pre-manifest, pre-CAS store recorded a legacy
+// image's whole-file digest; recovery consumes it during adoption.
 func (s *Store) digestPath(vmName string) string {
-	return s.ImagePath(vmName) + ".sha256"
+	return s.legacyImagePath(vmName) + ".sha256"
 }
 
-// readDigestLocked returns the recorded image digest — manifest first,
-// legacy .sha256 file second — or "" when none exists.
-func (s *Store) readDigestLocked(vmName string) string {
-	if e, ok := s.man.Entries[sanitize(vmName)]; ok && e.Digest != "" {
-		return e.Digest
-	}
-	raw, err := os.ReadFile(s.digestPath(vmName))
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(raw))
-}
-
-// Verify re-hashes the named VM's image and compares it with the recorded
-// digest. An entry with no recorded digest verifies trivially.
+// Verify re-reads the named VM's pages from the object pool and checks each
+// against its recorded object key. An entry with no resolvable page keys
+// (absent, or an un-adopted legacy quarantine) verifies trivially.
 func (s *Store) Verify(vmName string) error {
 	s.mu.Lock()
-	want := s.readDigestLocked(vmName)
+	key := sanitize(vmName)
+	pageKeys := s.keys[key]
+	var refs []pageRef
+	var files []*os.File
+	var err error
+	if pageKeys != nil {
+		refs, files, err = s.resolveLocked(pageKeys)
+	}
 	s.mu.Unlock()
-	if want == "" {
+	if pageKeys == nil {
 		return nil
 	}
-	got, err := hashFile(s.ImagePath(vmName))
 	if err != nil {
 		return err
 	}
-	if got != want {
-		return fmt.Errorf("checkpoint: image %q failed integrity check (stored %s, computed %s)",
-			vmName, want[:12], got[:12])
+	defer closeAll(files)
+	buf := make([]byte, vm.PageSize)
+	for i, ref := range refs {
+		if _, err := ref.f.ReadAt(buf, ref.off); err != nil {
+			return fmt.Errorf("checkpoint: verify %q page %d: %w", vmName, i, err)
+		}
+		if got := ObjectAlgorithm.Page(buf); got != pageKeys[i] {
+			return fmt.Errorf("checkpoint: image %q failed integrity check (page %d stored as object %s, bytes hash to %s)",
+				vmName, i, pageKeys[i], got)
+		}
 	}
 	return nil
 }
 
-// SetVerifyOnRestore makes every Restore verify the image digest first.
-// Costs one sequential read of the image before the bootstrap read.
+// SetVerifyOnRestore makes every Restore verify the entry's pages first.
+// Costs one extra sequential read (plus hashing) before the bootstrap read.
 func (s *Store) SetVerifyOnRestore(on bool) { s.verifyOnRestore = on }
 
 func hashFile(path string) (string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "", fmt.Errorf("checkpoint: %w", err)
+		return "", err
 	}
 	defer f.Close()
 	h := sha256.New()

@@ -6,51 +6,46 @@ import (
 	"testing"
 
 	"vecycle/internal/checksum"
-	"vecycle/internal/vm"
 )
+
+// tamperObject flips bytes inside the stored payload of the named entry's
+// page `slot`, behind the store's back.
+func tamperObject(t *testing.T, s *Store, name string, slot int) {
+	t.Helper()
+	s.mu.Lock()
+	loc := s.objects[s.keys[sanitize(name)][slot]]
+	s.mu.Unlock()
+	f, err := os.OpenFile(filepath.Join(s.dir, loc.seg), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte{0xde, 0xad}, loc.off+100); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestVerifyCleanImage(t *testing.T) {
 	s := quotaStore(t)
 	saveVM(t, s, "a", 4)
 	if err := s.Verify("a"); err != nil {
-		t.Errorf("clean image failed verification: %v", err)
+		t.Errorf("clean checkpoint failed verification: %v", err)
 	}
 }
 
 func TestVerifyDetectsBitRot(t *testing.T) {
 	s := quotaStore(t)
 	saveVM(t, s, "a", 4)
-	// Flip one bit in the middle of the image.
-	path := s.ImagePath("a")
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw[len(raw)/2] ^= 0x01
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	tamperObject(t, s, "a", 2)
 	if err := s.Verify("a"); err == nil {
 		t.Error("bit rot not detected")
 	}
 }
 
-func TestVerifyMissingDigestTrivial(t *testing.T) {
+func TestVerifyAbsentEntryTrivial(t *testing.T) {
 	s := quotaStore(t)
-	saveVM(t, s, "a", 4)
-	// Forget the recorded digest (an entry adopted from a store predating
-	// both the manifest and the legacy .sha256 record).
-	s.mu.Lock()
-	e := s.man.Entries["a"]
-	e.Digest = ""
-	s.man.Entries["a"] = e
-	err := s.commitManifestLocked()
-	s.mu.Unlock()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Verify("a"); err != nil {
-		t.Errorf("missing digest should verify trivially: %v", err)
+	if err := s.Verify("never-saved"); err != nil {
+		t.Errorf("absent entry should verify trivially: %v", err)
 	}
 }
 
@@ -59,10 +54,7 @@ func TestVerifyOnRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := vm.New(vm.Config{Name: "a", MemBytes: 4 * testPage, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
+	v := filledVM(t, "a", 4, 1)
 	if err := s.Save(v); err != nil {
 		t.Fatal(err)
 	}
@@ -75,20 +67,14 @@ func TestVerifyOnRestore(t *testing.T) {
 	}
 	cp.Close()
 
-	// Corrupt the image: restore must now fail before any data is used.
-	raw, err := os.ReadFile(s.ImagePath("a"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw[0] ^= 0xFF
-	if err := os.WriteFile(s.ImagePath("a"), raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	// Corrupt a stored page: restore must now fail before any data is used.
+	tamperObject(t, s, "a", 1)
 	if _, err := s.Restore("a", checksum.MD5, nil); err == nil {
-		t.Error("corrupt image restored under VerifyOnRestore")
+		t.Error("corrupt checkpoint restored under VerifyOnRestore")
 	}
 
-	// Without the knob the (page-aligned) corruption is invisible to Open.
+	// Without the knob the (page-aligned) corruption is invisible: the warm
+	// sidecar path installs pages without hashing them.
 	s.SetVerifyOnRestore(false)
 	cp, err = s.Restore("a", checksum.MD5, nil)
 	if err != nil {

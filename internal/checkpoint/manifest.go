@@ -8,19 +8,27 @@ import (
 	"sort"
 )
 
-// The store manifest. The image, sidecar and generation files are each
-// written atomically, but a checkpoint is only coherent when they agree —
-// and a crash can land between any two of them. The manifest is the single
-// commit point: a small versioned JSON file, rewritten atomically as the
-// LAST step of every Save/SaveSalvage/Remove, recording each entry's state
-// and the digest of the image those states describe. Any crash earlier in
-// the sequence leaves the manifest describing the previous transaction, so
-// the startup recovery scan sees a digest that no longer matches the bytes
-// on disk and quarantines the entry instead of serving it.
+// The store manifest. Segments, page manifests, sidecars and generation
+// files are each written atomically, but a checkpoint entry is only
+// coherent when they agree — and a crash can land between any two of them.
+// The manifest is the single commit point: a small versioned JSON file,
+// rewritten atomically as the LAST step of every Save/SaveSalvage/Remove/GC,
+// recording each entry's state and pmf digest plus every segment the object
+// pool consists of. Any crash earlier in a transaction leaves the manifest
+// describing the previous transaction, so the startup recovery scan sees
+// digests that no longer match the bytes on disk and quarantines (entries)
+// or rolls back (unrecorded segments/pmfs) instead of serving torn state.
+//
+// Version 1 manifests described the pre-CAS store of one private image per
+// VM; loading one is supported, and the recovery scan converts its images
+// into the content-addressed layout on first open.
 
 const (
 	manifestName    = "MANIFEST.json"
-	manifestVersion = 1
+	manifestVersion = 2
+	// manifestVersionLegacy is the pre-CAS per-image manifest, still
+	// accepted on load; recovery adopts its images into the object pool.
+	manifestVersionLegacy = 1
 )
 
 // EntryState is the lifecycle state of a store entry, as recorded in the
@@ -36,43 +44,70 @@ const (
 	// announcement resends only what is missing. Served for announce-driven
 	// bootstrap, never as a delta base or generation source.
 	EntryPartial EntryState = "partial"
-	// EntryQuarantined marks an entry whose image failed its digest check
-	// (torn write, bit rot). The files are kept for forensics but the store
-	// refuses to serve them.
+	// EntryQuarantined marks an entry whose page manifest or backing
+	// segment failed its digest check (torn write, bit rot). The files are
+	// kept for forensics but the store refuses to serve them.
 	EntryQuarantined EntryState = "quarantined"
 )
 
 // manifestEntry is one entry's durable record.
 type manifestEntry struct {
-	State  EntryState `json:"state"`
-	Digest string     `json:"digest,omitempty"` // hex SHA-256 of the image
-	Size   int64      `json:"size"`
-	Reason string     `json:"reason,omitempty"` // why quarantined
+	State EntryState `json:"state"`
+	// Digest is the hex SHA-256 of the entry's page manifest file, which —
+	// object keys being collision resistant — pins the entry's complete
+	// logical content. For un-adopted legacy entries it is the image digest.
+	Digest string `json:"digest,omitempty"`
+	// Size is the entry's logical byte size: what the guest's memory
+	// occupies, not what the deduplicated store spends on it.
+	Size  int64 `json:"size"`
+	Pages int   `json:"pages,omitempty"`
+	// Reason explains a quarantine, empty otherwise.
+	Reason string `json:"reason,omitempty"`
+	// LegacyImage marks a quarantined pre-CAS entry whose .img file is kept
+	// on disk for forensics instead of being adopted into the object pool.
+	LegacyImage bool `json:"legacyImage,omitempty"`
+}
+
+// segmentRecord is one segment file's durable record.
+type segmentRecord struct {
+	// Digest is the hex SHA-256 of the whole segment file, replayed by the
+	// recovery scan to catch torn writes and bit rot.
+	Digest string `json:"digest"`
+	Pages  int    `json:"pages"`
 }
 
 // manifestFile is the on-disk shape.
 type manifestFile struct {
-	Version int                      `json:"version"`
-	Entries map[string]manifestEntry `json:"entries"`
+	Version  int                      `json:"version"`
+	Entries  map[string]manifestEntry `json:"entries"`
+	Segments map[string]segmentRecord `json:"segments,omitempty"`
+	// NextSeg is the sequence number of the next segment file, so names
+	// never collide even after segments are GC'd.
+	NextSeg uint64 `json:"nextSeg,omitempty"`
 }
 
-// EntryInfo describes a store entry: the manifest record joined with the
-// files actually on disk.
+// EntryInfo describes a store entry as recorded in the manifest.
 type EntryInfo struct {
-	// Name is the store key — the sanitized VM name, also the image stem.
+	// Name is the store key — the sanitized VM name, also the file stem of
+	// the entry's page manifest.
 	Name string
-	// State is the entry's manifest state. Images found on disk without a
-	// manifest record (stores written before the manifest existed) report
-	// EntryComplete after the recovery scan adopts them.
+	// State is the entry's manifest state.
 	State EntryState
-	// Digest is the recorded hex SHA-256 of the image, empty when unknown.
+	// Digest is the hex SHA-256 of the entry's page manifest (its logical
+	// content identity), empty when unknown.
 	Digest string
-	// Size is the image's current byte size.
+	// Size is the entry's logical byte size; the physical bytes behind it
+	// are shared with every other entry referencing the same objects.
 	Size int64
+	// Pages is the entry's page-frame count.
+	Pages int
+	// UniqueBytes is the portion of Size backed by objects no other entry
+	// references — what Remove+GC of this entry alone would reclaim.
+	UniqueBytes int64
 	// Reason explains a quarantine, empty otherwise.
 	Reason string
-	// HasSidecar reports whether a fingerprint sidecar file sits next to
-	// the image (its validity is only established when it is loaded).
+	// HasSidecar reports whether a fingerprint sidecar file exists for the
+	// entry (its validity is only established when it is loaded).
 	HasSidecar bool
 }
 
@@ -81,9 +116,10 @@ func (s *Store) manifestPath() string {
 }
 
 // loadManifestLocked reads the manifest into memory, tolerating absence
-// (pre-manifest store) and rejecting unknown versions.
+// (fresh or pre-manifest store), accepting the legacy per-image version 1
+// (whose images the recovery scan adopts), and rejecting unknown versions.
 func (s *Store) loadManifestLocked() error {
-	s.man = manifestFile{Version: manifestVersion, Entries: map[string]manifestEntry{}}
+	s.man = manifestFile{Version: manifestVersion, Entries: map[string]manifestEntry{}, Segments: map[string]segmentRecord{}}
 	raw, err := os.ReadFile(s.manifestPath())
 	if os.IsNotExist(err) {
 		return nil
@@ -95,11 +131,24 @@ func (s *Store) loadManifestLocked() error {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return fmt.Errorf("checkpoint: parse manifest: %w", err)
 	}
-	if m.Version != manifestVersion {
+	if m.Version != manifestVersion && m.Version != manifestVersionLegacy {
 		return fmt.Errorf("checkpoint: manifest version %d, want %d", m.Version, manifestVersion)
 	}
 	if m.Entries == nil {
 		m.Entries = map[string]manifestEntry{}
+	}
+	if m.Segments == nil {
+		m.Segments = map[string]segmentRecord{}
+	}
+	if m.Version == manifestVersionLegacy {
+		// Version 1 entries describe private .img files. Carry the records;
+		// the recovery scan converts the images into the object pool (or
+		// keeps them as legacy files when quarantined).
+		m.Version = manifestVersion
+		for key, e := range m.Entries {
+			e.LegacyImage = true
+			m.Entries[key] = e
+		}
 	}
 	s.man = m
 	return nil
@@ -118,33 +167,25 @@ func (s *Store) commitManifestLocked() error {
 	return kill("manifest-committed")
 }
 
-// entryLocked joins the manifest record for vmName with the on-disk image.
-// Images never recorded in the manifest (written by pre-manifest stores,
-// or dropped in by hand) report as complete — the recovery scan adopts
-// them properly on the next open or Scrub.
+// entryLocked reports the manifest record for vmName. Under content
+// addressing the manifest is the sole source of truth: files the manifest
+// does not describe are interrupted transactions (rolled back by recovery)
+// or legacy images (adopted by recovery).
 func (s *Store) entryLocked(vmName string) (EntryInfo, bool) {
 	key := sanitize(vmName)
-	st, statErr := os.Stat(s.ImagePath(vmName))
 	e, ok := s.man.Entries[key]
 	if !ok {
-		if statErr != nil {
-			return EntryInfo{}, false
-		}
-		return EntryInfo{Name: key, State: EntryComplete, Size: st.Size(), HasSidecar: s.hasSidecar(vmName)}, true
-	}
-	if statErr != nil {
-		// Manifest entry without an image: a raced Remove or a crash after
-		// the image unlink. Report absent; recovery drops the record.
 		return EntryInfo{}, false
 	}
 	return EntryInfo{
-		Name: key, State: e.State, Digest: e.Digest,
-		Size: st.Size(), Reason: e.Reason, HasSidecar: s.hasSidecar(vmName),
+		Name: key, State: e.State, Digest: e.Digest, Size: e.Size,
+		Pages: e.Pages, Reason: e.Reason, HasSidecar: s.hasSidecar(vmName),
+		UniqueBytes: s.uniqueBytesLocked(key),
 	}, true
 }
 
 func (s *Store) hasSidecar(vmName string) bool {
-	_, err := os.Stat(SidecarPath(s.ImagePath(vmName)))
+	_, err := os.Stat(s.sidecarPath(vmName))
 	return err == nil
 }
 
@@ -155,20 +196,13 @@ func (s *Store) Entry(vmName string) (EntryInfo, bool) {
 	return s.entryLocked(vmName)
 }
 
-// Entries lists every store entry — manifest records joined with on-disk
-// images, plus unrecorded legacy images — sorted by name.
+// Entries lists every store entry recorded in the manifest, sorted by name.
 func (s *Store) Entries() ([]EntryInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	names, err := s.listLocked()
-	if err != nil {
-		return nil, err
-	}
-	seen := map[string]bool{}
-	var out []EntryInfo
-	for _, n := range names {
-		if info, ok := s.entryLocked(n); ok && !seen[info.Name] {
-			seen[info.Name] = true
+	out := make([]EntryInfo, 0, len(s.man.Entries))
+	for key := range s.man.Entries {
+		if info, ok := s.entryLocked(key); ok {
 			out = append(out, info)
 		}
 	}

@@ -3,106 +3,137 @@ package checkpoint
 import (
 	"fmt"
 	"os"
-	"sort"
 	"time"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
 )
 
 // Storage quota management. The paper argues local checkpoint storage is
 // "cheap and abundant" (§1), but a host that serves many VMs still needs a
-// bound: the store can be capped, evicting the least-recently-used
-// checkpoints first. A checkpoint counts as used when it is saved or
-// restored.
+// bound. The quota caps PHYSICAL bytes — deduplicated segment payloads,
+// what the disk actually spends — so a host full of near-identical guests
+// fits far more logical checkpoint state than the cap suggests. When a Save
+// does not fit, the store first collects dead segments, then evicts the
+// least-recently-used entries (and collects again) until the new pages fit.
+// An entry counts as used when it is saved or restored.
 
-// SetQuota caps the total bytes of checkpoint images in the store. A zero
-// or negative quota removes the cap. If existing images already exceed the
-// new quota, the least-recently-used ones are evicted immediately.
+// SetQuota caps the physical bytes of checkpoint pages in the store. A zero
+// or negative quota removes the cap. If the pool already exceeds the new
+// quota, dead segments are collected and least-recently-used entries
+// evicted immediately.
 func (s *Store) SetQuota(bytes int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.quota = bytes
-	return s.enforceQuotaLocked(0)
+	err := s.shrinkToQuotaLocked()
+	s.mu.Unlock()
+	s.drainMetrics()
+	return err
 }
 
 // Quota reports the configured cap (0 = uncapped).
 func (s *Store) Quota() int64 { return s.quota }
 
-// Usage reports the total bytes of stored checkpoint images.
+// Usage reports the physical payload bytes the object pool occupies — the
+// quantity the quota caps. See Stats for the logical/physical breakdown.
 func (s *Store) Usage() (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries, err := s.imageInfosLocked()
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for _, e := range entries {
-		total += e.size
-	}
-	return total, nil
+	return s.physicalLocked(), nil
 }
 
-type imageInfo struct {
-	vmName string
-	size   int64
-	used   time.Time
+// entryUsed reports an entry's last-use time — its page manifest's mtime,
+// refreshed by touch on every save and restore.
+func (s *Store) entryUsed(key string) time.Time {
+	st, err := os.Stat(s.pmfPath(key))
+	if err != nil {
+		return time.Time{} // missing pmf sorts oldest: evict first
+	}
+	return st.ModTime()
 }
 
-// imageInfosLocked lists stored images with size and last-use time.
-func (s *Store) imageInfosLocked() ([]imageInfo, error) {
-	names, err := s.listLocked()
-	if err != nil {
-		return nil, err
-	}
-	infos := make([]imageInfo, 0, len(names))
-	for _, n := range names {
-		st, err := os.Stat(s.ImagePath(n))
-		if err != nil {
-			continue // raced with a concurrent Remove
+// lruVictimLocked picks the least-recently-used evictable entry, skipping
+// excludeKey (the entry a Save is about to replace — it is superseded in
+// place, never evicted to make room for itself).
+func (s *Store) lruVictimLocked(excludeKey string) (string, bool) {
+	victim := ""
+	var victimUsed time.Time
+	for key := range s.man.Entries {
+		if key == excludeKey {
+			continue
 		}
-		infos = append(infos, imageInfo{vmName: n, size: st.Size(), used: st.ModTime()})
+		used := s.entryUsed(key)
+		if victim == "" || used.Before(victimUsed) {
+			victim, victimUsed = key, used
+		}
 	}
-	return infos, nil
+	return victim, victim != ""
 }
 
-// enforceQuotaLocked evicts least-recently-used images until usage +
-// incoming fits the quota. incoming reserves room for an image about to be
-// written.
-func (s *Store) enforceQuotaLocked(incoming int64) error {
+// shrinkToQuotaLocked brings the pool back under the quota: collect, then
+// evict LRU entries one at a time (collecting after each) until it fits.
+func (s *Store) shrinkToQuotaLocked() error {
 	if s.quota <= 0 {
 		return nil
 	}
-	infos, err := s.imageInfosLocked()
-	if err != nil {
-		return err
-	}
-	var total int64
-	for _, e := range infos {
-		total += e.size
-	}
-	if total+incoming <= s.quota {
-		return nil
-	}
-	// Oldest use first.
-	sort.Slice(infos, func(i, j int) bool { return infos[i].used.Before(infos[j].used) })
-	for _, e := range infos {
-		if total+incoming <= s.quota {
-			break
+	for s.physicalLocked() > s.quota {
+		if rep, err := s.gcLocked(); err != nil {
+			return err
+		} else if rep.Reclaimed() {
+			continue
 		}
-		if err := s.removeLocked(e.vmName); err != nil {
+		victim, ok := s.lruVictimLocked("")
+		if !ok {
+			return fmt.Errorf("checkpoint: pool of %d bytes exceeds store quota %d and nothing is evictable", s.physicalLocked(), s.quota)
+		}
+		if err := s.removeLocked(victim); err != nil {
 			return err
 		}
-		total -= e.size
-	}
-	if total+incoming > s.quota {
-		return fmt.Errorf("checkpoint: image of %d bytes exceeds store quota %d", incoming, s.quota)
 	}
 	return nil
 }
 
-// touch marks an image as recently used, so Restore refreshes its LRU
+// fitQuotaLocked makes room for a Save that must write the pages in
+// newSlots (indices into pageKeys). Eviction can free objects the save was
+// counting on reusing, so the missing set is recomputed after every pass;
+// the final missing set is returned. selfKey is never evicted.
+func (s *Store) fitQuotaLocked(selfKey string, pageKeys []checksum.Sum, newSlots []int) ([]int, error) {
+	for {
+		incoming := int64(len(newSlots)) * vm.PageSize
+		if s.physicalLocked()+incoming <= s.quota {
+			return newSlots, nil
+		}
+		if rep, err := s.gcLocked(); err != nil {
+			return nil, err
+		} else if rep.Reclaimed() {
+			newSlots = s.missingLocked(pageKeys)
+			continue
+		}
+		victim, ok := s.lruVictimLocked(selfKey)
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: %d incoming bytes exceed store quota %d", incoming, s.quota)
+		}
+		if err := s.removeLocked(victim); err != nil {
+			return nil, err
+		}
+		if rep, err := s.gcLocked(); err != nil {
+			return nil, err
+		} else if !rep.Reclaimed() {
+			// The victim's objects were all shared; its removal freed
+			// nothing physical. Keep evicting — the loop terminates because
+			// each pass removes one entry and entries are finite.
+			if _, stillMore := s.lruVictimLocked(selfKey); !stillMore {
+				return nil, fmt.Errorf("checkpoint: %d incoming bytes exceed store quota %d", incoming, s.quota)
+			}
+		}
+		newSlots = s.missingLocked(pageKeys)
+	}
+}
+
+// touch marks an entry as recently used, so Restore refreshes its LRU
 // position.
 func (s *Store) touch(vmName string) {
 	now := time.Now()
 	// Best effort: a failed utimes only degrades eviction ordering.
-	_ = os.Chtimes(s.ImagePath(vmName), now, now)
+	_ = os.Chtimes(s.pmfPath(vmName), now, now)
 }

@@ -20,22 +20,27 @@ func quotaStore(t *testing.T) *Store {
 	return s
 }
 
+// saveVM saves a VM whose content is random but deterministic per name, so
+// distinct names share no pages — each save costs its full physical size.
+// (The quota caps physical bytes; entries that dedup'd against each other
+// would make the arithmetic here meaningless.)
 func saveVM(t *testing.T, s *Store, name string, pages int) {
 	t.Helper()
-	v, err := vm.New(vm.Config{Name: name, MemBytes: int64(pages) * testPage, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
+	seed := int64(1)
+	for _, c := range name {
+		seed = seed*131 + int64(c)
 	}
+	v := filledVM(t, name, pages, seed)
 	if err := s.Save(v); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// ageImage pushes an image's LRU timestamp into the past.
+// ageImage pushes an entry's LRU timestamp into the past.
 func ageImage(t *testing.T, s *Store, name string, age time.Duration) {
 	t.Helper()
 	old := time.Now().Add(-age)
-	if err := os.Chtimes(s.ImagePath(name), old, old); err != nil {
+	if err := os.Chtimes(s.pmfPath(name), old, old); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,12 +127,9 @@ func TestQuotaTooSmallForImage(t *testing.T) {
 	if err := s.SetQuota(2 * testPage); err != nil {
 		t.Fatal(err)
 	}
-	v, err := vm.New(vm.Config{Name: "big", MemBytes: 4 * testPage, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
+	v := filledVM(t, "big", 4, 1)
 	if err := s.Save(v); err == nil {
-		t.Error("image larger than quota accepted")
+		t.Error("checkpoint larger than quota accepted")
 	}
 }
 

@@ -1,43 +1,68 @@
 package checkpoint
 
 import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
 )
 
 // Startup recovery. NewStore replays the crash-consistency contract before
-// serving anything: leftover temp files are interrupted transactions and
-// are deleted; manifest records whose image vanished are dropped; images
-// the manifest never heard of are adopted; and every recorded digest is
-// replayed against the bytes actually on disk — a mismatch means the crash
-// landed between the image rename and the manifest commit, and the entry
-// is quarantined rather than served. Torn fingerprint sidecars need no
-// quarantine: Open validates them independently and falls back to the
-// rescan, so a sidecar can at worst cost time, never correctness.
+// serving anything:
+//
+//   - leftover temp files are interrupted transactions and are deleted;
+//   - every recorded segment's whole-file digest is replayed against the
+//     disk — a vanished or torn segment is pulled from the pool (the file,
+//     if torn, is set aside under a .bad suffix for forensics) and every
+//     entry that depended on it quarantines below;
+//   - legacy per-image checkpoints (pre-CAS stores and version-1 manifests)
+//     are adopted: their pages are deduplicated into the object pool, a
+//     page manifest is written, and the .img file retired — unless the
+//     image fails its recorded digest, in which case it is quarantined
+//     untouched;
+//   - every entry's page-manifest digest is replayed and its object keys
+//     resolved against the pool — a mismatch or an unresolvable key means
+//     the crash landed between a file rename and the manifest commit, and
+//     the entry is quarantined rather than served;
+//   - segment and page-manifest files the manifest never heard of are the
+//     uncommitted tail of an interrupted transaction and are rolled back.
+//
+// Torn fingerprint sidecars need no quarantine: Restore validates them
+// independently and falls back to the rescan, so a sidecar can at worst
+// cost time, never correctness.
 
 // ScrubReport summarizes one recovery scan.
 type ScrubReport struct {
-	// Checked counts the entries whose recorded digest was replayed.
+	// Checked counts the entries whose recorded page-manifest digest was
+	// replayed against the disk.
 	Checked int
-	// Adopted lists legacy images found without a manifest record and
-	// adopted (their digest computed and recorded).
+	// Adopted lists legacy per-image checkpoints converted into the
+	// content-addressed pool by this scan.
 	Adopted []string
 	// Quarantined lists entries quarantined by this scan.
 	Quarantined []string
-	// Dropped lists manifest records whose image had vanished.
+	// Dropped lists manifest records whose page manifest (or legacy image)
+	// had vanished.
 	Dropped []string
 	// TempFiles lists interrupted-transaction temp files deleted.
 	TempFiles []string
+	// Orphans lists segment and page-manifest files no committed
+	// transaction described, rolled back by this scan.
+	Orphans []string
 }
 
 // Scrub runs the recovery scan on demand — the same pass NewStore runs at
 // startup — and reports what it found. Already-quarantined entries are
-// re-checked: one whose image now matches its digest again stays
-// quarantined (the state records that it was once torn; Remove is the way
-// out).
+// re-checked: one whose files now validate again stays quarantined (the
+// state records that it was once torn; Remove is the way out).
 func (s *Store) Scrub() (ScrubReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -52,6 +77,12 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 	}
 	changed := false
 
+	// Reset the in-memory pool view: recovery rebuilds it from disk.
+	s.objects = map[checksum.Sum]objLoc{}
+	s.refs = map[checksum.Sum]int{}
+	s.keys = map[string][]checksum.Sum{}
+	s.segKeys = map[string][]checksum.Sum{}
+
 	// 1. Interrupted transactions: any surviving temp file belongs to a
 	// write whose commit never happened.
 	for _, de := range dirents {
@@ -64,71 +95,158 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 		}
 	}
 
-	// 2. Manifest records whose image vanished: drop them, sweeping any
-	// satellite files the interrupted remove left behind.
-	for key := range s.man.Entries {
-		img := filepath.Join(s.dir, key+".img")
-		if _, err := os.Stat(img); err == nil {
+	// 2. Segment replay: every recorded segment must exist, parse, and hash
+	// to its recorded digest before its objects enter the pool. badKeys
+	// remembers why a torn segment's objects vanished, so the entries that
+	// referenced them can quarantine with the root cause.
+	badKeys := map[checksum.Sum]string{}
+	for _, segName := range sortedKeys(s.man.Segments) {
+		rec := s.man.Segments[segName]
+		path := filepath.Join(s.dir, segName)
+		got, err := hashFile(path)
+		if os.IsNotExist(err) {
+			delete(s.man.Segments, segName)
+			changed = true
 			continue
 		}
-		for _, p := range []string{SidecarPath(img), img + ".gens.json", img + ".sha256"} {
-			_ = os.Remove(p)
+		if err != nil {
+			return rep, err
 		}
-		delete(s.man.Entries, key)
-		rep.Dropped = append(rep.Dropped, key)
+		reason := ""
+		if got != rec.Digest {
+			reason = fmt.Sprintf("segment %s digest mismatch (recorded %.12s, computed %.12s)", segName, rec.Digest, got)
+		} else if segKeys, kerr := readSegmentKeys(path); kerr != nil {
+			reason = fmt.Sprintf("segment %s unreadable: %v", segName, kerr)
+		} else if len(segKeys) != rec.Pages {
+			reason = fmt.Sprintf("segment %s holds %d objects, manifest records %d", segName, len(segKeys), rec.Pages)
+		} else {
+			s.registerSegmentLocked(segName, segKeys)
+			continue
+		}
+		if segKeys, kerr := readSegmentKeys(path); kerr == nil {
+			for _, k := range segKeys {
+				badKeys[k] = reason
+			}
+		}
+		// Torn: pull it from the pool, set the file aside for forensics.
+		delete(s.man.Segments, segName)
 		changed = true
+		if err := os.Rename(path, path+".bad"); err != nil && !os.IsNotExist(err) {
+			return rep, fmt.Errorf("checkpoint: set aside %s: %w", segName, err)
+		}
 	}
 
-	// 3. Images the manifest never recorded (pre-manifest stores): adopt
-	// them as complete, preferring a legacy .sha256 record over a fresh
-	// hash so bit rot predating adoption is still caught below.
+	// 3. Legacy per-image checkpoints: adopt them into the pool (or
+	// quarantine them untouched when their recorded digest does not match).
 	for _, de := range dirents {
 		key, ok := strings.CutSuffix(de.Name(), ".img")
 		if !ok {
 			continue
 		}
-		if _, known := s.man.Entries[key]; known {
-			continue
-		}
-		digest := s.readDigestLocked(key)
-		if digest == "" {
-			if digest, err = hashFile(filepath.Join(s.dir, de.Name())); err != nil {
-				return rep, err
+		rec := s.man.Entries[key]
+		if rec.State == EntryQuarantined {
+			// Already quarantined: keep the evidence, adopt nothing.
+			if !rec.LegacyImage {
+				rec.LegacyImage = true
+				s.man.Entries[key] = rec
+				changed = true
 			}
-		}
-		info, err := de.Info()
-		if err != nil {
-			continue // raced with a concurrent remove
-		}
-		s.man.Entries[key] = manifestEntry{State: EntryComplete, Digest: digest, Size: info.Size()}
-		rep.Adopted = append(rep.Adopted, key)
-		changed = true
-	}
-
-	// 4. Digest replay: every recorded digest is checked against the image
-	// bytes. A mismatch is a torn transaction (or bit rot) — quarantine,
-	// never serve.
-	keys := make([]string, 0, len(s.man.Entries))
-	for key := range s.man.Entries {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		e := s.man.Entries[key]
-		if e.Digest == "" || e.State == EntryQuarantined {
 			continue
 		}
-		rep.Checked++
-		got, err := hashFile(filepath.Join(s.dir, key+".img"))
+		adopted, why, err := s.adoptLegacyLocked(key, rec)
 		if err != nil {
 			return rep, err
 		}
-		if got != e.Digest {
+		changed = true
+		if adopted {
+			rep.Adopted = append(rep.Adopted, key)
+		} else {
+			rep.Quarantined = append(rep.Quarantined, key)
+			_ = why
+		}
+	}
+
+	// 4. Entry replay: page-manifest digest and object resolution.
+	for _, key := range sortedKeys(s.man.Entries) {
+		e := s.man.Entries[key]
+		if e.State == EntryQuarantined {
+			// Keep the record; if its page manifest is readable, keep its
+			// objects pinned so GC preserves the evidence.
+			if pageKeys, _, err := loadPMF(s.pmfPath(key)); err == nil {
+				s.registerEntryLocked(key, pageKeys)
+			}
+			continue
+		}
+		pageKeys, digest, err := loadPMF(s.pmfPath(key))
+		if err != nil {
+			if !os.IsNotExist(unwrapPathError(err)) {
+				// Readable but torn page manifest: quarantine.
+				e.State = EntryQuarantined
+				e.Reason = fmt.Sprintf("page manifest unreadable: %v", err)
+				s.man.Entries[key] = e
+				rep.Quarantined = append(rep.Quarantined, key)
+				changed = true
+				continue
+			}
+			// Record without a page manifest: a raced Remove or a crash
+			// after the unlink. Drop it, sweeping satellite files.
+			for _, p := range []string{s.sidecarPath(key), s.genPath(key), s.digestPath(key)} {
+				_ = os.Remove(p)
+			}
+			delete(s.man.Entries, key)
+			s.dropEntryLocked(key)
+			rep.Dropped = append(rep.Dropped, key)
+			changed = true
+			continue
+		}
+		rep.Checked++
+		reason := ""
+		if e.Digest != "" && digest != e.Digest {
+			reason = fmt.Sprintf("page manifest digest mismatch (recorded %.12s, computed %.12s)", e.Digest, digest)
+		} else {
+			for _, k := range pageKeys {
+				if _, ok := s.objects[k]; !ok {
+					if why, torn := badKeys[k]; torn {
+						reason = why
+					} else {
+						reason = fmt.Sprintf("object %s missing from pool", k)
+					}
+					break
+				}
+			}
+		}
+		s.registerEntryLocked(key, pageKeys)
+		if reason != "" {
 			e.State = EntryQuarantined
-			e.Reason = fmt.Sprintf("image digest mismatch (recorded %s, computed %s)", e.Digest[:12], got[:12])
+			e.Reason = reason
 			s.man.Entries[key] = e
 			rep.Quarantined = append(rep.Quarantined, key)
 			changed = true
+		}
+	}
+
+	// 5. Roll back files no committed transaction describes: unrecorded
+	// segments and page manifests are the tail of an interrupted Save.
+	for _, de := range dirents {
+		name := de.Name()
+		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, segmentSuffix) {
+			if _, recorded := s.man.Segments[name]; !recorded {
+				if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+					return rep, fmt.Errorf("checkpoint: roll back %s: %w", name, err)
+				}
+				rep.Orphans = append(rep.Orphans, name)
+			}
+			continue
+		}
+		if key, ok := strings.CutSuffix(name, pmfSuffix); ok {
+			if _, recorded := s.man.Entries[key]; !recorded {
+				for _, p := range []string{filepath.Join(s.dir, name), filepath.Join(s.dir, name+sidecarSuffix)} {
+					if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+						return rep, fmt.Errorf("checkpoint: roll back %s: %w", p, err)
+					}
+				}
+				rep.Orphans = append(rep.Orphans, name)
+			}
 		}
 	}
 
@@ -138,4 +256,137 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// adoptLegacyLocked converts one pre-CAS image into the object pool: its
+// pages are read once, deduplicated against the pool, and re-homed behind a
+// page manifest; the .img file and its satellites are retired. An image
+// whose recorded digest (version-1 manifest or legacy .sha256 file) does
+// not match the bytes on disk is quarantined untouched instead. Reports
+// adopted=false with a reason when quarantined.
+func (s *Store) adoptLegacyLocked(key string, rec manifestEntry) (adopted bool, reason string, err error) {
+	path := s.legacyImagePath(key)
+	expect := rec.Digest
+	if expect == "" {
+		if raw, err := os.ReadFile(s.digestPath(key)); err == nil {
+			expect = strings.TrimSpace(string(raw))
+		}
+	}
+	quarantine := func(why string) (bool, string, error) {
+		state := rec
+		state.State = EntryQuarantined
+		state.Reason = why
+		state.LegacyImage = true
+		if state.Digest == "" {
+			state.Digest = expect
+		}
+		s.man.Entries[key] = state
+		return false, why, nil
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return false, "", fmt.Errorf("checkpoint: adopt %s: %w", key, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return false, "", fmt.Errorf("checkpoint: adopt %s: %w", key, err)
+	}
+	if st.Size()%vm.PageSize != 0 {
+		return quarantine(fmt.Sprintf("image size %d not a multiple of the page size", st.Size()))
+	}
+	pages := int(st.Size() / vm.PageSize)
+
+	// One sequential read: whole-image digest, object keys and announce
+	// sums all in the same pass.
+	h := sha256.New()
+	pageKeys := make([]checksum.Sum, pages)
+	announce := make([]checksum.Sum, pages)
+	br := bufio.NewReaderSize(f, 1<<20)
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < pages; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return false, "", fmt.Errorf("checkpoint: adopt %s: read page %d: %w", key, i, err)
+		}
+		h.Write(buf)
+		pageKeys[i] = ObjectAlgorithm.Page(buf)
+		announce[i] = SidecarAlgorithm.Page(buf)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); expect != "" && got != expect {
+		return quarantine(fmt.Sprintf("image digest mismatch (recorded %.12s, computed %.12s)", expect, got))
+	}
+
+	// Write the missing pages into a fresh segment, reading them back out
+	// of the image by offset.
+	newSlots := s.missingLocked(pageKeys)
+	segName := ""
+	if len(newSlots) > 0 {
+		segKeyList := make([]checksum.Sum, len(newSlots))
+		for i, slot := range newSlots {
+			segKeyList[i] = pageKeys[slot]
+		}
+		segName = segmentName(s.man.NextSeg + 1)
+		var readErr error
+		digest, err := writeSegment(filepath.Join(s.dir, segName), segKeyList, func(i int, out []byte) {
+			if _, rerr := f.ReadAt(out, int64(newSlots[i])*vm.PageSize); rerr != nil && readErr == nil {
+				readErr = rerr
+			}
+		})
+		if err == nil && readErr != nil {
+			err = fmt.Errorf("checkpoint: adopt %s: %w", key, readErr)
+		}
+		if err != nil {
+			return false, "", err
+		}
+		s.man.NextSeg++
+		s.man.Segments[segName] = segmentRecord{Digest: digest, Pages: len(newSlots)}
+		s.registerSegmentLocked(segName, segKeyList)
+	}
+	pmfDigest, err := writePMF(s.pmfPath(key), pageKeys)
+	if err != nil {
+		return false, "", err
+	}
+	if !s.noSidecar {
+		if err := writeSidecar(s.sidecarPath(key), SidecarAlgorithm, st.Size(), pmfDigest,
+			pages, func(i int) checksum.Sum { return announce[i] }); err != nil {
+			return false, "", err
+		}
+	}
+	state := rec.State
+	if state == "" {
+		state = EntryComplete
+	}
+	s.man.Entries[key] = manifestEntry{State: state, Digest: pmfDigest, Size: st.Size(), Pages: pages}
+	s.registerEntryLocked(key, pageKeys)
+	for _, p := range []string{path, SidecarPath(path), s.digestPath(key)} {
+		_ = os.Remove(p)
+	}
+	return true, "", nil
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic scans.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unwrapPathError digs the underlying error out of the fmt wrapping so
+// os.IsNotExist works on loadPMF failures.
+func unwrapPathError(err error) error {
+	for {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
 }

@@ -10,8 +10,8 @@ import (
 	"vecycle/internal/vm"
 )
 
-// filledVM builds a VM with deterministic non-zero content so different
-// seeds yield different image digests.
+// filledVM builds a VM with deterministic random content so different seeds
+// yield fully distinct page sets (no accidental cross-entry dedup).
 func filledVM(t *testing.T, name string, pages int, seed int64) *vm.VM {
 	t.Helper()
 	v, err := vm.New(vm.Config{Name: name, MemBytes: int64(pages) * testPage, Seed: seed})
@@ -80,20 +80,21 @@ func TestSaveRemovesStaleGenerationsOnSalvage(t *testing.T) {
 }
 
 // TestKillPointMatrix crashes a Save at every commit point and asserts the
-// reopened store either serves the old image or quarantines — never serves
-// torn state.
+// reopened store either serves the old content or quarantines — never
+// serves torn state.
 func TestKillPointMatrix(t *testing.T) {
 	points := []struct {
 		point string
-		// wantOld: the recovered entry serves the pre-crash image.
-		// wantNew: the transaction committed; the new image is served.
+		// wantOld: the recovered entry serves the pre-crash content.
+		// wantNew: the transaction committed; the new content is served.
 		// Neither: the entry must be quarantined and refuse to serve.
 		wantOld bool
 		wantNew bool
 	}{
-		{point: "image-written", wantOld: true},      // tmp written, not yet durable
-		{point: "image-synced", wantOld: true},       // tmp durable, before rename
-		{point: "image-renamed"},                     // renamed, before dir fsync + manifest
+		{point: "image-written", wantOld: true},      // segment tmp written, not yet durable
+		{point: "image-synced", wantOld: true},       // segment tmp durable, before rename
+		{point: "image-renamed", wantOld: true},      // segment renamed but unrecorded: rolled back
+		{point: "pmf-written"},                       // page manifest replaced, store manifest stale
 		{point: "gens-written"},                      // satellite files written, manifest stale
 		{point: "sidecar-written"},                   // all files new, manifest still stale
 		{point: "manifest-committed", wantNew: true}, // transaction committed
@@ -105,12 +106,13 @@ func TestKillPointMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Save(filledVM(t, "a", 4, 1)); err != nil {
+			old := filledVM(t, "a", 4, 1)
+			if err := s.Save(old); err != nil {
 				t.Fatal(err)
 			}
-			oldDigest, err := hashFile(s.ImagePath("a"))
-			if err != nil {
-				t.Fatal(err)
+			oldInfo, ok := s.Entry("a")
+			if !ok || oldInfo.Digest == "" {
+				t.Fatalf("pre-crash entry = %+v, %v", oldInfo, ok)
 			}
 
 			boom := errors.New("simulated crash")
@@ -145,29 +147,29 @@ func TestKillPointMatrix(t *testing.T) {
 			switch {
 			case tc.wantOld:
 				if info.State != EntryComplete {
-					t.Fatalf("state = %v, want complete (old image)", info.State)
+					t.Fatalf("state = %v (%s), want complete (old content)", info.State, info.Reason)
 				}
-				got, err := hashFile(s2.ImagePath("a"))
-				if err != nil {
-					t.Fatal(err)
+				if info.Digest != oldInfo.Digest {
+					t.Error("recovered entry is not the pre-crash checkpoint")
 				}
-				if got != oldDigest {
-					t.Error("recovered image is not the pre-crash image")
-				}
-				if cp, err := s2.Restore("a", checksum.MD5, nil); err != nil {
-					t.Errorf("old image refused: %v", err)
+				dst := newVM(t, "a", 4, 99)
+				if cp, err := s2.Restore("a", checksum.MD5, dst); err != nil {
+					t.Errorf("old checkpoint refused: %v", err)
 				} else {
 					cp.Close()
+					if !old.MemEqual(dst) {
+						t.Error("recovered content differs from the pre-crash save")
+					}
 				}
 			case tc.wantNew:
 				if info.State != EntryComplete {
-					t.Fatalf("state = %v, want complete (new image)", info.State)
+					t.Fatalf("state = %v (%s), want complete (new content)", info.State, info.Reason)
 				}
-				if info.Digest == oldDigest {
+				if info.Digest == oldInfo.Digest {
 					t.Error("committed transaction still serves the old digest")
 				}
 				if cp, err := s2.Restore("a", checksum.MD5, nil); err != nil {
-					t.Errorf("committed image refused: %v", err)
+					t.Errorf("committed checkpoint refused: %v", err)
 				} else {
 					cp.Close()
 				}
@@ -182,48 +184,58 @@ func TestKillPointMatrix(t *testing.T) {
 					t.Error("Restore served a quarantined entry")
 				}
 			}
-			// No interrupted-transaction temp files survive recovery.
+			// No interrupted-transaction temp files or unrecorded segments
+			// survive recovery.
 			dirents, err := os.ReadDir(dir)
 			if err != nil {
 				t.Fatal(err)
 			}
+			recorded := map[string]bool{}
+			for _, seg := range s2.Segments() {
+				recorded[seg.Name] = true
+			}
 			for _, de := range dirents {
 				if filepath.Ext(de.Name()) == tmpSuffix {
 					t.Errorf("orphan temp file survived recovery: %s", de.Name())
+				}
+				if filepath.Ext(de.Name()) == segmentSuffix && !recorded[de.Name()] {
+					t.Errorf("unrecorded segment survived recovery: %s", de.Name())
 				}
 			}
 		})
 	}
 }
 
-func TestTornImageQuarantinedTornSidecarNot(t *testing.T) {
-	// A torn image must be quarantined; a torn fingerprint sidecar must
-	// not — Open validates sidecars independently and falls back to the
-	// rescan, so tearing one can cost time, never correctness.
+func TestTornSegmentQuarantinedTornSidecarNot(t *testing.T) {
+	// A torn segment must quarantine every entry whose pages it held; a torn
+	// fingerprint sidecar must not — Restore validates sidecars
+	// independently and falls back to the rescan, so tearing one can cost
+	// time, never correctness.
 	dir := filepath.Join(t.TempDir(), "s")
 	s, err := NewStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []string{"img-torn", "idx-torn"} {
-		if err := s.Save(filledVM(t, n, 4, 3)); err != nil {
-			t.Fatal(err)
-		}
+	// Distinct seeds: the two entries share no objects, so tearing one
+	// entry's segment must not touch the other.
+	if err := s.Save(filledVM(t, "seg-torn", 4, 3)); err != nil {
+		t.Fatal(err)
 	}
-	// Tear the image of one entry mid-file, the sidecar of the other.
-	tamper := func(path string, off int64) {
-		f, err := os.OpenFile(path, os.O_WRONLY, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer f.Close()
-		if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, off); err != nil {
-			t.Fatal(err)
-		}
+	if err := s.Save(filledVM(t, "idx-torn", 4, 4)); err != nil {
+		t.Fatal(err)
 	}
-	tamper(s.ImagePath("img-torn"), 2*testPage)
+	// Tear the segment holding seg-torn's pages mid-payload.
+	loc := s.objects[s.keys["seg-torn"][2]]
+	f, err := os.OpenFile(filepath.Join(dir, loc.seg), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, loc.off+17); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
 	// A torn sidecar is a truncation: the write stopped partway.
-	if err := os.Truncate(SidecarPath(s.ImagePath("idx-torn")), sidecarHeaderSize+5); err != nil {
+	if err := os.Truncate(s.sidecarPath("idx-torn"), sidecarHeaderSize+5); err != nil {
 		t.Fatal(err)
 	}
 
@@ -231,14 +243,14 @@ func TestTornImageQuarantinedTornSidecarNot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info, _ := s2.Entry("img-torn"); info.State != EntryQuarantined {
-		t.Errorf("torn image state = %v, want quarantined", info.State)
+	if info, _ := s2.Entry("seg-torn"); info.State != EntryQuarantined {
+		t.Errorf("torn segment entry state = %v, want quarantined", info.State)
 	}
-	if _, err := s2.Restore("img-torn", checksum.MD5, nil); err == nil {
-		t.Error("torn image served")
+	if _, err := s2.Restore("seg-torn", checksum.MD5, nil); err == nil {
+		t.Error("entry with a torn segment served")
 	}
 	if info, _ := s2.Entry("idx-torn"); info.State != EntryComplete {
-		t.Errorf("torn sidecar state = %v, want complete", info.State)
+		t.Errorf("torn sidecar state = %v (%s), want complete", info.State, info.Reason)
 	}
 	cp, err := s2.Restore("idx-torn", checksum.MD5, nil)
 	if err != nil {
@@ -251,9 +263,9 @@ func TestTornImageQuarantinedTornSidecarNot(t *testing.T) {
 }
 
 func TestRecoveryAdoptsLegacyImage(t *testing.T) {
-	// An image written by a pre-manifest store (no manifest record, legacy
-	// .sha256 digest file) is adopted as complete, and its legacy digest —
-	// not a fresh hash — anchors the integrity check.
+	// An image written by a pre-CAS store (no manifest record, legacy
+	// .sha256 digest file) is adopted into the object pool as a complete
+	// entry; one that fails its recorded digest is quarantined untouched.
 	dir := filepath.Join(t.TempDir(), "s")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
@@ -279,11 +291,29 @@ func TestRecoveryAdoptsLegacyImage(t *testing.T) {
 		t.Fatal(err)
 	}
 	info, ok := s.Entry("legacy")
-	if !ok || info.State != EntryComplete || info.Digest != digest {
+	if !ok || info.State != EntryComplete || info.Digest == "" {
 		t.Errorf("legacy adoption = %+v, %v", info, ok)
 	}
+	// Adopted: the content round-trips out of the pool, and the .img file
+	// is retired.
+	dst := newVM(t, "legacy", 4, 99)
+	cp, err := s.Restore("legacy", checksum.MD5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	if !v.MemEqual(dst) {
+		t.Error("adopted legacy content differs from the original image")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "legacy.img")); !os.IsNotExist(err) {
+		t.Error("adopted legacy image file not retired")
+	}
+	// Quarantined: untouched for forensics.
 	if info, _ := s.Entry("rotten"); info.State != EntryQuarantined {
 		t.Errorf("rotten legacy image state = %v, want quarantined", info.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rotten.img")); err != nil {
+		t.Error("quarantined legacy image file removed")
 	}
 }
 
@@ -299,8 +329,9 @@ func TestScrubReportAndManifestDrop(t *testing.T) {
 	if err := s.Save(filledVM(t, "kept", 4, 7)); err != nil {
 		t.Fatal(err)
 	}
-	// Delete one image behind the store's back and drop in an orphan temp.
-	if err := os.Remove(s.ImagePath("gone")); err != nil {
+	// Delete one page manifest behind the store's back and drop in an
+	// orphan temp file.
+	if err := os.Remove(s.pmfPath("gone")); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "junk.img.tmp"), []byte("x"), 0o644); err != nil {

@@ -10,7 +10,7 @@ import (
 	"vecycle/internal/vm"
 )
 
-// saveVM creates a store with one saved checkpoint and returns both.
+// saveOne creates a store with one saved checkpoint and returns both.
 func saveOne(t *testing.T, name string, pages int) (*Store, *vm.VM) {
 	t.Helper()
 	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"))
@@ -27,8 +27,7 @@ func saveOne(t *testing.T, name string, pages int) (*Store, *vm.VM) {
 
 func TestSaveWritesSidecar(t *testing.T) {
 	store, _ := saveOne(t, "vm0", 16)
-	sc := SidecarPath(store.ImagePath("vm0"))
-	st, err := os.Stat(sc)
+	st, err := os.Stat(store.sidecarPath("vm0"))
 	if err != nil {
 		t.Fatalf("Save left no sidecar: %v", err)
 	}
@@ -53,7 +52,10 @@ func TestRestoreWarmHitMatchesCold(t *testing.T) {
 		t.Errorf("warm restore lost memory at page %d", src.FirstDifference(dst))
 	}
 
-	cold, err := OpenWith(store.ImagePath("vm0"), checksum.MD5, nil, OpenConfig{NoSidecar: true})
+	// Cold path: the same entry with the sidecar bypassed rescans every
+	// page out of the pool.
+	store.SetNoSidecar(true)
+	cold, err := store.Restore("vm0", checksum.MD5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestOpenMissRewritesSidecar(t *testing.T) {
 	src := newVM(t, "vm0", 16, 1)
 	fillPattern(src)
 	path := filepath.Join(dir, "vm0.img")
-	// A bare Write (the migration source's path) leaves no sidecar.
+	// A bare Write (the flat-image path) leaves no sidecar.
 	if err := Write(path, src); err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestStoreSetNoSidecar(t *testing.T) {
 	if err := store.Save(src); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(SidecarPath(store.ImagePath("vm0"))); !os.IsNotExist(err) {
+	if _, err := os.Stat(store.sidecarPath("vm0")); !os.IsNotExist(err) {
 		t.Errorf("SetNoSidecar Save wrote a sidecar (stat err=%v)", err)
 	}
 	cp, err := store.Restore("vm0", checksum.MD5, nil)
@@ -157,12 +159,12 @@ func TestStoreSetNoSidecar(t *testing.T) {
 // Restore hits.
 func TestSidecarCorruptionFallsBack(t *testing.T) {
 	cases := map[string]struct {
-		corrupt func(t *testing.T, store *Store, imagePath string)
+		corrupt func(t *testing.T, store *Store)
 		alg     checksum.Algorithm
 	}{
 		"truncated file": {
-			corrupt: func(t *testing.T, _ *Store, imagePath string) {
-				if err := os.Truncate(SidecarPath(imagePath), sidecarHeaderSize+5); err != nil {
+			corrupt: func(t *testing.T, store *Store) {
+				if err := os.Truncate(store.sidecarPath("vm0"), sidecarHeaderSize+5); err != nil {
 					t.Fatal(err)
 				}
 			},
@@ -170,42 +172,32 @@ func TestSidecarCorruptionFallsBack(t *testing.T) {
 		},
 		"wrong algorithm": {
 			// The sidecar records MD5 sums; this restore asks for SHA256.
-			corrupt: func(t *testing.T, _ *Store, _ string) {},
+			corrupt: func(t *testing.T, _ *Store) {},
 			alg:     checksum.SHA256,
 		},
-		"stale image digest": {
-			corrupt: func(t *testing.T, store *Store, imagePath string) {
-				// Rewrite the image in place (same size, new content) and
-				// refresh the integrity record, leaving the sidecar stale.
-				raw, err := os.ReadFile(imagePath)
+		"stale anchor digest": {
+			corrupt: func(t *testing.T, store *Store) {
+				// Flip a byte inside the sidecar's recorded anchor digest so
+				// it no longer matches the entry's page-manifest digest.
+				f, err := os.OpenFile(store.sidecarPath("vm0"), os.O_RDWR, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
-				for i := range raw {
-					raw[i] ^= 0x5a
-				}
-				if err := os.WriteFile(imagePath, raw, 0o644); err != nil {
+				defer f.Close()
+				var b [1]byte
+				if _, err := f.ReadAt(b[:], 30); err != nil {
 					t.Fatal(err)
 				}
-				digest, err := hashFile(imagePath)
-				if err != nil {
-					t.Fatal(err)
-				}
-				store.mu.Lock()
-				e := store.man.Entries["vm0"]
-				e.Digest = digest
-				store.man.Entries["vm0"] = e
-				err = store.commitManifestLocked()
-				store.mu.Unlock()
-				if err != nil {
+				b[0] ^= 0xff
+				if _, err := f.WriteAt(b[:], 30); err != nil {
 					t.Fatal(err)
 				}
 			},
 			alg: checksum.MD5,
 		},
 		"bad magic": {
-			corrupt: func(t *testing.T, _ *Store, imagePath string) {
-				f, err := os.OpenFile(SidecarPath(imagePath), os.O_WRONLY, 0)
+			corrupt: func(t *testing.T, store *Store) {
+				f, err := os.OpenFile(store.sidecarPath("vm0"), os.O_WRONLY, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -217,8 +209,8 @@ func TestSidecarCorruptionFallsBack(t *testing.T) {
 			alg: checksum.MD5,
 		},
 		"future version": {
-			corrupt: func(t *testing.T, _ *Store, imagePath string) {
-				f, err := os.OpenFile(SidecarPath(imagePath), os.O_WRONLY, 0)
+			corrupt: func(t *testing.T, store *Store) {
+				f, err := os.OpenFile(store.sidecarPath("vm0"), os.O_WRONLY, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -230,8 +222,8 @@ func TestSidecarCorruptionFallsBack(t *testing.T) {
 			alg: checksum.MD5,
 		},
 		"garbage sums trailing": {
-			corrupt: func(t *testing.T, _ *Store, imagePath string) {
-				f, err := os.OpenFile(SidecarPath(imagePath), os.O_APPEND|os.O_WRONLY, 0)
+			corrupt: func(t *testing.T, store *Store) {
+				f, err := os.OpenFile(store.sidecarPath("vm0"), os.O_APPEND|os.O_WRONLY, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -246,7 +238,7 @@ func TestSidecarCorruptionFallsBack(t *testing.T) {
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
 			store, _ := saveOne(t, "vm0", 16)
-			tc.corrupt(t, store, store.ImagePath("vm0"))
+			tc.corrupt(t, store)
 
 			dst := newVM(t, "vm0", 16, 9)
 			cp, err := store.Restore("vm0", tc.alg, dst)
@@ -256,8 +248,8 @@ func TestSidecarCorruptionFallsBack(t *testing.T) {
 			if cp.Sidecar() != SidecarFallback {
 				t.Errorf("Sidecar() = %v, want fallback", cp.Sidecar())
 			}
-			// The fallback must produce a correct index over the image as
-			// it is now: every installed page resolves by checksum.
+			// The fallback must produce a correct index over the stored
+			// content: every installed page resolves by checksum.
 			for i := 0; i < dst.NumPages(); i++ {
 				if !cp.SumSet().Contains(dst.PageSum(i, tc.alg)) {
 					t.Fatalf("page %d missing from fallback index", i)
@@ -279,24 +271,12 @@ func TestSidecarCorruptionFallsBack(t *testing.T) {
 }
 
 // TestWarmOpenSkipsImageHashing proves the warm path does not rehash: with
-// a validated sidecar and no VM to install into, Open never reads image
-// content, so doctoring the image behind the sidecar's back goes unnoticed
-// (integrity remains the digest subsystem's job — see VerifyOnRestore).
+// a validated sidecar and no VM to install into, Restore never reads page
+// content, so doctoring a stored payload behind the sidecar's back goes
+// unnoticed (integrity remains Verify's job — see VerifyOnRestore).
 func TestWarmOpenSkipsImageHashing(t *testing.T) {
 	store, src := saveOne(t, "vm0", 16)
-	imagePath := store.ImagePath("vm0")
-	raw, err := os.ReadFile(imagePath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range raw {
-		raw[i] ^= 0xff
-	}
-	// Same size, different content; sidecar and digest record are unchanged
-	// so the header still validates.
-	if err := os.WriteFile(imagePath, raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	tamperObject(t, store, "vm0", 0)
 	cp, err := store.Restore("vm0", checksum.MD5, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -308,7 +288,7 @@ func TestWarmOpenSkipsImageHashing(t *testing.T) {
 	// The announcement still reflects the original content: nothing was
 	// rehashed.
 	if !cp.SumSet().Contains(src.PageSum(0, checksum.MD5)) {
-		t.Error("warm open rehashed the image")
+		t.Error("warm open rehashed the stored pages")
 	}
 }
 
@@ -329,7 +309,7 @@ func TestConcurrentRemoveDuringRestore(t *testing.T) {
 			defer wg.Done()
 			cp, err := store.Restore("vm0", checksum.MD5, nil)
 			if err != nil {
-				// The image side of the race: acceptable.
+				// The removed side of the race: acceptable.
 				return
 			}
 			defer cp.Close()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -18,15 +19,25 @@ import (
 // set of hosts — often just two — so "storing a checkpoint at each visited
 // server" is cheap and pays for itself on the next incoming migration.
 //
-// Alongside each image the store keeps a Miyakodori generation-vector
+// The store is content addressed and host wide: every distinct 4 KiB page
+// is persisted exactly once per host, in append-only segment files keyed by
+// a collision-resistant checksum (object.go), and each checkpoint entry is
+// a page manifest referencing those objects (pmf.go). Pages shared between
+// VMs — zero pages, kernel text, common libraries — cost their bytes once,
+// and a destination can bootstrap a fresh VM from the union of every
+// resident entry's content (OpenUnion). Reference counts over the object
+// pool drive a GC pass (gc.go) that deletes and compacts dead segments.
+//
+// Alongside each entry the store keeps a Miyakodori generation-vector
 // sidecar, so the dirty-tracking baseline can be driven from the same
 // stored state.
 //
 // The store is crash-consistent: every file reaches its name via
 // tmp+fsync+rename, a versioned manifest (committed last, atomically)
-// records each entry's state and image digest, and NewStore replays the
-// recorded digests against the disk, quarantining any entry a crash left
-// torn. Entries are complete (a full checkpoint), partial (a salvage
+// records each entry's page-manifest digest and every live segment, and
+// NewStore replays the recorded digests against the disk — quarantining
+// entries a crash left torn and rolling back files no committed transaction
+// describes. Entries are complete (a full checkpoint), partial (a salvage
 // checkpoint persisted by an interrupted incoming migration, served for
 // announce-driven resume only), or quarantined (never served).
 type Store struct {
@@ -36,10 +47,74 @@ type Store struct {
 	quota           int64
 	verifyOnRestore bool
 	noSidecar       bool
+
+	// In-memory view of the object pool, rebuilt from the manifest and the
+	// segment key tables by the recovery scan — never persisted, so it can
+	// not desynchronize across a crash.
+	objects map[checksum.Sum]objLoc   // object key → payload location
+	refs    map[checksum.Sum]int      // object key → entry references
+	keys    map[string][]checksum.Sum // entry → page-ordered object keys
+	segKeys map[string][]checksum.Sum // segment file → keys in slot order
+
+	dedupPages int64 // cumulative pages Save skipped writing (already pooled)
+
+	metrics Metrics
+	pending []func(Metrics) // metric callbacks deferred until s.mu is free
+}
+
+// objLoc locates one object's payload inside a segment file.
+type objLoc struct {
+	seg string // segment file name within the store directory
+	off int64  // payload byte offset
+}
+
+// Metrics receives store-side counter events. The scheduler layer installs
+// an implementation that forwards to the host's observability registry.
+// Callbacks are invoked only after the store's own lock is released, so an
+// implementation may take locks of its own — even ones a concurrent metrics
+// scrape holds while calling back into Stats or Usage.
+type Metrics interface {
+	// DedupPages reports n pages a Save deduplicated against the pool
+	// instead of writing.
+	DedupPages(n int)
+	// GCRun reports a completed GC pass; outcome is "reclaimed" when the
+	// pass deleted or compacted at least one segment, "clean" otherwise.
+	GCRun(outcome string)
+}
+
+// SetMetrics installs the metrics sink. Pass nil to disable.
+func (s *Store) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+}
+
+// deferMetric queues a metric callback for delivery once s.mu is released.
+func (s *Store) deferMetricLocked(fn func(Metrics)) {
+	if s.metrics != nil {
+		s.pending = append(s.pending, fn)
+	}
+}
+
+// drainMetrics delivers queued metric callbacks. Called by every public
+// mutator after releasing the lock.
+func (s *Store) drainMetrics() {
+	s.mu.Lock()
+	m := s.metrics
+	pend := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if m == nil {
+		return
+	}
+	for _, fn := range pend {
+		fn(m)
+	}
 }
 
 // NewStore opens (creating if needed) a checkpoint store rooted at dir and
-// runs the crash-recovery scan before returning.
+// runs the crash-recovery scan — including adoption of legacy per-image
+// checkpoints into the object pool — before returning.
 func NewStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("checkpoint: empty store directory")
@@ -47,7 +122,13 @@ func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: create store: %w", err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{
+		dir:     dir,
+		objects: map[checksum.Sum]objLoc{},
+		refs:    map[checksum.Sum]int{},
+		keys:    map[string][]checksum.Sum{},
+		segKeys: map[string][]checksum.Sum{},
+	}
 	if err := s.loadManifestLocked(); err != nil {
 		return nil, err
 	}
@@ -60,8 +141,18 @@ func NewStore(dir string) (*Store, error) {
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// ImagePath reports where the image for the named VM lives.
-func (s *Store) ImagePath(vmName string) string {
+// pmfPath reports where the named VM's page manifest lives.
+func (s *Store) pmfPath(vmName string) string {
+	return filepath.Join(s.dir, sanitize(vmName)+pmfSuffix)
+}
+
+// sidecarPath reports where the named VM's fingerprint sidecar lives.
+func (s *Store) sidecarPath(vmName string) string {
+	return SidecarPath(s.pmfPath(vmName))
+}
+
+// legacyImagePath reports where a pre-CAS store kept the named VM's image.
+func (s *Store) legacyImagePath(vmName string) string {
 	return filepath.Join(s.dir, sanitize(vmName)+".img")
 }
 
@@ -88,86 +179,213 @@ func (s *Store) Has(vmName string) bool {
 
 // Save checkpoints the VM's memory (and its generation vector) on this
 // host, replacing any previous checkpoint of the same VM — including a
-// salvage checkpoint, which a completed migration supersedes. When a quota
-// is set, least-recently-used checkpoints are evicted first to make room.
+// salvage checkpoint, which a completed migration supersedes. Pages whose
+// content the object pool already holds (from any VM) are referenced, not
+// rewritten. When a quota is set, dead segments are collected and then
+// least-recently-used entries are evicted until the new pages fit.
 func (s *Store) Save(source *vm.VM) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.saveLocked(source, EntryComplete)
+	_, err := s.saveLocked(source, EntryComplete)
+	s.mu.Unlock()
+	s.drainMetrics()
+	return err
 }
 
 // SaveSalvage persists the VM's memory as a salvage checkpoint: a partial
 // entry holding whatever pages an interrupted incoming migration had
-// installed, with its own digest and fingerprint sidecar. The next
+// installed, with its own page manifest and fingerprint sidecar. The next
 // incoming attempt announces its page sums like any checkpoint, so the
 // source resends only what is missing. No generation vector is written —
 // a partial image is not a coherent guest state — and any stale one from
 // a previous complete checkpoint is removed.
 func (s *Store) SaveSalvage(source *vm.VM) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.saveLocked(source, EntryPartial)
+	_, err := s.saveLocked(source, EntryPartial)
+	s.mu.Unlock()
+	s.drainMetrics()
+	return err
 }
 
-func (s *Store) saveLocked(source *vm.VM, state EntryState) error {
-	if s.quota > 0 {
-		// The VM's own previous image (about to be replaced) does not
-		// count against the incoming size.
-		incoming := source.MemBytes()
-		if st, err := os.Stat(s.ImagePath(source.Name())); err == nil {
-			incoming -= st.Size()
-		}
-		if incoming < 0 {
-			incoming = 0
-		}
-		if err := s.enforceQuotaLocked(incoming); err != nil {
-			return err
+// registerSegmentLocked adds a segment's key table to the in-memory pool
+// index. The first segment to hold an object wins its location.
+func (s *Store) registerSegmentLocked(name string, keys []checksum.Sum) {
+	s.segKeys[name] = keys
+	for i, k := range keys {
+		if _, ok := s.objects[k]; !ok {
+			s.objects[k] = objLoc{seg: name, off: segPayloadOffset(len(keys), i)}
 		}
 	}
-	digest, err := writeImage(s.ImagePath(source.Name()), source)
+}
+
+// registerEntryLocked records an entry's page keys, bumping refcounts (and
+// releasing the entry's previous keys, if any).
+func (s *Store) registerEntryLocked(key string, pageKeys []checksum.Sum) {
+	if old := s.keys[key]; old != nil {
+		s.unrefLocked(old)
+	}
+	s.keys[key] = pageKeys
+	for _, k := range pageKeys {
+		s.refs[k]++
+	}
+}
+
+// unrefLocked releases one reference per key occurrence.
+func (s *Store) unrefLocked(pageKeys []checksum.Sum) {
+	for _, k := range pageKeys {
+		if s.refs[k] <= 1 {
+			delete(s.refs, k)
+		} else {
+			s.refs[k]--
+		}
+	}
+}
+
+// dropEntryLocked forgets an entry's in-memory key list and refcounts.
+func (s *Store) dropEntryLocked(key string) {
+	if old := s.keys[key]; old != nil {
+		s.unrefLocked(old)
+		delete(s.keys, key)
+	}
+}
+
+// missingLocked reports the page slots whose objects the pool does not yet
+// hold — one slot per distinct missing key, first occurrence wins.
+func (s *Store) missingLocked(pageKeys []checksum.Sum) []int {
+	var slots []int
+	seen := map[checksum.Sum]struct{}{}
+	for i, k := range pageKeys {
+		if _, ok := s.objects[k]; ok {
+			continue
+		}
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		slots = append(slots, i)
+	}
+	return slots
+}
+
+// uniqueBytesLocked reports the bytes of entry pages backed by objects no
+// other entry references.
+func (s *Store) uniqueBytesLocked(key string) int64 {
+	pageKeys := s.keys[key]
+	if pageKeys == nil {
+		return 0
+	}
+	own := map[checksum.Sum]int{}
+	for _, k := range pageKeys {
+		own[k]++
+	}
+	var n int64
+	for k, c := range own {
+		if s.refs[k] == c {
+			n += vm.PageSize
+		}
+	}
+	return n
+}
+
+// saveLocked runs one save transaction. Write order is: new segment (only
+// the pages the pool is missing), page manifest, generation vector,
+// fingerprint sidecar, then — the commit point — the store manifest. A
+// crash before the manifest commit leaves the previous transaction's
+// manifest in charge: recovery rolls back unrecorded segments and
+// quarantines the entry if its pmf was already replaced.
+func (s *Store) saveLocked(source *vm.VM, state EntryState) (dedup int, err error) {
+	name := source.Name()
+	key := sanitize(name)
+	pageKeys := pageSums(source, ObjectAlgorithm)
+	newSlots := s.missingLocked(pageKeys)
+	if s.quota > 0 {
+		if newSlots, err = s.fitQuotaLocked(key, pageKeys, newSlots); err != nil {
+			return 0, err
+		}
+	}
+	dedup = len(pageKeys) - len(newSlots)
+
+	segName := ""
+	var segDigest string
+	var segKeyList []checksum.Sum
+	if len(newSlots) > 0 {
+		segKeyList = make([]checksum.Sum, len(newSlots))
+		for i, slot := range newSlots {
+			segKeyList[i] = pageKeys[slot]
+		}
+		segName = segmentName(s.man.NextSeg + 1)
+		segDigest, err = writeSegment(filepath.Join(s.dir, segName), segKeyList, func(i int, buf []byte) {
+			source.ReadPage(newSlots[i], buf)
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	pmfDigest, err := writePMF(s.pmfPath(name), pageKeys)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	if err := kill("pmf-written"); err != nil {
+		return 0, err
 	}
 	if state == EntryComplete {
 		gens := source.GenSnapshot()
 		raw, err := json.Marshal(gens)
 		if err != nil {
-			return fmt.Errorf("checkpoint: marshal generations: %w", err)
+			return 0, fmt.Errorf("checkpoint: marshal generations: %w", err)
 		}
-		if err := atomicWriteFile(s.genPath(source.Name()), raw, 0o644); err != nil {
-			return err
+		if err := atomicWriteFile(s.genPath(name), raw, 0o644); err != nil {
+			return 0, err
 		}
-	} else if err := os.Remove(s.genPath(source.Name())); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("checkpoint: remove stale generations: %w", err)
+	} else if err := os.Remove(s.genPath(name)); err != nil && !os.IsNotExist(err) {
+		return 0, fmt.Errorf("checkpoint: remove stale generations: %w", err)
 	}
 	if err := kill("gens-written"); err != nil {
-		return err
+		return 0, err
 	}
 	if !s.noSidecar {
 		// Persist the fingerprint sidecar so the next Restore warm-starts
-		// instead of rehashing the image. Hashing fans out across cores,
-		// same as the migration engine's checksum collection.
+		// instead of rehashing every page. Anchored to the pmf digest: a
+		// sidecar describing a different page manifest is stale.
 		sums := pageSums(source, SidecarAlgorithm)
-		if err := writeSidecar(SidecarPath(s.ImagePath(source.Name())), SidecarAlgorithm,
-			source.MemBytes(), digest, len(sums), func(i int) checksum.Sum { return sums[i] }); err != nil {
-			return err
+		if err := writeSidecar(s.sidecarPath(name), SidecarAlgorithm,
+			source.MemBytes(), pmfDigest, len(sums), func(i int) checksum.Sum { return sums[i] }); err != nil {
+			return 0, err
 		}
 	}
 	if err := kill("sidecar-written"); err != nil {
-		return err
+		return 0, err
 	}
-	// A superseded legacy digest record must not outlive the image it
+	// A superseded legacy digest record must not outlive the entry it
 	// described; the manifest carries the digest from here on.
-	if err := os.Remove(s.digestPath(source.Name())); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("checkpoint: remove legacy digest: %w", err)
+	if err := os.Remove(s.digestPath(name)); err != nil && !os.IsNotExist(err) {
+		return 0, fmt.Errorf("checkpoint: remove legacy digest: %w", err)
 	}
 	// Transaction commit: the manifest is written LAST, so a crash at any
-	// earlier point leaves a recorded digest that no longer matches the
-	// disk — which the recovery scan quarantines instead of serving.
-	s.man.Entries[sanitize(source.Name())] = manifestEntry{
-		State: state, Digest: digest, Size: source.MemBytes(),
+	// earlier point leaves recorded digests that no longer match the disk —
+	// which the recovery scan quarantines instead of serving.
+	if segName != "" {
+		s.man.NextSeg++
+		s.man.Segments[segName] = segmentRecord{Digest: segDigest, Pages: len(newSlots)}
 	}
-	return s.commitManifestLocked()
+	s.man.Entries[key] = manifestEntry{State: state, Digest: pmfDigest, Size: source.MemBytes(), Pages: len(pageKeys)}
+	if err := s.commitManifestLocked(); err != nil {
+		return 0, err
+	}
+	// The transaction is durable: fold it into the in-memory pool view.
+	if segName != "" {
+		s.registerSegmentLocked(segName, segKeyList)
+	}
+	s.registerEntryLocked(key, pageKeys)
+	s.dedupPages += int64(dedup)
+	if dedup > 0 {
+		n := dedup
+		s.deferMetricLocked(func(m Metrics) { m.DedupPages(n) })
+	}
+	// A save over an un-adopted legacy entry supersedes its image files.
+	for _, p := range []string{s.legacyImagePath(name), SidecarPath(s.legacyImagePath(name))} {
+		_ = os.Remove(p)
+	}
+	return dedup, nil
 }
 
 // SidecarAlgorithm is the checksum algorithm Store.Save records in the
@@ -177,42 +395,256 @@ const SidecarAlgorithm = checksum.MD5
 
 // SetNoSidecar disables the fingerprint sidecar for this store: Save skips
 // writing it and Restore neither reads nor rewrites one. Escape hatch for
-// debugging and for hosts where the extra ~0.4 % of image size matters.
+// debugging and for hosts where the extra ~0.4 % of logical size matters.
 func (s *Store) SetNoSidecar(on bool) { s.noSidecar = on }
 
 // NoSidecar reports whether the fingerprint sidecar is disabled.
 func (s *Store) NoSidecar() bool { return s.noSidecar }
 
-// Restore opens the named VM's checkpoint, installing its blocks into dst
+// resolveLocked maps page keys to open-file page references, opening each
+// backing segment once. The returned files are owned by the caller (they
+// become the Checkpoint's, closed on its Close). Because the fds are opened
+// under the store lock, a concurrent GC deleting a compacted segment only
+// unlinks the name — the handle keeps serving the old bytes.
+func (s *Store) resolveLocked(pageKeys []checksum.Sum) (refs []pageRef, files []*os.File, err error) {
+	open := map[string]*os.File{}
+	defer func() {
+		if err != nil {
+			for _, f := range files {
+				f.Close()
+			}
+		}
+	}()
+	refs = make([]pageRef, len(pageKeys))
+	for i, k := range pageKeys {
+		loc, ok := s.objects[k]
+		if !ok {
+			return nil, nil, fmt.Errorf("checkpoint: object %s missing from pool", k)
+		}
+		f := open[loc.seg]
+		if f == nil {
+			f, err = os.Open(filepath.Join(s.dir, loc.seg))
+			if err != nil {
+				return nil, nil, fmt.Errorf("checkpoint: open segment: %w", err)
+			}
+			open[loc.seg] = f
+			files = append(files, f)
+		}
+		refs[i] = pageRef{f: f, off: loc.off}
+	}
+	return refs, files, nil
+}
+
+// Restore opens the named VM's checkpoint, installing its pages into dst
 // (when non-nil) and returning the indexed handle for the merge phase.
 // Quarantined entries are refused: a checkpoint that failed its integrity
 // check is never served.
 func (s *Store) Restore(vmName string, alg checksum.Algorithm, dst *vm.VM) (*Checkpoint, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("checkpoint: invalid checksum algorithm")
+	}
 	s.mu.Lock()
-	if info, ok := s.entryLocked(vmName); ok && info.State == EntryQuarantined {
+	info, ok := s.entryLocked(vmName)
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("checkpoint: no checkpoint for %q: %w", vmName, os.ErrNotExist)
+	}
+	if info.State == EntryQuarantined {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("checkpoint: %q is quarantined (%s); refusing to serve", vmName, info.Reason)
 	}
-	digest := s.readDigestLocked(vmName)
-	verify := s.verifyOnRestore
+	pageKeys := s.keys[sanitize(vmName)]
+	refs, files, err := s.resolveLocked(pageKeys)
 	noSidecar := s.noSidecar
+	verify := s.verifyOnRestore
 	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	if verify {
 		if err := s.Verify(vmName); err != nil {
+			closeAll(files)
 			return nil, err
 		}
 	}
-	cfg := OpenConfig{NoSidecar: noSidecar}
+	cp, err := s.openEntry(vmName, alg, dst, info, refs, files, noSidecar)
+	if err != nil {
+		closeAll(files)
+		return nil, err
+	}
+	s.touch(vmName)
+	return cp, nil
+}
+
+func closeAll(files []*os.File) {
+	for _, f := range files {
+		f.Close()
+	}
+}
+
+// openEntry builds a Checkpoint for one entry from resolved page refs,
+// loading announce sums from the fingerprint sidecar when possible and
+// rescanning (reading and hashing every page, then rewriting the sidecar)
+// otherwise. dst, when non-nil, receives every page.
+func (s *Store) openEntry(vmName string, alg checksum.Algorithm, dst *vm.VM, info EntryInfo, refs []pageRef, files []*os.File, noSidecar bool) (*Checkpoint, error) {
+	pages := len(refs)
+	if dst != nil && dst.NumPages() != pages {
+		return nil, fmt.Errorf("checkpoint: image has %d pages, VM has %d", pages, dst.NumPages())
+	}
+	logical := int64(pages) * vm.PageSize
+	status := SidecarDisabled
+	var sums []checksum.Sum
 	if !noSidecar {
-		// Pin the sidecar to the image the integrity record describes: a
-		// string compare at load time replaces a full rehash.
-		cfg.ExpectedDigest = digest
+		var serr error
+		sums, serr = loadSidecar(s.sidecarPath(vmName), alg, logical, info.Digest)
+		switch {
+		case serr == nil:
+			status = SidecarHit
+		case os.IsNotExist(serr):
+			status = SidecarMiss
+		default:
+			status = SidecarFallback
+		}
 	}
-	cp, err := OpenWith(s.ImagePath(vmName), alg, dst, cfg)
-	if err == nil {
-		s.touch(vmName)
+	if sums == nil {
+		// Rescan: read every page out of the pool and hash it under alg.
+		sums = make([]checksum.Sum, pages)
+		buf := make([]byte, vm.PageSize)
+		for i, ref := range refs {
+			if _, err := ref.f.ReadAt(buf, ref.off); err != nil {
+				return nil, fmt.Errorf("checkpoint: read page %d: %w", i, err)
+			}
+			sums[i] = alg.Page(buf)
+			if dst != nil {
+				dst.InstallPage(i, buf)
+			}
+		}
+		if !noSidecar {
+			// Self-heal: persist the rebuilt sums so the next Restore under
+			// this algorithm is warm. Best effort — a failed rewrite only
+			// costs the next Restore a rescan.
+			_ = writeSidecar(s.sidecarPath(vmName), alg, logical, info.Digest,
+				pages, func(i int) checksum.Sum { return sums[i] })
+		}
+	} else if dst != nil {
+		// Warm hit with an install: a plain read of every page, no hashing.
+		buf := make([]byte, vm.PageSize)
+		for i, ref := range refs {
+			if _, err := ref.f.ReadAt(buf, ref.off); err != nil {
+				return nil, fmt.Errorf("checkpoint: read page %d: %w", i, err)
+			}
+			dst.InstallPage(i, buf)
+		}
 	}
-	return cp, err
+	return newCheckpoint(alg, sums, refs, files, status), nil
+}
+
+// OpenUnion builds a Checkpoint over the union of every servable entry in
+// the store — other VMs' checkpoints, older content, salvage partials. The
+// destination of a fresh VM's migration (no checkpoint of its own) opens
+// the union and announces it, so the source skips every page any resident
+// checkpoint holds (the paper's §3.1 redundancy, pooled host-wide). The
+// union has no page-frame geometry: PageAt reports no frames, so it can
+// never serve as a delta base — matching the partial-checkpoint rules the
+// wire protocol already carries.
+//
+// Returns the union checkpoint and the names of the entries it covers, or
+// (nil, nil, nil) when the store holds nothing servable.
+func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error) {
+	if !alg.Valid() {
+		return nil, nil, fmt.Errorf("checkpoint: invalid checksum algorithm")
+	}
+	type unionEntry struct {
+		info EntryInfo
+		keys []checksum.Sum
+		refs []pageRef
+	}
+	s.mu.Lock()
+	var names []string
+	for key, e := range s.man.Entries {
+		if e.State != EntryQuarantined {
+			names = append(names, key)
+		}
+	}
+	sort.Strings(names)
+	entries := make([]unionEntry, 0, len(names))
+	var files []*os.File
+	open := map[string]*os.File{}
+	var resolveErr error
+	for _, key := range names {
+		info, _ := s.entryLocked(key)
+		pageKeys := s.keys[key]
+		refs := make([]pageRef, len(pageKeys))
+		for i, k := range pageKeys {
+			loc, ok := s.objects[k]
+			if !ok {
+				resolveErr = fmt.Errorf("checkpoint: object %s missing from pool", k)
+				break
+			}
+			f := open[loc.seg]
+			if f == nil {
+				f, resolveErr = os.Open(filepath.Join(s.dir, loc.seg))
+				if resolveErr != nil {
+					break
+				}
+				open[loc.seg] = f
+				files = append(files, f)
+			}
+			refs[i] = pageRef{f: f, off: loc.off}
+		}
+		if resolveErr != nil {
+			break
+		}
+		entries = append(entries, unionEntry{info: info, keys: pageKeys, refs: refs})
+	}
+	noSidecar := s.noSidecar
+	s.mu.Unlock()
+	if resolveErr != nil {
+		closeAll(files)
+		return nil, nil, resolveErr
+	}
+	if len(entries) == 0 {
+		return nil, nil, nil
+	}
+	cp := &Checkpoint{
+		alg:     alg,
+		files:   files,
+		sums:    checksum.NewSet(0),
+		sidecar: SidecarHit,
+	}
+	buf := make([]byte, vm.PageSize)
+	for _, ue := range entries {
+		logical := int64(len(ue.keys)) * vm.PageSize
+		var sums []checksum.Sum
+		if !noSidecar {
+			if got, err := loadSidecar(s.sidecarPath(ue.info.Name), alg, logical, ue.info.Digest); err == nil {
+				sums = got
+			}
+		}
+		if sums == nil {
+			// Rescan this entry's pages; no sidecar self-heal here — the
+			// union is read-mostly and must not race a concurrent Save on
+			// the entry's own files.
+			cp.sidecar = SidecarMiss
+			sums = make([]checksum.Sum, len(ue.refs))
+			for i, ref := range ue.refs {
+				if _, err := ref.f.ReadAt(buf, ref.off); err != nil {
+					closeAll(files)
+					return nil, nil, fmt.Errorf("checkpoint: read %s page %d: %w", ue.info.Name, i, err)
+				}
+				sums[i] = alg.Page(buf)
+			}
+		}
+		for i, sum := range sums {
+			if cp.sums.Contains(sum) {
+				continue
+			}
+			cp.sums.Add(sum)
+			cp.index.add(sum, ue.refs[i])
+		}
+	}
+	cp.index.sort()
+	return cp, names, nil
 }
 
 // Generations loads the Miyakodori generation vector stored with the
@@ -232,10 +664,10 @@ func (s *Store) Generations(vmName string) (dirtytrack.GenVector, bool, error) {
 	return gens, true, nil
 }
 
-// Remove deletes the named VM's checkpoint and sidecars, if present — the
-// only way out of quarantine. The image goes first: a concurrent Restore
-// that wins the race on the fingerprint sidecar alone only pays a rescan
-// fallback, never reads sums for a different image.
+// Remove deletes the named VM's entry — page manifest, sidecars and
+// manifest record — and releases its object references. The only way out
+// of quarantine. Object payloads stay pooled until a GC pass collects the
+// segments nothing references anymore.
 func (s *Store) Remove(vmName string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -243,20 +675,28 @@ func (s *Store) Remove(vmName string) error {
 }
 
 func (s *Store) removeLocked(vmName string) error {
-	for _, p := range []string{s.ImagePath(vmName), SidecarPath(s.ImagePath(vmName)), s.genPath(vmName), s.digestPath(vmName)} {
+	key := sanitize(vmName)
+	e, recorded := s.man.Entries[key]
+	paths := []string{s.pmfPath(vmName), s.sidecarPath(vmName), s.genPath(vmName), s.digestPath(vmName)}
+	if e.LegacyImage {
+		img := s.legacyImagePath(vmName)
+		paths = append(paths, img, SidecarPath(img))
+	}
+	for _, p := range paths {
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("checkpoint: remove %s: %w", p, err)
 		}
 	}
-	if _, ok := s.man.Entries[sanitize(vmName)]; ok {
-		delete(s.man.Entries, sanitize(vmName))
+	s.dropEntryLocked(key)
+	if recorded {
+		delete(s.man.Entries, key)
 		return s.commitManifestLocked()
 	}
 	return nil
 }
 
-// List reports the VM names with stored checkpoint images, whatever their
-// state. Use Entries for states and Has for serveability.
+// List reports the VM names with store entries, whatever their state,
+// sorted. Use Entries for states and Has for serveability.
 func (s *Store) List() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -264,15 +704,10 @@ func (s *Store) List() ([]string, error) {
 }
 
 func (s *Store) listLocked() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return nil, fmt.Errorf("checkpoint: list store: %w", err)
+	names := make([]string, 0, len(s.man.Entries))
+	for key := range s.man.Entries {
+		names = append(names, key)
 	}
-	var names []string
-	for _, e := range entries {
-		if n, ok := strings.CutSuffix(e.Name(), ".img"); ok {
-			names = append(names, n)
-		}
-	}
+	sort.Strings(names)
 	return names, nil
 }

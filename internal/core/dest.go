@@ -77,6 +77,13 @@ type DestResult struct {
 	// salvage checkpoint after a failed merge; zero when no salvage was
 	// written.
 	SalvagePages int64
+	// UnionBootstrap reports that no servable checkpoint of the arriving VM
+	// existed, so the announcement was assembled from the union of all
+	// resident store content instead (other VMs' checkpoints, older
+	// generations, salvage partials — the content-addressed pool). Implies
+	// UsedCheckpoint. The union serves blocks by content but installs
+	// nothing into RAM, so ResumedFromPartial stays false.
+	UnionBootstrap bool
 }
 
 // IncomingSession is a half-open incoming migration: the hello has been
@@ -212,6 +219,7 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	// unresolvable page-sum references.
 	var cp *checkpoint.Checkpoint
 	partial := false
+	union := false
 	if h.Recycle && opts.Store != nil {
 		if info, ok := opts.Store.Entry(h.VMName); ok && info.State != checkpoint.EntryQuarantined &&
 			!(info.State == checkpoint.EntryPartial && h.SkipAnnounce) {
@@ -224,13 +232,32 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 				partial = info.State == checkpoint.EntryPartial
 			}
 		}
+		if cp == nil && !h.SkipAnnounce {
+			// Fresh VM on a warm host: no servable checkpoint of its own, but
+			// the content-addressed pool may hold its pages anyway — other
+			// VMs' checkpoints, older generations, salvage partials.
+			// Announce the union of everything resident. The
+			// partial-checkpoint ack bit keeps the source off delta encoding
+			// (nothing was installed into v, so there is no delta base) —
+			// exactly the salvage-bootstrap rule. Best-effort: a union that
+			// fails to open degrades to a plain full first round.
+			if ucp, members, uerr := opts.Store.OpenUnion(h.Alg); uerr == nil && ucp != nil {
+				cp = ucp
+				union = true
+				partial = true
+				res.UnionBootstrap = true
+				opts.OnEvent.emit(Event{Kind: EventUnion,
+					Pages:  int64(ucp.SumSet().Len()),
+					Detail: fmt.Sprintf("entries=%d", len(members))})
+			}
+		}
 	}
 	if cp != nil {
 		defer cp.Close()
 		res.UsedCheckpoint = true
-		res.ResumedFromPartial = partial
+		res.ResumedFromPartial = partial && !union
 		opts.OnEvent.emit(Event{Kind: EventSidecar, Detail: cp.Sidecar().String()})
-		if partial {
+		if res.ResumedFromPartial {
 			opts.OnEvent.emit(Event{Kind: EventSalvage, Detail: "resumed",
 				Pages: int64(cp.Pages())})
 		}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -228,10 +229,19 @@ func TestCorruptCheckpointDegradesToFull(t *testing.T) {
 	if err := store.Save(src); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate the image to a non-page-aligned size: Restore must fail and
-	// the destination must degrade rather than abort.
-	if err := truncateFile(store.ImagePath("vm0"), vm.PageSize+7); err != nil {
+	// Delete the pooled page segments behind the store's back: Restore must
+	// fail and the destination must degrade rather than abort.
+	segs, err := filepath.Glob(filepath.Join(store.Dir(), "seg-*.seg"))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no pool segments on disk")
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
 	}
 	dst := newVM(t, "vm0", 16, 2)
 	sm, dres := migrate(t, src, dst,
@@ -252,8 +262,4 @@ func TestCorruptCheckpointDegradesToFull(t *testing.T) {
 type readWriter struct {
 	io.Reader
 	io.Writer
-}
-
-func truncateFile(path string, size int64) error {
-	return os.Truncate(path, size)
 }

@@ -42,6 +42,13 @@ const (
 	// EventFetch: the post-copy demand-fetch phase finished. Pages is
 	// the number of pages served over the network after resume.
 	EventFetch = "fetch"
+	// EventUnion: the destination had no servable checkpoint of the
+	// arriving VM and announced the union of all resident store content
+	// instead (the content-addressed pool — other VMs' checkpoints, older
+	// generations, salvage partials). Pages is the number of distinct
+	// checksums the union announces; Detail carries "entries=N", the
+	// count of resident entries contributing.
+	EventUnion = "union"
 	// EventSalvage: salvage-checkpoint activity around an interrupted
 	// migration. Detail is "written" (the destination persisted the pages
 	// an aborted incoming migration had installed; Pages = pages newly

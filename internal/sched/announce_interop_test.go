@@ -2,11 +2,10 @@ package sched
 
 import (
 	"context"
-	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
-	"vecycle/internal/checkpoint"
 	"vecycle/internal/core"
 	"vecycle/internal/vm"
 )
@@ -157,9 +156,12 @@ func TestHostSetNoSidecar(t *testing.T) {
 		if !h.Store().NoSidecar() {
 			t.Errorf("host %s store reports sidecars enabled", h.Name())
 		}
-		sc := checkpoint.SidecarPath(h.Store().ImagePath("vm0"))
-		if _, err := os.Stat(sc); !os.IsNotExist(err) {
-			t.Errorf("host %s wrote a sidecar despite -no-sidecar (stat err=%v)", h.Name(), err)
+		idx, err := filepath.Glob(filepath.Join(h.Store().Dir(), "*.idx"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != 0 {
+			t.Errorf("host %s wrote sidecars despite -no-sidecar: %v", h.Name(), idx)
 		}
 	}
 }

@@ -181,6 +181,16 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		}
 		return float64(len(names))
 	})
+	reg.GaugeVec("vecycle_store_logical_bytes",
+		"Sum of resident checkpoint sizes as saved (pages × page size), before content dedup.",
+		"host").With(h.name).SetFunc(func() float64 {
+		return float64(h.store.Stats().LogicalBytes)
+	})
+	reg.GaugeVec("vecycle_store_physical_bytes",
+		"Bytes of unique page content the pool actually holds; logical over physical is the host dedup ratio.",
+		"host").With(h.name).SetFunc(func() float64 {
+		return float64(h.store.Stats().PhysicalBytes)
+	})
 	reg.GaugeVec("vecycle_host_vms",
 		"VMs currently resident on the host.",
 		"host").With(h.name).SetFunc(func() float64 {
@@ -188,8 +198,29 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		defer h.mu.Unlock()
 		return float64(len(h.vms))
 	})
+	h.store.SetMetrics(storeMetrics{
+		host: h.name,
+		dedup: reg.CounterVec("vecycle_dedup_pages_total",
+			"Pages a checkpoint save found already resident in the content-addressed pool and referenced instead of rewriting.",
+			"host"),
+		gc: reg.CounterVec("vecycle_store_gc_total",
+			"Store garbage-collection passes by outcome (reclaimed, clean).",
+			"host", "outcome"),
+	})
 	return o
 }
+
+// storeMetrics feeds the checkpoint store's dedup and GC callbacks into the
+// registry. The store delivers these outside its own lock, so the counters
+// may safely be scraped (or trigger SetFunc gauges) re-entrantly.
+type storeMetrics struct {
+	host  string
+	dedup *obs.CounterVec
+	gc    *obs.CounterVec
+}
+
+func (m storeMetrics) DedupPages(n int)     { m.dedup.With(m.host).Add(float64(n)) }
+func (m storeMetrics) GCRun(outcome string) { m.gc.With(m.host, outcome).Inc() }
 
 // begin opens a trace for one migration attempt and marks it active.
 func (o *hostObs) begin(role, vmName, peer string) *obs.Recorder {

@@ -26,6 +26,7 @@ import (
 // the same standard.
 var docPackages = []string{
 	"internal/obs",
+	"internal/checkpoint",
 }
 
 // docFiles are the markdown files whose relative links must resolve.
