@@ -20,20 +20,23 @@ race-pipeline:
 	$(GO) test -race -run 'Golden|Pipeline|IterativeRoundSum|DestWorkerError' ./internal/core/
 
 # bench records the migration-engine benchmarks (first-round throughput at
-# pipeline widths {1,2,4,8}, destination merge-loop and install-primitive
-# throughput, per-page checksum rates, warm vs cold checkpoint open,
+# pipeline widths {1,2,4,8}, tracked-migration overhead, destination
+# merge-loop and install-primitive throughput, per-page checksum rates,
+# warm vs cold checkpoint open, rehash vs precomputed-sum warm save,
 # announce-frame sizes) as machine-readable output for regression tracking.
 # BENCH_migration.json is committed: tools/benchgate gates CI on it.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFirstRound|BenchmarkMergeLoop|BenchmarkDestInstall' -benchmem -json ./internal/core/ > BENCH_migration.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFirstRound|BenchmarkTrackIncoming|BenchmarkMergeLoop|BenchmarkDestInstall' -benchmem -json ./internal/core/ > BENCH_migration.json
 	$(GO) test -run '^$$' -bench 'BenchmarkChecksumPage|BenchmarkAnnounceSize' -benchmem -json ./internal/checksum/ >> BENCH_migration.json
-	$(GO) test -run '^$$' -bench 'BenchmarkOpen' -benchmem -json ./internal/checkpoint/ >> BENCH_migration.json
+	$(GO) test -run '^$$' -bench 'BenchmarkOpen|BenchmarkSaveWarm' -benchmem -json ./internal/checkpoint/ >> BENCH_migration.json
 
 # benchgate fails when the committed BENCH_migration.json shows any
-# pipeline width running below 0.95x of workers=1, when workers=8
-# allocates more than 1.5x the workers=1 B/op, or when any width regresses
-# against the recording committed at HEAD (skipped when HEAD has none —
-# e.g. the recording itself is being re-recorded in this change).
+# pipeline width running below the scaling floor of workers=1, when
+# workers=8 allocates beyond the slack over workers=1, when the
+# precomputed-sum warm save loses its 1.5x edge over the rehashing one,
+# or when any gated series regresses against the recording committed at
+# HEAD (skipped when HEAD has none — e.g. the recording itself is being
+# re-recorded in this change).
 benchgate:
 	@git show HEAD:BENCH_migration.json > /tmp/benchgate-baseline.json 2>/dev/null \
 		|| rm -f /tmp/benchgate-baseline.json

@@ -59,3 +59,51 @@ func BenchmarkOpen(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSaveWarm measures re-checkpointing a VM whose content is already
+// fully resident in the pool — the steady state after every successful
+// migration, where the save writes no segment and the digest passes are
+// the whole cost. `rehash` is the plain Save path (SHA-256 content keying
+// plus the MD5 sidecar rebuild); `withsums` hands Save the MD5 table a
+// tracked migration records for free, leaving only the keying scan. The
+// hash-once acceptance bar is withsums ≥ 1.5× rehash; tools/benchgate
+// enforces it on the committed recording.
+func BenchmarkSaveWarm(b *testing.B) {
+	const pages = 16384 // 64 MiB at 4 KiB pages
+	store, err := NewStore(filepath.Join(b.TempDir(), "ckpts"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := vm.New(vm.Config{Name: "bench", MemBytes: pages * vm.PageSize, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := src.FillRandom(0.5); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Save(src); err != nil {
+		b.Fatal(err)
+	}
+	// The table a migration's TrackIncoming/SentSums recording supplies.
+	sums := make([]checksum.Sum, pages)
+	for i := range sums {
+		sums[i] = src.PageSum(i, SidecarAlgorithm)
+	}
+
+	b.Run("rehash", func(b *testing.B) {
+		b.SetBytes(pages * vm.PageSize)
+		for i := 0; i < b.N; i++ {
+			if err := store.Save(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("withsums", func(b *testing.B) {
+		b.SetBytes(pages * vm.PageSize)
+		for i := 0; i < b.N; i++ {
+			if err := store.SaveWithSums(src, SidecarAlgorithm, sums); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

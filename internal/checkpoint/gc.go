@@ -161,6 +161,16 @@ func (s *Store) gcLocked() (rep GCReport, err error) {
 			s.man.NextSeg++
 			s.man.Segments[newName] = segmentRecord{Digest: digest, Pages: len(newKeys)}
 			delete(s.man.Segments, segName)
+			// Drop every index entry canonical to the old segment — the dead
+			// ones (refs == 0) vanish with the file; the live ones are
+			// re-registered at their compacted location just below. Leaving a
+			// dead key behind would let a later Save dedup new content
+			// against a payload that no longer exists on disk.
+			for _, k := range keys {
+				if s.objects[k].seg == segName {
+					delete(s.objects, k)
+				}
+			}
 			// Re-point the pool index at the compacted copies.
 			s.segKeys[newName] = newKeys
 			delete(s.segKeys, segName)

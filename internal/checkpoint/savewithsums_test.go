@@ -1,0 +1,169 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vecycle/internal/checksum"
+	"vecycle/internal/vm"
+)
+
+// vmSums digests every page of v under alg — the table a migration's
+// hash-once lifecycle would have recorded for free.
+func vmSums(t *testing.T, v *vm.VM, alg checksum.Algorithm) []checksum.Sum {
+	t.Helper()
+	sums := make([]checksum.Sum, v.NumPages())
+	for i := range sums {
+		sums[i] = v.PageSum(i, alg)
+	}
+	return sums
+}
+
+// metricsStore builds a store in its own directory with a fakeMetrics sink
+// attached, returning both plus the directory.
+func metricsStore(t *testing.T) (*Store, *fakeMetrics, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "s")
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &fakeMetrics{store: s}
+	s.SetMetrics(m)
+	return s, m, dir
+}
+
+// TestSaveWithSumsMatchesSave is the ingest-equivalence contract: a save
+// fed a migration-recorded MD5 table must produce a byte-identical
+// fingerprint sidecar and an identically restorable entry, while skipping
+// the sidecar digest pass entirely.
+func TestSaveWithSumsMatchesSave(t *testing.T) {
+	const pages = 64
+	v := filledVM(t, "a", pages, 1)
+
+	sPlain, mPlain, dirPlain := metricsStore(t)
+	if err := sPlain.Save(v); err != nil {
+		t.Fatal(err)
+	}
+	sPre, mPre, dirPre := metricsStore(t)
+	if err := sPre.SaveWithSums(v, SidecarAlgorithm, vmSums(t, v, SidecarAlgorithm)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same content, same layout: the sidecars must be byte-identical.
+	plain, err := os.ReadFile(SidecarPath(filepath.Join(dirPlain, "a"+pmfSuffix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := os.ReadFile(SidecarPath(filepath.Join(dirPre, "a"+pmfSuffix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, pre) {
+		t.Error("precomputed-sum save wrote a different sidecar than a rehashing save")
+	}
+
+	// Both entries restore bit exactly.
+	for name, s := range map[string]*Store{"plain": sPlain, "withsums": sPre} {
+		dst := newVM(t, "a", pages, 99)
+		cp, err := s.Restore("a", checksum.MD5, dst)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cp.Close()
+		if !v.MemEqual(dst) {
+			t.Errorf("%s: restore lost data at page %d", name, v.FirstDifference(dst))
+		}
+	}
+
+	// Accounting: the plain save digested the image twice (keys + sidecar);
+	// the precomputed save paid only the SHA-256 keying scan and recycled
+	// the sidecar pass.
+	mem := v.MemBytes()
+	mPlain.mu.Lock()
+	if mPlain.hashed["save_keys"] != mem || mPlain.hashed["save_sidecar"] != mem || mPlain.unhashed != 0 {
+		t.Errorf("plain save accounting = %v avoided=%d, want both stages hashed", mPlain.hashed, mPlain.unhashed)
+	}
+	mPlain.mu.Unlock()
+	mPre.mu.Lock()
+	if mPre.hashed["save_keys"] != mem || mPre.hashed["save_sidecar"] != 0 || mPre.unhashed != mem {
+		t.Errorf("withsums save accounting = %v avoided=%d, want sidecar pass recycled", mPre.hashed, mPre.unhashed)
+	}
+	mPre.mu.Unlock()
+}
+
+// TestSaveWithSumsObjectAlgorithm: a SHA-256 table substitutes for the
+// content-keying scan instead, and dedup still works against entries keyed
+// by the rehashing path.
+func TestSaveWithSumsObjectAlgorithm(t *testing.T) {
+	const pages = 8
+	v := filledVM(t, "a", pages, 1)
+	s, m, _ := metricsStore(t)
+	if err := s.Save(v); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	// Re-save the unchanged VM under a precomputed key table: every page
+	// must dedup against the first save, with zero key-scan hashing.
+	if err := s.SaveWithSums(v, ObjectAlgorithm, vmSums(t, v, ObjectAlgorithm)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PhysicalBytes - before.PhysicalBytes; got != 0 {
+		t.Errorf("identical re-save grew the pool by %d bytes", got)
+	}
+	m.mu.Lock()
+	if m.hashed["save_keys"] != v.MemBytes() || m.unhashed != v.MemBytes() {
+		t.Errorf("accounting = %v avoided=%d, want first save's key scan hashed and second's recycled", m.hashed, m.unhashed)
+	}
+	m.mu.Unlock()
+	dst := newVM(t, "a", pages, 99)
+	cp, err := s.Restore("a", checksum.MD5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	if !v.MemEqual(dst) {
+		t.Error("restore after keyed re-save lost data")
+	}
+}
+
+// TestSaveWithSumsFallback: a table that does not cover the image — wrong
+// length or no valid algorithm — silently degrades to the rehashing path.
+func TestSaveWithSumsFallback(t *testing.T) {
+	const pages = 8
+	v := filledVM(t, "a", pages, 1)
+	cases := map[string]struct {
+		alg  checksum.Algorithm
+		sums []checksum.Sum
+	}{
+		"nil-table":   {SidecarAlgorithm, nil},
+		"short-table": {SidecarAlgorithm, make([]checksum.Sum, pages-1)},
+		"zero-alg":    {0, make([]checksum.Sum, pages)},
+		"foreign-alg": {checksum.FNV, vmSums(t, v, checksum.FNV)},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, m, _ := metricsStore(t)
+			if err := s.SaveWithSums(v, tc.alg, tc.sums); err != nil {
+				t.Fatal(err)
+			}
+			mem := v.MemBytes()
+			m.mu.Lock()
+			if m.hashed["save_keys"] != mem || m.hashed["save_sidecar"] != mem || m.unhashed != 0 {
+				t.Errorf("accounting = %v avoided=%d, want full fallback rehash", m.hashed, m.unhashed)
+			}
+			m.mu.Unlock()
+			dst := newVM(t, "a", pages, 99)
+			cp, err := s.Restore("a", checksum.MD5, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp.Close()
+			if !v.MemEqual(dst) {
+				t.Error("fallback save lost data")
+			}
+		})
+	}
+}

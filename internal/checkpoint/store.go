@@ -80,6 +80,13 @@ type Metrics interface {
 	// GCRun reports a completed GC pass; outcome is "reclaimed" when the
 	// pass deleted or compacted at least one segment, "clean" otherwise.
 	GCRun(outcome string)
+	// HashBytes reports n payload bytes a Save digested itself; stage is
+	// "save_keys" (the SHA-256 content-keying scan) or "save_sidecar" (the
+	// fingerprint sidecar build).
+	HashBytes(stage string, n int64)
+	// HashAvoidedBytes reports n payload bytes whose digests were supplied
+	// precomputed by the caller (SaveWithSums) instead of recomputed.
+	HashAvoidedBytes(n int64)
 }
 
 // SetMetrics installs the metrics sink. Pass nil to disable.
@@ -185,10 +192,45 @@ func (s *Store) Has(vmName string) bool {
 // least-recently-used entries are evicted until the new pages fit.
 func (s *Store) Save(source *vm.VM) error {
 	s.mu.Lock()
-	_, err := s.saveLocked(source, EntryComplete)
+	_, err := s.saveLocked(source, EntryComplete, nil)
 	s.mu.Unlock()
 	s.drainMetrics()
 	return err
+}
+
+// SaveWithSums is Save with a caller-supplied per-page digest table —
+// typically the sum table a migration recorded (core.SumTable) — so the
+// digest pass matching alg is skipped: the sidecar build when alg is
+// SidecarAlgorithm, the content-keying scan when it is ObjectAlgorithm. The
+// other pass still recomputes its own algorithm from the image.
+//
+// The caller asserts sums[i] is alg's digest of the VM's current page i. A
+// wrong table poisons what that pass would have produced (a sidecar is
+// trusted on warm restore; content keys decide dedup identity), so hand over
+// only tables the migration protocol itself vouched for. A nil/short/alien
+// table is not an error — the save silently falls back to rehashing, so
+// callers need no special-casing for failed or untracked migrations.
+func (s *Store) SaveWithSums(source *vm.VM, alg checksum.Algorithm, sums []checksum.Sum) error {
+	var pre *preSums
+	if len(sums) == source.NumPages() && alg.Valid() {
+		pre = &preSums{alg: alg, sums: sums}
+	}
+	s.mu.Lock()
+	_, err := s.saveLocked(source, EntryComplete, pre)
+	s.mu.Unlock()
+	s.drainMetrics()
+	return err
+}
+
+// preSums is a caller-supplied digest table threaded into one save
+// transaction; covers reports whether it substitutes for a pass under alg.
+type preSums struct {
+	alg  checksum.Algorithm
+	sums []checksum.Sum
+}
+
+func (p *preSums) covers(alg checksum.Algorithm, pages int) bool {
+	return p != nil && p.alg == alg && len(p.sums) == pages
 }
 
 // SaveSalvage persists the VM's memory as a salvage checkpoint: a partial
@@ -200,7 +242,7 @@ func (s *Store) Save(source *vm.VM) error {
 // a previous complete checkpoint is removed.
 func (s *Store) SaveSalvage(source *vm.VM) error {
 	s.mu.Lock()
-	_, err := s.saveLocked(source, EntryPartial)
+	_, err := s.saveLocked(source, EntryPartial, nil)
 	s.mu.Unlock()
 	s.drainMetrics()
 	return err
@@ -292,10 +334,22 @@ func (s *Store) uniqueBytesLocked(key string) int64 {
 // crash before the manifest commit leaves the previous transaction's
 // manifest in charge: recovery rolls back unrecorded segments and
 // quarantines the entry if its pmf was already replaced.
-func (s *Store) saveLocked(source *vm.VM, state EntryState) (dedup int, err error) {
+//
+// pre, when non-nil, carries a caller-supplied digest table (SaveWithSums)
+// that substitutes for whichever digest pass matches its algorithm; the
+// hash/hash-avoided metric events account each pass either way.
+func (s *Store) saveLocked(source *vm.VM, state EntryState, pre *preSums) (dedup int, err error) {
 	name := source.Name()
 	key := sanitize(name)
-	pageKeys := pageSums(source, ObjectAlgorithm)
+	memBytes := source.MemBytes()
+	var pageKeys []checksum.Sum
+	if pre.covers(ObjectAlgorithm, source.NumPages()) {
+		pageKeys = pre.sums
+		s.deferMetricLocked(func(m Metrics) { m.HashAvoidedBytes(memBytes) })
+	} else {
+		pageKeys = pageSums(source, ObjectAlgorithm)
+		s.deferMetricLocked(func(m Metrics) { m.HashBytes("save_keys", memBytes) })
+	}
 	newSlots := s.missingLocked(pageKeys)
 	if s.quota > 0 {
 		if newSlots, err = s.fitQuotaLocked(key, pageKeys, newSlots); err != nil {
@@ -345,8 +399,17 @@ func (s *Store) saveLocked(source *vm.VM, state EntryState) (dedup int, err erro
 	if !s.noSidecar {
 		// Persist the fingerprint sidecar so the next Restore warm-starts
 		// instead of rehashing every page. Anchored to the pmf digest: a
-		// sidecar describing a different page manifest is stale.
-		sums := pageSums(source, SidecarAlgorithm)
+		// sidecar describing a different page manifest is stale. A
+		// migration-recorded table under the sidecar algorithm (the common
+		// SaveWithSums case) goes straight to the writer.
+		var sums []checksum.Sum
+		if pre.covers(SidecarAlgorithm, source.NumPages()) {
+			sums = pre.sums
+			s.deferMetricLocked(func(m Metrics) { m.HashAvoidedBytes(memBytes) })
+		} else {
+			sums = pageSums(source, SidecarAlgorithm)
+			s.deferMetricLocked(func(m Metrics) { m.HashBytes("save_sidecar", memBytes) })
+		}
 		if err := writeSidecar(s.sidecarPath(name), SidecarAlgorithm,
 			source.MemBytes(), pmfDigest, len(sums), func(i int) checksum.Sum { return sums[i] }); err != nil {
 			return 0, err

@@ -314,11 +314,13 @@ func TestOpenUnionSkipsQuarantined(t *testing.T) {
 // fakeMetrics records store metric callbacks; its methods call back into
 // the store to prove the deferred-delivery contract is deadlock free.
 type fakeMetrics struct {
-	mu      sync.Mutex
-	store   *Store
-	dedup   int
-	gcRuns  map[string]int
-	physSum int64
+	mu       sync.Mutex
+	store    *Store
+	dedup    int
+	gcRuns   map[string]int
+	physSum  int64
+	hashed   map[string]int64
+	unhashed int64
 }
 
 func (m *fakeMetrics) DedupPages(n int) {
@@ -335,6 +337,21 @@ func (m *fakeMetrics) GCRun(outcome string) {
 		m.gcRuns = map[string]int{}
 	}
 	m.gcRuns[outcome]++
+}
+
+func (m *fakeMetrics) HashBytes(stage string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hashed == nil {
+		m.hashed = map[string]int64{}
+	}
+	m.hashed[stage] += n
+}
+
+func (m *fakeMetrics) HashAvoidedBytes(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.unhashed += n
 }
 
 func TestMetricsSinkDeliveredOutsideLock(t *testing.T) {

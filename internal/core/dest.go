@@ -84,6 +84,12 @@ type DestResult struct {
 	// UsedCheckpoint. The union serves blocks by content but installs
 	// nothing into RAM, so ResumedFromPartial stays false.
 	UnionBootstrap bool
+	// PageSums is the per-page digest table the merge recorded (only when
+	// DestOptions.TrackIncoming was set). After a successful migration it
+	// covers every page of the arrived state, so the post-migration
+	// checkpoint can be ingested via Store.SaveWithSums without a sidecar
+	// rehash; after a failure it is partial and Sums reports false.
+	PageSums *SumTable
 }
 
 // IncomingSession is a half-open incoming migration: the hello has been
@@ -263,8 +269,12 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 		}
 	}
 
+	var tbl *SumTable
 	if opts.TrackIncoming {
 		res.SeenSums = checksum.NewSet(v.NumPages())
+		tbl = NewSumTable()
+		tbl.reset(h.Alg, v.NumPages())
+		res.PageSums = tbl
 	}
 
 	start := time.Now()
@@ -301,9 +311,9 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	}
 
 	if workers := opts.workers(); workers >= 1 {
-		err = s.mergePipelined(ctx, v, opts, cp, &res, start, workers)
+		err = s.mergePipelined(ctx, v, opts, cp, tbl, &res, start, workers)
 	} else {
-		err = s.mergeSequential(ctx, v, opts, cp, &res, start)
+		err = s.mergeSequential(ctx, v, opts, cp, tbl, &res, start)
 	}
 	if err != nil {
 		// Both merge engines have fully drained their workers by the time
@@ -337,7 +347,7 @@ func (s *IncomingSession) salvage(v *vm.VM, opts DestOptions, res *DestResult) {
 // mergeSequential is the single-goroutine merge loop — Listing 1, extended
 // with full-page installs and round bookkeeping. It is the reference the
 // pipelined variant is tested against.
-func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts DestOptions, cp *checkpoint.Checkpoint, res *DestResult, start time.Time) error {
+func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts DestOptions, cp *checkpoint.Checkpoint, tbl *SumTable, res *DestResult, start time.Time) error {
 	h := s.h
 	w, r := s.w, s.r
 	pageBuf := make([]byte, vm.PageSize)
@@ -372,7 +382,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 				return err
 			}
 			rangeFloor = rng.start + uint64(rng.count)
-			if err := applyRange(v, cp, h.Alg, opts.VerifyPayloads, &rng, st, &res.Metrics); err != nil {
+			if err := applyRange(v, cp, h.Alg, opts.VerifyPayloads, &rng, st, tbl, &res.Metrics); err != nil {
 				return err
 			}
 			res.Metrics.PageFrames++
@@ -404,6 +414,10 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 				}
 			}
 			v.InstallPage(int(page), pageBuf)
+			// The header sum describes the installed bytes — verified above
+			// when VerifyPayloads is set, trusted at the protocol's own level
+			// otherwise (the same trust a recycled page-sum frame gets).
+			tbl.record(int(page), sum)
 			res.Metrics.PagesFull++
 
 		case msgPageSum:
@@ -419,6 +433,8 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			}
 			res.Metrics.PageFrames++
 			res.Metrics.PagesSum++
+			// Either way the page ends up holding content with this digest.
+			tbl.record(int(page), sum)
 			// Fast path: the frame content inherited from the checkpoint
 			// bootstrap already matches.
 			if v.PageSum(int(page), h.Alg) == sum {
@@ -477,6 +493,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 				return fmt.Errorf("%w: page %d delta produced checksum mismatch (stale delta base?)", ErrProtocol, page)
 			}
 			v.InstallPage(int(page), pageBuf)
+			tbl.record(int(page), sum)
 			res.Metrics.PagesDelta++
 
 		case msgRoundEnd:
@@ -505,10 +522,12 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			// exactly "the set of pages existing at the source" (§3.2): the
 			// source checkpoints its paused final state, which is what this
 			// VM now holds — the sound basis for a later ping-pong return
-			// leg. Tracking stream messages instead would also capture
-			// stale intermediate contents that the peer never checkpointed.
+			// leg. The sum table already carries each page's last installed
+			// digest (stale intermediate contents were overwritten in the
+			// table just as in RAM), so finishTrack folds it into the set
+			// and hashes only pages no frame ever covered.
 			if opts.TrackIncoming {
-				collectSums(v, h.Alg, res.SeenSums)
+				res.Metrics.HashBytes, res.Metrics.HashAvoidedBytes = tbl.finishTrack(v, res.SeenSums)
 			}
 			return nil
 

@@ -55,7 +55,11 @@ type destWorker struct {
 	verify bool
 	cp     *checkpoint.Checkpoint
 	st     *destScratch // pooled; acquired at pool start, released after drain
-	m      Metrics
+	// tbl is the migration's shared page-sum table (nil unless
+	// TrackIncoming). Workers write disjoint page slots within a round, so
+	// no locking; see SumTable.
+	tbl *SumTable
+	m   Metrics
 }
 
 // process applies one page message to the VM. The decoder has already
@@ -65,7 +69,7 @@ func (ws *destWorker) process(j *destJob) error {
 	page := int(j.page)
 	switch j.t {
 	case msgRangeSum, msgRangeFull, msgRangeFullZ, msgRangeDelta:
-		return applyRange(ws.v, ws.cp, ws.alg, ws.verify, &j.rng, ws.st, &ws.m)
+		return applyRange(ws.v, ws.cp, ws.alg, ws.verify, &j.rng, ws.st, ws.tbl, &ws.m)
 
 	case msgPageFull:
 		if ws.verify {
@@ -74,6 +78,7 @@ func (ws *destWorker) process(j *destJob) error {
 			}
 		}
 		ws.v.InstallPage(page, j.payload)
+		ws.tbl.record(page, j.sum)
 		ws.m.PagesFull++
 
 	case msgPageFullZ:
@@ -90,11 +95,14 @@ func (ws *destWorker) process(j *destJob) error {
 			}
 		}
 		ws.v.InstallPage(page, buf)
+		ws.tbl.record(page, j.sum)
 		ws.m.PagesFull++
 		ws.m.PagesCompressed++
 
 	case msgPageSum:
 		ws.m.PagesSum++
+		// Either way the page ends up holding content with this digest.
+		ws.tbl.record(page, j.sum)
 		// Fast path: the frame content inherited from the checkpoint
 		// bootstrap already matches.
 		if ws.v.PageSum(page, ws.alg) == j.sum {
@@ -128,6 +136,7 @@ func (ws *destWorker) process(j *destJob) error {
 			return fmt.Errorf("%w: page %d delta produced checksum mismatch (stale delta base?)", ErrProtocol, page)
 		}
 		ws.v.InstallPage(page, buf)
+		ws.tbl.record(page, j.sum)
 		ws.m.PagesDelta++
 	}
 	return nil
@@ -139,7 +148,7 @@ func (ws *destWorker) process(j *destJob) error {
 // watcher aborts the connection so a decoder blocked mid-read observes the
 // failure; the decoder then drains the pool before returning, so no
 // goroutine outlives the call.
-func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts DestOptions, cp *checkpoint.Checkpoint, res *DestResult, start time.Time, workers int) (err error) {
+func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts DestOptions, cp *checkpoint.Checkpoint, tbl *SumTable, res *DestResult, start time.Time, workers int) (err error) {
 	h := s.h
 	w, r := s.w, s.r
 
@@ -175,7 +184,7 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 	wks := make([]*destWorker, workers)
 	for k := range wks {
 		wks[k] = &destWorker{v: v, alg: h.Alg, verify: opts.VerifyPayloads, cp: cp,
-			st: getDestScratch()}
+			st: getDestScratch(), tbl: tbl}
 		wg.Add(1)
 		go func(ws *destWorker) {
 			defer wg.Done()
@@ -336,8 +345,11 @@ func (s *IncomingSession) mergePipelined(ctx context.Context, v *vm.VM, opts Des
 			}
 			res.Metrics.Duration = time.Since(start)
 			opts.OnEvent.emit(Event{Kind: EventDone, Bytes: s.cr.n})
+			// All installs have landed (inflight barrier above), so the sum
+			// table is the final arrived state; hash only what no frame
+			// covered. See mergeSequential's msgDone for the soundness note.
 			if opts.TrackIncoming {
-				collectSums(v, h.Alg, res.SeenSums)
+				res.Metrics.HashBytes, res.Metrics.HashAvoidedBytes = tbl.finishTrack(v, res.SeenSums)
 			}
 			return nil
 

@@ -66,6 +66,17 @@ type Metrics struct {
 	// Rounds is the number of pre-copy rounds, including the final
 	// stop-and-copy round.
 	Rounds int
+	// HashBytes counts payload bytes the destination's round-end
+	// TrackIncoming pass had to digest itself — pages no install-time sum
+	// covered. Zero on the source, for untracked destinations, and on the
+	// normal tracked path (round one walks every page, so every digest
+	// arrives on some frame).
+	HashBytes int64
+	// HashAvoidedBytes counts payload bytes whose round-end digest was
+	// recycled from a sum the merge already knew (frame headers, verified
+	// installs, range probes) instead of being recomputed by a full-image
+	// scan.
+	HashAvoidedBytes int64
 	// Stages breaks the pipelined engine down by stage, so a throughput
 	// regression can be attributed (reader-bound, worker-bound, or
 	// wire-bound) instead of guessed. All zero when the sequential

@@ -55,12 +55,22 @@ func (s pageSeq) at(i int) int {
 // serializes its frames into buf; the emitter writes buf out in sequence
 // order and merges the per-batch counters.
 type pageBatch struct {
-	pages []int        // page numbers
-	data  []byte       // page payloads, len(pages)*PageSize
-	buf   bytes.Buffer // encoded wire frames, in page order
-	m     Metrics      // per-batch page counters
-	err   error        // set instead of buf when encoding failed
+	pages []int          // page numbers
+	data  []byte         // page payloads, len(pages)*PageSize
+	sums  []checksum.Sum // per-page digests precomputed by the hash offload; empty otherwise
+	buf   bytes.Buffer   // encoded wire frames, in page order
+	m     Metrics        // per-batch page counters
+	err   error          // set instead of buf when encoding failed
 	done  chan struct{}
+}
+
+// pageSum returns page i's digest: the precomputed one when the sequential
+// engine's hash offload ran over this batch, computed in place otherwise.
+func (b *pageBatch) pageSum(alg checksum.Algorithm, i int, data []byte) checksum.Sum {
+	if i < len(b.sums) {
+		return b.sums[i]
+	}
+	return alg.Page(data)
 }
 
 // fail marks the batch failed and releases its emitter.
@@ -75,6 +85,7 @@ var batchPool = sync.Pool{New: func() interface{} {
 	return &pageBatch{
 		pages: make([]int, 0, batchPages),
 		data:  make([]byte, 0, batchPages*vm.PageSize),
+		sums:  make([]checksum.Sum, 0, batchPages),
 	}
 }}
 
@@ -89,6 +100,7 @@ const maxPooledBatchBytes = 2 * batchPages * vm.PageSize
 func putBatch(b *pageBatch) {
 	b.pages = b.pages[:0]
 	b.data = b.data[:0]
+	b.sums = b.sums[:0]
 	b.buf.Reset()
 	if b.buf.Cap() > maxPooledBatchBytes {
 		b.buf = bytes.Buffer{}
@@ -131,6 +143,10 @@ type encoderConfig struct {
 	// ranges selects the coalesced page-range encoding (negotiated in the
 	// hello exchange); false keeps the byte-exact per-page v1 stream.
 	ranges bool
+	// sent, when non-nil, receives the digest of every page as it is
+	// encoded (SourceOptions.SentSums). Recording never alters the wire
+	// bytes.
+	sent *SumTable
 }
 
 // sourceEncoder is the per-goroutine encoding state: a reusable deflate
@@ -143,11 +159,13 @@ type sourceEncoder struct {
 	comp     *pageCompressor
 	deltaBuf []byte
 	ranges   bool
+	sent     *SumTable
 	run      rangeRun
 }
 
 func newSourceEncoder(cfg encoderConfig) (*sourceEncoder, error) {
-	e := &sourceEncoder{alg: cfg.alg, destSums: cfg.destSums, ranges: cfg.ranges}
+	e := &sourceEncoder{alg: cfg.alg, destSums: cfg.destSums, ranges: cfg.ranges,
+		sent: cfg.sent}
 	if cfg.compress {
 		c, err := getPageCompressor()
 		if err != nil {
@@ -171,10 +189,10 @@ func (e *sourceEncoder) release() {
 // encodePage emits the wire frame for one page: a bare checksum when the
 // destination already holds the content, else a delta against base when one
 // fits, else the full (possibly deflated) payload. base is non-nil in the
-// first round of a recycled migration only.
-func (e *sourceEncoder) encodePage(w io.Writer, base PageProvider, page uint64, data []byte, m *Metrics) error {
+// first round of a recycled migration only. sum is data's digest, computed
+// by the caller (possibly ahead of time by the hash offload).
+func (e *sourceEncoder) encodePage(w io.Writer, base PageProvider, page uint64, sum checksum.Sum, data []byte, m *Metrics) error {
 	m.PageFrames++
-	sum := e.alg.Page(data)
 	if e.destSums != nil && e.destSums.Contains(sum) {
 		m.PagesSum++
 		return writePageSum(w, page, sum)
@@ -346,6 +364,42 @@ func fillBatch(v *vm.VM, b *pageBatch) {
 	}
 }
 
+// batchSumWorkers caps the sequential engine's hash-offload pool. The
+// offload exists to overlap digesting with the single-goroutine encode loop,
+// not to saturate the machine; past a few workers the batch is too small to
+// split further.
+const batchSumWorkers = 4
+
+// offloadBatchSums precomputes the batch's page digests on a small goroutine
+// pool, so the sequential (Workers <= 0) engine's encode loop reads them
+// from b.sums instead of hashing inline — the hash stage was its single-core
+// wall. The digests are exactly the ones encodeBatch would compute, so the
+// wire stream is unchanged. Skipped on a single-CPU process or a small tail
+// batch, where the spawn overhead would exceed the win; b.sums stays empty
+// and pageSum falls back to hashing inline.
+func offloadBatchSums(alg checksum.Algorithm, b *pageBatch) {
+	cnt := len(b.pages)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > batchSumWorkers {
+		workers = batchSumWorkers
+	}
+	if workers < 2 || cnt < minPagesPerSumWorker {
+		return
+	}
+	b.sums = b.sums[:cnt]
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < cnt; i += workers {
+				b.sums[i] = alg.Page(b.data[i*vm.PageSize : (i+1)*vm.PageSize])
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
 // encodeBatch serializes every page of the batch into its buffer — in
 // coalesced range frames when negotiated, per-page v1 frames otherwise.
 func encodeBatch(enc *sourceEncoder, base PageProvider, b *pageBatch) error {
@@ -354,7 +408,9 @@ func encodeBatch(enc *sourceEncoder, base PageProvider, b *pageBatch) error {
 	}
 	for i, p := range b.pages {
 		data := b.data[i*vm.PageSize : (i+1)*vm.PageSize]
-		if err := enc.encodePage(&b.buf, base, uint64(p), data, &b.m); err != nil {
+		sum := b.pageSum(enc.alg, i, data)
+		enc.sent.record(p, sum)
+		if err := enc.encodePage(&b.buf, base, uint64(p), sum, data, &b.m); err != nil {
 			return err
 		}
 	}
@@ -366,8 +422,10 @@ func encodeBatch(enc *sourceEncoder, base PageProvider, b *pageBatch) error {
 const minPagesPerSumWorker = 256
 
 // collectSums adds the checksum of every page of v to set, fanning the hash
-// work across cores for large guests — the destination's TrackIncoming
-// final pass (§3.2).
+// work across cores for large guests. Formerly the destination's
+// TrackIncoming final pass (§3.2); the live path now recycles install-time
+// digests via SumTable.finishTrack, and this full-image scan remains as the
+// independent reference the equivalence tests pin the table against.
 func collectSums(v *vm.VM, alg checksum.Algorithm, set *checksum.Set) {
 	n := v.NumPages()
 	workers := runtime.GOMAXPROCS(0)

@@ -67,6 +67,50 @@ func BenchmarkFirstRound(b *testing.B) {
 	}
 }
 
+// BenchmarkTrackIncoming is BenchmarkFirstRound with destination tracking
+// on — the ping-pong preparation path (§3.2). Before the hash-once
+// lifecycle the destination paid a full-image digest pass at round end on
+// top of the migration itself; install-time sum recording shrank that pass
+// to only unobserved pages, which in a clean run is none. tools/benchgate
+// gates these series against the committed recording, keeping the
+// tracked-migration overhead from creeping back.
+func BenchmarkTrackIncoming(b *testing.B) {
+	src := benchVM(b, 7)
+	dst := benchVM(b, 8)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(benchPages * vm.PageSize)
+			for i := 0; i < b.N; i++ {
+				a, c := net.Pipe()
+				var wg sync.WaitGroup
+				var serr, derr error
+				var res DestResult
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, derr = MigrateDest(context.Background(), c, dst, DestOptions{
+						Workers:       workers,
+						TrackIncoming: true,
+					})
+				}()
+				_, serr = MigrateSource(context.Background(), a, src, SourceOptions{
+					Compress: true,
+					Workers:  workers,
+				})
+				wg.Wait()
+				a.Close()
+				c.Close()
+				if serr != nil || derr != nil {
+					b.Fatalf("source: %v, dest: %v", serr, derr)
+				}
+				if res.Metrics.HashBytes != 0 {
+					b.Fatalf("round-end pass digested %d bytes; install-time sums were not recycled", res.Metrics.HashBytes)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFirstRoundTCP is BenchmarkFirstRound over a real 127.0.0.1 TCP
 // connection instead of net.Pipe: syscalls, kernel socket buffers, and
 // segmentation are in the measured path, so the batch-sized wire buffers

@@ -161,7 +161,8 @@ func encodeBatchRanges(e *sourceEncoder, base PageProvider, b *pageBatch) error 
 	r.reset()
 	for i, p := range b.pages {
 		data := b.data[i*vm.PageSize : (i+1)*vm.PageSize]
-		sum := e.alg.Page(data)
+		sum := b.pageSum(e.alg, i, data)
+		e.sent.record(p, sum)
 		treat := treatFull
 		var payload []byte
 		switch {
@@ -436,8 +437,10 @@ func putDestScratch(st *destScratch) {
 // and payload decoding happen into a span buffer, then the whole run lands
 // with a single vectorized install (vm.InstallRange) and the metrics update
 // once per range. The caller has already validated the frame bounds and the
-// checkpoint requirement.
-func applyRange(v *vm.VM, cp *checkpoint.Checkpoint, alg checksum.Algorithm, verify bool, f *rangeFrame, st *destScratch, m *Metrics) error {
+// checkpoint requirement. On success the frame's per-page sums — which
+// describe the installed content in every treatment — are recorded into tbl
+// (nil when the migration is not tracking incoming sums).
+func applyRange(v *vm.VM, cp *checkpoint.Checkpoint, alg checksum.Algorithm, verify bool, f *rangeFrame, st *destScratch, tbl *SumTable, m *Metrics) error {
 	start := int(f.start)
 	switch f.t {
 	case msgRangeSum:
@@ -522,5 +525,6 @@ func applyRange(v *vm.VM, cp *checkpoint.Checkpoint, alg checksum.Algorithm, ver
 		v.InstallRange(start, buf)
 		m.PagesDelta += f.count
 	}
+	tbl.recordRange(start, f.sums[:f.count])
 	return nil
 }

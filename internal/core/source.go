@@ -82,6 +82,15 @@ type SourceOptions struct {
 	// OnEvent, when non-nil, observes each protocol turn (hello, rounds,
 	// pause, done) for tracing. Emission never alters the wire stream.
 	OnEvent EventFunc
+	// SentSums, when non-nil, is reset by the migration and filled with the
+	// digest of each page's most recently sent content, recorded as a
+	// byproduct of encoding. Round one walks every page and later rounds
+	// overwrite re-sent ones, so after a successful migration the table
+	// holds the digest of every page of the paused final state — exactly
+	// what the post-migration checkpoint will contain, so
+	// checkpoint.Store.SaveWithSums can ingest it without a sidecar rehash.
+	// Recording never alters the wire stream.
+	SentSums *SumTable
 }
 
 func (o *SourceOptions) setDefaults() {
@@ -158,6 +167,9 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	if err := opts.validate(); err != nil {
 		return m, err
 	}
+	// Reset per attempt: a retry must not inherit a failed attempt's
+	// partial recordings.
+	opts.SentSums.reset(opts.Alg, v.NumPages())
 
 	start := time.Now()
 	cw := &countingWriter{w: conn}
@@ -263,7 +275,7 @@ func MigrateSource(ctx context.Context, conn io.ReadWriter, v *vm.VM, opts Sourc
 	// deflate state comes from a process-wide pool, so an N-worker migration
 	// no longer allocates N fresh compressor windows every round.
 	cfg := encoderConfig{alg: opts.Alg, destSums: destSums, compress: opts.Compress,
-		ranges: h.RangeFrames && ack.RangeFrames}
+		ranges: h.RangeFrames && ack.RangeFrames, sent: opts.SentSums}
 	workers := opts.workers()
 	var seqEnc *sourceEncoder
 	var encs []*sourceEncoder
@@ -449,6 +461,12 @@ func sendSequential(ctx context.Context, w io.Writer, v *vm.VM, pages pageSeq, e
 			b.pages[i] = pages.at(off + i)
 		}
 		fillBatch(v, b)
+		// Hash offload: digest the batch on a small pool while this
+		// goroutine still owns the encode loop (the pipelined engine hashes
+		// inside its workers already). The tail batch may skip the offload,
+		// so stale sums from the previous batch must not linger.
+		b.sums = b.sums[:0]
+		offloadBatchSums(enc.alg, b)
 		if err := encodeBatch(enc, base, b); err != nil {
 			return err
 		}

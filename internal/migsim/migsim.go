@@ -11,8 +11,11 @@
 // the paper's measured constants: 120 MiB/s effective gigabit Ethernet,
 // a 465 Mbps/27 ms CloudNet WAN whose TCP throughput collapses to ~6 MiB/s
 // (the paper measures 1 GiB in 177 s), 350 MiB/s single-core MD5, and
-// ~130 MiB/s sequential disk. DESIGN.md §2 records this
-// metadata-simulation substitution alongside the others.
+// ~130 MiB/s sequential disk. The MD5 rate is the paper's hardware, not
+// this engine's (~600 MB/s single-core; DESIGN.md §5.2) — the constants
+// stay paper-fitted so the Figure 6/7 reproductions remain comparable.
+// DESIGN.md §2 records this metadata-simulation substitution alongside
+// the others.
 package migsim
 
 import (

@@ -412,7 +412,9 @@ func (h *Host) runIncoming(ctx context.Context, session *core.IncomingSession, r
 		}
 	}
 	if h.SaveArrivals {
-		if err := h.store.Save(dst); err != nil {
+		// The merge recorded every installed page's digest (TrackIncoming is
+		// always on here), so the save skips its matching rehash pass.
+		if err := saveWithTable(h.store, dst, res.PageSums); err != nil {
 			return res, err
 		}
 		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "arrival image"})
@@ -783,6 +785,16 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 		}
 	}
 
+	// sent records each page's digest as it is encoded; after a successful
+	// attempt it holds the paused final state's sums, which the
+	// KeepCheckpoint save below hands to the store so the sidecar pass is
+	// skipped. The engine resets it at every attempt, so retries never
+	// inherit a failed attempt's partial table. Nil (recording disabled)
+	// when no checkpoint will be written.
+	var sent *core.SumTable
+	if opts.KeepCheckpoint {
+		sent = core.NewSumTable()
+	}
 	attempt := func(base core.PageProvider) (core.Metrics, error) {
 		conn, err := h.dial(ctx, addr)
 		if err != nil {
@@ -794,6 +806,7 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 			Alg:               opts.Alg,
 			KnownDestSums:     known,
 			DeltaBase:         base,
+			SentSums:          sent,
 			Compress:          opts.Compress,
 			Workers:           opts.Workers,
 			ChecksumWorkers:   opts.ChecksumWorkers,
@@ -876,9 +889,11 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 	}
 
 	// The VM now runs at the destination. Write the local checkpoint —
-	// after the migration, off the critical path, as in the paper.
+	// after the migration, off the critical path, as in the paper. The
+	// paused final state is exactly what the successful attempt's sum table
+	// describes, so the save skips its matching rehash pass.
 	if opts.KeepCheckpoint {
-		if err := h.store.Save(v); err != nil {
+		if err := saveWithTable(h.store, v, sent); err != nil {
 			return m, fmt.Errorf("sched: checkpoint after migration: %w", err)
 		}
 		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "departure image"})
@@ -889,6 +904,17 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 	delete(h.seen, vmName)
 	h.mu.Unlock()
 	return m, nil
+}
+
+// saveWithTable checkpoints v, handing the store the migration's page-sum
+// table when it is complete so Save skips the digest pass matching the
+// table's algorithm. Any incomplete, nil, or failed-attempt table falls
+// back to a plain (rehashing) Save.
+func saveWithTable(st *checkpoint.Store, v *vm.VM, t *core.SumTable) error {
+	if sums, ok := t.Sums(); ok {
+		return st.SaveWithSums(v, t.Alg(), sums)
+	}
+	return st.Save(v)
 }
 
 // migrateDisk streams the block device to the peer on its own connection.

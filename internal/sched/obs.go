@@ -75,6 +75,8 @@ type hostObs struct {
 	vmLast         *obs.GaugeVec     // vecycle_vm_last_migration_seconds{host,vm}
 	resume         *obs.HistogramVec // vecycle_postcopy_resume_delay_seconds{host,role}
 	fetched        *obs.CounterVec   // vecycle_postcopy_pages_fetched_total{host}
+	hashBytes      *obs.CounterVec   // vecycle_hash_bytes_total{host,stage}
+	hashAvoided    *obs.CounterVec   // vecycle_hash_avoided_bytes_total{host}
 }
 
 // newHostObs registers (or re-attaches to) every vecycle metric family in
@@ -159,6 +161,12 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		fetched: reg.CounterVec("vecycle_postcopy_pages_fetched_total",
 			"Pages demand-fetched over the network after a post-copy resume.",
 			"host"),
+		hashBytes: reg.CounterVec("vecycle_hash_bytes_total",
+			"Payload bytes actually digested, by stage: track (destination round-end TrackIncoming pass), save_keys (store content-keying scan), save_sidecar (fingerprint sidecar build).",
+			"host", "stage"),
+		hashAvoided: reg.CounterVec("vecycle_hash_avoided_bytes_total",
+			"Payload bytes whose digest was recycled from an earlier computation (install-time sums, migration sum tables handed to SaveWithSums) instead of recomputed.",
+			"host"),
 	}
 	reg.GaugeVec("vecycle_store_usage_bytes",
 		"Bytes of checkpoint images currently stored.",
@@ -206,6 +214,10 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		gc: reg.CounterVec("vecycle_store_gc_total",
 			"Store garbage-collection passes by outcome (reclaimed, clean).",
 			"host", "outcome"),
+		// Save-time digest passes share the migration-level hash families,
+		// so one pair of series tells the whole hash-once story per host.
+		hash:        o.hashBytes,
+		hashAvoided: o.hashAvoided,
 	})
 	return o
 }
@@ -214,13 +226,23 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 // registry. The store delivers these outside its own lock, so the counters
 // may safely be scraped (or trigger SetFunc gauges) re-entrantly.
 type storeMetrics struct {
-	host  string
-	dedup *obs.CounterVec
-	gc    *obs.CounterVec
+	host        string
+	dedup       *obs.CounterVec
+	gc          *obs.CounterVec
+	hash        *obs.CounterVec
+	hashAvoided *obs.CounterVec
 }
 
 func (m storeMetrics) DedupPages(n int)     { m.dedup.With(m.host).Add(float64(n)) }
 func (m storeMetrics) GCRun(outcome string) { m.gc.With(m.host, outcome).Inc() }
+
+func (m storeMetrics) HashBytes(stage string, n int64) {
+	m.hash.With(m.host, stage).Add(float64(n))
+}
+
+func (m storeMetrics) HashAvoidedBytes(n int64) {
+	m.hashAvoided.With(m.host).Add(float64(n))
+}
 
 // begin opens a trace for one migration attempt and marks it active.
 func (o *hostObs) begin(role, vmName, peer string) *obs.Recorder {
@@ -303,6 +325,12 @@ func (o *hostObs) finish(rec *obs.Recorder, role, vmName string, m core.Metrics,
 	o.rangeFrames.With(o.host).Add(float64(m.RangeFrames))
 	o.compressAtt.With(o.host).Add(float64(m.CompressAttempted))
 	o.compressSkip.With(o.host).Add(float64(m.CompressSkipped))
+	if m.HashBytes > 0 {
+		o.hashBytes.With(o.host, "track").Add(float64(m.HashBytes))
+	}
+	if m.HashAvoidedBytes > 0 {
+		o.hashAvoided.With(o.host).Add(float64(m.HashAvoidedBytes))
+	}
 	o.observeStages(m.Stages)
 	if err == nil {
 		o.duration.With(o.host, role).Observe(m.Duration.Seconds())

@@ -1,20 +1,28 @@
 // Command benchgate fails CI when the pipelined migration engine scales
-// negatively with workers, or regresses against a previously committed
-// recording. It reads BENCH_migration.json (the `go test -json` stream
-// `make bench` records), extracts the MB/s and B/op figures of every
-// BenchmarkFirstRound/workers=N series, and enforces:
+// negatively with workers, when the hash-once save path loses its edge
+// over the rehashing one, or when a gated series regresses against a
+// previously committed recording. It reads BENCH_migration.json (the
+// `go test -json` stream `make bench` records), extracts the MB/s and
+// B/op figures of every benchmark series, and enforces:
 //
-//   - scaling floor: every width stays within -min-ratio of the workers=1
-//     throughput (the regression the range-frame work fixed: adding
-//     workers must never make migrations meaningfully slower than the
-//     sequential engine);
+//   - scaling floor: every BenchmarkFirstRound/workers=N width stays
+//     within -min-ratio of the workers=1 throughput (the regression the
+//     range-frame work fixed: adding workers must never make migrations
+//     meaningfully slower than the sequential engine);
 //   - allocation flatness: workers=8 allocates at most -alloc-slack bytes
 //     per migration more than workers=1 (the regression the pooled wire
 //     buffers and install scratch fixed: before pooling, workers=8 sat
 //     ~8 MB/op above workers=1);
-//   - with -baseline (typically the recording at HEAD): every width's
-//     throughput stays within -min-ratio of its own previous figure, and
-//     its B/op does not grow more than -alloc-slack beyond it.
+//   - hash-once floor: BenchmarkSaveWarm/withsums runs at least
+//     -warm-ratio times BenchmarkSaveWarm/rehash — the acceptance bar of
+//     the precomputed-sum ingest path (skipped when the recording lacks
+//     the series);
+//   - with -baseline (typically the recording at HEAD): every gated
+//     series — the FirstRound widths, the TrackIncoming widths, and both
+//     SaveWarm arms — stays within -min-ratio of its own previous
+//     throughput, and its B/op does not grow more than -alloc-slack
+//     beyond it. Series absent from either recording are skipped (the
+//     benchmark matrix may legitimately change).
 //
 // The gates are deliberately floors, not speedup targets: CI runners are
 // often single-core, where all widths converge, and sync.Pool refills
@@ -45,20 +53,38 @@ type testEvent struct {
 	Output string
 }
 
-// series holds one width's recorded figures. bop is 0 when the recording
-// lacks -benchmem columns.
+// series holds one benchmark's recorded figures. bop is 0 when the
+// recording lacks -benchmem columns.
 type series struct {
 	mbps float64
 	bop  float64
 }
 
-var resultLine = regexp.MustCompile(`^BenchmarkFirstRound/workers=(\d+)\S*\s+.*?(\d+(?:\.\d+)?) MB/s(?:\s+(\d+) B/op)?`)
+var (
+	// resultLine matches one reassembled benchmark result line; the name
+	// keeps its GOMAXPROCS suffix (stripped separately) and only series
+	// reporting MB/s are kept.
+	resultLine  = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?(\d+(?:\.\d+)?) MB/s(?:\s+(\d+) B/op)?`)
+	procsSuffix = regexp.MustCompile(`-\d+$`)
+	workersName = regexp.MustCompile(`^BenchmarkFirstRound/workers=(\d+)$`)
+)
+
+// gatedPrefixes selects the series the baseline gate covers. Prefix-exact
+// on the sub-benchmark separator, so BenchmarkFirstRoundTCP (loopback
+// throughput varies more across kernels than the in-process pipe) stays
+// recorded but ungated.
+var gatedPrefixes = []string{
+	"BenchmarkFirstRound/",
+	"BenchmarkTrackIncoming/",
+	"BenchmarkSaveWarm/",
+}
 
 func main() {
 	file := flag.String("file", "BENCH_migration.json", "go test -json benchmark recording to gate on")
 	baseline := flag.String("baseline", "", "previous recording to gate against (empty or missing file = skip)")
-	minRatio := flag.Float64("min-ratio", 0.85, "minimum throughput of every width relative to workers=1 (and to the baseline)")
-	allocSlack := flag.Float64("alloc-slack", 1<<20, "maximum workers=8 B/op growth over workers=1 (and over the baseline), in bytes")
+	minRatio := flag.Float64("min-ratio", 0.85, "minimum throughput of every width relative to workers=1 (and of every gated series to the baseline)")
+	allocSlack := flag.Float64("alloc-slack", 1<<20, "maximum workers=8 B/op growth over workers=1 (and of any gated series over the baseline), in bytes")
+	warmRatio := flag.Float64("warm-ratio", 1.5, "minimum BenchmarkSaveWarm/withsums throughput relative to BenchmarkSaveWarm/rehash")
 	flag.Parse()
 
 	speeds, err := parseFile(*file)
@@ -66,7 +92,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
-	if err := gate(speeds, *minRatio, *allocSlack); err != nil {
+	if err := gate(firstRound(speeds), *minRatio, *allocSlack); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if err := gateSaveWarm(speeds, *warmRatio); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
@@ -87,12 +117,12 @@ func main() {
 	}
 }
 
-// parseFile extracts the MB/s and B/op per worker count from a go test
+// parseFile extracts the MB/s and B/op per benchmark series from a go test
 // -json stream. A single benchmark result line is split across several
 // output events (the name flushes before the timing columns), so the
 // events are reassembled into plain text before matching; when a series
 // was recorded more than once the last run wins.
-func parseFile(path string) (map[int]series, error) {
+func parseFile(path string) (map[string]series, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -115,13 +145,13 @@ func parseFile(path string) (map[int]series, error) {
 		return nil, err
 	}
 
-	speeds := make(map[int]series)
+	speeds := make(map[string]series)
 	for _, line := range strings.Split(text.String(), "\n") {
 		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
 			continue
 		}
-		w, _ := strconv.Atoi(m[1])
+		name := procsSuffix.ReplaceAllString(m[1], "")
 		s, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			continue
@@ -130,9 +160,32 @@ func parseFile(path string) (map[int]series, error) {
 		if m[3] != "" {
 			bop, _ = strconv.ParseFloat(m[3], 64)
 		}
-		speeds[w] = series{mbps: s, bop: bop}
+		speeds[name] = series{mbps: s, bop: bop}
 	}
 	return speeds, nil
+}
+
+// firstRound projects the BenchmarkFirstRound/workers=N series out of the
+// named map for the scaling gates.
+func firstRound(speeds map[string]series) map[int]series {
+	widths := make(map[int]series)
+	for name, s := range speeds {
+		if m := workersName.FindStringSubmatch(name); m != nil {
+			w, _ := strconv.Atoi(m[1])
+			widths[w] = s
+		}
+	}
+	return widths
+}
+
+// gated reports whether a series name is covered by the baseline gate.
+func gated(name string) bool {
+	for _, p := range gatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // gate enforces the scaling floor and the allocation-flatness ceiling, and
@@ -180,37 +233,58 @@ func gate(speeds map[int]series, minRatio, allocSlack float64) error {
 	return nil
 }
 
-// gateBaseline compares each width against its own figure in a previous
-// recording: throughput must stay within minRatio of the old number, and
-// B/op must not grow more than allocSlack beyond it. Widths absent from
-// either recording are skipped (the benchmark matrix may legitimately
-// change).
-func gateBaseline(speeds, prev map[int]series, minRatio, allocSlack float64) error {
-	widths := make([]int, 0, len(speeds))
-	for w := range speeds {
-		if _, ok := prev[w]; ok {
-			widths = append(widths, w)
+// gateSaveWarm enforces the hash-once acceptance bar: the precomputed-sum
+// save must beat the rehashing save by warmRatio. Skipped when the
+// recording predates the benchmark.
+func gateSaveWarm(speeds map[string]series, warmRatio float64) error {
+	rehash, okR := speeds["BenchmarkSaveWarm/rehash"]
+	withsums, okW := speeds["BenchmarkSaveWarm/withsums"]
+	if !okR && !okW {
+		return nil
+	}
+	if !okR || !okW || rehash.mbps <= 0 {
+		return fmt.Errorf("recording has only one BenchmarkSaveWarm arm; run `make bench`")
+	}
+	ratio := withsums.mbps / rehash.mbps
+	fmt.Printf("benchgate: SaveWarm     %8.2f -> %8.2f MB/s  %.2fx of rehash (floor %.2fx)\n",
+		rehash.mbps, withsums.mbps, ratio, warmRatio)
+	if ratio < warmRatio {
+		return fmt.Errorf("SaveWarm/withsums runs at %.2fx of rehash (floor %.2fx): the precomputed-sum ingest lost its edge", ratio, warmRatio)
+	}
+	return nil
+}
+
+// gateBaseline compares each gated series against its own figure in a
+// previous recording: throughput must stay within minRatio of the old
+// number, and B/op must not grow more than allocSlack beyond it. Series
+// absent from either recording are skipped (the benchmark matrix may
+// legitimately change).
+func gateBaseline(speeds, prev map[string]series, minRatio, allocSlack float64) error {
+	names := make([]string, 0, len(speeds))
+	for name := range speeds {
+		if _, ok := prev[name]; ok && gated(name) {
+			names = append(names, name)
 		}
 	}
-	sort.Ints(widths)
+	sort.Strings(names)
 
 	var failures []string
-	for _, w := range widths {
-		cur, old := speeds[w], prev[w]
+	for _, name := range names {
+		cur, old := speeds[name], prev[name]
 		if old.mbps > 0 {
 			ratio := cur.mbps / old.mbps
-			fmt.Printf("benchgate: baseline workers=%-2d %8.2f -> %8.2f MB/s  %.2fx\n",
-				w, old.mbps, cur.mbps, ratio)
+			fmt.Printf("benchgate: baseline %-36s %8.2f -> %8.2f MB/s  %.2fx\n",
+				name, old.mbps, cur.mbps, ratio)
 			if ratio < minRatio {
 				failures = append(failures,
-					fmt.Sprintf("workers=%d throughput fell to %.2fx of the baseline (floor %.2fx)", w, ratio, minRatio))
+					fmt.Sprintf("%s throughput fell to %.2fx of the baseline (floor %.2fx)", name, ratio, minRatio))
 			}
 		}
 		if old.bop > 0 && cur.bop > 0 {
 			growth := cur.bop - old.bop
 			if growth > allocSlack {
 				failures = append(failures,
-					fmt.Sprintf("workers=%d B/op grew %.0f beyond the baseline (slack %.0f)", w, growth, allocSlack))
+					fmt.Sprintf("%s B/op grew %.0f beyond the baseline (slack %.0f)", name, growth, allocSlack))
 			}
 		}
 	}
