@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-pipeline bench benchgate bench-smoke chaos-smoke dedup-smoke fuzz-range docs profile ci
+.PHONY: build test vet race race-pipeline bench benchgate bench-smoke chaos-smoke chaos-store dedup-smoke fuzz-range docs profile ci
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,19 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaos' ./internal/sched/
 	$(GO) test -race -run 'TestSalvage|TestPartialSkipped|TestKillPointMatrix|TestTornSegment|TestGCCrashMidCompact' ./internal/core/ ./internal/checkpoint/
 
+# chaos-store is the storage-fault gate: deterministic faultfs schedules
+# inject EIO/ENOSPC/torn writes and read faults at every store op site
+# across migration phases (keep-checkpoint, save-arrivals, bootstrap,
+# salvage, mid-merge recycled reads) and assert the graceful-degradation
+# ladder converges every migration with zero data loss — storage faults
+# may cost checkpoints, never migrations. Runs under the race detector,
+# alongside the error-taxonomy round-trip and the injector's own tests.
+# See docs/ROBUSTNESS.md.
+chaos-store:
+	$(GO) test -race -run 'TestChaosStore' ./internal/sched/
+	$(GO) test -race -run 'TestMigrationErrorRoundTrip|TestFaultConnTornWrite' ./internal/core/
+	$(GO) test -race ./internal/faultfs/
+
 # dedup-smoke is the content-addressed-store gate: two checkpoints sharing
 # half their pages must stat a host dedup ratio strictly above 1.0, gc must
 # reclaim removed entries' unshared content, and the concurrent
@@ -87,7 +100,8 @@ docs:
 
 # ci is the gate for every change: static analysis, the docs gate, the
 # full suite under the race detector (which includes the pipeline tests),
-# the chaos/resumability gate, the dedup-store gate, a single-iteration
-# pass over every benchmark, short range-frame fuzzing, and the
-# worker-scaling gate on the committed benchmark recording.
-ci: vet docs race race-pipeline chaos-smoke dedup-smoke bench-smoke fuzz-range benchgate
+# the chaos/resumability gate, the storage-fault gate, the dedup-store
+# gate, a single-iteration pass over every benchmark, short range-frame
+# fuzzing, and the worker-scaling gate on the committed benchmark
+# recording.
+ci: vet docs race race-pipeline chaos-smoke chaos-store dedup-smoke bench-smoke fuzz-range benchgate

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"vecycle/internal/faultfs"
 )
 
 // Crash-consistent file plumbing. Every durable artifact the store owns —
@@ -56,17 +58,18 @@ func kill(point string) error {
 	return nil
 }
 
-// atomicWriteFile writes data to path via tmp+fsync+rename+dir-fsync.
-func atomicWriteFile(path string, data []byte, perm os.FileMode) (err error) {
+// atomicWriteFile writes data to path via tmp+fsync+rename+dir-fsync,
+// with every file operation routed through fsys so each is a fault site.
+func atomicWriteFile(fsys faultfs.FS, path string, data []byte, perm os.FileMode) (err error) {
 	tmp := path + tmpSuffix
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 		}
 	}()
 	if _, err = f.Write(data); err != nil {
@@ -78,17 +81,17 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) (err error) {
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("checkpoint: close %s: %w", tmp, err)
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("checkpoint: rename %s: %w", tmp, err)
 	}
-	return syncDir(filepath.Dir(path))
+	return syncDir(fsys, filepath.Dir(path))
 }
 
 // syncDir fsyncs a directory so a preceding rename is durable. Filesystems
 // that refuse to sync directories (some CI tmpfs mounts) degrade silently:
 // the rename itself is still atomic, only its durability is best-effort.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("checkpoint: open dir %s: %w", dir, err)
 	}

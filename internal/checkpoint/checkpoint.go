@@ -47,13 +47,16 @@ import (
 	"sync"
 
 	"vecycle/internal/checksum"
+	"vecycle/internal/faultfs"
 	"vecycle/internal/vm"
 )
 
 // pageRef locates one page's payload: a byte offset in an open backing file
-// (a flat image or a pool segment).
+// (a flat image or a pool segment). The file is held behind the faultfs
+// seam; outside chaos tests it is a bare *os.File, so the indirection costs
+// one interface dispatch per ReadAt — a syscall-dominated call either way.
 type pageRef struct {
-	f   *os.File
+	f   faultfs.File
 	off int64
 }
 
@@ -113,8 +116,9 @@ func Write(path string, source *vm.VM) error {
 // tmp+fsync+rename+dir-fsync, so a crash mid-write leaves the previous
 // image intact, never a torn one under the final name.
 func writeImage(path string, source *vm.VM) (digest string, err error) {
+	fsys := faultfs.OS
 	tmp := path + tmpSuffix
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}
@@ -122,7 +126,7 @@ func writeImage(path string, source *vm.VM) (digest string, err error) {
 		if err != nil {
 			f.Close()
 			if !killed(err) {
-				os.Remove(tmp)
+				fsys.Remove(tmp)
 			}
 		}
 	}()
@@ -150,13 +154,13 @@ func writeImage(path string, source *vm.VM) (digest string, err error) {
 	if err = kill("image-synced"); err != nil {
 		return "", err
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return "", fmt.Errorf("checkpoint: rename %s: %w", tmp, err)
 	}
 	if err = kill("image-renamed"); err != nil {
 		return "", err
 	}
-	if err = syncDir(filepath.Dir(path)); err != nil {
+	if err = syncDir(fsys, filepath.Dir(path)); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
@@ -168,7 +172,7 @@ func writeImage(path string, source *vm.VM) (digest string, err error) {
 // files may be a single flat image or several shared pool segments; Close
 // releases them all.
 type Checkpoint struct {
-	files   []*os.File
+	files   []faultfs.File
 	alg     checksum.Algorithm
 	index   Index
 	sums    *checksum.Set
@@ -179,7 +183,7 @@ type Checkpoint struct {
 
 // newCheckpoint assembles a Checkpoint whose page i lives at refs[i] and
 // hashes to sums[i]. The files are adopted (closed by Close).
-func newCheckpoint(alg checksum.Algorithm, sums []checksum.Sum, refs []pageRef, files []*os.File, status SidecarStatus) *Checkpoint {
+func newCheckpoint(alg checksum.Algorithm, sums []checksum.Sum, refs []pageRef, files []faultfs.File, status SidecarStatus) *Checkpoint {
 	cp := &Checkpoint{
 		files:   files,
 		alg:     alg,
@@ -227,7 +231,7 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 	if !alg.Valid() {
 		return nil, fmt.Errorf("checkpoint: invalid checksum algorithm")
 	}
-	f, err := os.Open(path)
+	f, err := faultfs.OS.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -246,14 +250,14 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 		return nil, fmt.Errorf("checkpoint: image has %d pages, VM has %d", pages, dst.NumPages())
 	}
 	cp := &Checkpoint{
-		files:   []*os.File{f},
+		files:   []faultfs.File{f},
 		alg:     alg,
 		sums:    checksum.NewSet(pages),
 		pages:   pages,
 		sidecar: SidecarDisabled,
 	}
 	if !cfg.NoSidecar {
-		sums, serr := loadSidecar(SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest)
+		sums, serr := loadSidecar(faultfs.OS, SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest)
 		switch {
 		case serr == nil:
 			if err := cp.fromSums(f, sums, dst); err != nil {
@@ -300,7 +304,7 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 		// below), so the entry list doubles as the page-ordered sum list.
 		// Best effort — a failed rewrite only costs the next Open a rescan.
 		entries := cp.index.entries
-		_ = writeSidecar(SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest,
+		_ = writeSidecar(faultfs.OS, SidecarPath(path), alg, st.Size(), cfg.ExpectedDigest,
 			len(entries), func(i int) checksum.Sum { return entries[i].sum })
 	}
 	cp.frames = cp.frameRefs(f, pages)
@@ -310,7 +314,7 @@ func OpenWith(path string, alg checksum.Algorithm, dst *vm.VM, cfg OpenConfig) (
 
 // frameRefs builds the page-frame geometry of a flat image: frame i at byte
 // offset i*PageSize of f.
-func (c *Checkpoint) frameRefs(f *os.File, pages int) []pageRef {
+func (c *Checkpoint) frameRefs(f faultfs.File, pages int) []pageRef {
 	refs := make([]pageRef, pages)
 	for i := range refs {
 		refs[i] = pageRef{f: f, off: int64(i) * vm.PageSize}
@@ -322,7 +326,7 @@ func (c *Checkpoint) frameRefs(f *os.File, pages int) []pageRef {
 // page-ordered sums, installing the image into dst when non-nil. The
 // install is a plain sequential read — no hashing, the sums are already
 // known.
-func (c *Checkpoint) fromSums(f *os.File, sums []checksum.Sum, dst *vm.VM) error {
+func (c *Checkpoint) fromSums(f faultfs.File, sums []checksum.Sum, dst *vm.VM) error {
 	entries := make([]indexEntry, len(sums))
 	for i, s := range sums {
 		entries[i] = indexEntry{sum: s, ref: pageRef{f: f, off: int64(i) * vm.PageSize}}
@@ -354,7 +358,7 @@ const openChunkPages = 512
 // available I/O bandwidth" while removing the hash from the critical path.
 // Index entries are written positionally, so the result is identical to the
 // sequential scan's.
-func openParallel(br io.Reader, f *os.File, alg checksum.Algorithm, dst *vm.VM, cp *Checkpoint, pages, workers int) error {
+func openParallel(br io.Reader, f faultfs.File, alg checksum.Algorithm, dst *vm.VM, cp *Checkpoint, pages, workers int) error {
 	entries := make([]indexEntry, pages)
 	type chunk struct {
 		start int

@@ -79,7 +79,7 @@ func (s *Store) gcLocked() (rep GCReport, err error) {
 	// Orphan segment files: present on disk, absent from the manifest —
 	// interrupted transactions (or files a crashed GC already unlinked from
 	// the manifest but not the directory).
-	dirents, err := os.ReadDir(s.dir)
+	dirents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return rep, fmt.Errorf("checkpoint: gc scan: %w", err)
 	}
@@ -91,7 +91,7 @@ func (s *Store) gcLocked() (rep GCReport, err error) {
 		if _, recorded := s.man.Segments[name]; recorded {
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 			return rep, fmt.Errorf("checkpoint: gc orphan %s: %w", name, err)
 		}
 		rep.OrphanFiles++
@@ -139,13 +139,13 @@ func (s *Store) gcLocked() (rep GCReport, err error) {
 			for i, slot := range liveSlots {
 				newKeys[i] = keys[slot]
 			}
-			src, err := os.Open(filepath.Join(s.dir, segName))
+			src, err := s.fs.Open(filepath.Join(s.dir, segName))
 			if err != nil {
 				return rep, fmt.Errorf("checkpoint: gc open %s: %w", segName, err)
 			}
 			newName := segmentName(s.man.NextSeg + 1)
 			var readErr error
-			digest, err := writeSegment(filepath.Join(s.dir, newName), newKeys, func(i int, buf []byte) {
+			digest, err := writeSegment(s.fs, filepath.Join(s.dir, newName), newKeys, func(i int, buf []byte) {
 				off := segPayloadOffset(len(keys), liveSlots[i])
 				if _, rerr := src.ReadAt(buf, off); rerr != nil && readErr == nil {
 					readErr = rerr
@@ -192,7 +192,7 @@ func (s *Store) gcLocked() (rep GCReport, err error) {
 	// Unlink after the commit: a crash here leaves unrecorded files, which
 	// the orphan sweep (above, and in recovery) re-collects.
 	for _, name := range deadFiles {
-		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 			return rep, fmt.Errorf("checkpoint: gc unlink %s: %w", name, err)
 		}
 	}

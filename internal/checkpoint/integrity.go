@@ -6,8 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
-	"os"
 
+	"vecycle/internal/faultfs"
 	"vecycle/internal/vm"
 )
 
@@ -37,7 +37,7 @@ func (s *Store) Verify(vmName string) error {
 	key := sanitize(vmName)
 	pageKeys := s.keys[key]
 	var refs []pageRef
-	var files []*os.File
+	var files []faultfs.File
 	var err error
 	if pageKeys != nil {
 		refs, files, err = s.resolveLocked(pageKeys)
@@ -67,8 +67,8 @@ func (s *Store) Verify(vmName string) error {
 // Costs one extra sequential read (plus hashing) before the bootstrap read.
 func (s *Store) SetVerifyOnRestore(on bool) { s.verifyOnRestore = on }
 
-func hashFile(path string) (string, error) {
-	f, err := os.Open(path)
+func hashFile(fsys faultfs.FS, path string) (string, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return "", err
 	}

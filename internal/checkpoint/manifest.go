@@ -120,7 +120,7 @@ func (s *Store) manifestPath() string {
 // (whose images the recovery scan adopts), and rejecting unknown versions.
 func (s *Store) loadManifestLocked() error {
 	s.man = manifestFile{Version: manifestVersion, Entries: map[string]manifestEntry{}, Segments: map[string]segmentRecord{}}
-	raw, err := os.ReadFile(s.manifestPath())
+	raw, err := s.fs.ReadFile(s.manifestPath())
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -161,7 +161,7 @@ func (s *Store) commitManifestLocked() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: marshal manifest: %w", err)
 	}
-	if err := atomicWriteFile(s.manifestPath(), append(raw, '\n'), 0o644); err != nil {
+	if err := atomicWriteFile(s.fs, s.manifestPath(), append(raw, '\n'), 0o644); err != nil {
 		return err
 	}
 	return kill("manifest-committed")
@@ -185,7 +185,7 @@ func (s *Store) entryLocked(vmName string) (EntryInfo, bool) {
 }
 
 func (s *Store) hasSidecar(vmName string) bool {
-	_, err := os.Stat(s.sidecarPath(vmName))
+	_, err := s.fs.Stat(s.sidecarPath(vmName))
 	return err == nil
 }
 

@@ -7,10 +7,10 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 
 	"vecycle/internal/checksum"
+	"vecycle/internal/faultfs"
 	"vecycle/internal/vm"
 )
 
@@ -76,9 +76,9 @@ func segmentFileSize(count int) int64 {
 // file, computed in the same pass. The write shares the image kill points
 // ("image-written", "image-synced", "image-renamed") with the legacy image
 // writer so the kill-point matrix drives both.
-func writeSegment(path string, keys []checksum.Sum, page func(i int, buf []byte)) (digest string, err error) {
+func writeSegment(fsys faultfs.FS, path string, keys []checksum.Sum, page func(i int, buf []byte)) (digest string, err error) {
 	tmp := path + tmpSuffix
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return "", fmt.Errorf("checkpoint: segment: %w", err)
 	}
@@ -86,7 +86,7 @@ func writeSegment(path string, keys []checksum.Sum, page func(i int, buf []byte)
 		if err != nil {
 			f.Close()
 			if !killed(err) {
-				os.Remove(tmp)
+				fsys.Remove(tmp)
 			}
 		}
 	}()
@@ -127,13 +127,13 @@ func writeSegment(path string, keys []checksum.Sum, page func(i int, buf []byte)
 	if err = kill("image-synced"); err != nil {
 		return "", err
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return "", fmt.Errorf("checkpoint: segment rename: %w", err)
 	}
 	if err = kill("image-renamed"); err != nil {
 		return "", err
 	}
-	if err = syncDir(filepath.Dir(path)); err != nil {
+	if err = syncDir(fsys, filepath.Dir(path)); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
@@ -141,8 +141,8 @@ func writeSegment(path string, keys []checksum.Sum, page func(i int, buf []byte)
 
 // readSegmentKeys parses a segment file's header and key table, validating
 // magic, version, page size and total file size. Payloads are not read.
-func readSegmentKeys(path string) ([]checksum.Sum, error) {
-	f, err := os.Open(path)
+func readSegmentKeys(fsys faultfs.FS, path string) ([]checksum.Sum, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: segment: %w", err)
 	}

@@ -5,9 +5,9 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"os"
 
 	"vecycle/internal/checksum"
+	"vecycle/internal/faultfs"
 	"vecycle/internal/vm"
 )
 
@@ -56,9 +56,9 @@ func encodePMF(keys []checksum.Sum) []byte {
 
 // writePMF atomically persists the entry's page manifest and returns the
 // hex SHA-256 of the file — the digest the store manifest commits to.
-func writePMF(path string, keys []checksum.Sum) (digest string, err error) {
+func writePMF(fsys faultfs.FS, path string, keys []checksum.Sum) (digest string, err error) {
 	raw := encodePMF(keys)
-	if err := atomicWriteFile(path, raw, 0o644); err != nil {
+	if err := atomicWriteFile(fsys, path, raw, 0o644); err != nil {
 		return "", err
 	}
 	sum := sha256.Sum256(raw)
@@ -68,8 +68,8 @@ func writePMF(path string, keys []checksum.Sum) (digest string, err error) {
 // loadPMF reads an entry's page manifest, returning the page-ordered object
 // keys and the hex SHA-256 of the file bytes for replay against the store
 // manifest's record.
-func loadPMF(path string) (keys []checksum.Sum, digest string, err error) {
-	raw, err := os.ReadFile(path)
+func loadPMF(fsys faultfs.FS, path string) (keys []checksum.Sum, digest string, err error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, "", fmt.Errorf("checkpoint: page manifest: %w", err)
 	}

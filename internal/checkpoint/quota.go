@@ -1,13 +1,19 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"time"
 
 	"vecycle/internal/checksum"
 	"vecycle/internal/vm"
 )
+
+// ErrQuotaExceeded marks a save (or shrink) that could not fit under the
+// configured physical-byte quota even after collecting dead segments and
+// evicting every other entry. The degradation ladder treats it like ENOSPC:
+// a full store must not fail a completed migration.
+var ErrQuotaExceeded = errors.New("checkpoint: store quota exceeded")
 
 // Storage quota management. The paper argues local checkpoint storage is
 // "cheap and abundant" (§1), but a host that serves many VMs still needs a
@@ -45,7 +51,7 @@ func (s *Store) Usage() (int64, error) {
 // entryUsed reports an entry's last-use time — its page manifest's mtime,
 // refreshed by touch on every save and restore.
 func (s *Store) entryUsed(key string) time.Time {
-	st, err := os.Stat(s.pmfPath(key))
+	st, err := s.fs.Stat(s.pmfPath(key))
 	if err != nil {
 		return time.Time{} // missing pmf sorts oldest: evict first
 	}
@@ -84,7 +90,7 @@ func (s *Store) shrinkToQuotaLocked() error {
 		}
 		victim, ok := s.lruVictimLocked("")
 		if !ok {
-			return fmt.Errorf("checkpoint: pool of %d bytes exceeds store quota %d and nothing is evictable", s.physicalLocked(), s.quota)
+			return fmt.Errorf("checkpoint: pool of %d bytes exceeds store quota %d and nothing is evictable: %w", s.physicalLocked(), s.quota, ErrQuotaExceeded)
 		}
 		if err := s.removeLocked(victim); err != nil {
 			return err
@@ -111,7 +117,7 @@ func (s *Store) fitQuotaLocked(selfKey string, pageKeys []checksum.Sum, newSlots
 		}
 		victim, ok := s.lruVictimLocked(selfKey)
 		if !ok {
-			return nil, fmt.Errorf("checkpoint: %d incoming bytes exceed store quota %d", incoming, s.quota)
+			return nil, fmt.Errorf("checkpoint: %d incoming bytes exceed store quota %d: %w", incoming, s.quota, ErrQuotaExceeded)
 		}
 		if err := s.removeLocked(victim); err != nil {
 			return nil, err
@@ -123,7 +129,7 @@ func (s *Store) fitQuotaLocked(selfKey string, pageKeys []checksum.Sum, newSlots
 			// nothing physical. Keep evicting — the loop terminates because
 			// each pass removes one entry and entries are finite.
 			if _, stillMore := s.lruVictimLocked(selfKey); !stillMore {
-				return nil, fmt.Errorf("checkpoint: %d incoming bytes exceed store quota %d", incoming, s.quota)
+				return nil, fmt.Errorf("checkpoint: %d incoming bytes exceed store quota %d: %w", incoming, s.quota, ErrQuotaExceeded)
 			}
 		}
 		newSlots = s.missingLocked(pageKeys)
@@ -135,5 +141,5 @@ func (s *Store) fitQuotaLocked(selfKey string, pageKeys []checksum.Sum, newSlots
 func (s *Store) touch(vmName string) {
 	now := time.Now()
 	// Best effort: a failed utimes only degrades eviction ordering.
-	_ = os.Chtimes(s.pmfPath(vmName), now, now)
+	_ = s.fs.Chtimes(s.pmfPath(vmName), now, now)
 }

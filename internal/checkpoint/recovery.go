@@ -57,6 +57,12 @@ type ScrubReport struct {
 	// Orphans lists segment and page-manifest files no committed
 	// transaction described, rolled back by this scan.
 	Orphans []string
+	// CleanupFailures lists paths of best-effort cleanups (satellite
+	// sweeps, retired legacy files) that failed to unlink. The scan
+	// proceeds — the files are garbage, not state — but a disk that
+	// cannot unlink is worth surfacing; each failure is also counted in
+	// the vecycle_store_cleanup_errors_total metric.
+	CleanupFailures []string
 }
 
 // Scrub runs the recovery scan on demand — the same pass NewStore runs at
@@ -65,13 +71,15 @@ type ScrubReport struct {
 // state records that it was once torn; Remove is the way out).
 func (s *Store) Scrub() (ScrubReport, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.recoverLocked()
+	rep, err := s.recoverLocked()
+	s.mu.Unlock()
+	s.drainMetrics()
+	return rep, err
 }
 
 func (s *Store) recoverLocked() (ScrubReport, error) {
 	var rep ScrubReport
-	dirents, err := os.ReadDir(s.dir)
+	dirents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return rep, fmt.Errorf("checkpoint: recovery scan: %w", err)
 	}
@@ -88,7 +96,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 	for _, de := range dirents {
 		if strings.HasSuffix(de.Name(), tmpSuffix) {
 			p := filepath.Join(s.dir, de.Name())
-			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
 				return rep, fmt.Errorf("checkpoint: remove orphan %s: %w", p, err)
 			}
 			rep.TempFiles = append(rep.TempFiles, de.Name())
@@ -103,7 +111,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 	for _, segName := range sortedKeys(s.man.Segments) {
 		rec := s.man.Segments[segName]
 		path := filepath.Join(s.dir, segName)
-		got, err := hashFile(path)
+		got, err := hashFile(s.fs, path)
 		if os.IsNotExist(err) {
 			delete(s.man.Segments, segName)
 			changed = true
@@ -115,7 +123,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 		reason := ""
 		if got != rec.Digest {
 			reason = fmt.Sprintf("segment %s digest mismatch (recorded %.12s, computed %.12s)", segName, rec.Digest, got)
-		} else if segKeys, kerr := readSegmentKeys(path); kerr != nil {
+		} else if segKeys, kerr := readSegmentKeys(s.fs, path); kerr != nil {
 			reason = fmt.Sprintf("segment %s unreadable: %v", segName, kerr)
 		} else if len(segKeys) != rec.Pages {
 			reason = fmt.Sprintf("segment %s holds %d objects, manifest records %d", segName, len(segKeys), rec.Pages)
@@ -123,7 +131,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 			s.registerSegmentLocked(segName, segKeys)
 			continue
 		}
-		if segKeys, kerr := readSegmentKeys(path); kerr == nil {
+		if segKeys, kerr := readSegmentKeys(s.fs, path); kerr == nil {
 			for _, k := range segKeys {
 				badKeys[k] = reason
 			}
@@ -131,7 +139,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 		// Torn: pull it from the pool, set the file aside for forensics.
 		delete(s.man.Segments, segName)
 		changed = true
-		if err := os.Rename(path, path+".bad"); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Rename(path, path+".bad"); err != nil && !os.IsNotExist(err) {
 			return rep, fmt.Errorf("checkpoint: set aside %s: %w", segName, err)
 		}
 	}
@@ -153,7 +161,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 			}
 			continue
 		}
-		adopted, why, err := s.adoptLegacyLocked(key, rec)
+		adopted, why, err := s.adoptLegacyLocked(&rep, key, rec)
 		if err != nil {
 			return rep, err
 		}
@@ -172,12 +180,12 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 		if e.State == EntryQuarantined {
 			// Keep the record; if its page manifest is readable, keep its
 			// objects pinned so GC preserves the evidence.
-			if pageKeys, _, err := loadPMF(s.pmfPath(key)); err == nil {
+			if pageKeys, _, err := loadPMF(s.fs, s.pmfPath(key)); err == nil {
 				s.registerEntryLocked(key, pageKeys)
 			}
 			continue
 		}
-		pageKeys, digest, err := loadPMF(s.pmfPath(key))
+		pageKeys, digest, err := loadPMF(s.fs, s.pmfPath(key))
 		if err != nil {
 			if !os.IsNotExist(unwrapPathError(err)) {
 				// Readable but torn page manifest: quarantine.
@@ -190,9 +198,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 			}
 			// Record without a page manifest: a raced Remove or a crash
 			// after the unlink. Drop it, sweeping satellite files.
-			for _, p := range []string{s.sidecarPath(key), s.genPath(key), s.digestPath(key)} {
-				_ = os.Remove(p)
-			}
+			s.sweepLocked(&rep, s.sidecarPath(key), s.genPath(key), s.digestPath(key))
 			delete(s.man.Entries, key)
 			s.dropEntryLocked(key)
 			rep.Dropped = append(rep.Dropped, key)
@@ -231,7 +237,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 		name := de.Name()
 		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, segmentSuffix) {
 			if _, recorded := s.man.Segments[name]; !recorded {
-				if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+				if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 					return rep, fmt.Errorf("checkpoint: roll back %s: %w", name, err)
 				}
 				rep.Orphans = append(rep.Orphans, name)
@@ -241,7 +247,7 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 		if key, ok := strings.CutSuffix(name, pmfSuffix); ok {
 			if _, recorded := s.man.Entries[key]; !recorded {
 				for _, p := range []string{filepath.Join(s.dir, name), filepath.Join(s.dir, name+sidecarSuffix)} {
-					if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+					if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
 						return rep, fmt.Errorf("checkpoint: roll back %s: %w", p, err)
 					}
 				}
@@ -258,17 +264,29 @@ func (s *Store) recoverLocked() (ScrubReport, error) {
 	return rep, nil
 }
 
+// sweepLocked removes best-effort satellite files, recording failures in
+// the scrub report and the cleanup-errors metric instead of dropping them.
+func (s *Store) sweepLocked(rep *ScrubReport, paths ...string) {
+	for _, p := range paths {
+		if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
+			rep.CleanupFailures = append(rep.CleanupFailures, p)
+			path := p
+			s.deferMetricLocked(func(m Metrics) { m.CleanupError(path) })
+		}
+	}
+}
+
 // adoptLegacyLocked converts one pre-CAS image into the object pool: its
 // pages are read once, deduplicated against the pool, and re-homed behind a
 // page manifest; the .img file and its satellites are retired. An image
 // whose recorded digest (version-1 manifest or legacy .sha256 file) does
 // not match the bytes on disk is quarantined untouched instead. Reports
 // adopted=false with a reason when quarantined.
-func (s *Store) adoptLegacyLocked(key string, rec manifestEntry) (adopted bool, reason string, err error) {
+func (s *Store) adoptLegacyLocked(rep *ScrubReport, key string, rec manifestEntry) (adopted bool, reason string, err error) {
 	path := s.legacyImagePath(key)
 	expect := rec.Digest
 	if expect == "" {
-		if raw, err := os.ReadFile(s.digestPath(key)); err == nil {
+		if raw, err := s.fs.ReadFile(s.digestPath(key)); err == nil {
 			expect = strings.TrimSpace(string(raw))
 		}
 	}
@@ -284,7 +302,7 @@ func (s *Store) adoptLegacyLocked(key string, rec manifestEntry) (adopted bool, 
 		return false, why, nil
 	}
 
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if err != nil {
 		return false, "", fmt.Errorf("checkpoint: adopt %s: %w", key, err)
 	}
@@ -328,7 +346,7 @@ func (s *Store) adoptLegacyLocked(key string, rec manifestEntry) (adopted bool, 
 		}
 		segName = segmentName(s.man.NextSeg + 1)
 		var readErr error
-		digest, err := writeSegment(filepath.Join(s.dir, segName), segKeyList, func(i int, out []byte) {
+		digest, err := writeSegment(s.fs, filepath.Join(s.dir, segName), segKeyList, func(i int, out []byte) {
 			if _, rerr := f.ReadAt(out, int64(newSlots[i])*vm.PageSize); rerr != nil && readErr == nil {
 				readErr = rerr
 			}
@@ -343,12 +361,12 @@ func (s *Store) adoptLegacyLocked(key string, rec manifestEntry) (adopted bool, 
 		s.man.Segments[segName] = segmentRecord{Digest: digest, Pages: len(newSlots)}
 		s.registerSegmentLocked(segName, segKeyList)
 	}
-	pmfDigest, err := writePMF(s.pmfPath(key), pageKeys)
+	pmfDigest, err := writePMF(s.fs, s.pmfPath(key), pageKeys)
 	if err != nil {
 		return false, "", err
 	}
 	if !s.noSidecar {
-		if err := writeSidecar(s.sidecarPath(key), SidecarAlgorithm, st.Size(), pmfDigest,
+		if err := writeSidecar(s.fs, s.sidecarPath(key), SidecarAlgorithm, st.Size(), pmfDigest,
 			pages, func(i int) checksum.Sum { return announce[i] }); err != nil {
 			return false, "", err
 		}
@@ -359,9 +377,7 @@ func (s *Store) adoptLegacyLocked(key string, rec manifestEntry) (adopted bool, 
 	}
 	s.man.Entries[key] = manifestEntry{State: state, Digest: pmfDigest, Size: st.Size(), Pages: pages}
 	s.registerEntryLocked(key, pageKeys)
-	for _, p := range []string{path, SidecarPath(path), s.digestPath(key)} {
-		_ = os.Remove(p)
-	}
+	s.sweepLocked(rep, path, SidecarPath(path), s.digestPath(key))
 	return true, "", nil
 }
 

@@ -7,13 +7,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"vecycle/internal/checksum"
+	"vecycle/internal/faultfs"
 	"vecycle/internal/vm"
 )
 
@@ -88,7 +88,7 @@ func (s SidecarStatus) String() string {
 // sums under alg are sum(0) … sum(n-1). digestHex, when non-empty, is the
 // hex SHA-256 of the image. The write goes through a temp file + rename so
 // a crash never leaves a torn sidecar for the next Open to trip over.
-func writeSidecar(path string, alg checksum.Algorithm, imageSize int64, digestHex string, n int, sum func(i int) checksum.Sum) (err error) {
+func writeSidecar(fsys faultfs.FS, path string, alg checksum.Algorithm, imageSize int64, digestHex string, n int, sum func(i int) checksum.Sum) (err error) {
 	var hdr [sidecarHeaderSize]byte
 	copy(hdr[0:4], sidecarMagic[:])
 	binary.LittleEndian.PutUint16(hdr[4:6], sidecarVersion)
@@ -104,14 +104,14 @@ func writeSidecar(path string, alg checksum.Algorithm, imageSize int64, digestHe
 		copy(hdr[28:60], raw)
 	}
 	tmp := path + tmpSuffix
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("checkpoint: sidecar: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 		}
 	}()
 	bw := bufio.NewWriterSize(f, 1<<20)
@@ -133,10 +133,10 @@ func writeSidecar(path string, alg checksum.Algorithm, imageSize int64, digestHe
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("checkpoint: sidecar close: %w", err)
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("checkpoint: sidecar rename: %w", err)
 	}
-	return syncDir(filepath.Dir(path))
+	return syncDir(fsys, filepath.Dir(path))
 }
 
 // loadSidecar streams the sidecar at path and returns the page-ordered sums
@@ -145,8 +145,8 @@ func writeSidecar(path string, alg checksum.Algorithm, imageSize int64, digestHe
 // (or no) digest is stale and rejected. Any validation or decode failure
 // returns an error; callers treat os.IsNotExist as a miss and anything else
 // as a fallback, and rehash either way.
-func loadSidecar(path string, alg checksum.Algorithm, imageSize int64, wantDigestHex string) ([]checksum.Sum, error) {
-	f, err := os.Open(path)
+func loadSidecar(fsys faultfs.FS, path string, alg checksum.Algorithm, imageSize int64, wantDigestHex string) ([]checksum.Sum, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

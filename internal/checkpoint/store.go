@@ -11,6 +11,7 @@ import (
 
 	"vecycle/internal/checksum"
 	"vecycle/internal/dirtytrack"
+	"vecycle/internal/faultfs"
 	"vecycle/internal/vm"
 )
 
@@ -42,6 +43,7 @@ import (
 // announce-driven resume only), or quarantined (never served).
 type Store struct {
 	dir             string
+	fs              faultfs.FS
 	mu              sync.Mutex
 	man             manifestFile
 	quota           int64
@@ -87,6 +89,16 @@ type Metrics interface {
 	// HashAvoidedBytes reports n payload bytes whose digests were supplied
 	// precomputed by the caller (SaveWithSums) instead of recomputed.
 	HashAvoidedBytes(n int64)
+	// CleanupError reports a best-effort cleanup (superseded legacy files,
+	// satellite sweeps) that failed to remove path. The store carries on —
+	// the file is garbage, not state — but silent failures used to hide
+	// sick disks, so every one is now counted.
+	CleanupError(path string)
+	// Degraded reports a rung of the graceful-degradation ladder taken
+	// inside the store itself — e.g. a union-bootstrap entry skipped
+	// because its segment reads fail. stage and fault use the same label
+	// vocabulary as the vecycle_degraded_total metric.
+	Degraded(stage, fault string)
 }
 
 // SetMetrics installs the metrics sink. Pass nil to disable.
@@ -123,14 +135,25 @@ func (s *Store) drainMetrics() {
 // runs the crash-recovery scan — including adoption of legacy per-image
 // checkpoints into the object pool — before returning.
 func NewStore(dir string) (*Store, error) {
+	return NewStoreFS(dir, faultfs.OS)
+}
+
+// NewStoreFS is NewStore with an explicit filesystem seam. Production code
+// passes faultfs.OS (what NewStore does); chaos tests pass an
+// injector-wrapped FS so every store op site becomes a fault site.
+func NewStoreFS(dir string, fsys faultfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("checkpoint: empty store directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: create store: %w", err)
 	}
 	s := &Store{
 		dir:     dir,
+		fs:      fsys,
 		objects: map[checksum.Sum]objLoc{},
 		refs:    map[checksum.Sum]int{},
 		keys:    map[string][]checksum.Sum{},
@@ -367,14 +390,14 @@ func (s *Store) saveLocked(source *vm.VM, state EntryState, pre *preSums) (dedup
 			segKeyList[i] = pageKeys[slot]
 		}
 		segName = segmentName(s.man.NextSeg + 1)
-		segDigest, err = writeSegment(filepath.Join(s.dir, segName), segKeyList, func(i int, buf []byte) {
+		segDigest, err = writeSegment(s.fs, filepath.Join(s.dir, segName), segKeyList, func(i int, buf []byte) {
 			source.ReadPage(newSlots[i], buf)
 		})
 		if err != nil {
 			return 0, err
 		}
 	}
-	pmfDigest, err := writePMF(s.pmfPath(name), pageKeys)
+	pmfDigest, err := writePMF(s.fs, s.pmfPath(name), pageKeys)
 	if err != nil {
 		return 0, err
 	}
@@ -387,10 +410,10 @@ func (s *Store) saveLocked(source *vm.VM, state EntryState, pre *preSums) (dedup
 		if err != nil {
 			return 0, fmt.Errorf("checkpoint: marshal generations: %w", err)
 		}
-		if err := atomicWriteFile(s.genPath(name), raw, 0o644); err != nil {
+		if err := atomicWriteFile(s.fs, s.genPath(name), raw, 0o644); err != nil {
 			return 0, err
 		}
-	} else if err := os.Remove(s.genPath(name)); err != nil && !os.IsNotExist(err) {
+	} else if err := s.fs.Remove(s.genPath(name)); err != nil && !os.IsNotExist(err) {
 		return 0, fmt.Errorf("checkpoint: remove stale generations: %w", err)
 	}
 	if err := kill("gens-written"); err != nil {
@@ -410,7 +433,7 @@ func (s *Store) saveLocked(source *vm.VM, state EntryState, pre *preSums) (dedup
 			sums = pageSums(source, SidecarAlgorithm)
 			s.deferMetricLocked(func(m Metrics) { m.HashBytes("save_sidecar", memBytes) })
 		}
-		if err := writeSidecar(s.sidecarPath(name), SidecarAlgorithm,
+		if err := writeSidecar(s.fs, s.sidecarPath(name), SidecarAlgorithm,
 			source.MemBytes(), pmfDigest, len(sums), func(i int) checksum.Sum { return sums[i] }); err != nil {
 			return 0, err
 		}
@@ -420,7 +443,7 @@ func (s *Store) saveLocked(source *vm.VM, state EntryState, pre *preSums) (dedup
 	}
 	// A superseded legacy digest record must not outlive the entry it
 	// described; the manifest carries the digest from here on.
-	if err := os.Remove(s.digestPath(name)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.digestPath(name)); err != nil && !os.IsNotExist(err) {
 		return 0, fmt.Errorf("checkpoint: remove legacy digest: %w", err)
 	}
 	// Transaction commit: the manifest is written LAST, so a crash at any
@@ -446,9 +469,20 @@ func (s *Store) saveLocked(source *vm.VM, state EntryState, pre *preSums) (dedup
 	}
 	// A save over an un-adopted legacy entry supersedes its image files.
 	for _, p := range []string{s.legacyImagePath(name), SidecarPath(s.legacyImagePath(name))} {
-		_ = os.Remove(p)
+		s.cleanupLocked(p)
 	}
 	return dedup, nil
+}
+
+// cleanupLocked removes a best-effort file: one whose survival costs bytes
+// but never correctness. A failure is counted (CleanupError metric) rather
+// than silently dropped or escalated — a disk that cannot even unlink is
+// news the operator wants.
+func (s *Store) cleanupLocked(path string) {
+	if err := s.fs.Remove(path); err != nil && !os.IsNotExist(err) {
+		p := path
+		s.deferMetricLocked(func(m Metrics) { m.CleanupError(p) })
+	}
 }
 
 // SidecarAlgorithm is the checksum algorithm Store.Save records in the
@@ -469,8 +503,8 @@ func (s *Store) NoSidecar() bool { return s.noSidecar }
 // become the Checkpoint's, closed on its Close). Because the fds are opened
 // under the store lock, a concurrent GC deleting a compacted segment only
 // unlinks the name — the handle keeps serving the old bytes.
-func (s *Store) resolveLocked(pageKeys []checksum.Sum) (refs []pageRef, files []*os.File, err error) {
-	open := map[string]*os.File{}
+func (s *Store) resolveLocked(pageKeys []checksum.Sum) (refs []pageRef, files []faultfs.File, err error) {
+	open := map[string]faultfs.File{}
 	defer func() {
 		if err != nil {
 			for _, f := range files {
@@ -486,7 +520,7 @@ func (s *Store) resolveLocked(pageKeys []checksum.Sum) (refs []pageRef, files []
 		}
 		f := open[loc.seg]
 		if f == nil {
-			f, err = os.Open(filepath.Join(s.dir, loc.seg))
+			f, err = s.fs.Open(filepath.Join(s.dir, loc.seg))
 			if err != nil {
 				return nil, nil, fmt.Errorf("checkpoint: open segment: %w", err)
 			}
@@ -539,7 +573,7 @@ func (s *Store) Restore(vmName string, alg checksum.Algorithm, dst *vm.VM) (*Che
 	return cp, nil
 }
 
-func closeAll(files []*os.File) {
+func closeAll(files []faultfs.File) {
 	for _, f := range files {
 		f.Close()
 	}
@@ -549,7 +583,7 @@ func closeAll(files []*os.File) {
 // loading announce sums from the fingerprint sidecar when possible and
 // rescanning (reading and hashing every page, then rewriting the sidecar)
 // otherwise. dst, when non-nil, receives every page.
-func (s *Store) openEntry(vmName string, alg checksum.Algorithm, dst *vm.VM, info EntryInfo, refs []pageRef, files []*os.File, noSidecar bool) (*Checkpoint, error) {
+func (s *Store) openEntry(vmName string, alg checksum.Algorithm, dst *vm.VM, info EntryInfo, refs []pageRef, files []faultfs.File, noSidecar bool) (*Checkpoint, error) {
 	pages := len(refs)
 	if dst != nil && dst.NumPages() != pages {
 		return nil, fmt.Errorf("checkpoint: image has %d pages, VM has %d", pages, dst.NumPages())
@@ -559,7 +593,7 @@ func (s *Store) openEntry(vmName string, alg checksum.Algorithm, dst *vm.VM, inf
 	var sums []checksum.Sum
 	if !noSidecar {
 		var serr error
-		sums, serr = loadSidecar(s.sidecarPath(vmName), alg, logical, info.Digest)
+		sums, serr = loadSidecar(s.fs, s.sidecarPath(vmName), alg, logical, info.Digest)
 		switch {
 		case serr == nil:
 			status = SidecarHit
@@ -586,7 +620,7 @@ func (s *Store) openEntry(vmName string, alg checksum.Algorithm, dst *vm.VM, inf
 			// Self-heal: persist the rebuilt sums so the next Restore under
 			// this algorithm is warm. Best effort — a failed rewrite only
 			// costs the next Restore a rescan.
-			_ = writeSidecar(s.sidecarPath(vmName), alg, logical, info.Digest,
+			_ = writeSidecar(s.fs, s.sidecarPath(vmName), alg, logical, info.Digest,
 				pages, func(i int) checksum.Sum { return sums[i] })
 		}
 	} else if dst != nil {
@@ -613,6 +647,13 @@ func (s *Store) openEntry(vmName string, alg checksum.Algorithm, dst *vm.VM, inf
 //
 // Returns the union checkpoint and the names of the entries it covers, or
 // (nil, nil, nil) when the store holds nothing servable.
+//
+// The union is an optimization, so a single sick entry must not cost the
+// migration its whole bootstrap: an entry whose segments cannot be opened
+// or read is skipped — reported through the Metrics Degraded callback with
+// stage "union-read" — and the union is built from the rest. Skipped
+// entries stay in the store untouched (a transient read error is not
+// evidence of corruption; Scrub and Verify decide quarantines).
 func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error) {
 	if !alg.Valid() {
 		return nil, nil, fmt.Errorf("checkpoint: invalid checksum algorithm")
@@ -623,21 +664,21 @@ func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error)
 		refs []pageRef
 	}
 	s.mu.Lock()
-	var names []string
+	var candidates []string
 	for key, e := range s.man.Entries {
 		if e.State != EntryQuarantined {
-			names = append(names, key)
+			candidates = append(candidates, key)
 		}
 	}
-	sort.Strings(names)
-	entries := make([]unionEntry, 0, len(names))
-	var files []*os.File
-	open := map[string]*os.File{}
-	var resolveErr error
-	for _, key := range names {
+	sort.Strings(candidates)
+	entries := make([]unionEntry, 0, len(candidates))
+	var files []faultfs.File
+	open := map[string]faultfs.File{}
+	for _, key := range candidates {
 		info, _ := s.entryLocked(key)
 		pageKeys := s.keys[key]
 		refs := make([]pageRef, len(pageKeys))
+		var resolveErr error
 		for i, k := range pageKeys {
 			loc, ok := s.objects[k]
 			if !ok {
@@ -646,7 +687,7 @@ func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error)
 			}
 			f := open[loc.seg]
 			if f == nil {
-				f, resolveErr = os.Open(filepath.Join(s.dir, loc.seg))
+				f, resolveErr = s.fs.Open(filepath.Join(s.dir, loc.seg))
 				if resolveErr != nil {
 					break
 				}
@@ -656,17 +697,17 @@ func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error)
 			refs[i] = pageRef{f: f, off: loc.off}
 		}
 		if resolveErr != nil {
-			break
+			fault := faultfs.Label(resolveErr)
+			s.deferMetricLocked(func(m Metrics) { m.Degraded("union-read", fault) })
+			continue
 		}
 		entries = append(entries, unionEntry{info: info, keys: pageKeys, refs: refs})
 	}
 	noSidecar := s.noSidecar
 	s.mu.Unlock()
-	if resolveErr != nil {
-		closeAll(files)
-		return nil, nil, resolveErr
-	}
+	defer s.drainMetrics()
 	if len(entries) == 0 {
+		closeAll(files)
 		return nil, nil, nil
 	}
 	cp := &Checkpoint{
@@ -675,29 +716,40 @@ func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error)
 		sums:    checksum.NewSet(0),
 		sidecar: SidecarHit,
 	}
+	var names []string
 	buf := make([]byte, vm.PageSize)
 	for _, ue := range entries {
 		logical := int64(len(ue.keys)) * vm.PageSize
 		var sums []checksum.Sum
 		if !noSidecar {
-			if got, err := loadSidecar(s.sidecarPath(ue.info.Name), alg, logical, ue.info.Digest); err == nil {
+			if got, err := loadSidecar(s.fs, s.sidecarPath(ue.info.Name), alg, logical, ue.info.Digest); err == nil {
 				sums = got
 			}
 		}
 		if sums == nil {
 			// Rescan this entry's pages; no sidecar self-heal here — the
 			// union is read-mostly and must not race a concurrent Save on
-			// the entry's own files.
+			// the entry's own files. A read error skips the entry: nothing
+			// of it has been folded into the union yet.
 			cp.sidecar = SidecarMiss
 			sums = make([]checksum.Sum, len(ue.refs))
+			readErr := error(nil)
 			for i, ref := range ue.refs {
 				if _, err := ref.f.ReadAt(buf, ref.off); err != nil {
-					closeAll(files)
-					return nil, nil, fmt.Errorf("checkpoint: read %s page %d: %w", ue.info.Name, i, err)
+					readErr = err
+					break
 				}
 				sums[i] = alg.Page(buf)
 			}
+			if readErr != nil {
+				fault := faultfs.Label(readErr)
+				s.mu.Lock()
+				s.deferMetricLocked(func(m Metrics) { m.Degraded("union-read", fault) })
+				s.mu.Unlock()
+				continue
+			}
 		}
+		names = append(names, ue.info.Name)
 		for i, sum := range sums {
 			if cp.sums.Contains(sum) {
 				continue
@@ -706,6 +758,10 @@ func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error)
 			cp.index.add(sum, ue.refs[i])
 		}
 	}
+	if len(names) == 0 {
+		closeAll(files)
+		return nil, nil, nil
+	}
 	cp.index.sort()
 	return cp, names, nil
 }
@@ -713,7 +769,7 @@ func (s *Store) OpenUnion(alg checksum.Algorithm) (*Checkpoint, []string, error)
 // Generations loads the Miyakodori generation vector stored with the
 // checkpoint, or ok=false if none exists.
 func (s *Store) Generations(vmName string) (dirtytrack.GenVector, bool, error) {
-	raw, err := os.ReadFile(s.genPath(vmName))
+	raw, err := s.fs.ReadFile(s.genPath(vmName))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
@@ -746,7 +802,7 @@ func (s *Store) removeLocked(vmName string) error {
 		paths = append(paths, img, SidecarPath(img))
 	}
 	for _, p := range paths {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("checkpoint: remove %s: %w", p, err)
 		}
 	}
@@ -756,6 +812,29 @@ func (s *Store) removeLocked(vmName string) error {
 		return s.commitManifestLocked()
 	}
 	return nil
+}
+
+// Quarantine marks the named VM's entry as quarantined with the given
+// reason: the store keeps its files for forensics but refuses to serve it
+// (Restore errors, OpenUnion and announcements exclude it) until Remove
+// clears the record. The degradation ladder calls this when a recycled
+// page read fails mid-merge — the entry's bytes can no longer be trusted
+// to be readable, and excluding it lets the retry converge over the wire.
+// Quarantining an already-quarantined entry updates nothing; a missing
+// entry is not an error (the caller often cannot tell a union bootstrap
+// from an own-entry one).
+func (s *Store) Quarantine(vmName, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := sanitize(vmName)
+	e, ok := s.man.Entries[key]
+	if !ok || e.State == EntryQuarantined {
+		return nil
+	}
+	e.State = EntryQuarantined
+	e.Reason = reason
+	s.man.Entries[key] = e
+	return s.commitManifestLocked()
 }
 
 // List reports the VM names with store entries, whatever their state,

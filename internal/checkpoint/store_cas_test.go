@@ -314,13 +314,15 @@ func TestOpenUnionSkipsQuarantined(t *testing.T) {
 // fakeMetrics records store metric callbacks; its methods call back into
 // the store to prove the deferred-delivery contract is deadlock free.
 type fakeMetrics struct {
-	mu       sync.Mutex
-	store    *Store
-	dedup    int
-	gcRuns   map[string]int
-	physSum  int64
-	hashed   map[string]int64
-	unhashed int64
+	mu          sync.Mutex
+	store       *Store
+	dedup       int
+	gcRuns      map[string]int
+	physSum     int64
+	hashed      map[string]int64
+	unhashed    int64
+	degraded    map[string]int
+	cleanupErrs []string
 }
 
 func (m *fakeMetrics) DedupPages(n int) {
@@ -352,6 +354,21 @@ func (m *fakeMetrics) HashAvoidedBytes(n int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.unhashed += n
+}
+
+func (m *fakeMetrics) Degraded(stage, fault string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.degraded == nil {
+		m.degraded = map[string]int{}
+	}
+	m.degraded[stage+":"+fault]++
+}
+
+func (m *fakeMetrics) CleanupError(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cleanupErrs = append(m.cleanupErrs, path)
 }
 
 func TestMetricsSinkDeliveredOutsideLock(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"vecycle/internal/checkpoint"
 	"vecycle/internal/checksum"
 	"vecycle/internal/delta"
+	"vecycle/internal/faultfs"
 	"vecycle/internal/vm"
 )
 
@@ -229,12 +231,22 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 	if h.Recycle && opts.Store != nil {
 		if info, ok := opts.Store.Entry(h.VMName); ok && info.State != checkpoint.EntryQuarantined &&
 			!(info.State == checkpoint.EntryPartial && h.SkipAnnounce) {
-			cp, err = opts.Store.Restore(h.VMName, h.Alg, v)
-			if err != nil {
-				// A corrupt or mismatched checkpoint must not fail the
-				// migration; degrade to a full first round.
-				cp = nil
+			rcp, rerr := opts.Store.Restore(h.VMName, h.Alg, v)
+			if rerr != nil {
+				// A corrupt or unreadable checkpoint must not fail the
+				// migration; degrade to a full first round. A storage-borne
+				// failure (unreadable or torn bytes) will recur on every
+				// later bootstrap, so quarantine the entry — the next
+				// arrival goes straight to the union/full path and the
+				// operator sees it in the scrub report.
+				fault := faultfs.Label(rerr)
+				opts.OnEvent.emit(Event{Kind: EventDegraded,
+					Detail: StageBootstrap + ":" + fault})
+				if fault == "eio" || fault == "torn" {
+					_ = opts.Store.Quarantine(h.VMName, "bootstrap read failed: "+rerr.Error())
+				}
 			} else {
+				cp = rcp
 				partial = info.State == checkpoint.EntryPartial
 			}
 		}
@@ -255,6 +267,9 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 				opts.OnEvent.emit(Event{Kind: EventUnion,
 					Pages:  int64(ucp.SumSet().Len()),
 					Detail: fmt.Sprintf("entries=%d", len(members))})
+			} else if uerr != nil {
+				opts.OnEvent.emit(Event{Kind: EventDegraded,
+					Detail: StageUnionRead + ":" + faultfs.Label(uerr)})
 			}
 		}
 	}
@@ -316,6 +331,20 @@ func (s *IncomingSession) Run(ctx context.Context, v *vm.VM, opts DestOptions) (
 		err = s.mergeSequential(ctx, v, opts, cp, tbl, &res, start)
 	}
 	if err != nil {
+		// A recycled-page read failure means this entry's bytes lie: the
+		// index promised content the disk would not yield. Quarantine it so
+		// the retry's announcement comes from the union or nothing and the
+		// affected pages flow over the wire instead. Union bootstraps skip
+		// the quarantine — the failing block is not attributable to any one
+		// entry.
+		var me *MigrationError
+		if errors.As(err, &me) && me.Stage == StageRecycleRead {
+			opts.OnEvent.emit(Event{Kind: EventDegraded,
+				Detail: StageRecycleRead + ":" + me.Fault})
+			if !union {
+				_ = opts.Store.Quarantine(h.VMName, "recycled-page read failed: "+me.Err.Error())
+			}
+		}
 		// Both merge engines have fully drained their workers by the time
 		// they return, so v's RAM is stable: persist the progress as a
 		// salvage checkpoint for the next attempt to resume from.
@@ -337,6 +366,8 @@ func (s *IncomingSession) salvage(v *vm.VM, opts DestOptions, res *DestResult) {
 	}
 	if err := opts.Store.SaveSalvage(v); err != nil {
 		opts.OnEvent.emit(Event{Kind: EventSalvage, Detail: "write-failed"})
+		opts.OnEvent.emit(Event{Kind: EventDegraded,
+			Detail: StageSalvage + ":" + faultfs.Label(err)})
 		return
 	}
 	res.SalvagePages = installed
@@ -445,7 +476,7 @@ func (s *IncomingSession) mergeSequential(ctx context.Context, v *vm.VM, opts De
 			// re-read the block from disk (lseek+read of Listing 1).
 			data, ok, err := cp.ReadBlock(sum)
 			if err != nil {
-				return err
+				return recycleReadErr(err)
 			}
 			if !ok {
 				return fmt.Errorf("%w: source referenced checksum %v absent from checkpoint", ErrProtocol, sum)

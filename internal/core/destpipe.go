@@ -113,7 +113,7 @@ func (ws *destWorker) process(j *destJob) error {
 		// re-read the block from disk (lseek+read of Listing 1).
 		data, ok, err := ws.cp.ReadBlock(j.sum)
 		if err != nil {
-			return err
+			return recycleReadErr(err)
 		}
 		if !ok {
 			return fmt.Errorf("%w: source referenced checksum %v absent from checkpoint", ErrProtocol, j.sum)

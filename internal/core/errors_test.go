@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"vecycle/internal/faultfs"
+)
+
+// TestMigrationErrorRoundTrip pins the taxonomy's contract: a classified
+// error survives arbitrary wrapping, errors.As recovers the stage and
+// class, errors.Is still reaches the root cause, and Classify routes on
+// the class wherever it sits in the chain.
+func TestMigrationErrorRoundTrip(t *testing.T) {
+	root := fmt.Errorf("read block 7: %w", syscall.EIO)
+	classified := Fail(StageRecycleRead, ClassRetryable, faultfs.Label(root), root)
+	wrapped := fmt.Errorf("dest: handler: %w", fmt.Errorf("merge: %w", classified))
+
+	var me *MigrationError
+	if !errors.As(wrapped, &me) {
+		t.Fatal("errors.As lost the MigrationError through two wraps")
+	}
+	if me.Stage != StageRecycleRead || me.Class != ClassRetryable || me.Fault != "eio" {
+		t.Errorf("recovered {stage=%s class=%s fault=%s}, want {recycle-read retryable eio}",
+			me.Stage, me.Class, me.Fault)
+	}
+	if !errors.Is(wrapped, syscall.EIO) {
+		t.Error("errors.Is lost the root syscall error")
+	}
+	if got := Classify(wrapped); got != ClassRetryable {
+		t.Errorf("Classify = %v, want retryable", got)
+	}
+
+	// The class is authoritative even when the underlying cause would
+	// classify differently: a terminal-classed error wrapping a canceled
+	// context stays terminal, and a retryable-classed error wrapping
+	// ErrRejected stays retryable.
+	if got := Classify(Fail(StageBootstrap, ClassTerminal, "", context.Canceled)); got != ClassTerminal {
+		t.Errorf("Classify(terminal-classed) = %v, want terminal", got)
+	}
+	if got := Classify(Fail(StageRecycleRead, ClassRetryable, "", ErrRejected)); got != ClassRetryable {
+		t.Errorf("Classify(retryable-classed) = %v, want retryable", got)
+	}
+
+	// Heuristics for unclassified errors.
+	for _, tc := range []struct {
+		err  error
+		want ErrorClass
+	}{
+		{ErrRejected, ClassTerminal},
+		{ErrProtocol, ClassTerminal},
+		{context.Canceled, ClassTerminal},
+		{context.DeadlineExceeded, ClassTerminal},
+		{ErrInjectedReset, ClassRetryable},
+		{syscall.ECONNRESET, ClassRetryable},
+	} {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+
+	// Fail is nil-safe so sites can wrap unconditionally.
+	if Fail(StageSalvage, ClassDegraded, "", nil) != nil {
+		t.Error("Fail(nil) != nil")
+	}
+}
+
+// TestFaultConnTornWrite pins the transport torn-write mode: the write
+// crossing the threshold delivers exactly the bytes up to it before
+// failing, and every later write fails outright — the peer sees a clean
+// prefix, never interleaved garbage.
+func TestFaultConnTornWrite(t *testing.T) {
+	var sink bytes.Buffer
+	fc := NewFaultConn(&sink, FaultConfig{TornWriteAfterBytes: 6})
+
+	if n, err := fc.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("pre-threshold write = (%d, %v), want (4, nil)", n, err)
+	}
+	n, err := fc.Write([]byte("efgh"))
+	if n != 2 || !errors.Is(err, ErrInjectedTornWrite) {
+		t.Fatalf("crossing write = (%d, %v), want (2, ErrInjectedTornWrite)", n, err)
+	}
+	if n, err := fc.Write([]byte("ij")); n != 0 || !errors.Is(err, ErrInjectedTornWrite) {
+		t.Fatalf("post-threshold write = (%d, %v), want (0, ErrInjectedTornWrite)", n, err)
+	}
+	if got := sink.String(); got != "abcdef" {
+		t.Errorf("peer saw %q, want the clean 6-byte prefix %q", got, "abcdef")
+	}
+	if got := fc.BytesWritten(); got != 6 {
+		t.Errorf("BytesWritten = %d, want 6", got)
+	}
+	// A torn stream is a transport fault: worth a retry.
+	if got := Classify(err); got != ClassRetryable {
+		t.Errorf("Classify(torn write) = %v, want retryable", got)
+	}
+}

@@ -13,6 +13,10 @@ import (
 // connection mid-stream.
 var ErrInjectedReset = errors.New("core: injected connection reset")
 
+// ErrInjectedTornWrite is returned by a FaultConn configured to tear a
+// write: part of the buffer reaches the peer, then the connection dies.
+var ErrInjectedTornWrite = errors.New("core: injected torn write")
+
 // FaultConfig selects the faults a FaultConn injects. The zero value injects
 // nothing (a transparent wrapper that still counts operations).
 type FaultConfig struct {
@@ -36,6 +40,13 @@ type FaultConfig struct {
 	// DeadlineConn wrapped around the FaultConn still times the stall out.
 	// <= 0 disables.
 	StallAfterBytes int64
+	// TornWriteAfterBytes tears the stream at that byte offset: the write
+	// crossing the threshold delivers only the bytes up to it, then fails
+	// with ErrInjectedTornWrite, and every later write fails outright —
+	// the disk-side torn-write fault's transport sibling. The peer sees a
+	// prefix of a frame followed by EOF-ish garbage, exercising the
+	// receive path's partial-frame handling. <= 0 disables.
+	TornWriteAfterBytes int64
 }
 
 // FaultConn wraps a connection and injects the configured transport faults.
@@ -98,6 +109,19 @@ func (f *FaultConn) Write(p []byte) (int, error) {
 	seen := f.written.Load()
 	if f.cfg.ResetAfterBytes > 0 && seen >= f.cfg.ResetAfterBytes {
 		return 0, ErrInjectedReset
+	}
+	if f.cfg.TornWriteAfterBytes > 0 {
+		if seen >= f.cfg.TornWriteAfterBytes {
+			return 0, ErrInjectedTornWrite
+		}
+		if remain := f.cfg.TornWriteAfterBytes - seen; int64(len(p)) > remain {
+			n, err := f.conn.Write(p[:remain])
+			f.written.Add(int64(n))
+			if err != nil {
+				return n, err
+			}
+			return n, ErrInjectedTornWrite
+		}
 	}
 	if f.cfg.StallAfterBytes > 0 {
 		if seen >= f.cfg.StallAfterBytes {

@@ -58,6 +58,12 @@ const (
 	// a salvage image — emitted on both sides; Pages = image pages on the
 	// destination).
 	EventSalvage = "salvage"
+	// EventDegraded: a rung of the graceful-degradation ladder fired — a
+	// best-effort activity (checkpoint persist, salvage write, recycled
+	// read, union fold) failed and the migration carried on without it.
+	// Detail is "stage:fault" using the Stage* constants and the faultfs
+	// fault vocabulary ("eio", "enospc", "torn", ...).
+	EventDegraded = "degraded"
 	// EventDone: the migration completed from this side's perspective.
 	EventDone = "done"
 )

@@ -339,7 +339,7 @@ func (s *IncomingSession) RunPostCopy(ctx context.Context, v *vm.VM, opts PostCo
 			continue
 		}
 		if data, ok, err := cp.ReadBlock(sum); err != nil {
-			return res, err
+			return res, recycleReadErr(err)
 		} else if ok {
 			v.InstallPage(int(i), data)
 			cp.Release(data)

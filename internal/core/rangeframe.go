@@ -234,7 +234,7 @@ func encodeBatchRanges(e *sourceEncoder, base PageProvider, b *pageBatch) error 
 func (e *sourceEncoder) deltaPayload(base PageProvider, p int, data []byte) ([]byte, error) {
 	old, ok, err := base.PageAt(p)
 	if err != nil {
-		return nil, err
+		return nil, deltaBaseErr(err)
 	}
 	if !ok {
 		return nil, nil
@@ -457,7 +457,7 @@ func applyRange(v *vm.VM, cp *checkpoint.Checkpoint, alg checksum.Algorithm, ver
 			}
 			data, ok, err := cp.ReadBlock(f.sums[i])
 			if err != nil {
-				return err
+				return recycleReadErr(err)
 			}
 			if !ok {
 				return fmt.Errorf("%w: source referenced checksum %v absent from checkpoint", ErrProtocol, f.sums[i])

@@ -16,7 +16,9 @@ import (
 
 // chaosDialer wires a deterministic fault schedule into a host's outbound
 // connections: dial n gets a connection that resets after schedule[n-1]
-// bytes written; dials past the schedule are clean. Between dials it waits
+// bytes written (a negative entry tears the stream at that offset instead
+// — a clean prefix, then ErrInjectedTornWrite); dials past the schedule
+// are clean. Between dials it waits
 // for the destination's previous handler to finish (observed via OnError),
 // so each retry sees the salvage state the prior failure left behind —
 // without that barrier a fast retry races the destination's still-pending
@@ -44,7 +46,12 @@ func (c *chaosDialer) dial(ctx context.Context, addr string) (io.ReadWriteCloser
 		return nil, err
 	}
 	if int(n) <= len(c.schedule) {
-		return core.NewFaultConn(conn, core.FaultConfig{ResetAfterBytes: c.schedule[n-1]}), nil
+		b := c.schedule[n-1]
+		cfg := core.FaultConfig{ResetAfterBytes: b}
+		if b < 0 {
+			cfg = core.FaultConfig{TornWriteAfterBytes: -b}
+		}
+		return core.NewFaultConn(conn, cfg), nil
 	}
 	return conn, nil
 }
@@ -60,7 +67,9 @@ func TestChaosKillEveryTurn(t *testing.T) {
 	// Page-range frames coalesce up to 256 full pages (~1 MiB) per frame,
 	// and a cut mid-frame installs nothing — so the guest spans several
 	// frames and the round-one cuts fall at 1/2/4 complete frames to
-	// exercise increasing salvage.
+	// exercise increasing salvage. The 2.4 MB cut is a torn write (the
+	// stream dies mid-frame after a clean prefix) rather than a reset, so
+	// the chaos gate covers both transport fault shapes.
 	const pages = 2048
 	dst := newHost(t, "beta")
 	var handled atomic.Int64
@@ -77,7 +86,7 @@ func TestChaosKillEveryTurn(t *testing.T) {
 
 	cd := &chaosDialer{
 		t:        t,
-		schedule: []int64{10, 30, 5_000, 1_200_000, 2_400_000, 4_800_000},
+		schedule: []int64{10, 30, 5_000, 1_200_000, -2_400_000, 4_800_000},
 		handled:  &handled,
 	}
 	src.DialFunc = cd.dial

@@ -28,6 +28,7 @@ import (
 	"vecycle/internal/checksum"
 	"vecycle/internal/core"
 	"vecycle/internal/disk"
+	"vecycle/internal/faultfs"
 	"vecycle/internal/obs"
 	"vecycle/internal/vm"
 )
@@ -149,12 +150,19 @@ func (h *Host) tuneConn(conn interface{}) {
 
 // NewHost creates a host whose checkpoint store lives at storeDir.
 func NewHost(name, storeDir string) (*Host, error) {
-	if name == "" {
-		return nil, fmt.Errorf("sched: empty host name")
-	}
 	store, err := checkpoint.NewStore(storeDir)
 	if err != nil {
 		return nil, err
+	}
+	return NewHostWithStore(name, store)
+}
+
+// NewHostWithStore creates a host around an already-open checkpoint store —
+// the seam the storage chaos tests use to run a host against a store built
+// on an injected filesystem (checkpoint.NewStoreFS + faultfs).
+func NewHostWithStore(name string, store *checkpoint.Store) (*Host, error) {
+	if name == "" {
+		return nil, fmt.Errorf("sched: empty host name")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Host{
@@ -413,11 +421,14 @@ func (h *Host) runIncoming(ctx context.Context, session *core.IncomingSession, r
 	}
 	if h.SaveArrivals {
 		// The merge recorded every installed page's digest (TrackIncoming is
-		// always on here), so the save skips its matching rehash pass.
-		if err := saveWithTable(h.store, dst, res.PageSums); err != nil {
-			return res, err
+		// always on here), so the save skips its matching rehash pass. The
+		// persist is best-effort: the VM has fully arrived, so a failed save
+		// degrades (the next migration runs cold) instead of failing it.
+		if h.saveOrDegrade(core.StageSaveArrivals, rec, func() error {
+			return saveWithTable(h.store, dst, res.PageSums)
+		}) {
+			rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "arrival image"})
 		}
-		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "arrival image"})
 	}
 	if disk.IsDiskName(dst.Name()) {
 		d, err := disk.FromBacking(dst)
@@ -480,10 +491,11 @@ func (h *Host) runPostCopy(ctx context.Context, session *core.IncomingSession, r
 		return res, err
 	}
 	if h.SaveArrivals {
-		if err := h.store.Save(dst); err != nil {
-			return res, err
+		if h.saveOrDegrade(core.StageSaveArrivals, rec, func() error {
+			return h.store.Save(dst)
+		}) {
+			rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "arrival image"})
 		}
-		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "arrival image"})
 	}
 	if err := h.register(dst, nil); err != nil {
 		return res, err
@@ -530,10 +542,13 @@ func (h *Host) runPostCopyTo(ctx context.Context, addr, vmName string, v *vm.VM,
 	if err != nil {
 		return m, err
 	}
-	if err := h.store.Save(v); err != nil {
-		return m, fmt.Errorf("sched: checkpoint after migration: %w", err)
+	// The guest already runs at the destination; the departure image is a
+	// future optimization, not part of this transfer's success.
+	if h.saveOrDegrade(core.StageKeepCheckpoint, rec, func() error {
+		return h.store.Save(v)
+	}) {
+		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "departure image"})
 	}
-	rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "departure image"})
 	h.mu.Lock()
 	delete(h.vms, vmName)
 	delete(h.seen, vmName)
@@ -618,24 +633,45 @@ func (p RetryPolicy) delay(retry int) time.Duration {
 }
 
 // Retryable classifies a migration error: true means a fresh attempt on a
-// new connection could plausibly succeed (the peer or the network hiccuped),
-// false means retrying is pointless or unsafe.
+// new connection could plausibly succeed (the peer or the network hiccuped,
+// or the peer's storage flaked mid-merge), false means retrying is
+// pointless or unsafe. The routing is core.Classify's: a classified
+// core.MigrationError anywhere in the chain is authoritative; otherwise
+// rejection, protocol violations and cancellation are terminal and
+// everything else (dial failures, idle timeouts, resets, truncated
+// streams) is worth a retry.
 func Retryable(err error) bool {
-	switch {
-	case err == nil:
+	if err == nil || errors.Is(err, ErrNoSuchVM) {
 		return false
-	case errors.Is(err, core.ErrRejected):
-		return false // the destination said no; asking again won't help
-	case errors.Is(err, core.ErrProtocol):
-		return false // one of the two sides is broken, not the network
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return false
-	case errors.Is(err, ErrNoSuchVM):
-		return false
-	default:
-		// Dial failures, idle timeouts, resets, truncated streams.
+	}
+	return core.Classify(err) != core.ClassTerminal
+}
+
+// saveOrDegrade runs one best-effort checkpoint persist — a rung of the
+// graceful-degradation ladder. A full store (ENOSPC from the disk or
+// ErrQuotaExceeded from the quota) gets one GC-then-retry; any failure
+// that survives is recorded — vecycle_degraded_total, a trace event,
+// OnError — and swallowed. stage names the rung (core.Stage* constants).
+// Returns true when the save ultimately succeeded.
+func (h *Host) saveOrDegrade(stage string, rec *obs.Recorder, save func() error) bool {
+	err := save()
+	if err != nil && (errors.Is(err, checkpoint.ErrQuotaExceeded) || faultfs.Label(err) == "enospc") {
+		// The pool may hold dead segments a collection can turn into room;
+		// one pass, one more try. GC failing too just degrades below.
+		if _, gcErr := h.store.GC(); gcErr == nil {
+			err = save()
+		}
+	}
+	if err == nil {
 		return true
 	}
+	fault := faultfs.Label(err)
+	h.obs.degraded.With(h.name, stage, fault).Inc()
+	rec.Event(obs.Event{Kind: core.EventDegraded, Detail: stage + ":" + fault})
+	if h.OnError != nil {
+		h.OnError(fmt.Errorf("sched: %s degraded (%s): %w", stage, fault, err))
+	}
+	return false
 }
 
 // MigrateOptions tunes an outgoing migration from a host.
@@ -751,12 +787,20 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 	if info, ok := h.store.Entry(vmName); opts.UseDelta && ok && info.State == checkpoint.EntryComplete {
 		cp, err := h.store.Restore(vmName, checksum.MD5, nil)
 		if err != nil {
-			return core.Metrics{}, fmt.Errorf("sched: open delta base: %w", err)
+			// Deltas are an optimization; an unopenable base loses it, not
+			// the migration. Degrade to full/sum encoding.
+			fault := faultfs.Label(err)
+			h.obs.degraded.With(h.name, core.StageDeltaBase, fault).Inc()
+			rec.Event(obs.Event{Kind: core.EventDegraded, Detail: core.StageDeltaBase + ":" + fault})
+			if h.OnError != nil {
+				h.OnError(fmt.Errorf("sched: delta base of %q degraded (%s): %w", vmName, fault, err))
+			}
+		} else {
+			defer cp.Close()
+			deltaBase = cp
+			h.obs.sidecar.With(h.name, cp.Sidecar().String()).Inc()
+			rec.Event(obs.Event{Kind: core.EventSidecar, Detail: cp.Sidecar().String()})
 		}
-		defer cp.Close()
-		deltaBase = cp
-		h.obs.sidecar.With(h.name, cp.Sidecar().String()).Inc()
-		rec.Event(obs.Event{Kind: core.EventSidecar, Detail: cp.Sidecar().String()})
 	}
 
 	idle := h.migrationIdle(opts.IdleTimeout)
@@ -779,9 +823,9 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 		}
 		rec.Event(obs.Event{Kind: "disk", Bytes: dm.BytesSent, Detail: diskName})
 		if opts.KeepCheckpoint {
-			if err := h.store.Save(d.Backing()); err != nil {
-				return core.Metrics{}, fmt.Errorf("sched: disk checkpoint: %w", err)
-			}
+			h.saveOrDegrade(core.StageDiskCheckpoint, rec, func() error {
+				return h.store.Save(d.Backing())
+			})
 		}
 	}
 
@@ -893,10 +937,11 @@ func (h *Host) runMigrateTo(ctx context.Context, addr, vmName string, v *vm.VM, 
 	// paused final state is exactly what the successful attempt's sum table
 	// describes, so the save skips its matching rehash pass.
 	if opts.KeepCheckpoint {
-		if err := saveWithTable(h.store, v, sent); err != nil {
-			return m, fmt.Errorf("sched: checkpoint after migration: %w", err)
+		if h.saveOrDegrade(core.StageKeepCheckpoint, rec, func() error {
+			return saveWithTable(h.store, v, sent)
+		}) {
+			rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "departure image"})
 		}
-		rec.Event(obs.Event{Kind: "checkpoint-saved", Detail: "departure image"})
 	}
 	h.mu.Lock()
 	delete(h.vms, vmName)

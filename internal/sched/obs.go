@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"strings"
 	"time"
 
 	"vecycle/internal/checksum"
@@ -77,6 +78,8 @@ type hostObs struct {
 	fetched        *obs.CounterVec   // vecycle_postcopy_pages_fetched_total{host}
 	hashBytes      *obs.CounterVec   // vecycle_hash_bytes_total{host,stage}
 	hashAvoided    *obs.CounterVec   // vecycle_hash_avoided_bytes_total{host}
+	degraded       *obs.CounterVec   // vecycle_degraded_total{host,stage,fault}
+	cleanupErrs    *obs.CounterVec   // vecycle_store_cleanup_errors_total{host}
 }
 
 // newHostObs registers (or re-attaches to) every vecycle metric family in
@@ -167,6 +170,12 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		hashAvoided: reg.CounterVec("vecycle_hash_avoided_bytes_total",
 			"Payload bytes whose digest was recycled from an earlier computation (install-time sums, migration sum tables handed to SaveWithSums) instead of recomputed.",
 			"host"),
+		degraded: reg.CounterVec("vecycle_degraded_total",
+			"Graceful-degradation ladder rungs taken: a best-effort activity (checkpoint persist, salvage, recycled read, union fold) failed and the migration carried on without it, by stage and storage-fault label.",
+			"host", "stage", "fault"),
+		cleanupErrs: reg.CounterVec("vecycle_store_cleanup_errors_total",
+			"Store cleanup unlinks (stale temp files, superseded artifacts) that failed and left the file behind for the next scrub.",
+			"host"),
 	}
 	reg.GaugeVec("vecycle_store_usage_bytes",
 		"Bytes of checkpoint images currently stored.",
@@ -218,6 +227,11 @@ func newHostObs(h *Host, reg *obs.Registry, traces *obs.TraceLog) *hostObs {
 		// so one pair of series tells the whole hash-once story per host.
 		hash:        o.hashBytes,
 		hashAvoided: o.hashAvoided,
+		// Store-side degradations (union folds that skipped an entry) and
+		// cleanup failures land in the same families as the host-level
+		// ladder, so one query covers every rung.
+		degraded:    o.degraded,
+		cleanupErrs: o.cleanupErrs,
 	})
 	return o
 }
@@ -231,10 +245,18 @@ type storeMetrics struct {
 	gc          *obs.CounterVec
 	hash        *obs.CounterVec
 	hashAvoided *obs.CounterVec
+	degraded    *obs.CounterVec
+	cleanupErrs *obs.CounterVec
 }
 
 func (m storeMetrics) DedupPages(n int)     { m.dedup.With(m.host).Add(float64(n)) }
 func (m storeMetrics) GCRun(outcome string) { m.gc.With(m.host, outcome).Inc() }
+
+func (m storeMetrics) Degraded(stage, fault string) {
+	m.degraded.With(m.host, stage, fault).Inc()
+}
+
+func (m storeMetrics) CleanupError(string) { m.cleanupErrs.With(m.host).Inc() }
 
 func (m storeMetrics) HashBytes(stage string, n int64) {
 	m.hash.With(m.host, stage).Add(float64(n))
@@ -281,6 +303,9 @@ func (o *hostObs) eventFunc(rec *obs.Recorder, role string) core.EventFunc {
 			if e.Detail == "written" {
 				o.salvagePg.With(o.host).Add(float64(e.Pages))
 			}
+		case core.EventDegraded:
+			stage, fault := splitDegraded(e.Detail)
+			o.degraded.With(o.host, stage, fault).Inc()
 		case core.EventPause:
 			pausedAt = time.Now()
 		case core.EventResume:
@@ -290,6 +315,15 @@ func (o *hostObs) eventFunc(rec *obs.Recorder, role string) core.EventFunc {
 			}
 		}
 	}
+}
+
+// splitDegraded parses an EventDegraded detail ("stage:fault") into its
+// metric labels.
+func splitDegraded(detail string) (stage, fault string) {
+	if i := strings.IndexByte(detail, ':'); i >= 0 {
+		return detail[:i], detail[i+1:]
+	}
+	return detail, "other"
 }
 
 // outcome classifies a migration error for the outcome label.
